@@ -1,0 +1,17 @@
+//! Ablation A2: load balance of Algorithm 2 vs. round-robin assignment under
+//! bucket-size skew.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynahash_bench::ablation_balance_quality;
+
+fn bench_balance_quality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_balance_quality");
+    group.sample_size(20);
+    group.bench_function("skew_sweep", |b| {
+        b.iter(|| ablation_balance_quality(&[1, 2, 4, 8, 16, 32]));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_balance_quality);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 7c: DynaHash rebalance time under concurrent ingestion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynahash_bench::{fig7c_concurrent_writes, ExperimentConfig};
+
+fn bench_concurrent_writes(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick();
+    let mut group = c.benchmark_group("fig7c_concurrent_writes");
+    group.sample_size(10);
+    for rate in [0.0f64, 5.0] {
+        group.bench_with_input(
+            BenchmarkId::new("krecords_per_sec", rate as u64),
+            &rate,
+            |b, &r| {
+                b.iter(|| fig7c_concurrent_writes(&cfg, &[r]));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrent_writes);
+criterion_main!(benches);

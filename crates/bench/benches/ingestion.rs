@@ -1,0 +1,23 @@
+//! Figure 6: ingestion time for each rebalancing scheme.
+//!
+//! Criterion measures the wall-clock time of the simulation; the simulated
+//! ingestion minutes (the quantity the paper plots) are printed by the
+//! `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynahash_bench::{fig6_ingestion, ExperimentConfig};
+
+fn bench_ingestion(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick();
+    let mut group = c.benchmark_group("fig6_ingestion");
+    group.sample_size(10);
+    for nodes in [2u32, 4] {
+        group.bench_with_input(BenchmarkId::new("all_schemes", nodes), &nodes, |b, &n| {
+            b.iter(|| fig6_ingestion(&cfg, &[n]));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingestion);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figures 7a/7b: rebalance time for removing and adding a node.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynahash_bench::{fig7_rebalance, ExperimentConfig, RebalanceDirection};
+
+fn bench_rebalance(c: &mut Criterion) {
+    let cfg = ExperimentConfig::quick();
+    let mut group = c.benchmark_group("fig7_rebalance");
+    group.sample_size(10);
+    for (label, dir) in [
+        ("remove_node", RebalanceDirection::RemoveNode),
+        ("add_node", RebalanceDirection::AddNode),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, 2), &dir, |b, &d| {
+            b.iter(|| fig7_rebalance(&cfg, &[2], d));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rebalance);
+criterion_main!(benches);

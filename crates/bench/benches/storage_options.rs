@@ -1,0 +1,19 @@
+//! Ablation A1: the cost of moving a bucket under the storage options of
+//! Section IV (single LSM-tree vs. bucketed LSM-trees).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynahash_bench::ablation_storage_options;
+
+fn bench_storage_options(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_storage_options");
+    group.sample_size(10);
+    for records in [1_000u64, 5_000] {
+        group.bench_with_input(BenchmarkId::new("records", records), &records, |b, &n| {
+            b.iter(|| ablation_storage_options(n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage_options);
+criterion_main!(benches);

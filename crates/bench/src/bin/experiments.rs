@@ -1,0 +1,157 @@
+//! Regenerates every figure of the DynaHash paper and prints the results as
+//! markdown tables (the source of EXPERIMENTS.md).
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments                # run everything at the default scale
+//! experiments --quick        # smaller scale, fewer cluster sizes
+//! experiments --figure 7a    # run a single figure (6, 7a, 7b, 7c, 8, 9, ablations)
+//! ```
+
+use dynahash_bench::*;
+
+struct Args {
+    quick: bool,
+    figure: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        figure: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--figure" => args.figure = iter.next(),
+            "--help" | "-h" => {
+                eprintln!("usage: experiments [--quick] [--figure 6|7a|7b|7c|8|9|ablations]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn wants(figure: &Option<String>, name: &str) -> bool {
+    match figure {
+        None => true,
+        Some(f) => f.eq_ignore_ascii_case(name),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = if args.quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
+    let node_counts: Vec<u32> = if args.quick {
+        vec![2, 4]
+    } else {
+        vec![2, 4, 8, 16]
+    };
+    let query_nodes: Vec<u32> = if args.quick { vec![4] } else { vec![4, 16] };
+
+    println!("# DynaHash experiment results");
+    println!();
+    println!(
+        "configuration: {} orders/node, {} partitions/node, node counts {:?} (simulated time)",
+        cfg.orders_per_node, cfg.partitions_per_node, node_counts
+    );
+    println!();
+
+    if wants(&args.figure, "6") {
+        println!("## Figure 6 — Ingestion time");
+        println!();
+        let rows = fig6_ingestion(&cfg, &node_counts);
+        println!("{}", format_fig6(&rows));
+    }
+
+    if wants(&args.figure, "7a") {
+        println!("## Figure 7a — Rebalance time, removing one node");
+        println!();
+        let rows = fig7_rebalance(&cfg, &node_counts, RebalanceDirection::RemoveNode);
+        println!("{}", format_fig7(&rows));
+    }
+
+    if wants(&args.figure, "7b") {
+        println!("## Figure 7b — Rebalance time, adding one node");
+        println!();
+        let rows = fig7_rebalance(&cfg, &node_counts, RebalanceDirection::AddNode);
+        println!("{}", format_fig7(&rows));
+    }
+
+    if wants(&args.figure, "7c") {
+        println!("## Figure 7c — Rebalance time under concurrent ingestion (DynaHash, 4 -> 3 nodes)");
+        println!();
+        let rates = [0.0, 10.0, 20.0, 30.0, 40.0];
+        let rows = fig7c_concurrent_writes(&cfg, &rates);
+        println!("{}", format_fig7c(&rows));
+    }
+
+    if wants(&args.figure, "8") {
+        for &n in &query_nodes {
+            println!("## Figure 8 — TPC-H query time on the original cluster ({n} nodes)");
+            println!();
+            let rows = fig8_queries(&cfg, n);
+            let mismatches = answer_mismatches(&rows);
+            println!("{}", format_query_rows(&rows));
+            if mismatches.is_empty() {
+                println!("(all schemes returned identical query answers)");
+            } else {
+                println!("WARNING: answer mismatches on queries {mismatches:?}");
+            }
+            println!();
+        }
+    }
+
+    if wants(&args.figure, "9") {
+        for &n in &query_nodes {
+            println!(
+                "## Figure 9 — TPC-H query time on the downsized cluster ({} -> {} nodes)",
+                n,
+                n - 1
+            );
+            println!();
+            let rows = fig9_queries(&cfg, n);
+            let mismatches = answer_mismatches(&rows);
+            println!("{}", format_query_rows(&rows));
+            if mismatches.is_empty() {
+                println!("(all schemes returned identical query answers)");
+            } else {
+                println!("WARNING: answer mismatches on queries {mismatches:?}");
+            }
+            println!();
+        }
+    }
+
+    if wants(&args.figure, "ablations") {
+        println!("## Ablation A1 — Storage options for the primary index");
+        println!();
+        println!("| option | bucket-move read bytes | avg components per lookup |");
+        println!("|---|---|---|");
+        for r in ablation_storage_options(5000) {
+            println!(
+                "| {} | {} | {:.1} |",
+                r.option, r.bucket_move_read_bytes, r.lookup_components
+            );
+        }
+        println!();
+        println!("## Ablation A2 — Balance quality of Algorithm 2 vs round-robin");
+        println!();
+        println!("| bucket size skew | Algorithm 2 (max/avg) | round-robin (max/avg) |");
+        println!("|---|---|---|");
+        for r in ablation_balance_quality(&[1, 2, 4, 8, 16]) {
+            println!("| {}x | {:.3} | {:.3} |", r.skew, r.algorithm2, r.round_robin);
+        }
+        println!();
+    }
+}

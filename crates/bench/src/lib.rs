@@ -1,0 +1,666 @@
+//! The experiment harness: regenerates every figure of the DynaHash paper.
+//!
+//! Each `figN_*` function builds the clusters, loads the scaled-down TPC-H
+//! data, runs the experiment, and returns rows that mirror the corresponding
+//! figure of the paper (Section VI):
+//!
+//! * [`fig6_ingestion`] — ingestion time vs. cluster size (Figure 6);
+//! * [`fig7_rebalance`] — rebalance time for removing/adding a node
+//!   (Figures 7a and 7b);
+//! * [`fig7c_concurrent_writes`] — rebalance time under concurrent ingestion
+//!   (Figure 7c);
+//! * [`fig8_queries`] — TPC-H query times on the original cluster, including
+//!   the lazy-cleanup variant (Figures 8a/8b);
+//! * [`fig9_queries`] — query times on the downsized cluster (Figures 9a/9b);
+//! * [`ablation_storage_options`] and [`ablation_balance_quality`] — extra
+//!   studies of the design choices called out in DESIGN.md.
+//!
+//! Absolute numbers are simulated time produced by the cost model of
+//! `dynahash-cluster`; only the relative comparisons are meaningful.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dynahash_cluster::{Cluster, ClusterConfig, CostModel, RebalanceOptions, SimDuration};
+use dynahash_core::{NodeId, Scheme};
+use dynahash_tpch::loader::lineitem_records;
+use dynahash_tpch::{generator, load_tpch, query_traits, run_query, TpchScale, NUM_QUERIES};
+
+/// Scale and layout knobs shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// TPC-H orders generated per node (the paper scales data with cluster
+    /// size; so do we).
+    pub orders_per_node: usize,
+    /// Storage partitions per node (4 in the paper).
+    pub partitions_per_node: u32,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            orders_per_node: 400,
+            partitions_per_node: 4,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A reduced configuration for fast benches and smoke tests.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            orders_per_node: 120,
+            partitions_per_node: 2,
+        }
+    }
+
+    fn cluster(&self, nodes: u32) -> Cluster {
+        Cluster::with_config(
+            nodes,
+            ClusterConfig {
+                partitions_per_node: self.partitions_per_node,
+                cost_model: CostModel::default(),
+            },
+        )
+    }
+
+    /// The three schemes evaluated by the paper, parameterised for this
+    /// scale: Hashing, StaticHash(256), and DynaHash with a maximum bucket
+    /// size chosen so that each partition ends up with roughly 4 buckets
+    /// after loading (mirroring the paper's 10 GB threshold).
+    pub fn schemes(&self, nodes: u32) -> Vec<Scheme> {
+        vec![
+            Scheme::Hashing,
+            Scheme::static_hash_256(),
+            self.dynahash_scheme(nodes),
+        ]
+    }
+
+    /// The DynaHash scheme sized for this configuration.
+    pub fn dynahash_scheme(&self, nodes: u32) -> Scheme {
+        // Estimated LineItem bytes per partition: ~4 lineitems per order at
+        // ~129 bytes each, divided over the node's partitions.
+        let per_partition =
+            (self.orders_per_node as u64 * 4 * 130) / self.partitions_per_node as u64;
+        let max_bucket = (per_partition / 4).max(4 * 1024);
+        Scheme::DynaHash {
+            max_bucket_size_bytes: max_bucket,
+            initial_buckets: (nodes * self.partitions_per_node).next_power_of_two(),
+        }
+    }
+
+    fn scale(&self, nodes: u32) -> TpchScale {
+        TpchScale::per_node(self.orders_per_node, nodes as usize)
+    }
+}
+
+// ------------------------------------------------------------------ Figure 6
+
+/// One bar of Figure 6.
+#[derive(Debug, Clone)]
+pub struct IngestionRow {
+    /// Cluster size.
+    pub nodes: u32,
+    /// Scheme name ("Hashing" / "StaticHash" / "DynaHash").
+    pub scheme: &'static str,
+    /// Ingestion time in simulated minutes.
+    pub minutes: f64,
+    /// Records ingested.
+    pub records: u64,
+}
+
+/// Figure 6: ingestion time for each scheme and cluster size.
+pub fn fig6_ingestion(cfg: &ExperimentConfig, node_counts: &[u32]) -> Vec<IngestionRow> {
+    let mut rows = Vec::new();
+    for &nodes in node_counts {
+        for scheme in cfg.schemes(nodes) {
+            let mut cluster = cfg.cluster(nodes);
+            let (_, _, report) =
+                load_tpch(&mut cluster, scheme, cfg.scale(nodes)).expect("load TPC-H");
+            rows.push(IngestionRow {
+                nodes,
+                scheme: scheme.name(),
+                minutes: report.elapsed.as_minutes_f64(),
+                records: report.records,
+            });
+        }
+    }
+    rows
+}
+
+// --------------------------------------------------------------- Figures 7a/b
+
+/// Scale-in (remove a node) or scale-out (add a node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebalanceDirection {
+    /// Rebalance from N nodes to N-1 nodes (Figure 7a).
+    RemoveNode,
+    /// Rebalance from N-1 nodes to N nodes (Figure 7b).
+    AddNode,
+}
+
+/// One bar of Figure 7a/7b.
+#[derive(Debug, Clone)]
+pub struct RebalanceRow {
+    /// Cluster size N referenced by the figure's x-axis.
+    pub nodes: u32,
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Total rebalance time in simulated minutes (all datasets).
+    pub minutes: f64,
+    /// Fraction of the primary data that moved (weighted over datasets).
+    pub moved_fraction: f64,
+}
+
+/// Figures 7a/7b: rebalance time for removing or adding one node.
+pub fn fig7_rebalance(
+    cfg: &ExperimentConfig,
+    node_counts: &[u32],
+    direction: RebalanceDirection,
+) -> Vec<RebalanceRow> {
+    let mut rows = Vec::new();
+    for &nodes in node_counts {
+        for scheme in cfg.schemes(nodes) {
+            // Load on the initial cluster size for the experiment: removing
+            // starts from N nodes, adding starts from N-1 nodes.
+            let initial_nodes = match direction {
+                RebalanceDirection::RemoveNode => nodes,
+                RebalanceDirection::AddNode => (nodes - 1).max(1),
+            };
+            let mut cluster = cfg.cluster(initial_nodes);
+            let (tables, _, _) =
+                load_tpch(&mut cluster, scheme, cfg.scale(nodes)).expect("load TPC-H");
+            let target = match direction {
+                RebalanceDirection::RemoveNode => {
+                    cluster.topology_without(NodeId(initial_nodes - 1))
+                }
+                RebalanceDirection::AddNode => {
+                    cluster.add_node().expect("add node");
+                    cluster.topology().clone()
+                }
+            };
+            let mut total = SimDuration::ZERO;
+            let mut moved = 0.0f64;
+            let mut weight = 0.0f64;
+            for ds in [
+                tables.lineitem,
+                tables.orders,
+                tables.customer,
+                tables.part,
+                tables.supplier,
+                tables.partsupp,
+                tables.nation,
+                tables.region,
+            ] {
+                let bytes = cluster.dataset_primary_bytes(ds).unwrap_or(0) as f64;
+                let report = cluster
+                    .rebalance(ds, &target, RebalanceOptions::none())
+                    .expect("rebalance");
+                total += report.elapsed;
+                moved += report.moved_fraction * bytes;
+                weight += bytes;
+            }
+            rows.push(RebalanceRow {
+                nodes,
+                scheme: scheme.name(),
+                minutes: total.as_minutes_f64(),
+                moved_fraction: if weight == 0.0 { 0.0 } else { moved / weight },
+            });
+        }
+    }
+    rows
+}
+
+// ----------------------------------------------------------------- Figure 7c
+
+/// One point of Figure 7c.
+#[derive(Debug, Clone)]
+pub struct ConcurrentWriteRow {
+    /// Controlled write rate in krecords per simulated second.
+    pub write_rate_krps: f64,
+    /// Rebalance time in simulated minutes.
+    pub minutes: f64,
+    /// Concurrent records ingested while rebalancing.
+    pub concurrent_records: u64,
+}
+
+/// Figure 7c: DynaHash rebalance time (4 → 3 nodes) under concurrent
+/// LineItem ingestion at a controlled rate.
+pub fn fig7c_concurrent_writes(
+    cfg: &ExperimentConfig,
+    rates_krps: &[f64],
+) -> Vec<ConcurrentWriteRow> {
+    let nodes = 4u32;
+    // Baseline rebalance (no writes) to size the concurrent workload:
+    // records = rate × baseline duration.
+    let baseline_secs = {
+        let mut cluster = cfg.cluster(nodes);
+        let scheme = cfg.dynahash_scheme(nodes);
+        let (tables, _, _) = load_tpch(&mut cluster, scheme, cfg.scale(nodes)).expect("load");
+        let target = cluster.topology_without(NodeId(nodes - 1));
+        let report = cluster
+            .rebalance(tables.lineitem, &target, RebalanceOptions::none())
+            .expect("rebalance");
+        report.elapsed.as_secs_f64()
+    };
+
+    let mut rows = Vec::new();
+    for &rate in rates_krps {
+        let mut cluster = cfg.cluster(nodes);
+        let scheme = cfg.dynahash_scheme(nodes);
+        let (tables, data, _) = load_tpch(&mut cluster, scheme, cfg.scale(nodes)).expect("load");
+        let target = cluster.topology_without(NodeId(nodes - 1));
+        let concurrent_count = (rate * 1000.0 * baseline_secs) as usize;
+        let next_orderkey = data.orders.len() as u64 + 1;
+        let extra = generator::extra_lineitems(next_orderkey, concurrent_count, 7);
+        let writes = lineitem_records(&extra);
+        let report = cluster
+            .rebalance(
+                tables.lineitem,
+                &target,
+                RebalanceOptions::with_concurrent_writes(writes),
+            )
+            .expect("rebalance with writes");
+        rows.push(ConcurrentWriteRow {
+            write_rate_krps: rate,
+            minutes: report.elapsed.as_minutes_f64(),
+            concurrent_records: report.concurrent_writes_applied,
+        });
+    }
+    rows
+}
+
+// -------------------------------------------------------------- Figures 8 / 9
+
+/// One bar of Figures 8/9: the time of one query under one scheme.
+#[derive(Debug, Clone)]
+pub struct QueryRow {
+    /// Query number (1-22).
+    pub query: usize,
+    /// Scheme label ("Hashing", "StaticHash", "DynaHash",
+    /// "DynaHash-lazy-cleanup").
+    pub scheme: String,
+    /// Query time in simulated seconds.
+    pub seconds: f64,
+    /// The query's scalar answer (used to check scheme-independence).
+    pub answer: f64,
+    /// True if the query is scan-heavy (sensitive to load imbalance).
+    pub scan_heavy: bool,
+}
+
+fn run_all_queries(cluster: &mut Cluster, tables: &dynahash_tpch::TpchTables, label: &str) -> Vec<QueryRow> {
+    (1..=NUM_QUERIES)
+        .map(|n| {
+            let mut exec = dynahash_cluster::QueryExecutor::new(cluster);
+            let answer = run_query(n, &mut exec, tables).expect("query");
+            let report = exec.finish();
+            QueryRow {
+                query: n,
+                scheme: label.to_string(),
+                seconds: report.elapsed.as_secs_f64(),
+                answer,
+                scan_heavy: query_traits(n).scan_heavy,
+            }
+        })
+        .collect()
+}
+
+/// Figure 8: query times on the original cluster of `nodes` nodes, for
+/// Hashing, StaticHash, DynaHash, and DynaHash after a node-remove/node-add
+/// round trip that leaves obsolete secondary entries behind
+/// ("DynaHash-lazy-cleanup").
+pub fn fig8_queries(cfg: &ExperimentConfig, nodes: u32) -> Vec<QueryRow> {
+    let mut rows = Vec::new();
+    for scheme in cfg.schemes(nodes) {
+        let mut cluster = cfg.cluster(nodes);
+        let (tables, _, _) = load_tpch(&mut cluster, scheme, cfg.scale(nodes)).expect("load");
+        rows.extend(run_all_queries(&mut cluster, &tables, scheme.name()));
+    }
+    // DynaHash-lazy-cleanup: rebalance down one node and back up, so moved
+    // buckets leave obsolete entries in the secondary indexes of their old
+    // partitions; queries then pay the validation overhead.
+    {
+        let scheme = cfg.dynahash_scheme(nodes);
+        let mut cluster = cfg.cluster(nodes);
+        let (tables, _, _) = load_tpch(&mut cluster, scheme, cfg.scale(nodes)).expect("load");
+        let datasets = [
+            tables.lineitem,
+            tables.orders,
+            tables.customer,
+            tables.part,
+            tables.supplier,
+            tables.partsupp,
+            tables.nation,
+            tables.region,
+        ];
+        let down = cluster.topology_without(NodeId(nodes - 1));
+        for ds in datasets {
+            cluster
+                .rebalance(ds, &down, RebalanceOptions::none())
+                .expect("rebalance down");
+        }
+        let up = cluster.topology().clone();
+        for ds in datasets {
+            cluster
+                .rebalance(ds, &up, RebalanceOptions::none())
+                .expect("rebalance up");
+        }
+        rows.extend(run_all_queries(&mut cluster, &tables, "DynaHash-lazy-cleanup"));
+    }
+    rows
+}
+
+/// Figure 9: query times on the downsized cluster (`nodes` → `nodes-1`).
+/// The Hashing baseline redistributes perfectly; the bucketing schemes end up
+/// with some partitions holding one more bucket than others.
+pub fn fig9_queries(cfg: &ExperimentConfig, nodes: u32) -> Vec<QueryRow> {
+    let mut rows = Vec::new();
+    for scheme in cfg.schemes(nodes) {
+        let mut cluster = cfg.cluster(nodes);
+        let (tables, _, _) = load_tpch(&mut cluster, scheme, cfg.scale(nodes)).expect("load");
+        let datasets = [
+            tables.lineitem,
+            tables.orders,
+            tables.customer,
+            tables.part,
+            tables.supplier,
+            tables.partsupp,
+            tables.nation,
+            tables.region,
+        ];
+        let target = cluster.topology_without(NodeId(nodes - 1));
+        for ds in datasets {
+            cluster
+                .rebalance(ds, &target, RebalanceOptions::none())
+                .expect("rebalance down");
+        }
+        cluster.decommission_node(NodeId(nodes - 1)).expect("decommission");
+        rows.extend(run_all_queries(&mut cluster, &tables, scheme.name()));
+    }
+    rows
+}
+
+// ----------------------------------------------------------------- Ablations
+
+/// One row of the storage-option ablation (Section IV of the paper discusses
+/// Options 1-3; the paper picks Option 3 for primary indexes).
+#[derive(Debug, Clone)]
+pub struct StorageOptionRow {
+    /// Option label.
+    pub option: &'static str,
+    /// Simulated cost of moving one bucket out of a partition (bytes read).
+    pub bucket_move_read_bytes: u64,
+    /// Point-lookup work: components examined per lookup (average).
+    pub lookup_components: f64,
+}
+
+/// Ablation: what moving one bucket costs under the three storage options.
+///
+/// * Option 1 (one LSM-tree in key order) must scan the whole partition;
+/// * Options 2/3 (bucketed) only read the moving bucket.
+pub fn ablation_storage_options(records: u64) -> Vec<StorageOptionRow> {
+    use dynahash_lsm::{
+        BucketId, BucketedConfig, BucketedLsmTree, LsmConfig, LsmTree, StorageMetrics,
+    };
+    let value = bytes::Bytes::from(vec![7u8; 100]);
+
+    // Option 1: a single LSM-tree for the whole partition.
+    let metrics1 = StorageMetrics::new_shared();
+    let mut flat = LsmTree::new(LsmConfig::with_memtable_budget(16 * 1024), metrics1);
+    for i in 0..records {
+        flat.put(i, value.clone());
+    }
+    flat.flush();
+    let moving_bucket = BucketId::new(0, 2);
+    // moving a bucket must scan everything and filter
+    let opt1_read: u64 = flat.scan_all().iter().map(|e| e.size_bytes() as u64).sum();
+    let opt1_components = flat.num_components() as f64;
+
+    // Option 3: one LSM-tree per bucket.
+    let metrics3 = StorageMetrics::new_shared();
+    let mut bucketed = BucketedLsmTree::new(
+        BucketedConfig {
+            lsm: LsmConfig::with_memtable_budget(16 * 1024),
+            max_bucket_size_bytes: None,
+            max_depth: 8,
+        },
+        (0..4).map(|b| BucketId::new(b, 2)),
+        metrics3,
+    );
+    for i in 0..records {
+        bucketed
+            .insert(i, value.clone())
+            .expect("bucketed insert");
+    }
+    bucketed.flush_all();
+    let opt3_read: u64 = bucketed
+        .scan_bucket(moving_bucket)
+        .expect("bucket scan")
+        .iter()
+        .map(|e| e.size_bytes() as u64)
+        .sum();
+    let opt3_components = bucketed.num_components() as f64 / 4.0;
+
+    vec![
+        StorageOptionRow {
+            option: "Option 1 (single LSM, key order)",
+            bucket_move_read_bytes: opt1_read,
+            lookup_components: opt1_components,
+        },
+        StorageOptionRow {
+            option: "Option 3 (bucketed LSM, per-bucket trees)",
+            bucket_move_read_bytes: opt3_read,
+            lookup_components: opt3_components,
+        },
+    ]
+}
+
+/// One row of the balance-quality ablation.
+#[derive(Debug, Clone)]
+pub struct BalanceQualityRow {
+    /// Bucket-size skew factor (largest bucket / smallest bucket).
+    pub skew: u64,
+    /// Load-balance factor (max/avg) of Algorithm 2.
+    pub algorithm2: f64,
+    /// Load-balance factor of naive round-robin assignment.
+    pub round_robin: f64,
+}
+
+/// Ablation: Algorithm 2 vs. naive round-robin assignment under bucket-size
+/// skew.
+pub fn ablation_balance_quality(skews: &[u64]) -> Vec<BalanceQualityRow> {
+    use dynahash_core::balance::{balance_assignment, load_balance_factor, BalanceInput, BucketLoad};
+    use dynahash_core::{BucketId, ClusterTopology, PartitionId};
+    use std::collections::BTreeMap;
+
+    let topo = ClusterTopology::uniform(4, 2);
+    let parts = topo.partitions();
+    skews
+        .iter()
+        .map(|&skew| {
+            let buckets: Vec<BucketLoad> = (0..32u32)
+                .map(|bits| BucketLoad {
+                    bucket: BucketId::new(bits, 5),
+                    size: 100 + (bits as u64 % 4) * (skew.saturating_sub(1)) * 100 / 3,
+                    current: None,
+                })
+                .collect();
+            let sizes: BTreeMap<BucketId, u64> =
+                buckets.iter().map(|b| (b.bucket, b.size)).collect();
+            let alg2 = balance_assignment(&BalanceInput {
+                buckets: buckets.clone(),
+                target: topo.clone(),
+            })
+            .expect("balance");
+            let rr: BTreeMap<BucketId, PartitionId> = buckets
+                .iter()
+                .enumerate()
+                .map(|(i, b)| (b.bucket, parts[i % parts.len()]))
+                .collect();
+            BalanceQualityRow {
+                skew,
+                algorithm2: load_balance_factor(&alg2, &sizes, &topo),
+                round_robin: load_balance_factor(&rr, &sizes, &topo),
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------- formatting
+
+/// Renders ingestion rows as a markdown table.
+pub fn format_fig6(rows: &[IngestionRow]) -> String {
+    let mut s = String::from(
+        "| nodes | scheme | ingestion time (sim s) | records |\n|---|---|---|---|\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "| {} | {} | {:.3} | {} |\n",
+            r.nodes,
+            r.scheme,
+            r.minutes * 60.0,
+            r.records
+        ));
+    }
+    s
+}
+
+/// Renders rebalance rows as a markdown table.
+pub fn format_fig7(rows: &[RebalanceRow]) -> String {
+    let mut s = String::from(
+        "| nodes | scheme | rebalance time (sim s) | moved fraction |\n|---|---|---|---|\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "| {} | {} | {:.3} | {:.1}% |\n",
+            r.nodes,
+            r.scheme,
+            r.minutes * 60.0,
+            r.moved_fraction * 100.0
+        ));
+    }
+    s
+}
+
+/// Renders concurrent-write rows as a markdown table.
+pub fn format_fig7c(rows: &[ConcurrentWriteRow]) -> String {
+    let mut s = String::from(
+        "| write rate (krec/s) | rebalance time (sim s) | concurrent records |\n|---|---|---|\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "| {:.0} | {:.3} | {} |\n",
+            r.write_rate_krps,
+            r.minutes * 60.0,
+            r.concurrent_records
+        ));
+    }
+    s
+}
+
+/// Renders query rows as a markdown table with one line per query and one
+/// column per scheme.
+pub fn format_query_rows(rows: &[QueryRow]) -> String {
+    let mut schemes: Vec<String> = rows.iter().map(|r| r.scheme.clone()).collect();
+    schemes.dedup();
+    let mut s = String::from("| query |");
+    for sc in &schemes {
+        s.push_str(&format!(" {sc} (sim s) |"));
+    }
+    s.push_str(" scan-heavy |\n|---|");
+    for _ in &schemes {
+        s.push_str("---|");
+    }
+    s.push_str("---|\n");
+    for q in 1..=NUM_QUERIES {
+        s.push_str(&format!("| q{q} |"));
+        let mut heavy = false;
+        for sc in &schemes {
+            if let Some(r) = rows.iter().find(|r| r.query == q && &r.scheme == sc) {
+                s.push_str(&format!(" {:.4} |", r.seconds));
+                heavy = r.scan_heavy;
+            } else {
+                s.push_str(" - |");
+            }
+        }
+        s.push_str(&format!(" {} |\n", if heavy { "yes" } else { "" }));
+    }
+    s
+}
+
+/// Checks that every query produced the same answer under every scheme in
+/// the given rows; returns the offending query numbers (empty = all agree).
+pub fn answer_mismatches(rows: &[QueryRow]) -> Vec<usize> {
+    let mut bad = Vec::new();
+    for q in 1..=NUM_QUERIES {
+        let answers: Vec<f64> = rows.iter().filter(|r| r.query == q).map(|r| r.answer).collect();
+        if answers
+            .windows(2)
+            .any(|w| (w[0] - w[1]).abs() > 1e-6 * w[0].abs().max(1.0))
+        {
+            bad.push(q);
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig {
+            orders_per_node: 60,
+            partitions_per_node: 2,
+        }
+    }
+
+    #[test]
+    fn fig6_shapes_hold_at_tiny_scale() {
+        let rows = fig6_ingestion(&tiny(), &[2]);
+        assert_eq!(rows.len(), 3);
+        // every scheme ingests the same number of records
+        assert!(rows.windows(2).all(|w| w[0].records == w[1].records));
+        // bucketing overhead stays small (within 2x of Hashing)
+        let hashing = rows.iter().find(|r| r.scheme == "Hashing").unwrap().minutes;
+        for r in &rows {
+            assert!(r.minutes <= hashing * 2.0 + 1e-9, "{} too slow", r.scheme);
+        }
+        assert!(format_fig6(&rows).contains("DynaHash"));
+    }
+
+    #[test]
+    fn fig7_bucketing_beats_hashing() {
+        let rows = fig7_rebalance(&tiny(), &[2], RebalanceDirection::RemoveNode);
+        let hashing = rows.iter().find(|r| r.scheme == "Hashing").unwrap();
+        let dyna = rows.iter().find(|r| r.scheme == "DynaHash").unwrap();
+        assert!(dyna.minutes < hashing.minutes);
+        assert!(dyna.moved_fraction < hashing.moved_fraction);
+        assert!(hashing.moved_fraction > 0.8);
+        assert!(format_fig7(&rows).contains("StaticHash"));
+    }
+
+    #[test]
+    fn fig7c_time_grows_with_write_rate() {
+        let rows = fig7c_concurrent_writes(&tiny(), &[0.0, 2.0]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[1].minutes >= rows[0].minutes);
+        assert!(rows[1].concurrent_records > 0);
+        assert!(format_fig7c(&rows).contains("krec"));
+    }
+
+    #[test]
+    fn ablation_storage_option3_reads_less() {
+        let rows = ablation_storage_options(2000);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[1].bucket_move_read_bytes < rows[0].bucket_move_read_bytes / 2);
+    }
+
+    #[test]
+    fn ablation_balance_quality_improves_on_round_robin() {
+        let rows = ablation_balance_quality(&[1, 4, 16]);
+        for r in &rows {
+            assert!(r.algorithm2 <= r.round_robin + 1e-9, "skew {}", r.skew);
+        }
+    }
+}

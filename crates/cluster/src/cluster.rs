@@ -1,0 +1,499 @@
+//! The simulated shared-nothing cluster.
+//!
+//! [`Cluster`] wires together the Cluster Controller, the Node Controllers
+//! with their storage partitions, and the hardware cost model. It exposes the
+//! operations the experiments need: creating datasets, ingesting records
+//! through data feeds, running queries (see [`crate::query`]), scaling the
+//! cluster in or out, and rebalancing datasets (see [`crate::rebalance`]).
+
+use std::collections::BTreeMap;
+
+use dynahash_core::{ClusterTopology, NodeId, PartitionId, Scheme};
+use dynahash_lsm::bucket::BucketId;
+use dynahash_lsm::entry::{Key, Value};
+use dynahash_lsm::metrics::MetricsSnapshot;
+use dynahash_lsm::wal::LogRecordBody;
+
+use crate::controller::ClusterController;
+use crate::dataset::{DatasetId, DatasetSpec};
+use crate::feed::IngestReport;
+use crate::node::NodeController;
+use crate::partition::Partition;
+use crate::sim::{CostModel, NodeTimeline, SimDuration};
+use crate::ClusterError;
+
+/// Cluster-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of storage partitions per node (the paper uses 4).
+    pub partitions_per_node: u32,
+    /// The hardware cost model.
+    pub cost_model: CostModel,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            partitions_per_node: 4,
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+/// The simulated cluster.
+pub struct Cluster {
+    config: ClusterConfig,
+    topology: ClusterTopology,
+    nodes: BTreeMap<NodeId, NodeController>,
+    /// The Cluster Controller.
+    pub controller: ClusterController,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.nodes.len())
+            .field("partitions", &self.topology.num_partitions())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Creates a cluster of `num_nodes` nodes with the default configuration.
+    pub fn new(num_nodes: u32) -> Self {
+        Self::with_config(num_nodes, ClusterConfig::default())
+    }
+
+    /// Creates a cluster with an explicit configuration.
+    pub fn with_config(num_nodes: u32, config: ClusterConfig) -> Self {
+        let topology = ClusterTopology::uniform(num_nodes, config.partitions_per_node);
+        let nodes = topology
+            .nodes()
+            .into_iter()
+            .map(|n| (n, NodeController::new(n, topology.partitions_of_node(n))))
+            .collect();
+        Cluster {
+            config,
+            topology,
+            nodes,
+            controller: ClusterController::new(),
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The cost model.
+    pub fn cost_model(&self) -> CostModel {
+        self.config.cost_model
+    }
+
+    /// The current topology.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// The node hosting a partition.
+    pub fn node_of_partition(&self, partition: PartitionId) -> Result<NodeId, ClusterError> {
+        self.topology
+            .node_of(partition)
+            .ok_or(ClusterError::UnknownPartition(partition))
+    }
+
+    /// Access a node.
+    pub fn node(&self, id: NodeId) -> Result<&NodeController, ClusterError> {
+        self.nodes.get(&id).ok_or(ClusterError::UnknownNode(id))
+    }
+
+    /// Mutable access to a node.
+    pub fn node_mut(&mut self, id: NodeId) -> Result<&mut NodeController, ClusterError> {
+        self.nodes.get_mut(&id).ok_or(ClusterError::UnknownNode(id))
+    }
+
+    /// Access a partition (through its node).
+    pub fn partition(&self, id: PartitionId) -> Result<&Partition, ClusterError> {
+        let node = self.node_of_partition(id)?;
+        self.node(node)?.partition(id)
+    }
+
+    /// Mutable access to a partition.
+    pub fn partition_mut(&mut self, id: PartitionId) -> Result<&mut Partition, ClusterError> {
+        let node = self.node_of_partition(id)?;
+        self.node_mut(node)?.partition_mut(id)
+    }
+
+    // ------------------------------------------------------------- datasets
+
+    /// Creates a dataset across all current partitions. For bucketed schemes
+    /// the initial buckets are assigned round-robin; for the Hashing scheme
+    /// each partition owns the whole hash space locally and routing uses
+    /// `hash(K) mod N`.
+    pub fn create_dataset(&mut self, spec: DatasetSpec) -> Result<DatasetId, ClusterError> {
+        let partitions = self.topology.partitions();
+        let id = self
+            .controller
+            .register_dataset(spec.clone(), partitions.clone())?;
+        let meta = self.controller.dataset(id)?.clone();
+        for p in &partitions {
+            let initial_buckets: Vec<BucketId> = match &meta.directory {
+                Some(dir) => dir.buckets_of_partition(*p),
+                None => vec![BucketId::root()],
+            };
+            self.partition_mut(*p)?.create_dataset(id, &spec, initial_buckets);
+        }
+        Ok(id)
+    }
+
+    /// Routes a key of a dataset to its partition using the CC's current
+    /// routing state.
+    pub fn route_key(&self, dataset: DatasetId, key: &Key) -> Result<PartitionId, ClusterError> {
+        let meta = self.controller.dataset(dataset)?;
+        meta.route_key(key)
+            .ok_or_else(|| ClusterError::RoutingFailed(dataset))
+    }
+
+    // ------------------------------------------------------------ ingestion
+
+    /// Ingests a batch of records through a data feed: each record is routed
+    /// with an immutable copy of the routing state taken at feed start,
+    /// appended to the owning node's transaction log, and inserted into the
+    /// primary, primary-key, and secondary indexes.
+    ///
+    /// Returns an [`IngestReport`] with the simulated elapsed time (the
+    /// slowest node bounds the feed, as in the paper's ingestion experiment).
+    pub fn ingest(
+        &mut self,
+        dataset: DatasetId,
+        records: impl IntoIterator<Item = (Key, Value)>,
+    ) -> Result<IngestReport, ClusterError> {
+        let routing = self.controller.routing_snapshot(dataset)?;
+        let cost_model = self.config.cost_model;
+
+        // Per-partition metric snapshots to charge IO costs ex post.
+        let before: BTreeMap<PartitionId, MetricsSnapshot> = self
+            .topology
+            .partitions()
+            .iter()
+            .map(|p| (*p, self.partition(*p).map(|x| x.metrics().snapshot()).unwrap_or_default()))
+            .collect();
+
+        let mut per_node_records: BTreeMap<NodeId, u64> = BTreeMap::new();
+        let mut total = 0u64;
+        for (key, value) in records {
+            let partition = routing
+                .route_key(&key)
+                .ok_or(ClusterError::RoutingFailed(dataset))?;
+            let node_id = self.node_of_partition(partition)?;
+            let node = self.node_mut(node_id)?;
+            if !node.is_alive() {
+                return Err(ClusterError::NodeDown(node_id));
+            }
+            node.log.append(LogRecordBody::Insert {
+                dataset,
+                key: key.as_slice().to_vec(),
+                value: value.to_vec(),
+            });
+            node.partition_mut(partition)?
+                .dataset_mut(dataset)?
+                .ingest(key, value)?;
+            *per_node_records.entry(node_id).or_default() += 1;
+            total += 1;
+        }
+
+        // Cost accounting: CPU for parsing/routing plus the IO the storage
+        // engine performed (flushes and merges), per node.
+        let mut timeline = NodeTimeline::new();
+        timeline.charge_coordinator(SimDuration::from_nanos(cost_model.job_overhead_ns));
+        for (node_id, records) in &per_node_records {
+            timeline.charge(*node_id, cost_model.ingest_cpu(*records));
+        }
+        for p in self.topology.partitions() {
+            let node_id = self.node_of_partition(p)?;
+            let after = self.partition(p)?.metrics().snapshot();
+            let delta = after.delta_since(before.get(&p).unwrap_or(&MetricsSnapshot::default()));
+            let io = cost_model.disk_write(delta.bytes_flushed)
+                + cost_model.merge_cost(delta.bytes_merge_read, delta.bytes_merged);
+            timeline.charge(node_id, io);
+        }
+
+        Ok(IngestReport {
+            records: total,
+            elapsed: timeline.elapsed(),
+            per_node: timeline.breakdown(),
+        })
+    }
+
+    // -------------------------------------------------------------- scaling
+
+    /// Adds a node with the configured number of partitions. The new node is
+    /// empty until datasets are rebalanced onto it. Existing datasets get
+    /// empty local storage created on the new partitions so that rebalanced
+    /// buckets have somewhere to land.
+    pub fn add_node(&mut self) -> Result<NodeId, ClusterError> {
+        let new_topology = self.topology.with_added_node(self.config.partitions_per_node);
+        let new_node_id = *new_topology.nodes().last().expect("node added");
+        let new_partitions = new_topology.partitions_of_node(new_node_id);
+        let mut node = NodeController::new(new_node_id, new_partitions.clone());
+        for dataset in self.controller.dataset_ids() {
+            let spec = self.controller.dataset(dataset)?.spec.clone();
+            for p in &new_partitions {
+                node.partition_mut(*p)?.create_dataset(dataset, &spec, vec![]);
+            }
+        }
+        self.nodes.insert(new_node_id, node);
+        self.topology = new_topology;
+        Ok(new_node_id)
+    }
+
+    /// Removes a node from the cluster. All datasets must have been
+    /// rebalanced away from it first; the call fails if any partition on the
+    /// node still holds data.
+    pub fn decommission_node(&mut self, node: NodeId) -> Result<(), ClusterError> {
+        let nc = self.node(node)?;
+        let remaining: usize = nc
+            .partitions()
+            .map(|p| {
+                p.dataset_ids()
+                    .iter()
+                    .map(|d| p.dataset(*d).map(|ds| ds.live_len()).unwrap_or(0))
+                    .sum::<usize>()
+            })
+            .sum();
+        if remaining > 0 {
+            return Err(ClusterError::NodeNotEmpty(node, remaining));
+        }
+        self.nodes.remove(&node);
+        self.topology = self.topology.without_node(node);
+        // Drop the removed partitions from every dataset's partition list.
+        for dataset in self.controller.dataset_ids() {
+            let topo = self.topology.clone();
+            let meta = self.controller.dataset_mut(dataset)?;
+            meta.partitions.retain(|p| topo.node_of(*p).is_some());
+        }
+        Ok(())
+    }
+
+    /// The topology that would result from removing a node (used to plan a
+    /// scale-in rebalance before actually decommissioning the node).
+    pub fn topology_without(&self, node: NodeId) -> ClusterTopology {
+        self.topology.without_node(node)
+    }
+
+    // ------------------------------------------------------------- reporting
+
+    /// Number of live records of a dataset on each partition.
+    pub fn dataset_distribution(
+        &self,
+        dataset: DatasetId,
+    ) -> Result<BTreeMap<PartitionId, usize>, ClusterError> {
+        let mut out = BTreeMap::new();
+        for p in self.topology.partitions() {
+            let part = self.partition(p)?;
+            if part.dataset_ids().contains(&dataset) {
+                out.insert(p, part.dataset(dataset)?.live_len());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total live records of a dataset.
+    pub fn dataset_len(&self, dataset: DatasetId) -> Result<usize, ClusterError> {
+        Ok(self.dataset_distribution(dataset)?.values().sum())
+    }
+
+    /// Total primary-index bytes of a dataset (what a global rebalance would
+    /// have to move).
+    pub fn dataset_primary_bytes(&self, dataset: DatasetId) -> Result<u64, ClusterError> {
+        let mut total = 0u64;
+        for p in self.topology.partitions() {
+            let part = self.partition(p)?;
+            if part.dataset_ids().contains(&dataset) {
+                total += part.dataset(dataset)?.primary_storage_bytes() as u64;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Per-bucket byte sizes of a bucketed dataset across the whole cluster
+    /// (reported by the NCs to the CC during rebalance initialization).
+    pub fn dataset_bucket_sizes(
+        &self,
+        dataset: DatasetId,
+    ) -> Result<BTreeMap<BucketId, u64>, ClusterError> {
+        let mut out = BTreeMap::new();
+        for p in self.topology.partitions() {
+            let part = self.partition(p)?;
+            if part.dataset_ids().contains(&dataset) {
+                for (b, s) in part.dataset(dataset)?.bucket_sizes() {
+                    *out.entry(b).or_default() += s;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The partitions' local directories for a dataset (partition → buckets),
+    /// used by the CC to refresh the global directory.
+    pub fn local_directories(
+        &self,
+        dataset: DatasetId,
+    ) -> Result<Vec<(PartitionId, Vec<BucketId>)>, ClusterError> {
+        let mut out = Vec::new();
+        for p in self.topology.partitions() {
+            let part = self.partition(p)?;
+            if part.dataset_ids().contains(&dataset) {
+                let buckets = part.dataset(dataset)?.primary.bucket_ids();
+                out.push((p, buckets));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Convenience: the scheme of a dataset.
+    pub fn scheme_of(&self, dataset: DatasetId) -> Result<Scheme, ClusterError> {
+        self.controller.scheme_of(dataset)
+    }
+
+    /// Checks global consistency for a dataset: every record is stored on the
+    /// partition its key routes to, and partitions' local directories are
+    /// internally consistent. Used by integration and property tests.
+    pub fn check_dataset_consistency(&self, dataset: DatasetId) -> Result<(), ClusterError> {
+        let meta = self.controller.dataset(dataset)?;
+        for p in self.topology.partitions() {
+            let part = self.partition(p)?;
+            if !part.dataset_ids().contains(&dataset) {
+                continue;
+            }
+            let ds = part.dataset(dataset)?;
+            if !ds.primary.is_consistent() {
+                return Err(ClusterError::Inconsistent(format!(
+                    "partition {p} local directory inconsistent"
+                )));
+            }
+            for entry in ds.scan(dynahash_lsm::ScanOrder::Unordered) {
+                let expected = meta
+                    .route_key(&entry.key)
+                    .ok_or(ClusterError::RoutingFailed(dataset))?;
+                if expected != p {
+                    return Err(ClusterError::Inconsistent(format!(
+                        "key {:?} stored on {p} but routes to {expected}",
+                        entry.key
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn records(n: u64) -> Vec<(Key, Value)> {
+        (0..n)
+            .map(|i| (Key::from_u64(i), Bytes::from(vec![(i % 251) as u8; 64])))
+            .collect()
+    }
+
+    #[test]
+    fn create_and_ingest_bucketed_dataset() {
+        let mut cluster = Cluster::new(2);
+        let ds = cluster
+            .create_dataset(DatasetSpec::new("orders", Scheme::static_hash_256()))
+            .unwrap();
+        let report = cluster.ingest(ds, records(2000)).unwrap();
+        assert_eq!(report.records, 2000);
+        assert!(report.elapsed > SimDuration::ZERO);
+        assert_eq!(cluster.dataset_len(ds).unwrap(), 2000);
+        cluster.check_dataset_consistency(ds).unwrap();
+        // hash partitioning spreads records across all 8 partitions
+        let dist = cluster.dataset_distribution(ds).unwrap();
+        assert_eq!(dist.len(), 8);
+        assert!(dist.values().all(|&n| n > 100));
+    }
+
+    #[test]
+    fn create_and_ingest_hashing_dataset() {
+        let mut cluster = Cluster::new(2);
+        let ds = cluster
+            .create_dataset(DatasetSpec::new("orders", Scheme::Hashing))
+            .unwrap();
+        cluster.ingest(ds, records(1000)).unwrap();
+        assert_eq!(cluster.dataset_len(ds).unwrap(), 1000);
+        cluster.check_dataset_consistency(ds).unwrap();
+    }
+
+    #[test]
+    fn dynahash_dataset_splits_buckets_during_ingestion() {
+        let mut cluster = Cluster::with_config(
+            2,
+            ClusterConfig {
+                partitions_per_node: 2,
+                cost_model: CostModel::default(),
+            },
+        );
+        let ds = cluster
+            .create_dataset(
+                DatasetSpec::new("lineitem", Scheme::dynahash(8 * 1024, 4))
+                    .with_memtable_budget(2 * 1024),
+            )
+            .unwrap();
+        cluster.ingest(ds, records(4000)).unwrap();
+        cluster.check_dataset_consistency(ds).unwrap();
+        let locals = cluster.local_directories(ds).unwrap();
+        let total_buckets: usize = locals.iter().map(|(_, b)| b.len()).sum();
+        assert!(total_buckets > 4, "ingestion should have split buckets: {total_buckets}");
+    }
+
+    #[test]
+    fn add_node_creates_empty_storage_for_existing_datasets() {
+        let mut cluster = Cluster::new(2);
+        let ds = cluster
+            .create_dataset(DatasetSpec::new("orders", Scheme::static_hash_256()))
+            .unwrap();
+        cluster.ingest(ds, records(500)).unwrap();
+        let new_node = cluster.add_node().unwrap();
+        assert_eq!(cluster.topology().num_nodes(), 3);
+        // the new node's partitions exist and are empty for the dataset
+        for p in cluster.topology().partitions_of_node(new_node) {
+            assert_eq!(cluster.partition(p).unwrap().dataset(ds).unwrap().live_len(), 0);
+        }
+        // routing is unchanged until a rebalance updates the directory
+        cluster.check_dataset_consistency(ds).unwrap();
+    }
+
+    #[test]
+    fn decommission_requires_empty_node() {
+        let mut cluster = Cluster::new(2);
+        let ds = cluster
+            .create_dataset(DatasetSpec::new("orders", Scheme::static_hash_256()))
+            .unwrap();
+        cluster.ingest(ds, records(500)).unwrap();
+        let victim = NodeId(1);
+        let err = cluster.decommission_node(victim);
+        assert!(matches!(err, Err(ClusterError::NodeNotEmpty(_, _))));
+        // an empty cluster node can be removed
+        let fresh = cluster.add_node().unwrap();
+        cluster.decommission_node(fresh).unwrap();
+        assert_eq!(cluster.topology().num_nodes(), 2);
+    }
+
+    #[test]
+    fn bucket_sizes_and_local_directories_cover_dataset() {
+        let mut cluster = Cluster::new(2);
+        let ds = cluster
+            .create_dataset(DatasetSpec::new("orders", Scheme::StaticHash { num_buckets: 16 }))
+            .unwrap();
+        cluster.ingest(ds, records(1000)).unwrap();
+        let sizes = cluster.dataset_bucket_sizes(ds).unwrap();
+        assert_eq!(sizes.len(), 16);
+        let locals = cluster.local_directories(ds).unwrap();
+        let total: usize = locals.iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(total, 16);
+        assert!(cluster.dataset_primary_bytes(ds).unwrap() > 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Data feeds: long-running ingestion jobs.
+//!
+//! AsterixDB ingests external data through *data feeds* — long-running jobs
+//! that take an immutable copy of the routing state and continuously insert
+//! records (Section II-C). The simulation exposes batch ingestion through
+//! [`crate::cluster::Cluster::ingest`]; this module adds the report type and
+//! the controlled-rate feed used by the concurrent-writes experiment
+//! (Figure 7c), where new records arrive at a fixed rate while a rebalance is
+//! running.
+
+use dynahash_core::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::sim::SimDuration;
+
+/// The result of one ingestion batch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestReport {
+    /// Records ingested.
+    pub records: u64,
+    /// Simulated elapsed time (bounded by the slowest node).
+    pub elapsed: SimDuration,
+    /// Per-node busy time.
+    pub per_node: Vec<(NodeId, SimDuration)>,
+}
+
+impl IngestReport {
+    /// Ingestion throughput in records per simulated second.
+    pub fn records_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.records as f64 / secs
+        }
+    }
+
+    /// Merges two sequential batches into one report.
+    pub fn merge(&self, other: &IngestReport) -> IngestReport {
+        let mut per_node = self.per_node.clone();
+        for (n, d) in &other.per_node {
+            if let Some(slot) = per_node.iter_mut().find(|(m, _)| m == n) {
+                slot.1 += *d;
+            } else {
+                per_node.push((*n, *d));
+            }
+        }
+        per_node.sort_by_key(|(n, _)| *n);
+        IngestReport {
+            records: self.records + other.records,
+            elapsed: self.elapsed + other.elapsed,
+            per_node,
+        }
+    }
+}
+
+/// A controlled-rate data feed: emits records at a fixed rate (in records per
+/// simulated second), as used by the "Impact of Concurrent Writes"
+/// experiment. The write rate in the paper's Figure 7c is expressed in
+/// krecords/s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControlledRateFeed {
+    /// Ingestion rate in records per simulated second.
+    pub records_per_sec: f64,
+}
+
+impl ControlledRateFeed {
+    /// A feed emitting `krecords_per_sec` thousand records per second.
+    pub fn krecords_per_sec(k: f64) -> Self {
+        ControlledRateFeed {
+            records_per_sec: k * 1000.0,
+        }
+    }
+
+    /// How many records arrive during `elapsed`.
+    pub fn records_for(&self, elapsed: SimDuration) -> u64 {
+        (self.records_per_sec * elapsed.as_secs_f64()) as u64
+    }
+
+    /// True if the feed produces no records.
+    pub fn is_idle(&self) -> bool {
+        self.records_per_sec <= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_records_over_elapsed() {
+        let r = IngestReport {
+            records: 10_000,
+            elapsed: SimDuration::from_secs(10),
+            per_node: vec![],
+        };
+        assert!((r.records_per_sec() - 1000.0).abs() < 1e-9);
+        let zero = IngestReport {
+            records: 5,
+            elapsed: SimDuration::ZERO,
+            per_node: vec![],
+        };
+        assert_eq!(zero.records_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_records_and_per_node_times() {
+        let a = IngestReport {
+            records: 10,
+            elapsed: SimDuration::from_secs(1),
+            per_node: vec![(NodeId(0), SimDuration::from_secs(1))],
+        };
+        let b = IngestReport {
+            records: 20,
+            elapsed: SimDuration::from_secs(2),
+            per_node: vec![
+                (NodeId(0), SimDuration::from_secs(1)),
+                (NodeId(1), SimDuration::from_secs(2)),
+            ],
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.records, 30);
+        assert_eq!(m.elapsed, SimDuration::from_secs(3));
+        assert_eq!(m.per_node[0], (NodeId(0), SimDuration::from_secs(2)));
+        assert_eq!(m.per_node[1], (NodeId(1), SimDuration::from_secs(2)));
+    }
+
+    #[test]
+    fn controlled_rate_feed_scales_with_time() {
+        let feed = ControlledRateFeed::krecords_per_sec(10.0);
+        assert_eq!(feed.records_for(SimDuration::from_secs(2)), 20_000);
+        assert!(!feed.is_idle());
+        assert!(ControlledRateFeed::krecords_per_sec(0.0).is_idle());
+    }
+}

@@ -1,0 +1,108 @@
+//! A simulated shared-nothing parallel cluster for DynaHash.
+//!
+//! This crate is the distributed-systems substrate of the reproduction: a
+//! single-process, deterministic simulation of an AsterixDB-style cluster
+//! consisting of one Cluster Controller and multiple Node Controllers, each
+//! hosting several storage partitions backed by the `dynahash-lsm` storage
+//! engine.
+//!
+//! The main entry point is [`cluster::Cluster`]. The crate provides:
+//!
+//! * dataset creation with a [`dynahash_core::Scheme`] and local secondary
+//!   indexes ([`dataset`]);
+//! * data feeds for ingestion with cost accounting ([`feed`],
+//!   [`cluster::Cluster::ingest`]);
+//! * query execution primitives with a per-node cost model ([`query`]);
+//! * the online rebalance executor implementing the paper's three-phase,
+//!   two-phase-commit protocol for bucketed schemes and the global
+//!   rebalancing baseline ([`rebalance`]);
+//! * fault injection and recovery for the six failure cases ([`recovery`]);
+//! * the hardware cost model and simulated-time accounting ([`sim`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod controller;
+pub mod dataset;
+pub mod feed;
+pub mod node;
+pub mod partition;
+pub mod query;
+pub mod rebalance;
+pub mod recovery;
+pub mod sim;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use controller::ClusterController;
+pub use dataset::{DatasetId, DatasetMeta, DatasetSpec, SecondaryIndexDef};
+pub use feed::{ControlledRateFeed, IngestReport};
+pub use node::NodeController;
+pub use partition::{Partition, PartitionDataset};
+pub use query::{QueryExecutor, QueryReport};
+pub use rebalance::{RebalanceOptions, RebalanceReport};
+pub use recovery::RecoveryReport;
+pub use sim::{CostModel, NodeTimeline, SimDuration};
+
+use dynahash_core::{CoreError, NodeId, PartitionId};
+use dynahash_lsm::StorageError;
+
+use crate::dataset::DatasetId as DsId;
+
+/// Errors produced by the cluster simulation.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The dataset does not exist.
+    UnknownDataset(DsId),
+    /// The partition does not exist in the current topology.
+    UnknownPartition(PartitionId),
+    /// The node does not exist.
+    UnknownNode(NodeId),
+    /// The node is down.
+    NodeDown(NodeId),
+    /// The node still holds data and cannot be decommissioned.
+    NodeNotEmpty(NodeId, usize),
+    /// No partition could be determined for a key of this dataset.
+    RoutingFailed(DsId),
+    /// The requested secondary index does not exist.
+    UnknownIndex(String),
+    /// The rebalance operation aborted.
+    RebalanceAborted(String),
+    /// A consistency check failed.
+    Inconsistent(String),
+    /// An underlying storage error.
+    Storage(StorageError),
+    /// An underlying core-algorithm error.
+    Core(CoreError),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::UnknownDataset(d) => write!(f, "unknown dataset {d}"),
+            ClusterError::UnknownPartition(p) => write!(f, "unknown partition {p}"),
+            ClusterError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            ClusterError::NodeDown(n) => write!(f, "node {n} is down"),
+            ClusterError::NodeNotEmpty(n, records) => {
+                write!(f, "node {n} still holds {records} records")
+            }
+            ClusterError::RoutingFailed(d) => write!(f, "routing failed for dataset {d}"),
+            ClusterError::UnknownIndex(name) => write!(f, "unknown secondary index {name}"),
+            ClusterError::RebalanceAborted(msg) => write!(f, "rebalance aborted: {msg}"),
+            ClusterError::Inconsistent(msg) => write!(f, "inconsistency detected: {msg}"),
+            ClusterError::Storage(e) => write!(f, "storage error: {e}"),
+            ClusterError::Core(e) => write!(f, "core error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<StorageError> for ClusterError {
+    fn from(e: StorageError) -> Self {
+        ClusterError::Storage(e)
+    }
+}
+
+/// Result alias for cluster operations.
+pub type Result<T> = std::result::Result<T, ClusterError>;

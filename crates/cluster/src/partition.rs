@@ -1,0 +1,454 @@
+//! Storage partitions.
+//!
+//! A partition is the unit of storage and parallelism inside a Node
+//! Controller. For each dataset it holds a **bucketed primary index**, a
+//! **primary-key index** (keys only, for COUNT(*) and uniqueness checks), and
+//! the dataset's **local secondary indexes** (Section II-C). The partition
+//! also implements both sides of the rebalance data-movement phase.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dynahash_core::PartitionId;
+use dynahash_lsm::{
+    BucketId, BucketedConfig, BucketedLsmTree, Entry, Key, LsmConfig, LsmTree, ScanOrder,
+    SecondaryEntry, SecondaryIndex, StorageMetrics, Value,
+};
+
+use crate::dataset::{DatasetId, DatasetSpec, SecondaryIndexDef};
+use crate::ClusterError;
+
+/// Per-dataset storage inside one partition.
+pub struct PartitionDataset {
+    /// The bucketed primary index (Option 3 storage).
+    pub primary: BucketedLsmTree,
+    /// The primary-key index (keys only, all buckets together).
+    pub primary_key_index: LsmTree,
+    /// Local secondary indexes (Option 1 storage, lazy cleanup).
+    pub secondaries: Vec<SecondaryIndex>,
+    defs: Vec<SecondaryIndexDef>,
+}
+
+impl std::fmt::Debug for PartitionDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionDataset")
+            .field("buckets", &self.primary.num_buckets())
+            .field("secondaries", &self.secondaries.len())
+            .finish()
+    }
+}
+
+impl PartitionDataset {
+    fn new(
+        spec: &DatasetSpec,
+        initial_buckets: Vec<BucketId>,
+        metrics: Arc<StorageMetrics>,
+    ) -> Self {
+        let lsm = LsmConfig::with_memtable_budget(spec.memtable_budget_bytes);
+        let bucketed_cfg = BucketedConfig {
+            lsm: lsm.clone(),
+            max_bucket_size_bytes: spec
+                .scheme
+                .max_bucket_size_bytes()
+                .map(|b| b as usize),
+            max_depth: 20,
+        };
+        let secondaries = spec
+            .secondary_indexes
+            .iter()
+            .map(|d| SecondaryIndex::new(d.name.clone(), lsm.clone(), Arc::clone(&metrics)))
+            .collect();
+        PartitionDataset {
+            primary: BucketedLsmTree::new(bucketed_cfg, initial_buckets, Arc::clone(&metrics)),
+            primary_key_index: LsmTree::new(lsm, metrics),
+            secondaries,
+            defs: spec.secondary_indexes.clone(),
+        }
+    }
+
+    /// Ingests one record: primary index, primary-key index, and every
+    /// secondary index are updated.
+    pub fn ingest(&mut self, key: Key, value: Value) -> Result<(), ClusterError> {
+        for (def, idx) in self.defs.iter().zip(self.secondaries.iter_mut()) {
+            if let Some(secondary) = (def.extractor)(&value) {
+                idx.insert(secondary, key.clone());
+            }
+        }
+        self.primary_key_index.put(key.clone(), bytes::Bytes::new());
+        self.primary
+            .insert(key, value)
+            .map_err(ClusterError::Storage)?;
+        Ok(())
+    }
+
+    /// Point lookup in the primary index.
+    pub fn get(&self, key: &Key) -> Option<Value> {
+        self.primary.get(key)
+    }
+
+    /// Full scan of the primary index.
+    pub fn scan(&self, order: ScanOrder) -> Vec<Entry> {
+        self.primary.scan(order)
+    }
+
+    /// Number of live records.
+    pub fn live_len(&self) -> usize {
+        self.primary.live_len()
+    }
+
+    /// Finds a secondary index by name.
+    pub fn secondary_mut(&mut self, name: &str) -> Option<&mut SecondaryIndex> {
+        self.secondaries.iter_mut().find(|s| s.name == name)
+    }
+
+    /// Logical bytes of the primary index (what a rebalance would move).
+    pub fn primary_storage_bytes(&self) -> usize {
+        self.primary.logical_size_bytes()
+    }
+
+    /// Total storage bytes including secondary indexes and the pk index.
+    pub fn total_storage_bytes(&self) -> usize {
+        self.primary.storage_bytes()
+            + self.primary_key_index.storage_bytes()
+            + self.secondaries.iter().map(|s| s.storage_bytes()).sum::<usize>()
+    }
+
+    /// Per-bucket primary sizes (reported to the CC for Algorithm 2).
+    pub fn bucket_sizes(&self) -> Vec<(BucketId, u64)> {
+        self.primary
+            .bucket_sizes()
+            .into_iter()
+            .map(|(b, s)| (b, s as u64))
+            .collect()
+    }
+
+    /// Flushes all memory components (primary buckets, pk index, secondaries).
+    pub fn flush_all(&mut self) {
+        self.primary.flush_all();
+        self.primary_key_index.flush();
+        for s in self.secondaries.iter_mut() {
+            s.flush();
+        }
+    }
+
+    /// Runs merge policies everywhere. Returns the number of merges.
+    pub fn run_merges(&mut self) -> usize {
+        let mut n = self.primary.run_merges();
+        n += self.primary_key_index.run_merges();
+        for s in self.secondaries.iter_mut() {
+            n += s.run_merges();
+        }
+        n
+    }
+
+    // --------------------------------------------------- rebalance source side
+
+    /// Snapshot + scan of a moving bucket (flushes its memory component so
+    /// the snapshot covers all writes before the rebalance start time).
+    pub fn scan_bucket_for_move(&mut self, bucket: BucketId) -> Result<Vec<Entry>, ClusterError> {
+        self.primary.snapshot_bucket(bucket).map_err(ClusterError::Storage)?;
+        self.primary.scan_bucket(bucket).map_err(ClusterError::Storage)
+    }
+
+    /// After a committed rebalance: drops the moved bucket from the primary
+    /// index, removes its keys from the primary-key index, and marks the
+    /// bucket for lazy cleanup in every secondary index.
+    pub fn cleanup_moved_bucket(&mut self, bucket: BucketId) -> Result<(), ClusterError> {
+        self.primary.drop_bucket(bucket).map_err(ClusterError::Storage)?;
+        self.primary_key_index.mark_bucket_invalid(bucket);
+        for s in self.secondaries.iter_mut() {
+            s.mark_bucket_moved(bucket);
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------- rebalance destination side
+
+    /// Creates the pending bucket that will receive moved records.
+    pub fn create_pending_bucket(&mut self, bucket: BucketId) -> Result<(), ClusterError> {
+        self.primary
+            .create_pending_bucket(bucket)
+            .map_err(ClusterError::Storage)
+    }
+
+    /// Bulk-loads scanned records into the pending bucket and rebuilds the
+    /// corresponding secondary-index entries into the pending component lists.
+    pub fn load_pending(&mut self, bucket: BucketId, entries: Vec<Entry>) -> Result<(), ClusterError> {
+        // Rebuild secondary entries on the fly from the record payloads.
+        for (def, idx) in self.defs.iter().zip(self.secondaries.iter_mut()) {
+            let rebuilt: Vec<SecondaryEntry> = entries
+                .iter()
+                .filter_map(|e| {
+                    e.op.value().and_then(|v| {
+                        (def.extractor)(v).map(|secondary| SecondaryEntry {
+                            secondary,
+                            primary: e.key.clone(),
+                        })
+                    })
+                })
+                .collect();
+            if !rebuilt.is_empty() {
+                idx.load_into_pending(rebuilt);
+            }
+        }
+        // Primary-key index entries for the received records are loaded too.
+        for e in &entries {
+            if !e.op.is_delete() {
+                // pk-index entries for received records stay invisible until
+                // commit in a full system; the simulation adds them at install
+                // time instead, so nothing to do here.
+            }
+        }
+        self.primary
+            .load_into_pending(bucket, entries)
+            .map_err(ClusterError::Storage)
+    }
+
+    /// Applies a replicated concurrent write to the pending bucket (and the
+    /// pending secondary lists).
+    pub fn apply_replicated(&mut self, bucket: BucketId, entry: Entry) -> Result<(), ClusterError> {
+        for (def, idx) in self.defs.iter().zip(self.secondaries.iter_mut()) {
+            if let Some(v) = entry.op.value() {
+                if let Some(secondary) = (def.extractor)(v) {
+                    idx.apply_replicated(secondary, entry.key.clone(), false);
+                }
+            }
+        }
+        self.primary
+            .apply_replicated(bucket, entry)
+            .map_err(ClusterError::Storage)
+    }
+
+    /// Flushes pending memory components (prepare phase).
+    pub fn flush_pending(&mut self) {
+        self.primary.flush_pending();
+        for s in self.secondaries.iter_mut() {
+            s.flush_pending();
+        }
+    }
+
+    /// Installs a received bucket (commit phase), making it visible, and adds
+    /// its keys to the primary-key index.
+    pub fn install_pending(&mut self, bucket: BucketId) -> Result<(), ClusterError> {
+        self.primary
+            .install_pending(bucket)
+            .map_err(ClusterError::Storage)?;
+        for s in self.secondaries.iter_mut() {
+            s.install_pending();
+        }
+        // Register the received keys in the primary-key index.
+        if let Ok(entries) = self.primary.bucket_entries(&bucket) {
+            for e in entries {
+                self.primary_key_index.put(e.key, bytes::Bytes::new());
+            }
+        }
+        Ok(())
+    }
+
+    /// Discards all pending state for this dataset (abort path). Idempotent.
+    pub fn drop_pending(&mut self, bucket: BucketId) {
+        self.primary.drop_pending(bucket);
+        for s in self.secondaries.iter_mut() {
+            s.drop_pending();
+        }
+    }
+}
+
+/// A storage partition: per-dataset storage plus shared metrics.
+pub struct Partition {
+    /// The partition id.
+    pub id: PartitionId,
+    datasets: BTreeMap<DatasetId, PartitionDataset>,
+    metrics: Arc<StorageMetrics>,
+}
+
+impl std::fmt::Debug for Partition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Partition")
+            .field("id", &self.id)
+            .field("datasets", &self.datasets.len())
+            .finish()
+    }
+}
+
+impl Partition {
+    /// Creates an empty partition.
+    pub fn new(id: PartitionId) -> Self {
+        Partition {
+            id,
+            datasets: BTreeMap::new(),
+            metrics: StorageMetrics::new_shared(),
+        }
+    }
+
+    /// The partition's storage metrics.
+    pub fn metrics(&self) -> &Arc<StorageMetrics> {
+        &self.metrics
+    }
+
+    /// Creates the local storage for a dataset with the given initial buckets.
+    pub fn create_dataset(
+        &mut self,
+        id: DatasetId,
+        spec: &DatasetSpec,
+        initial_buckets: Vec<BucketId>,
+    ) {
+        self.datasets.insert(
+            id,
+            PartitionDataset::new(spec, initial_buckets, Arc::clone(&self.metrics)),
+        );
+    }
+
+    /// Drops a dataset's local storage.
+    pub fn drop_dataset(&mut self, id: DatasetId) {
+        self.datasets.remove(&id);
+    }
+
+    /// Access a dataset's local storage.
+    pub fn dataset(&self, id: DatasetId) -> Result<&PartitionDataset, ClusterError> {
+        self.datasets.get(&id).ok_or(ClusterError::UnknownDataset(id))
+    }
+
+    /// Mutable access to a dataset's local storage.
+    pub fn dataset_mut(&mut self, id: DatasetId) -> Result<&mut PartitionDataset, ClusterError> {
+        self.datasets
+            .get_mut(&id)
+            .ok_or(ClusterError::UnknownDataset(id))
+    }
+
+    /// The datasets stored on this partition.
+    pub fn dataset_ids(&self) -> Vec<DatasetId> {
+        self.datasets.keys().copied().collect()
+    }
+
+    /// Total storage bytes across datasets.
+    pub fn total_storage_bytes(&self) -> usize {
+        self.datasets.values().map(|d| d.total_storage_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SecondaryIndexDef;
+    use dynahash_core::Scheme;
+
+    fn spec_with_index() -> DatasetSpec {
+        DatasetSpec::new("orders", Scheme::static_hash_256())
+            .with_secondary_index(SecondaryIndexDef::new("idx_first8", |payload| {
+                if payload.len() >= 8 {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&payload[..8]);
+                    Some(Key::from_u64(u64::from_be_bytes(b)))
+                } else {
+                    None
+                }
+            }))
+            .with_memtable_budget(8 * 1024)
+    }
+
+    fn all_buckets(depth: u8) -> Vec<BucketId> {
+        (0..(1u32 << depth)).map(|b| BucketId::new(b, depth)).collect()
+    }
+
+    fn payload(secondary: u64) -> bytes::Bytes {
+        let mut v = secondary.to_be_bytes().to_vec();
+        v.extend_from_slice(&[0u8; 56]);
+        bytes::Bytes::from(v)
+    }
+
+    #[test]
+    fn ingest_updates_all_indexes() {
+        let mut p = Partition::new(PartitionId(0));
+        p.create_dataset(1, &spec_with_index(), all_buckets(2));
+        let ds = p.dataset_mut(1).unwrap();
+        for i in 0..300u64 {
+            ds.ingest(Key::from_u64(i), payload(i % 10)).unwrap();
+        }
+        assert_eq!(ds.live_len(), 300);
+        assert!(ds.get(&Key::from_u64(5)).is_some());
+        // secondary search finds all records with secondary key 3
+        let hits = ds.secondary_mut("idx_first8").unwrap().search_exact(&Key::from_u64(3));
+        assert_eq!(hits.len(), 30);
+        assert!(ds.total_storage_bytes() > 0);
+        assert_eq!(p.dataset_ids(), vec![1]);
+    }
+
+    #[test]
+    fn move_bucket_between_partitions_end_to_end() {
+        let spec = spec_with_index();
+        let mut src = Partition::new(PartitionId(0));
+        let mut dst = Partition::new(PartitionId(1));
+        src.create_dataset(1, &spec, all_buckets(1));
+        dst.create_dataset(1, &spec, vec![]);
+
+        let moved_bucket = BucketId::new(0, 1);
+        {
+            let ds = src.dataset_mut(1).unwrap();
+            for i in 0..400u64 {
+                ds.ingest(Key::from_u64(i), payload(i % 7)).unwrap();
+            }
+        }
+        // source: snapshot + scan
+        let entries = src
+            .dataset_mut(1)
+            .unwrap()
+            .scan_bucket_for_move(moved_bucket)
+            .unwrap();
+        let moved_count = entries.len();
+        assert!(moved_count > 0);
+
+        // destination: pending load + a replicated concurrent write
+        let dst_ds = dst.dataset_mut(1).unwrap();
+        dst_ds.create_pending_bucket(moved_bucket).unwrap();
+        dst_ds.load_pending(moved_bucket, entries.clone()).unwrap();
+        let concurrent_key = entries[0].key.clone();
+        dst_ds
+            .apply_replicated(moved_bucket, Entry::put(concurrent_key.clone(), payload(99)))
+            .unwrap();
+        assert_eq!(dst_ds.live_len(), 0, "pending data must stay invisible");
+
+        // finalize: install at destination, cleanup at source
+        dst_ds.flush_pending();
+        dst_ds.install_pending(moved_bucket).unwrap();
+        assert_eq!(dst_ds.live_len(), moved_count);
+        assert_eq!(dst_ds.get(&concurrent_key).unwrap(), payload(99));
+        // rebuilt secondary index answers queries at the destination
+        let sec_hits = dst_ds.secondary_mut("idx_first8").unwrap().search_exact(&Key::from_u64(99));
+        assert_eq!(sec_hits.len(), 1);
+
+        let src_ds = src.dataset_mut(1).unwrap();
+        let before = src_ds.live_len();
+        src_ds.cleanup_moved_bucket(moved_bucket).unwrap();
+        assert_eq!(src_ds.live_len(), before - moved_count);
+        // lazy cleanup: secondary queries no longer return moved records
+        let stale = src_ds.secondary_mut("idx_first8").unwrap().all_valid_entries();
+        assert!(stale.iter().all(|se| !moved_bucket.contains_key(&se.primary)));
+    }
+
+    #[test]
+    fn abort_discards_pending_data() {
+        let spec = spec_with_index();
+        let mut dst = Partition::new(PartitionId(1));
+        dst.create_dataset(1, &spec, all_buckets(1));
+        let b = BucketId::new(0, 2); // not owned: pending only
+        let ds = dst.dataset_mut(1).unwrap();
+        ds.create_pending_bucket(b).unwrap();
+        ds.load_pending(b, vec![Entry::put(Key::from_u64(1), payload(1))]).unwrap();
+        ds.drop_pending(b);
+        // installing after a drop fails gracefully, data stays invisible
+        assert!(ds.install_pending(b).is_err());
+        assert_eq!(ds.get(&Key::from_u64(1)), None);
+    }
+
+    #[test]
+    fn unknown_dataset_errors() {
+        let mut p = Partition::new(PartitionId(3));
+        assert!(p.dataset(9).is_err());
+        assert!(p.dataset_mut(9).is_err());
+        p.create_dataset(9, &DatasetSpec::new("x", Scheme::Hashing), vec![BucketId::root()]);
+        assert!(p.dataset(9).is_ok());
+        p.drop_dataset(9);
+        assert!(p.dataset(9).is_err());
+    }
+}

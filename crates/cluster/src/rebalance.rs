@@ -1,0 +1,820 @@
+//! The online rebalance executor (Section V).
+//!
+//! [`Cluster::rebalance`] moves a dataset onto a target topology. For
+//! bucketed schemes (StaticHash / DynaHash) it runs the paper's three-phase
+//! protocol — initialization, data movement, finalization with two-phase
+//! commit — moving only the buckets that Algorithm 2 reassigns, replicating
+//! concurrent writes to their new partitions, and handling the six failure
+//! cases of Section V-D through fault-injection hooks. For the Hashing
+//! baseline it performs AsterixDB's original global rebalancing: a brand-new
+//! hash-partitioned copy of the dataset is built on the target partitions and
+//! swapped in, which moves nearly every record.
+
+use std::collections::BTreeMap;
+
+use dynahash_core::{
+    ClusterTopology, FailurePoint, GlobalDirectory, NodeId, NodeVote, RebalanceCoordinator,
+    RebalanceOutcome, RebalancePlan,
+};
+use dynahash_lsm::entry::{Entry, Key, Value};
+use dynahash_lsm::wal::{LogRecordBody, RebalanceId, RebalanceLogStatus};
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::Cluster;
+use crate::dataset::DatasetId;
+use crate::sim::{NodeTimeline, SimDuration};
+use crate::{ClusterError, Result};
+
+/// Options controlling a rebalance operation.
+#[derive(Debug, Clone, Default)]
+pub struct RebalanceOptions {
+    /// Records that arrive (through a data feed) while the rebalance is
+    /// running. They are applied to their current partitions and, when they
+    /// hit a moving bucket, replicated to the destination as log records.
+    /// Only supported by bucketed schemes.
+    pub concurrent_writes: Vec<(Key, Value)>,
+    /// Inject a failure at one of the protocol points (Section V-D).
+    pub failure: Option<FailurePoint>,
+}
+
+impl RebalanceOptions {
+    /// No concurrent writes, no failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// With the given concurrent writes.
+    pub fn with_concurrent_writes(writes: Vec<(Key, Value)>) -> Self {
+        RebalanceOptions {
+            concurrent_writes: writes,
+            failure: None,
+        }
+    }
+
+    /// With a failure injected at the given protocol point.
+    pub fn with_failure(failure: FailurePoint) -> Self {
+        RebalanceOptions {
+            concurrent_writes: Vec::new(),
+            failure: Some(failure),
+        }
+    }
+}
+
+/// Per-phase simulated times of a rebalance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PhaseTimes {
+    /// Initialization: directory refresh, planning, snapshot flushes.
+    pub initialization: SimDuration,
+    /// Data movement: scanning, shipping and loading buckets plus concurrent
+    /// write replication.
+    pub data_movement: SimDuration,
+    /// Finalization: prepare + commit (or abort and cleanup).
+    pub finalization: SimDuration,
+}
+
+/// The result of a rebalance operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RebalanceReport {
+    /// The rebalance operation id.
+    pub rebalance_id: RebalanceId,
+    /// Committed or aborted.
+    pub outcome: RebalanceOutcome,
+    /// Total simulated elapsed time.
+    pub elapsed: SimDuration,
+    /// Per-phase breakdown.
+    pub phases: PhaseTimes,
+    /// Bytes of primary-index data scanned and shipped.
+    pub bytes_moved: u64,
+    /// Records moved.
+    pub records_moved: u64,
+    /// Buckets moved (0 for the Hashing scheme, which has no buckets).
+    pub buckets_moved: usize,
+    /// Fraction of the dataset's primary bytes that moved.
+    pub moved_fraction: f64,
+    /// Per-node busy time.
+    pub per_node: Vec<(NodeId, SimDuration)>,
+    /// Concurrent writes applied during the rebalance.
+    pub concurrent_writes_applied: u64,
+}
+
+impl Cluster {
+    /// Rebalances a dataset onto the target topology.
+    pub fn rebalance(
+        &mut self,
+        dataset: DatasetId,
+        target: &ClusterTopology,
+        options: RebalanceOptions,
+    ) -> Result<RebalanceReport> {
+        if target.is_empty() {
+            return Err(ClusterError::Core(dynahash_core::CoreError::EmptyTopology));
+        }
+        let scheme = self.scheme_of(dataset)?;
+        if scheme.is_bucketed() {
+            self.rebalance_bucketed(dataset, target, options)
+        } else {
+            self.rebalance_hashing(dataset, target, options)
+        }
+    }
+
+    // =================================================== bucketed schemes ===
+
+    fn rebalance_bucketed(
+        &mut self,
+        dataset: DatasetId,
+        target: &ClusterTopology,
+        options: RebalanceOptions,
+    ) -> Result<RebalanceReport> {
+        let cost = self.cost_model();
+        let rebalance_id = self.controller.next_rebalance_id();
+        let mut init_tl = NodeTimeline::new();
+        let mut move_tl = NodeTimeline::new();
+        let mut fin_tl = NodeTimeline::new();
+
+        // ----------------------------------------------------- initialization
+        // The CC forces a BEGIN log record before anything else (Section V-D).
+        self.controller.metadata_log.append_forced(LogRecordBody::RebalanceBegin {
+            rebalance: rebalance_id,
+            dataset,
+        });
+
+        // Refresh the global directory from the local directories and disable
+        // bucket splits for the duration of the rebalance.
+        let locals = self.local_directories(dataset)?;
+        self.set_splits_enabled(dataset, false)?;
+        let refreshed =
+            GlobalDirectory::refresh_from_locals(locals.clone()).map_err(ClusterError::Core)?;
+        let sizes = self.dataset_bucket_sizes(dataset)?;
+        let plan = RebalancePlan::compute(rebalance_id, &refreshed, &sizes, target)
+            .map_err(ClusterError::Core)?;
+        let total_bytes = self.dataset_primary_bytes(dataset)?;
+
+        // Participants: every node that hosts a source or destination
+        // partition of the plan (plus all target nodes, which must ack).
+        let mut participants: Vec<NodeId> = target.nodes();
+        for m in &plan.moves {
+            if let Some(n) = self.topology().node_of(m.from) {
+                if !participants.contains(&n) {
+                    participants.push(n);
+                }
+            }
+        }
+        participants.sort_unstable();
+        let mut coordinator = RebalanceCoordinator::new(rebalance_id, participants.clone());
+
+        // CC contacts every participant to fetch directories / dispatch work.
+        for n in &participants {
+            init_tl.charge(*n, SimDuration::from_nanos(cost.network_latency_ns));
+        }
+        init_tl.charge_coordinator(SimDuration::from_nanos(cost.job_overhead_ns));
+
+        // Snapshot flush of every moving bucket (its flush time is the
+        // rebalance start time for the concurrency-control split).
+        for m in &plan.moves {
+            let node = self.node_of_partition(m.from)?;
+            let before = self.partition(m.from)?.metrics().snapshot();
+            self.partition_mut(m.from)?
+                .dataset_mut(dataset)?
+                .primary
+                .snapshot_bucket(m.bucket)
+                .map_err(ClusterError::Storage)?;
+            let after = self.partition(m.from)?.metrics().snapshot();
+            let delta = after.delta_since(&before);
+            init_tl.charge(node, cost.disk_write(delta.bytes_flushed));
+        }
+
+        // -------------------------------------------------------- data movement
+        coordinator.start_data_movement().map_err(ClusterError::Core)?;
+        let mut bytes_moved = 0u64;
+        let mut records_moved = 0u64;
+
+        for m in &plan.moves {
+            let src_node = self.node_of_partition(m.from)?;
+            let dst_node = target
+                .node_of(m.to)
+                .ok_or(ClusterError::UnknownPartition(m.to))?;
+            let entries = self
+                .partition_mut(m.from)?
+                .dataset_mut(dataset)?
+                .scan_bucket_for_move(m.bucket)?;
+            let bucket_bytes: u64 = entries.iter().map(|e| e.size_bytes() as u64).sum();
+            let bucket_records = entries.len() as u64;
+
+            // Source reads the bucket; the network ships it; the destination
+            // writes the loaded components and rebuilds secondary entries.
+            // Empty buckets only need a directory update, which travels with
+            // the commit message, so they incur no per-move transfer cost.
+            if bucket_bytes > 0 {
+                move_tl.charge(src_node, cost.disk_read(bucket_bytes));
+                move_tl.charge(dst_node, cost.network(bucket_bytes));
+                move_tl.charge(
+                    dst_node,
+                    cost.disk_write(bucket_bytes) + cost.index_rebuild_cpu(bucket_records),
+                );
+            }
+
+            let dst = self.partition_mut(m.to)?.dataset_mut(dataset)?;
+            dst.create_pending_bucket(m.bucket)?;
+            dst.load_pending(m.bucket, entries)?;
+
+            bytes_moved += bucket_bytes;
+            records_moved += bucket_records;
+        }
+
+        // Concurrent writes: applied to their current partition and, when the
+        // bucket is moving, replicated to the destination.
+        let moving: BTreeMap<_, _> = plan.moves.iter().map(|m| (m.bucket, m.to)).collect();
+        let mut applied = 0u64;
+        for (key, value) in &options.concurrent_writes {
+            let Some((bucket, src_partition)) = refreshed.lookup_key(key) else {
+                return Err(ClusterError::RoutingFailed(dataset));
+            };
+            let src_node = self.node_of_partition(src_partition)?;
+            // Normal write path at the current partition.
+            {
+                let node = self.node_mut(src_node)?;
+                node.log.append(LogRecordBody::Insert {
+                    dataset,
+                    key: key.as_slice().to_vec(),
+                    value: value.to_vec(),
+                });
+            }
+            self.partition_mut(src_partition)?
+                .dataset_mut(dataset)?
+                .ingest(key.clone(), value.clone())?;
+            move_tl.charge(src_node, cost.ingest_cpu(1));
+            // Replication of writes to moving buckets.
+            if let Some(&dst_partition) = moving.get(&bucket) {
+                let dst_node = target
+                    .node_of(dst_partition)
+                    .ok_or(ClusterError::UnknownPartition(dst_partition))?;
+                let record_bytes = (key.len() + value.len()) as u64;
+                move_tl.charge(dst_node, cost.network(record_bytes));
+                move_tl.charge(dst_node, cost.ingest_cpu(1));
+                self.partition_mut(dst_partition)?
+                    .dataset_mut(dataset)?
+                    .apply_replicated(bucket, Entry::put(key.clone(), value.clone()))?;
+            }
+            applied += 1;
+        }
+
+        // Failure Case 1: an NC dies before it can vote "prepared".
+        if let Some(FailurePoint::NcBeforePrepared(victim)) = options.failure {
+            if let Ok(node) = self.node_mut(victim) {
+                node.crash();
+            }
+        }
+
+        // -------------------------------------------------------- finalization
+        coordinator.start_prepare().map_err(ClusterError::Core)?;
+        // Destinations flush the memory components holding replicated writes.
+        for m in &plan.moves {
+            let dst_node = target
+                .node_of(m.to)
+                .ok_or(ClusterError::UnknownPartition(m.to))?;
+            if self.node(dst_node).map(|n| n.is_alive()).unwrap_or(false) {
+                let pending_bytes = self
+                    .partition(m.to)?
+                    .dataset(dataset)?
+                    .primary
+                    .pending_storage_bytes() as u64;
+                self.partition_mut(m.to)?.dataset_mut(dataset)?.flush_pending();
+                fin_tl.charge(dst_node, cost.disk_write(pending_bytes / 8));
+            }
+        }
+        // Collect votes: alive participants vote yes; dead ones cannot vote.
+        for n in &participants {
+            if self.node(*n).map(|nc| nc.is_alive()).unwrap_or(false) {
+                coordinator
+                    .record_vote(*n, NodeVote::Yes)
+                    .map_err(ClusterError::Core)?;
+            }
+        }
+        fin_tl.charge_coordinator(SimDuration::from_nanos(
+            cost.network_latency_ns * participants.len() as u64,
+        ));
+
+        // Failure Case 2: an NC dies right after voting.
+        if let Some(FailurePoint::NcAfterPrepared(victim)) = options.failure {
+            if let Ok(node) = self.node_mut(victim) {
+                node.crash();
+            }
+        }
+
+        // Failure Case 3: the CC dies before forcing COMMIT. On recovery it
+        // sees BEGIN without COMMIT and aborts.
+        let mut force_abort = false;
+        if matches!(options.failure, Some(FailurePoint::CcBeforeCommitLog)) {
+            self.controller.crash();
+            self.controller.recover();
+            let status = self.controller.metadata_log.rebalance_status(rebalance_id);
+            debug_assert_eq!(status, RebalanceLogStatus::InFlight);
+            force_abort = status != RebalanceLogStatus::CommittedNotDone
+                && status != RebalanceLogStatus::Done;
+        }
+
+        let decision = if force_abort {
+            coordinator.abort().map_err(ClusterError::Core)?;
+            RebalanceOutcome::Aborted
+        } else {
+            coordinator.decide().map_err(ClusterError::Core)?
+        };
+
+        let outcome = match decision {
+            RebalanceOutcome::Aborted => {
+                // Cleanup: every partition discards its received buckets;
+                // discarding is idempotent, so recovered nodes repeat it safely.
+                self.controller
+                    .metadata_log
+                    .append_forced(LogRecordBody::RebalanceAbort {
+                        rebalance: rebalance_id,
+                    });
+                for m in &plan.moves {
+                    if self.topology().node_of(m.to).is_some() {
+                        self.partition_mut(m.to)?
+                            .dataset_mut(dataset)?
+                            .drop_pending(m.bucket);
+                    }
+                }
+                // Recover any node we crashed, then have it clean up as well
+                // (a no-op here because pending state was already dropped).
+                self.recover_all_nodes();
+                self.controller
+                    .metadata_log
+                    .append_forced(LogRecordBody::RebalanceDone {
+                        rebalance: rebalance_id,
+                    });
+                coordinator.finish().map_err(ClusterError::Core)?;
+                RebalanceOutcome::Aborted
+            }
+            RebalanceOutcome::Committed => {
+                // The outcome is determined by forcing the COMMIT record.
+                self.controller
+                    .metadata_log
+                    .append_forced(LogRecordBody::RebalanceCommit {
+                        rebalance: rebalance_id,
+                    });
+
+                // Failure Case 4: an NC dies before acking its commit tasks.
+                if let Some(FailurePoint::NcBeforeCommitted(victim)) = options.failure {
+                    if let Ok(node) = self.node_mut(victim) {
+                        node.crash();
+                    }
+                }
+
+                // Commit tasks on every alive node: install received buckets,
+                // clean up moved buckets.
+                self.run_commit_tasks(dataset, &plan, target, &mut fin_tl)?;
+                for n in &participants {
+                    if self.node(*n).map(|nc| nc.is_alive()).unwrap_or(false) {
+                        coordinator
+                            .record_committed(*n)
+                            .map_err(ClusterError::Core)?;
+                    }
+                }
+
+                // Install the new routing state at the CC.
+                {
+                    let meta = self.controller.dataset_mut(dataset)?;
+                    meta.directory = Some(plan.new_directory.clone());
+                    meta.partitions = target.partitions();
+                }
+
+                // Failure Case 5: the CC dies after COMMIT but before DONE.
+                // On recovery it re-drives the (idempotent) commit tasks.
+                if matches!(options.failure, Some(FailurePoint::CcAfterCommitBeforeDone)) {
+                    self.controller.crash();
+                    self.controller.recover();
+                    let status = self.controller.metadata_log.rebalance_status(rebalance_id);
+                    debug_assert_eq!(status, RebalanceLogStatus::CommittedNotDone);
+                    self.recover_all_nodes();
+                    self.run_commit_tasks(dataset, &plan, target, &mut fin_tl)?;
+                }
+
+                // Recovered NCs (Cases 2 and 4) contact the CC and perform
+                // their commit tasks; installation and cleanup are idempotent.
+                self.recover_all_nodes();
+                self.run_commit_tasks(dataset, &plan, target, &mut fin_tl)?;
+
+                self.controller
+                    .metadata_log
+                    .append_forced(LogRecordBody::RebalanceDone {
+                        rebalance: rebalance_id,
+                    });
+                coordinator.finish().map_err(ClusterError::Core)?;
+
+                // Failure Case 6: the CC dies after DONE — nothing to do.
+                if matches!(options.failure, Some(FailurePoint::CcAfterDone)) {
+                    self.controller.crash();
+                    self.controller.recover();
+                    let status = self.controller.metadata_log.rebalance_status(rebalance_id);
+                    debug_assert_eq!(status, RebalanceLogStatus::Done);
+                }
+                RebalanceOutcome::Committed
+            }
+        };
+
+        // Splits resume after the rebalance completes, whatever the outcome.
+        self.set_splits_enabled(dataset, true)?;
+
+        let mut total_tl = NodeTimeline::new();
+        total_tl.extend(&init_tl);
+        total_tl.extend(&move_tl);
+        total_tl.extend(&fin_tl);
+
+        Ok(RebalanceReport {
+            rebalance_id,
+            outcome,
+            elapsed: total_tl.elapsed(),
+            phases: PhaseTimes {
+                initialization: init_tl.elapsed(),
+                data_movement: move_tl.elapsed(),
+                finalization: fin_tl.elapsed(),
+            },
+            bytes_moved,
+            records_moved,
+            buckets_moved: plan.num_moves(),
+            moved_fraction: if total_bytes == 0 {
+                0.0
+            } else {
+                bytes_moved as f64 / total_bytes as f64
+            },
+            per_node: total_tl.breakdown(),
+            concurrent_writes_applied: applied,
+        })
+    }
+
+    fn run_commit_tasks(
+        &mut self,
+        dataset: DatasetId,
+        plan: &RebalancePlan,
+        target: &ClusterTopology,
+        fin_tl: &mut NodeTimeline,
+    ) -> Result<()> {
+        let cost = self.cost_model();
+        // One commit message per participating node covers all of its bucket
+        // installs and cleanups.
+        for n in plan
+            .participating_partitions()
+            .iter()
+            .filter_map(|p| target.node_of(*p).or_else(|| self.topology().node_of(*p)))
+        {
+            fin_tl.charge(n, SimDuration::from_nanos(cost.network_latency_ns));
+        }
+        for m in &plan.moves {
+            // Destination: install the received bucket.
+            if let Some(dst_node) = target.node_of(m.to) {
+                if self.node(dst_node).map(|n| n.is_alive()).unwrap_or(false) {
+                    self.partition_mut(m.to)?
+                        .dataset_mut(dataset)?
+                        .install_pending(m.bucket)?;
+                }
+            }
+            // Source: drop the moved bucket and mark secondary indexes for
+            // lazy cleanup.
+            if let Some(src_node) = self.topology().node_of(m.from) {
+                if self.node(src_node).map(|n| n.is_alive()).unwrap_or(false) {
+                    self.partition_mut(m.from)?
+                        .dataset_mut(dataset)?
+                        .cleanup_moved_bucket(m.bucket)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn set_splits_enabled(&mut self, dataset: DatasetId, enabled: bool) -> Result<()> {
+        for p in self.topology().partitions() {
+            let part = self.partition_mut(p)?;
+            if part.dataset_ids().contains(&dataset) {
+                part.dataset_mut(dataset)?
+                    .primary
+                    .set_splits_enabled(enabled);
+            }
+        }
+        Ok(())
+    }
+
+    fn recover_all_nodes(&mut self) {
+        let nodes: Vec<NodeId> = self.topology().nodes();
+        for n in nodes {
+            if let Ok(nc) = self.node_mut(n) {
+                if !nc.is_alive() {
+                    nc.recover();
+                }
+            }
+        }
+    }
+
+    // ================================================= Hashing (global) ====
+
+    fn rebalance_hashing(
+        &mut self,
+        dataset: DatasetId,
+        target: &ClusterTopology,
+        options: RebalanceOptions,
+    ) -> Result<RebalanceReport> {
+        if !options.concurrent_writes.is_empty() {
+            return Err(ClusterError::RebalanceAborted(
+                "the Hashing scheme rebuilds the dataset and does not support concurrent writes"
+                    .to_string(),
+            ));
+        }
+        let cost = self.cost_model();
+        let rebalance_id = self.controller.next_rebalance_id();
+        let mut tl = NodeTimeline::new();
+        self.controller.metadata_log.append_forced(LogRecordBody::RebalanceBegin {
+            rebalance: rebalance_id,
+            dataset,
+        });
+        tl.charge_coordinator(SimDuration::from_nanos(cost.job_overhead_ns));
+
+        let spec = self.controller.dataset(dataset)?.spec.clone();
+        let old_partitions = self.controller.dataset(dataset)?.partitions.clone();
+        let new_partitions = target.partitions();
+        let total_bytes = self.dataset_primary_bytes(dataset)?;
+
+        // Scan every partition and route every record to its new partition.
+        let mut routed: BTreeMap<_, Vec<(Key, Value)>> = new_partitions
+            .iter()
+            .map(|p| (*p, Vec::new()))
+            .collect();
+        let mut bytes_moved = 0u64;
+        let mut records_moved = 0u64;
+        // Cross-node traffic is shipped in batches (Hyracks frames); charge
+        // the network per (source partition, destination node) batch.
+        let mut inbound_bytes: BTreeMap<NodeId, u64> = BTreeMap::new();
+        for p in &old_partitions {
+            let src_node = self.node_of_partition(*p)?;
+            let part = self.partition(*p)?;
+            if !part.dataset_ids().contains(&dataset) {
+                continue;
+            }
+            let entries = part.dataset(dataset)?.scan(dynahash_lsm::ScanOrder::Unordered);
+            let scan_bytes: u64 = entries.iter().map(|e| e.size_bytes() as u64).sum();
+            tl.charge(src_node, cost.disk_read(scan_bytes));
+            for e in entries {
+                let Some(value) = e.op.value().cloned() else { continue };
+                let dst = dynahash_core::Scheme::modulo_partition(&e.key, &new_partitions);
+                let dst_node = target.node_of(dst).ok_or(ClusterError::UnknownPartition(dst))?;
+                let record_bytes = e.size_bytes() as u64;
+                bytes_moved += record_bytes;
+                records_moved += 1;
+                if dst_node != src_node {
+                    *inbound_bytes.entry(dst_node).or_default() += record_bytes;
+                }
+                routed.get_mut(&dst).expect("destination exists").push((e.key, value));
+            }
+        }
+        for (node, bytes) in &inbound_bytes {
+            tl.charge(*node, cost.network(*bytes));
+        }
+
+        // Injected failure: discard the half-built copy and abort; the
+        // original dataset is left unchanged.
+        if options.failure.is_some() {
+            self.controller
+                .metadata_log
+                .append_forced(LogRecordBody::RebalanceAbort {
+                    rebalance: rebalance_id,
+                });
+            self.controller
+                .metadata_log
+                .append_forced(LogRecordBody::RebalanceDone {
+                    rebalance: rebalance_id,
+                });
+            return Ok(RebalanceReport {
+                rebalance_id,
+                outcome: RebalanceOutcome::Aborted,
+                elapsed: tl.elapsed(),
+                phases: PhaseTimes {
+                    data_movement: tl.elapsed(),
+                    ..Default::default()
+                },
+                bytes_moved: 0,
+                records_moved: 0,
+                buckets_moved: 0,
+                moved_fraction: 0.0,
+                per_node: tl.breakdown(),
+                concurrent_writes_applied: 0,
+            });
+        }
+
+        // Drop the old storage and build the new hash-partitioned dataset.
+        for p in self.topology().partitions() {
+            self.partition_mut(p)?.drop_dataset(dataset);
+        }
+        for p in &new_partitions {
+            self.partition_mut(*p)?.create_dataset(
+                dataset,
+                &spec,
+                vec![dynahash_lsm::BucketId::root()],
+            );
+        }
+        for (p, records) in routed {
+            let dst_node = target.node_of(p).ok_or(ClusterError::UnknownPartition(p))?;
+            let load_bytes: u64 = records
+                .iter()
+                .map(|(k, v)| (k.len() + v.len()) as u64)
+                .sum();
+            let n_records = records.len() as u64;
+            // The Hashing baseline re-inserts every record through the full
+            // ingestion pipeline of the new dataset (parse, primary-key and
+            // secondary index maintenance), which is what makes global
+            // rebalancing so much more expensive than shipping sealed bucket
+            // components.
+            tl.charge(
+                dst_node,
+                cost.disk_write(load_bytes) + cost.ingest_cpu(n_records),
+            );
+            let ds = self.partition_mut(p)?.dataset_mut(dataset)?;
+            for (k, v) in records {
+                ds.ingest(k, v)?;
+            }
+        }
+
+        // Swap the routing metadata and finish.
+        {
+            let meta = self.controller.dataset_mut(dataset)?;
+            meta.partitions = new_partitions;
+            meta.directory = None;
+        }
+        self.controller
+            .metadata_log
+            .append_forced(LogRecordBody::RebalanceCommit {
+                rebalance: rebalance_id,
+            });
+        self.controller
+            .metadata_log
+            .append_forced(LogRecordBody::RebalanceDone {
+                rebalance: rebalance_id,
+            });
+
+        Ok(RebalanceReport {
+            rebalance_id,
+            outcome: RebalanceOutcome::Committed,
+            elapsed: tl.elapsed(),
+            phases: PhaseTimes {
+                data_movement: tl.elapsed(),
+                ..Default::default()
+            },
+            bytes_moved,
+            records_moved,
+            buckets_moved: 0,
+            moved_fraction: if total_bytes == 0 {
+                0.0
+            } else {
+                (bytes_moved as f64 / total_bytes as f64).min(1.0)
+            },
+            per_node: tl.breakdown(),
+            concurrent_writes_applied: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetSpec, SecondaryIndexDef};
+    use bytes::Bytes;
+    use dynahash_core::Scheme;
+
+    fn payload(tag: u64) -> Bytes {
+        let mut v = tag.to_be_bytes().to_vec();
+        v.extend_from_slice(&[9u8; 56]);
+        Bytes::from(v)
+    }
+
+    fn records(n: u64) -> Vec<(Key, Value)> {
+        (0..n).map(|i| (Key::from_u64(i), payload(i % 50))).collect()
+    }
+
+    fn spec(scheme: Scheme) -> DatasetSpec {
+        DatasetSpec::new("orders", scheme).with_secondary_index(SecondaryIndexDef::new(
+            "idx_tag",
+            |p: &[u8]| {
+                if p.len() >= 8 {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&p[..8]);
+                    Some(Key::from_u64(u64::from_be_bytes(b)))
+                } else {
+                    None
+                }
+            },
+        ))
+    }
+
+    fn loaded_cluster(nodes: u32, scheme: Scheme, n_records: u64) -> (Cluster, DatasetId) {
+        let mut cluster = Cluster::with_config(
+            nodes,
+            crate::ClusterConfig {
+                partitions_per_node: 2,
+                cost_model: crate::CostModel::default(),
+            },
+        );
+        let ds = cluster.create_dataset(spec(scheme)).unwrap();
+        cluster.ingest(ds, records(n_records)).unwrap();
+        (cluster, ds)
+    }
+
+    #[test]
+    fn bucketed_scale_out_moves_a_fraction_and_stays_consistent() {
+        let (mut cluster, ds) = loaded_cluster(2, Scheme::StaticHash { num_buckets: 32 }, 3000);
+        let before = cluster.dataset_len(ds).unwrap();
+        cluster.add_node().unwrap();
+        let target = cluster.topology().clone();
+        let report = cluster
+            .rebalance(ds, &target, RebalanceOptions::none())
+            .unwrap();
+        assert_eq!(report.outcome, RebalanceOutcome::Committed);
+        assert!(report.buckets_moved > 0);
+        assert!(report.moved_fraction < 0.6, "moved {}", report.moved_fraction);
+        assert_eq!(cluster.dataset_len(ds).unwrap(), before);
+        cluster.check_dataset_consistency(ds).unwrap();
+        // the new node now holds data
+        let new_node_parts = cluster.topology().partitions_of_node(NodeId(2));
+        let on_new: usize = new_node_parts
+            .iter()
+            .map(|p| cluster.partition(*p).unwrap().dataset(ds).unwrap().live_len())
+            .sum();
+        assert!(on_new > 0);
+    }
+
+    #[test]
+    fn bucketed_scale_in_empties_the_removed_node() {
+        let (mut cluster, ds) = loaded_cluster(3, Scheme::StaticHash { num_buckets: 32 }, 3000);
+        let before = cluster.dataset_len(ds).unwrap();
+        let victim = NodeId(2);
+        let target = cluster.topology_without(victim);
+        let report = cluster
+            .rebalance(ds, &target, RebalanceOptions::none())
+            .unwrap();
+        assert_eq!(report.outcome, RebalanceOutcome::Committed);
+        assert_eq!(cluster.dataset_len(ds).unwrap(), before);
+        cluster.decommission_node(victim).unwrap();
+        cluster.check_dataset_consistency(ds).unwrap();
+        assert_eq!(cluster.topology().num_nodes(), 2);
+    }
+
+    #[test]
+    fn hashing_rebalance_moves_nearly_everything() {
+        let (mut cluster, ds) = loaded_cluster(2, Scheme::Hashing, 2000);
+        cluster.add_node().unwrap();
+        let target = cluster.topology().clone();
+        let report = cluster
+            .rebalance(ds, &target, RebalanceOptions::none())
+            .unwrap();
+        assert_eq!(report.outcome, RebalanceOutcome::Committed);
+        assert!(report.moved_fraction > 0.8, "global rebalancing must move most data");
+        assert_eq!(cluster.dataset_len(ds).unwrap(), 2000);
+        cluster.check_dataset_consistency(ds).unwrap();
+    }
+
+    #[test]
+    fn bucketed_rebalance_is_cheaper_than_hashing() {
+        let (mut c1, d1) = loaded_cluster(2, Scheme::StaticHash { num_buckets: 32 }, 2000);
+        c1.add_node().unwrap();
+        let t1 = c1.topology().clone();
+        let r1 = c1.rebalance(d1, &t1, RebalanceOptions::none()).unwrap();
+
+        let (mut c2, d2) = loaded_cluster(2, Scheme::Hashing, 2000);
+        c2.add_node().unwrap();
+        let t2 = c2.topology().clone();
+        let r2 = c2.rebalance(d2, &t2, RebalanceOptions::none()).unwrap();
+
+        assert!(r1.bytes_moved < r2.bytes_moved);
+        assert!(r1.elapsed < r2.elapsed, "bucketed rebalance must be faster");
+    }
+
+    #[test]
+    fn concurrent_writes_are_preserved_and_replicated() {
+        let (mut cluster, ds) = loaded_cluster(2, Scheme::StaticHash { num_buckets: 16 }, 1500);
+        cluster.add_node().unwrap();
+        let target = cluster.topology().clone();
+        // new records arriving during the rebalance (keys beyond the loaded range)
+        let concurrent: Vec<(Key, Value)> =
+            (10_000..10_300u64).map(|i| (Key::from_u64(i), payload(i % 50))).collect();
+        let report = cluster
+            .rebalance(ds, &target, RebalanceOptions::with_concurrent_writes(concurrent.clone()))
+            .unwrap();
+        assert_eq!(report.outcome, RebalanceOutcome::Committed);
+        assert_eq!(report.concurrent_writes_applied, 300);
+        assert_eq!(cluster.dataset_len(ds).unwrap(), 1500 + 300);
+        cluster.check_dataset_consistency(ds).unwrap();
+        // every concurrent write is readable after the rebalance
+        for (k, _) in &concurrent {
+            let p = cluster.route_key(ds, k).unwrap();
+            assert!(cluster.partition(p).unwrap().dataset(ds).unwrap().get(k).is_some());
+        }
+    }
+
+    #[test]
+    fn noop_rebalance_commits_without_moving() {
+        let (mut cluster, ds) = loaded_cluster(2, Scheme::StaticHash { num_buckets: 16 }, 500);
+        let target = cluster.topology().clone();
+        let report = cluster.rebalance(ds, &target, RebalanceOptions::none()).unwrap();
+        assert_eq!(report.outcome, RebalanceOutcome::Committed);
+        assert_eq!(report.buckets_moved, 0);
+        assert_eq!(report.bytes_moved, 0);
+        cluster.check_dataset_consistency(ds).unwrap();
+    }
+}

@@ -1,0 +1,400 @@
+//! The greedy directory-balancing algorithm (Algorithm 2 of the paper).
+//!
+//! Given the set of buckets (with their sizes) and a target topology, the
+//! Cluster Controller computes a new bucket-to-partition assignment:
+//!
+//! 1. buckets that are *unassigned* — displaced because their node is being
+//!    removed, or brand new — are assigned to the least loaded partition;
+//! 2. the assignment is then refined iteratively: the smallest bucket of the
+//!    most loaded partition is moved to the least loaded partition as long as
+//!    doing so reduces the load difference between the two.
+//!
+//! Finding the optimal assignment is NP-hard (it subsumes the partition
+//! problem), which is why the paper settles for this greedy heuristic. Ties
+//! between equally loaded partitions are broken by the load of the node
+//! hosting them, then by partition id for determinism.
+
+use std::collections::BTreeMap;
+
+use dynahash_lsm::BucketId;
+
+use crate::topology::{ClusterTopology, NodeId, PartitionId};
+use crate::{CoreError, Result};
+
+/// The size information of one bucket fed into the balancer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketLoad {
+    /// The bucket.
+    pub bucket: BucketId,
+    /// Its size. The paper uses the normalized size `2^(D-d)`; callers may
+    /// also pass actual byte sizes — the algorithm only compares sums.
+    pub size: u64,
+    /// The partition currently holding the bucket, if it is still part of
+    /// the target topology. `None` marks an unassigned (displaced) bucket.
+    pub current: Option<PartitionId>,
+}
+
+/// Input to [`balance_assignment`].
+#[derive(Debug, Clone)]
+pub struct BalanceInput {
+    /// All buckets of the dataset and their sizes.
+    pub buckets: Vec<BucketLoad>,
+    /// The target topology after scaling in/out.
+    pub target: ClusterTopology,
+}
+
+#[derive(Debug)]
+struct Loads<'a> {
+    partition_load: BTreeMap<PartitionId, u64>,
+    node_load: BTreeMap<NodeId, u64>,
+    topology: &'a ClusterTopology,
+}
+
+impl<'a> Loads<'a> {
+    fn new(topology: &'a ClusterTopology) -> Self {
+        let mut partition_load = BTreeMap::new();
+        let mut node_load = BTreeMap::new();
+        for p in topology.partitions() {
+            partition_load.insert(p, 0u64);
+            let n = topology.node_of(p).expect("partition has a node");
+            node_load.entry(n).or_insert(0u64);
+        }
+        Loads {
+            partition_load,
+            node_load,
+            topology,
+        }
+    }
+
+    fn add(&mut self, partition: PartitionId, size: u64) {
+        *self.partition_load.get_mut(&partition).expect("known partition") += size;
+        let node = self.topology.node_of(partition).expect("node");
+        *self.node_load.get_mut(&node).expect("known node") += size;
+    }
+
+    fn remove(&mut self, partition: PartitionId, size: u64) {
+        *self.partition_load.get_mut(&partition).expect("known partition") -= size;
+        let node = self.topology.node_of(partition).expect("node");
+        *self.node_load.get_mut(&node).expect("known node") -= size;
+    }
+
+    fn load(&self, partition: PartitionId) -> u64 {
+        self.partition_load[&partition]
+    }
+
+    /// Ordering key used by "more loaded than": partition load first, node
+    /// load second, partition id last (for determinism).
+    fn order_key(&self, partition: PartitionId) -> (u64, u64, u32) {
+        let node = self.topology.node_of(partition).expect("node");
+        (self.load(partition), self.node_load[&node], partition.0)
+    }
+
+    fn most_loaded(&self) -> PartitionId {
+        *self
+            .partition_load
+            .keys()
+            .max_by_key(|p| self.order_key(**p))
+            .expect("non-empty topology")
+    }
+
+    fn least_loaded(&self) -> PartitionId {
+        *self
+            .partition_load
+            .keys()
+            .min_by_key(|p| self.order_key(**p))
+            .expect("non-empty topology")
+    }
+}
+
+/// Computes the new bucket-to-partition assignment (Algorithm 2).
+pub fn balance_assignment(input: &BalanceInput) -> Result<BTreeMap<BucketId, PartitionId>> {
+    if input.target.is_empty() {
+        return Err(CoreError::EmptyTopology);
+    }
+    let valid = |p: &Option<PartitionId>| match p {
+        Some(p) => input.target.node_of(*p).is_some(),
+        None => false,
+    };
+
+    let mut loads = Loads::new(&input.target);
+    let mut assignment: BTreeMap<BucketId, PartitionId> = BTreeMap::new();
+    // Per-partition bucket lists, kept to find "the smallest bucket of the
+    // most loaded partition".
+    let mut per_partition: BTreeMap<PartitionId, Vec<(BucketId, u64)>> = BTreeMap::new();
+    for p in input.target.partitions() {
+        per_partition.insert(p, Vec::new());
+    }
+
+    // Buckets that keep their current partition.
+    for b in input.buckets.iter().filter(|b| valid(&b.current)) {
+        let p = b.current.expect("validated");
+        assignment.insert(b.bucket, p);
+        loads.add(p, b.size);
+        per_partition.get_mut(&p).expect("known").push((b.bucket, b.size));
+    }
+
+    // Lines 2-3: assign displaced/new buckets to the least loaded partition,
+    // biggest first so large buckets land before the fine-tuning.
+    let mut unassigned: Vec<&BucketLoad> =
+        input.buckets.iter().filter(|b| !valid(&b.current)).collect();
+    unassigned.sort_by(|a, b| b.size.cmp(&a.size).then(a.bucket.cmp(&b.bucket)));
+    for b in unassigned {
+        let p = loads.least_loaded();
+        assignment.insert(b.bucket, p);
+        loads.add(p, b.size);
+        per_partition.get_mut(&p).expect("known").push((b.bucket, b.size));
+    }
+
+    // Lines 4-11: iteratively move the smallest bucket from the most loaded
+    // partition to the least loaded one while it narrows the gap.
+    loop {
+        let pmax = loads.most_loaded();
+        let pmin = loads.least_loaded();
+        if pmax == pmin {
+            break;
+        }
+        let Some(&(bucket, size)) = per_partition[&pmax]
+            .iter()
+            .min_by_key(|(b, s)| (*s, *b))
+        else {
+            break;
+        };
+        let max_load = loads.load(pmax) as i128;
+        let min_load = loads.load(pmin) as i128;
+        let size_i = size as i128;
+        let new_diff = ((max_load - size_i) - (min_load + size_i)).abs();
+        let old_diff = max_load - min_load;
+        if new_diff < old_diff {
+            // perform the move
+            loads.remove(pmax, size);
+            loads.add(pmin, size);
+            let list = per_partition.get_mut(&pmax).expect("known");
+            let idx = list.iter().position(|(b, _)| *b == bucket).expect("present");
+            list.swap_remove(idx);
+            per_partition.get_mut(&pmin).expect("known").push((bucket, size));
+            assignment.insert(bucket, pmin);
+        } else {
+            break;
+        }
+    }
+
+    Ok(assignment)
+}
+
+/// Computes the load-balance factor (max/avg partition load) of an
+/// assignment, given the bucket sizes. Used by the ablation benchmark and by
+/// tests to compare Algorithm 2 against naive assignments.
+pub fn load_balance_factor(
+    assignment: &BTreeMap<BucketId, PartitionId>,
+    sizes: &BTreeMap<BucketId, u64>,
+    topology: &ClusterTopology,
+) -> f64 {
+    let mut loads: BTreeMap<PartitionId, u64> =
+        topology.partitions().into_iter().map(|p| (p, 0)).collect();
+    for (b, p) in assignment {
+        if let Some(l) = loads.get_mut(p) {
+            *l += sizes.get(b).copied().unwrap_or(0);
+        }
+    }
+    let max = loads.values().copied().max().unwrap_or(0) as f64;
+    let sum: u64 = loads.values().sum();
+    let avg = sum as f64 / loads.len().max(1) as f64;
+    if avg == 0.0 {
+        1.0
+    } else {
+        max / avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn uniform_buckets(depth: u8, topology: &ClusterTopology) -> Vec<BucketLoad> {
+        // 2^depth buckets of equal size currently assigned round-robin
+        let parts = topology.partitions();
+        (0..(1u32 << depth))
+            .map(|bits| BucketLoad {
+                bucket: BucketId::new(bits, depth),
+                size: 1,
+                current: Some(parts[bits as usize % parts.len()]),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn balanced_input_stays_put() {
+        let topo = ClusterTopology::uniform(2, 4);
+        let buckets = uniform_buckets(5, &topo); // 32 buckets over 8 partitions
+        let input = BalanceInput {
+            buckets: buckets.clone(),
+            target: topo.clone(),
+        };
+        let out = balance_assignment(&input).unwrap();
+        // already balanced: nothing should move
+        for b in &buckets {
+            assert_eq!(out[&b.bucket], b.current.unwrap());
+        }
+    }
+
+    #[test]
+    fn removing_a_node_reassigns_only_its_buckets() {
+        let topo = ClusterTopology::uniform(4, 2); // 8 partitions
+        let buckets = uniform_buckets(5, &topo); // 32 buckets
+        let target = topo.without_node(NodeId(3));
+        let input = BalanceInput {
+            buckets: buckets
+                .iter()
+                .map(|b| BucketLoad {
+                    bucket: b.bucket,
+                    size: b.size,
+                    // buckets on the removed node become unassigned
+                    current: b.current.filter(|p| target.node_of(*p).is_some()),
+                })
+                .collect(),
+            target: target.clone(),
+        };
+        let out = balance_assignment(&input).unwrap();
+        let moved: Vec<_> = buckets
+            .iter()
+            .filter(|b| Some(out[&b.bucket]) != b.current)
+            .collect();
+        // only the displaced buckets (those on node 3: 2 partitions * 4 buckets)
+        assert_eq!(moved.len(), 8);
+        for b in &buckets {
+            assert!(target.node_of(out[&b.bucket]).is_some());
+        }
+        let sizes: BTreeMap<BucketId, u64> = buckets.iter().map(|b| (b.bucket, b.size)).collect();
+        let f = load_balance_factor(&out, &sizes, &target);
+        assert!(f <= 2.0, "balance factor too high: {f}");
+    }
+
+    #[test]
+    fn adding_a_node_moves_roughly_proportional_share() {
+        let topo = ClusterTopology::uniform(3, 2); // 6 partitions
+        let buckets = uniform_buckets(6, &topo); // 64 buckets
+        let target = topo.with_added_node(2); // 8 partitions
+        let input = BalanceInput {
+            buckets: buckets.clone(),
+            target: target.clone(),
+        };
+        let out = balance_assignment(&input).unwrap();
+        let moved = buckets
+            .iter()
+            .filter(|b| Some(out[&b.bucket]) != b.current)
+            .count();
+        // local rebalancing: roughly 2/8 of the buckets move, definitely not all
+        assert!(moved >= 8, "new node must receive buckets (moved={moved})");
+        assert!(moved <= 24, "global reshuffle detected (moved={moved})");
+        let new_parts: Vec<PartitionId> = target
+            .partitions_of_node(NodeId(3))
+            .into_iter()
+            .collect();
+        let received: usize = new_parts
+            .iter()
+            .map(|p| out.values().filter(|v| *v == p).count())
+            .sum();
+        assert!(received >= 8, "new node should hold ~1/4 of 64 buckets, got {received}");
+    }
+
+    #[test]
+    fn skewed_bucket_sizes_are_evened_out() {
+        // one partition starts with all the big buckets
+        let topo = ClusterTopology::uniform(2, 1);
+        let buckets = vec![
+            BucketLoad { bucket: BucketId::new(0, 2), size: 100, current: Some(PartitionId(0)) },
+            BucketLoad { bucket: BucketId::new(1, 2), size: 100, current: Some(PartitionId(0)) },
+            BucketLoad { bucket: BucketId::new(2, 2), size: 1, current: Some(PartitionId(1)) },
+            BucketLoad { bucket: BucketId::new(3, 2), size: 1, current: Some(PartitionId(1)) },
+        ];
+        let input = BalanceInput { buckets: buckets.clone(), target: topo.clone() };
+        let out = balance_assignment(&input).unwrap();
+        let sizes: BTreeMap<BucketId, u64> = buckets.iter().map(|b| (b.bucket, b.size)).collect();
+        let f = load_balance_factor(&out, &sizes, &topo);
+        let naive: BTreeMap<BucketId, PartitionId> =
+            buckets.iter().map(|b| (b.bucket, b.current.unwrap())).collect();
+        let f_naive = load_balance_factor(&naive, &sizes, &topo);
+        assert!(f < f_naive, "algorithm 2 must improve the balance ({f} vs {f_naive})");
+        assert!(f < 1.2);
+    }
+
+    #[test]
+    fn empty_topology_is_rejected() {
+        let input = BalanceInput {
+            buckets: vec![],
+            target: ClusterTopology::default(),
+        };
+        assert!(matches!(
+            balance_assignment(&input),
+            Err(CoreError::EmptyTopology)
+        ));
+    }
+
+    #[test]
+    fn all_buckets_unassigned_spreads_evenly() {
+        let topo = ClusterTopology::uniform(2, 2);
+        let buckets: Vec<BucketLoad> = (0..16u32)
+            .map(|bits| BucketLoad {
+                bucket: BucketId::new(bits, 4),
+                size: 1,
+                current: None,
+            })
+            .collect();
+        let out = balance_assignment(&BalanceInput {
+            buckets: buckets.clone(),
+            target: topo.clone(),
+        })
+        .unwrap();
+        for p in topo.partitions() {
+            assert_eq!(out.values().filter(|v| **v == p).count(), 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_every_bucket_is_assigned_to_a_valid_partition(
+            nbuckets in 1usize..64,
+            nodes in 1u32..6,
+            ppn in 1u32..4,
+            sizes in proptest::collection::vec(1u64..100, 64),
+        ) {
+            let topo = ClusterTopology::uniform(nodes, ppn);
+            let buckets: Vec<BucketLoad> = (0..nbuckets)
+                .map(|i| BucketLoad {
+                    bucket: BucketId::new(i as u32, 6),
+                    size: sizes[i],
+                    current: None,
+                })
+                .collect();
+            let out = balance_assignment(&BalanceInput { buckets: buckets.clone(), target: topo.clone() }).unwrap();
+            prop_assert_eq!(out.len(), nbuckets);
+            for b in &buckets {
+                prop_assert!(topo.node_of(out[&b.bucket]).is_some());
+            }
+        }
+
+        #[test]
+        fn prop_balance_never_worse_than_everything_on_one_partition(
+            nbuckets in 2usize..40,
+            nodes in 2u32..6,
+            sizes in proptest::collection::vec(1u64..1000, 40),
+        ) {
+            let topo = ClusterTopology::uniform(nodes, 2);
+            let p0 = topo.partitions()[0];
+            let buckets: Vec<BucketLoad> = (0..nbuckets)
+                .map(|i| BucketLoad {
+                    bucket: BucketId::new(i as u32, 6),
+                    size: sizes[i],
+                    current: Some(p0),
+                })
+                .collect();
+            let sizes_map: BTreeMap<BucketId, u64> = buckets.iter().map(|b| (b.bucket, b.size)).collect();
+            let out = balance_assignment(&BalanceInput { buckets: buckets.clone(), target: topo.clone() }).unwrap();
+            let naive: BTreeMap<BucketId, PartitionId> = buckets.iter().map(|b| (b.bucket, p0)).collect();
+            let f_out = load_balance_factor(&out, &sizes_map, &topo);
+            let f_naive = load_balance_factor(&naive, &sizes_map, &topo);
+            prop_assert!(f_out <= f_naive + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! The global directory kept at the Cluster Controller.
+//!
+//! The global directory maps every bucket of a dataset to the storage
+//! partition that owns it (Section III). Its global depth `D` is the maximum
+//! depth over all buckets, so a lookup uses the `D` low-order bits of a key's
+//! hash. The directory may be *stale* with respect to local bucket splits —
+//! routing stays correct because a split bucket's children cover exactly the
+//! parent's hash range — and is refreshed from the partitions' local
+//! directories when a rebalance starts.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use dynahash_lsm::bucket::{hash_key, BucketId};
+use dynahash_lsm::entry::Key;
+
+use crate::topology::PartitionId;
+use crate::{CoreError, Result};
+
+/// The CC's mapping from buckets to partitions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct GlobalDirectory {
+    assignment: BTreeMap<BucketId, PartitionId>,
+}
+
+impl GlobalDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a directory with `2^depth` buckets assigned round-robin over
+    /// the given partitions — the initial layout when a dataset is created.
+    pub fn initial(depth: u8, partitions: &[PartitionId]) -> Result<Self> {
+        if partitions.is_empty() {
+            return Err(CoreError::EmptyTopology);
+        }
+        let mut assignment = BTreeMap::new();
+        for bits in 0..(1u64 << depth) as u32 {
+            let bucket = BucketId::new(bits, depth);
+            let partition = partitions[(bits as usize) % partitions.len()];
+            assignment.insert(bucket, partition);
+        }
+        Ok(GlobalDirectory { assignment })
+    }
+
+    /// Builds a directory from an explicit assignment.
+    pub fn from_assignment(
+        assignment: impl IntoIterator<Item = (BucketId, PartitionId)>,
+    ) -> Result<Self> {
+        let dir = GlobalDirectory {
+            assignment: assignment.into_iter().collect(),
+        };
+        dir.check_consistency()?;
+        Ok(dir)
+    }
+
+    fn check_consistency(&self) -> Result<()> {
+        let buckets: Vec<BucketId> = self.assignment.keys().copied().collect();
+        for (i, a) in buckets.iter().enumerate() {
+            for b in buckets.iter().skip(i + 1) {
+                if a.covers(b) || b.covers(a) {
+                    return Err(CoreError::InconsistentDirectory(format!(
+                        "buckets {a} and {b} overlap"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The global depth `D`: the maximum bucket depth.
+    pub fn global_depth(&self) -> u8 {
+        self.assignment.keys().map(|b| b.depth).max().unwrap_or(0)
+    }
+
+    /// Number of directory slots, `2^D`.
+    pub fn num_slots(&self) -> u64 {
+        1u64 << self.global_depth()
+    }
+
+    /// Number of distinct buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Looks up the bucket and partition for a hash value.
+    pub fn lookup_hash(&self, hash: u64) -> Option<(BucketId, PartitionId)> {
+        self.assignment
+            .iter()
+            .find(|(b, _)| b.contains_hash(hash))
+            .map(|(b, p)| (*b, *p))
+    }
+
+    /// Looks up the bucket and partition for a key.
+    pub fn lookup_key(&self, key: &Key) -> Option<(BucketId, PartitionId)> {
+        self.lookup_hash(hash_key(key))
+    }
+
+    /// The partition owning a key; errors if the directory does not cover the
+    /// key's hash (which means the directory was built incorrectly).
+    pub fn partition_of_key(&self, key: &Key) -> Result<PartitionId> {
+        self.lookup_key(key)
+            .map(|(_, p)| p)
+            .ok_or_else(|| CoreError::UnassignedBucket(BucketId::of_key(key, 0)))
+    }
+
+    /// The partition a bucket is assigned to.
+    pub fn partition_of_bucket(&self, bucket: &BucketId) -> Option<PartitionId> {
+        // Exact match first; otherwise find an ancestor that covers it (the
+        // CC may still hold the unsplit parent of a locally split bucket).
+        if let Some(p) = self.assignment.get(bucket) {
+            return Some(*p);
+        }
+        self.assignment
+            .iter()
+            .find(|(b, _)| b.covers(bucket))
+            .map(|(_, p)| *p)
+    }
+
+    /// All buckets assigned to a partition.
+    pub fn buckets_of_partition(&self, partition: PartitionId) -> Vec<BucketId> {
+        self.assignment
+            .iter()
+            .filter(|(_, p)| **p == partition)
+            .map(|(b, _)| *b)
+            .collect()
+    }
+
+    /// All distinct partitions referenced by the directory.
+    pub fn partitions(&self) -> Vec<PartitionId> {
+        let mut v: Vec<PartitionId> = self.assignment.values().copied().collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Iterates (bucket, partition) pairs in bucket order.
+    pub fn iter(&self) -> impl Iterator<Item = (BucketId, PartitionId)> + '_ {
+        self.assignment.iter().map(|(b, p)| (*b, *p))
+    }
+
+    /// The normalized size of a partition: the sum of `2^(D-d)` over its
+    /// buckets (Section V-A). Partitions with no buckets have load 0.
+    pub fn partition_load(&self, partition: PartitionId) -> u64 {
+        let d = self.global_depth();
+        self.assignment
+            .iter()
+            .filter(|(_, p)| **p == partition)
+            .map(|(b, _)| b.normalized_size(d))
+            .sum()
+    }
+
+    /// The load-balance factor over the given partitions: the maximum
+    /// partition load divided by the average load. 1.0 is a perfect balance.
+    pub fn load_balance_factor(&self, partitions: &[PartitionId]) -> f64 {
+        if partitions.is_empty() {
+            return 1.0;
+        }
+        let loads: Vec<u64> = partitions.iter().map(|p| self.partition_load(*p)).collect();
+        let max = *loads.iter().max().unwrap_or(&0) as f64;
+        let avg = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+        if avg == 0.0 {
+            1.0
+        } else {
+            max / avg
+        }
+    }
+
+    /// Refreshes the directory from the partitions' local directories
+    /// (the initialization phase of a rebalance: the CC contacts all NCs to
+    /// get their latest local directories). Each entry of `local_views` is a
+    /// partition and the buckets its local directory currently holds; the
+    /// refreshed directory keeps each bucket assigned to the partition that
+    /// reported it.
+    pub fn refresh_from_locals(
+        local_views: impl IntoIterator<Item = (PartitionId, Vec<BucketId>)>,
+    ) -> Result<GlobalDirectory> {
+        let mut assignment = BTreeMap::new();
+        for (partition, buckets) in local_views {
+            for b in buckets {
+                if assignment.insert(b, partition).is_some() {
+                    return Err(CoreError::InconsistentDirectory(format!(
+                        "bucket {b} reported by two partitions"
+                    )));
+                }
+            }
+        }
+        let dir = GlobalDirectory { assignment };
+        dir.check_consistency()?;
+        Ok(dir)
+    }
+
+    /// Reassigns a bucket to a new partition (used when applying a rebalance
+    /// plan at commit time).
+    pub fn reassign(&mut self, bucket: BucketId, to: PartitionId) {
+        self.assignment.insert(bucket, to);
+    }
+
+    /// Removes a bucket from the directory.
+    pub fn remove(&mut self, bucket: &BucketId) -> Option<PartitionId> {
+        self.assignment.remove(bucket)
+    }
+
+    /// The total number of hash-space slots (at global depth) covered — used
+    /// by property tests to check full coverage: must equal `2^D`.
+    pub fn covered_slots(&self) -> u64 {
+        let d = self.global_depth();
+        self.assignment
+            .keys()
+            .map(|b| b.normalized_size(d))
+            .sum()
+    }
+
+    /// True if every hash value maps to exactly one bucket.
+    pub fn covers_full_space(&self) -> bool {
+        !self.assignment.is_empty() && self.covered_slots() == self.num_slots()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn parts(n: u32) -> Vec<PartitionId> {
+        (0..n).map(PartitionId).collect()
+    }
+
+    #[test]
+    fn initial_directory_covers_space_and_balances() {
+        let dir = GlobalDirectory::initial(4, &parts(4)).unwrap();
+        assert_eq!(dir.num_buckets(), 16);
+        assert_eq!(dir.global_depth(), 4);
+        assert!(dir.covers_full_space());
+        for p in parts(4) {
+            assert_eq!(dir.buckets_of_partition(p).len(), 4);
+            assert_eq!(dir.partition_load(p), 4);
+        }
+        assert!((dir.load_balance_factor(&parts(4)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn initial_requires_partitions() {
+        assert!(matches!(
+            GlobalDirectory::initial(4, &[]),
+            Err(CoreError::EmptyTopology)
+        ));
+    }
+
+    #[test]
+    fn lookup_routes_keys_to_owning_bucket() {
+        let dir = GlobalDirectory::initial(3, &parts(2)).unwrap();
+        for i in 0..1000u64 {
+            let k = Key::from_u64(i);
+            let (b, p) = dir.lookup_key(&k).unwrap();
+            assert!(b.contains_key(&k));
+            assert_eq!(dir.partition_of_key(&k).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn stale_directory_still_routes_split_buckets() {
+        // CC holds bucket 00 (depth 2); locally it split into 000 and 100.
+        let dir = GlobalDirectory::initial(2, &parts(2)).unwrap();
+        let child = BucketId::new(0b100, 3);
+        // partition_of_bucket falls back to the covering ancestor
+        let p = dir.partition_of_bucket(&child).unwrap();
+        assert_eq!(p, dir.partition_of_bucket(&BucketId::new(0, 2)).unwrap());
+    }
+
+    #[test]
+    fn refresh_from_locals_rejects_duplicates() {
+        let err = GlobalDirectory::refresh_from_locals(vec![
+            (PartitionId(0), vec![BucketId::new(0, 1)]),
+            (PartitionId(1), vec![BucketId::new(0, 1)]),
+        ]);
+        assert!(err.is_err());
+        let err2 = GlobalDirectory::refresh_from_locals(vec![
+            (PartitionId(0), vec![BucketId::new(0, 1)]),
+            (PartitionId(1), vec![BucketId::new(0, 2)]),
+        ]);
+        assert!(err2.is_err(), "overlapping buckets must be rejected");
+    }
+
+    #[test]
+    fn refresh_from_locals_reflects_splits() {
+        let dir = GlobalDirectory::refresh_from_locals(vec![
+            (
+                PartitionId(0),
+                vec![BucketId::new(0b000, 3), BucketId::new(0b100, 3)],
+            ),
+            (PartitionId(1), vec![BucketId::new(0b01, 2)]),
+            (PartitionId(2), vec![BucketId::new(0b10, 2)]),
+            (PartitionId(3), vec![BucketId::new(0b11, 2)]),
+        ])
+        .unwrap();
+        assert_eq!(dir.global_depth(), 3);
+        assert!(dir.covers_full_space());
+        assert_eq!(dir.partition_load(PartitionId(0)), 2);
+        assert_eq!(dir.partition_load(PartitionId(1)), 2);
+    }
+
+    #[test]
+    fn mixed_depth_loads_follow_normalized_sizes() {
+        let dir = GlobalDirectory::from_assignment(vec![
+            (BucketId::new(0, 1), PartitionId(0)), // size 4 at D=3
+            (BucketId::new(0b01, 2), PartitionId(1)), // size 2
+            (BucketId::new(0b011, 3), PartitionId(1)), // size 1
+            (BucketId::new(0b111, 3), PartitionId(2)), // size 1
+        ])
+        .unwrap();
+        assert_eq!(dir.global_depth(), 3);
+        assert_eq!(dir.partition_load(PartitionId(0)), 4);
+        assert_eq!(dir.partition_load(PartitionId(1)), 3);
+        assert_eq!(dir.partition_load(PartitionId(2)), 1);
+        assert!(dir.covers_full_space());
+        let f = dir.load_balance_factor(&parts(3));
+        assert!(f > 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_initial_directories_route_every_key(depth in 0u8..8, nparts in 1u32..16, keys in proptest::collection::vec(any::<u64>(), 1..50)) {
+            let dir = GlobalDirectory::initial(depth, &parts(nparts)).unwrap();
+            prop_assert!(dir.covers_full_space());
+            for k in keys {
+                let key = Key::from_u64(k);
+                prop_assert!(dir.lookup_key(&key).is_some());
+            }
+        }
+
+        #[test]
+        fn prop_partition_loads_sum_to_slots(depth in 0u8..8, nparts in 1u32..16) {
+            let dir = GlobalDirectory::initial(depth, &parts(nparts)).unwrap();
+            let total: u64 = parts(nparts).iter().map(|p| dir.partition_load(*p)).sum();
+            prop_assert_eq!(total, dir.num_slots());
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Rebalance planning: deciding which buckets move where.
+//!
+//! During the initialization phase the Cluster Controller refreshes the
+//! global directory from the partitions' local directories, runs Algorithm 2
+//! against the target topology, and derives the set of bucket moves. The
+//! plan also carries the byte cost of each move, which the experiments use
+//! to report the rebalance data-movement cost.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use dynahash_lsm::wal::RebalanceId;
+use dynahash_lsm::BucketId;
+
+use crate::balance::{balance_assignment, BalanceInput, BucketLoad};
+use crate::directory::GlobalDirectory;
+use crate::topology::{ClusterTopology, PartitionId};
+use crate::Result;
+
+/// One bucket move from a source partition to a destination partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketMove {
+    /// The bucket being moved.
+    pub bucket: BucketId,
+    /// The partition currently holding the bucket.
+    pub from: PartitionId,
+    /// The partition that will hold the bucket after the rebalance.
+    pub to: PartitionId,
+    /// The bucket's size in bytes (what must be scanned and shipped).
+    pub bytes: u64,
+}
+
+/// The complete plan of a rebalance operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RebalancePlan {
+    /// The rebalance operation id (metadata transaction id).
+    pub rebalance_id: RebalanceId,
+    /// The directory before the rebalance (refreshed from local directories).
+    pub old_directory: GlobalDirectory,
+    /// The directory after the rebalance commits.
+    pub new_directory: GlobalDirectory,
+    /// The bucket moves to perform.
+    pub moves: Vec<BucketMove>,
+    /// The target topology.
+    pub target: ClusterTopology,
+}
+
+impl RebalancePlan {
+    /// Computes a plan.
+    ///
+    /// * `old_directory` — the refreshed global directory (bucket → current
+    ///   partition);
+    /// * `bucket_bytes` — the actual size of each bucket in bytes (reported
+    ///   by the NCs); buckets missing from the map fall back to their
+    ///   normalized size so the balancing still works;
+    /// * `target` — the topology after scaling in/out.
+    pub fn compute(
+        rebalance_id: RebalanceId,
+        old_directory: &GlobalDirectory,
+        bucket_bytes: &BTreeMap<BucketId, u64>,
+        target: &ClusterTopology,
+    ) -> Result<RebalancePlan> {
+        let global_depth = old_directory.global_depth();
+        let buckets: Vec<BucketLoad> = old_directory
+            .iter()
+            .map(|(bucket, partition)| {
+                // Clamp to at least 1 so that empty buckets (common for small
+                // datasets under StaticHash's 256 buckets) still participate
+                // in the greedy refinement instead of stalling it.
+                let size = bucket_bytes
+                    .get(&bucket)
+                    .copied()
+                    .unwrap_or_else(|| bucket.normalized_size(global_depth))
+                    .max(1);
+                let current = if target.node_of(partition).is_some() {
+                    Some(partition)
+                } else {
+                    None
+                };
+                BucketLoad {
+                    bucket,
+                    size,
+                    current,
+                }
+            })
+            .collect();
+
+        let assignment = balance_assignment(&BalanceInput {
+            buckets,
+            target: target.clone(),
+        })?;
+
+        let mut moves = Vec::new();
+        for (bucket, to) in &assignment {
+            let from = old_directory
+                .partition_of_bucket(bucket)
+                .expect("bucket came from the old directory");
+            if from != *to {
+                moves.push(BucketMove {
+                    bucket: *bucket,
+                    from,
+                    to: *to,
+                    bytes: bucket_bytes.get(bucket).copied().unwrap_or(0),
+                });
+            }
+        }
+        moves.sort_by_key(|m| m.bucket);
+
+        let new_directory = GlobalDirectory::from_assignment(assignment)?;
+        Ok(RebalancePlan {
+            rebalance_id,
+            old_directory: old_directory.clone(),
+            new_directory,
+            moves,
+            target: target.clone(),
+        })
+    }
+
+    /// Total bytes that must be scanned and shipped.
+    pub fn total_bytes_moved(&self) -> u64 {
+        self.moves.iter().map(|m| m.bytes).sum()
+    }
+
+    /// Number of buckets that move.
+    pub fn num_moves(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// True if nothing needs to move.
+    pub fn is_noop(&self) -> bool {
+        self.moves.is_empty()
+    }
+
+    /// The moves whose source is the given partition.
+    pub fn moves_from(&self, partition: PartitionId) -> Vec<&BucketMove> {
+        self.moves.iter().filter(|m| m.from == partition).collect()
+    }
+
+    /// The moves whose destination is the given partition.
+    pub fn moves_to(&self, partition: PartitionId) -> Vec<&BucketMove> {
+        self.moves.iter().filter(|m| m.to == partition).collect()
+    }
+
+    /// The partitions that participate in the rebalance (as source or
+    /// destination of at least one move).
+    pub fn participating_partitions(&self) -> Vec<PartitionId> {
+        let mut v: Vec<PartitionId> = self
+            .moves
+            .iter()
+            .flat_map(|m| [m.from, m.to])
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The fraction of the dataset (by bytes) that moves, given the total
+    /// dataset size. This is the paper's headline metric: global rebalancing
+    /// moves ≈ 100 % of the data, bucketing schemes move far less.
+    pub fn moved_fraction(&self, total_dataset_bytes: u64) -> f64 {
+        if total_dataset_bytes == 0 {
+            0.0
+        } else {
+            self.total_bytes_moved() as f64 / total_dataset_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NodeId;
+
+    fn sizes_uniform(dir: &GlobalDirectory, per_bucket: u64) -> BTreeMap<BucketId, u64> {
+        dir.iter().map(|(b, _)| (b, per_bucket)).collect()
+    }
+
+    #[test]
+    fn removing_a_node_moves_only_its_buckets() {
+        let topo = ClusterTopology::uniform(4, 2);
+        let dir = GlobalDirectory::initial(5, &topo.partitions()).unwrap(); // 32 buckets
+        let sizes = sizes_uniform(&dir, 1000);
+        let target = topo.without_node(NodeId(3));
+        let plan = RebalancePlan::compute(1, &dir, &sizes, &target).unwrap();
+        // node 3 had 2 partitions * 4 buckets = 8 buckets
+        assert_eq!(plan.num_moves(), 8);
+        assert_eq!(plan.total_bytes_moved(), 8 * 1000);
+        assert!(plan.moved_fraction(32 * 1000) < 0.3);
+        // everything lands on surviving nodes
+        for m in &plan.moves {
+            assert!(target.node_of(m.to).is_some());
+            assert_eq!(topo.node_of(m.from), Some(NodeId(3)));
+        }
+        assert!(plan.new_directory.covers_full_space());
+    }
+
+    #[test]
+    fn adding_a_node_moves_a_small_fraction() {
+        let topo = ClusterTopology::uniform(4, 2);
+        let dir = GlobalDirectory::initial(5, &topo.partitions()).unwrap();
+        let sizes = sizes_uniform(&dir, 1000);
+        let target = topo.with_added_node(2);
+        let plan = RebalancePlan::compute(2, &dir, &sizes, &target).unwrap();
+        assert!(!plan.is_noop());
+        let frac = plan.moved_fraction(32 * 1000);
+        assert!(frac < 0.5, "local rebalancing must not move most data: {frac}");
+        // the new node's partitions receive all moves
+        for m in &plan.moves {
+            assert_eq!(target.node_of(m.to), Some(NodeId(4)));
+        }
+    }
+
+    #[test]
+    fn unchanged_topology_is_a_noop() {
+        let topo = ClusterTopology::uniform(2, 2);
+        let dir = GlobalDirectory::initial(4, &topo.partitions()).unwrap();
+        let sizes = sizes_uniform(&dir, 10);
+        let plan = RebalancePlan::compute(3, &dir, &sizes, &topo).unwrap();
+        assert!(plan.is_noop());
+        assert_eq!(plan.new_directory, dir);
+        assert_eq!(plan.total_bytes_moved(), 0);
+        assert!(plan.participating_partitions().is_empty());
+    }
+
+    #[test]
+    fn moves_from_and_to_are_consistent() {
+        let topo = ClusterTopology::uniform(3, 2);
+        let dir = GlobalDirectory::initial(5, &topo.partitions()).unwrap();
+        let sizes = sizes_uniform(&dir, 7);
+        let target = topo.without_node(NodeId(0));
+        let plan = RebalancePlan::compute(4, &dir, &sizes, &target).unwrap();
+        let total_from: usize = topo
+            .partitions()
+            .iter()
+            .map(|p| plan.moves_from(*p).len())
+            .sum();
+        let total_to: usize = target
+            .partitions()
+            .iter()
+            .map(|p| plan.moves_to(*p).len())
+            .sum();
+        assert_eq!(total_from, plan.num_moves());
+        assert_eq!(total_to, plan.num_moves());
+    }
+}

@@ -1,0 +1,127 @@
+//! A standard Bloom filter over keys, used to skip disk components during
+//! point lookups (Section II-B of the paper).
+
+use crate::bucket::hash_key;
+use crate::entry::Key;
+
+/// A Bloom filter sized for a target false-positive rate of roughly 1%.
+#[derive(Clone, Debug)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: usize,
+    num_hashes: u32,
+    num_items: usize,
+}
+
+/// Bits per key used when sizing filters (10 bits/key ≈ 1% false positives).
+pub const BITS_PER_KEY: usize = 10;
+
+impl BloomFilter {
+    /// Creates a filter sized for `expected_items` keys.
+    pub fn with_capacity(expected_items: usize) -> Self {
+        let num_bits = (expected_items.max(1) * BITS_PER_KEY).max(64);
+        let words = num_bits.div_ceil(64);
+        BloomFilter {
+            bits: vec![0u64; words],
+            num_bits: words * 64,
+            num_hashes: 7,
+            num_items: 0,
+        }
+    }
+
+    fn positions(&self, key: &Key) -> impl Iterator<Item = usize> + '_ {
+        // Double hashing: derive k positions from two 32-bit halves of the
+        // 64-bit key hash.
+        let h = hash_key(key);
+        let h1 = (h & 0xffff_ffff) as u64;
+        let h2 = (h >> 32) as u64;
+        let n = self.num_bits as u64;
+        (0..self.num_hashes as u64).map(move |i| ((h1.wrapping_add(i.wrapping_mul(h2))) % n) as usize)
+    }
+
+    /// Inserts a key into the filter.
+    pub fn insert(&mut self, key: &Key) {
+        let positions: Vec<usize> = self.positions(key).collect();
+        for p in positions {
+            self.bits[p / 64] |= 1u64 << (p % 64);
+        }
+        self.num_items += 1;
+    }
+
+    /// Returns `false` if the key is definitely absent, `true` if it may be
+    /// present.
+    pub fn may_contain(&self, key: &Key) -> bool {
+        self.positions(key)
+            .all(|p| self.bits[p / 64] & (1u64 << (p % 64)) != 0)
+    }
+
+    /// Number of keys inserted.
+    pub fn len(&self) -> usize {
+        self.num_items
+    }
+
+    /// True if no key has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.num_items == 0
+    }
+
+    /// Size of the filter in bytes (used by the storage cost accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn inserted_keys_are_found() {
+        let mut f = BloomFilter::with_capacity(1000);
+        for i in 0..1000u64 {
+            f.insert(&Key::from_u64(i));
+        }
+        for i in 0..1000u64 {
+            assert!(f.may_contain(&Key::from_u64(i)));
+        }
+        assert_eq!(f.len(), 1000);
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut f = BloomFilter::with_capacity(10_000);
+        for i in 0..10_000u64 {
+            f.insert(&Key::from_u64(i));
+        }
+        let mut fp = 0usize;
+        let probes = 10_000usize;
+        for i in 0..probes as u64 {
+            if f.may_contain(&Key::from_u64(1_000_000 + i)) {
+                fp += 1;
+            }
+        }
+        // 10 bits/key with 7 hashes should comfortably stay below 5%.
+        assert!(fp < probes / 20, "false positive rate too high: {fp}/{probes}");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything_cheaply() {
+        let f = BloomFilter::with_capacity(0);
+        assert!(f.is_empty());
+        assert!(!f.may_contain(&Key::from_u64(42)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_no_false_negatives(keys in proptest::collection::vec(any::<u64>(), 1..200)) {
+            let mut f = BloomFilter::with_capacity(keys.len());
+            for &k in &keys {
+                f.insert(&Key::from_u64(k));
+            }
+            for &k in &keys {
+                prop_assert!(f.may_contain(&Key::from_u64(k)));
+            }
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! Immutable disk components.
+//!
+//! A disk component is a sorted, immutable run of entries produced by a
+//! flush or a merge. Components are shared via `Arc`, which provides the
+//! reference counting the paper uses to let readers keep accessing a
+//! component even after it has been replaced or its bucket dropped.
+//!
+//! Two wrapper-level metadata features support DynaHash:
+//!
+//! * **Reference components** (bucket splits, Algorithm 1): the wrapper holds
+//!   a `visible_bucket` filter; only entries whose hash falls into that bucket
+//!   are visible. The actual data rewrite is postponed to the next merge.
+//! * **Invalid buckets** (lazy secondary-index cleanup, Section V-C): the
+//!   wrapper records buckets that were moved away; entries belonging to them
+//!   are filtered out of reads and physically dropped at the next merge.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::bloom::BloomFilter;
+use crate::bucket::BucketId;
+use crate::entry::{Entry, Key, Op};
+
+/// Monotonically increasing identifier for disk components.
+pub type ComponentId = u64;
+
+static NEXT_COMPONENT_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_component_id() -> ComponentId {
+    NEXT_COMPONENT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// How a disk component came into existence. Rebalancing distinguishes
+/// locally written data from data received from another partition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ComponentSource {
+    /// Produced by flushing a memory component.
+    Flush,
+    /// Produced by merging older components.
+    Merge,
+    /// Bulk-loaded from records scanned at a source partition during a
+    /// rebalance (strictly older than any replicated log records).
+    Loaded,
+    /// Built from log records replicated from a source partition during a
+    /// rebalance (concurrent writes).
+    Replicated,
+}
+
+/// How the keys of a component should be interpreted when checking bucket
+/// membership for lazy cleanup.
+///
+/// Primary-index and primary-key-index components store the record's primary
+/// key directly; secondary-index components store a composite of the
+/// secondary key and the primary key, and the bucket of an entry is the
+/// bucket of the *primary* part (Section V-C: the validation check uses the
+/// primary key embedded in the index entry).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum KeyLayout {
+    /// The component key is the record's primary key.
+    #[default]
+    PrimaryKey,
+    /// The component key is a `SecondaryEntry` composite; decode it and hash
+    /// the primary part.
+    SecondaryComposite,
+}
+
+impl KeyLayout {
+    /// True if `key` belongs to `bucket` under this layout.
+    pub fn key_in_bucket(&self, key: &Key, bucket: &crate::bucket::BucketId) -> bool {
+        match self {
+            KeyLayout::PrimaryKey => bucket.contains_key(key),
+            KeyLayout::SecondaryComposite => match crate::secondary::SecondaryEntry::decode(key) {
+                Some(se) => bucket.contains_key(&se.primary),
+                None => bucket.contains_key(key),
+            },
+        }
+    }
+}
+
+/// The immutable payload of a disk component.
+#[derive(Debug)]
+pub struct DiskComponentData {
+    /// Unique identifier.
+    pub id: ComponentId,
+    /// Entries sorted by key (unique keys).
+    pub entries: Vec<Entry>,
+    /// Bloom filter over the keys.
+    pub bloom: BloomFilter,
+    /// Total entry bytes (key + value + header).
+    pub size_bytes: usize,
+    /// Provenance of the component.
+    pub source: ComponentSource,
+}
+
+impl DiskComponentData {
+    /// Builds a component from pre-sorted entries.
+    pub fn from_sorted(entries: Vec<Entry>, source: ComponentSource) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].key < w[1].key));
+        let mut bloom = BloomFilter::with_capacity(entries.len());
+        let mut size = 0usize;
+        for e in &entries {
+            bloom.insert(&e.key);
+            size += e.size_bytes();
+        }
+        DiskComponentData {
+            id: next_component_id(),
+            entries,
+            bloom,
+            size_bytes: size,
+            source,
+        }
+    }
+
+    /// Binary-searches for a key.
+    pub fn find(&self, key: &Key) -> Option<&Entry> {
+        self.entries
+            .binary_search_by(|e| e.key.cmp(key))
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+}
+
+/// A handle to a disk component as seen by one LSM-tree (or one bucket).
+///
+/// Cloning a `Component` is cheap (it clones an `Arc` and small metadata).
+#[derive(Clone, Debug)]
+pub struct Component {
+    data: Arc<DiskComponentData>,
+    /// If set, only entries whose key hashes into this bucket are visible
+    /// (reference component produced by a bucket split).
+    visible_bucket: Option<BucketId>,
+    /// Buckets whose entries have been moved away and must be ignored
+    /// (lazy cleanup). Applied on top of `visible_bucket`.
+    invalid_buckets: Arc<Vec<BucketId>>,
+    /// How keys are interpreted when checking bucket membership.
+    layout: KeyLayout,
+    /// Bytes of data visible through this handle, computed eagerly when the
+    /// filters change so that size queries stay O(1).
+    visible_bytes: usize,
+}
+
+impl Component {
+    /// Builds a brand-new component from sorted entries.
+    pub fn from_sorted(entries: Vec<Entry>, source: ComponentSource) -> Self {
+        let data = Arc::new(DiskComponentData::from_sorted(entries, source));
+        let visible_bytes = data.size_bytes;
+        Component {
+            data,
+            visible_bucket: None,
+            invalid_buckets: Arc::new(Vec::new()),
+            layout: KeyLayout::PrimaryKey,
+            visible_bytes,
+        }
+    }
+
+    /// Builds a component from possibly unsorted entries (sorts and
+    /// deduplicates keeping the last occurrence of each key).
+    pub fn from_unsorted(mut entries: Vec<Entry>, source: ComponentSource) -> Self {
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        entries.dedup_by(|newer, older| {
+            if newer.key == older.key {
+                // keep the later element (newer): overwrite `older` in place.
+                std::mem::swap(newer, older);
+                true
+            } else {
+                false
+            }
+        });
+        Self::from_sorted(entries, source)
+    }
+
+    /// Creates a *reference component* that exposes only the entries of
+    /// `bucket` from the same underlying data (Algorithm 1: bucket split).
+    pub fn restrict_to_bucket(&self, bucket: BucketId) -> Component {
+        let mut c = Component {
+            data: Arc::clone(&self.data),
+            visible_bucket: Some(bucket),
+            invalid_buckets: Arc::clone(&self.invalid_buckets),
+            layout: self.layout,
+            visible_bytes: 0,
+        };
+        c.visible_bytes = c.iter().map(|e| e.size_bytes()).sum();
+        c
+    }
+
+    /// Returns a copy of this component with `bucket` marked invalid (lazy
+    /// cleanup of a moved bucket). Reads through the returned handle skip
+    /// entries belonging to that bucket.
+    pub fn mark_bucket_invalid(&self, bucket: BucketId) -> Component {
+        self.mark_bucket_invalid_as(bucket, self.layout)
+    }
+
+    /// Like [`Component::mark_bucket_invalid`], but also sets how keys should
+    /// be interpreted when checking bucket membership (secondary-index
+    /// components store composite keys and must hash the primary part).
+    pub fn mark_bucket_invalid_as(&self, bucket: BucketId, layout: KeyLayout) -> Component {
+        let mut inv = (*self.invalid_buckets).clone();
+        if !inv.contains(&bucket) {
+            inv.push(bucket);
+        }
+        let mut c = Component {
+            data: Arc::clone(&self.data),
+            visible_bucket: self.visible_bucket,
+            invalid_buckets: Arc::new(inv),
+            layout,
+            visible_bytes: 0,
+        };
+        c.visible_bytes = c.iter().map(|e| e.size_bytes()).sum();
+        c
+    }
+
+    /// Identifier of the underlying data.
+    pub fn id(&self) -> ComponentId {
+        self.data.id
+    }
+
+    /// Provenance of the underlying data.
+    pub fn source(&self) -> ComponentSource {
+        self.data.source
+    }
+
+    /// True if this is a reference component produced by a bucket split.
+    pub fn is_reference(&self) -> bool {
+        self.visible_bucket.is_some()
+    }
+
+    /// The bucket filter of a reference component, if any.
+    pub fn visible_bucket(&self) -> Option<BucketId> {
+        self.visible_bucket
+    }
+
+    /// The buckets marked invalid for lazy cleanup.
+    pub fn invalid_buckets(&self) -> &[BucketId] {
+        &self.invalid_buckets
+    }
+
+    /// True if the component carries lazy-cleanup metadata or a bucket
+    /// filter, i.e. a merge would physically drop some entries.
+    pub fn needs_compaction(&self) -> bool {
+        self.visible_bucket.is_some() || !self.invalid_buckets.is_empty()
+    }
+
+    /// Number of reference-counted owners of the underlying data (used by
+    /// tests to check that readers keep components alive).
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.data)
+    }
+
+    fn entry_visible(&self, key: &Key) -> bool {
+        if let Some(b) = &self.visible_bucket {
+            if !self.layout.key_in_bucket(key, b) {
+                return false;
+            }
+        }
+        !self
+            .invalid_buckets
+            .iter()
+            .any(|b| self.layout.key_in_bucket(key, b))
+    }
+
+    /// Point lookup. Consults the Bloom filter first; applies the bucket
+    /// filter and lazy-cleanup metadata. Returns the raw operation (which may
+    /// be a tombstone).
+    pub fn get(&self, key: &Key) -> Option<&Op> {
+        if !self.data.bloom.may_contain(key) {
+            return None;
+        }
+        let entry = self.data.find(key)?;
+        if self.entry_visible(key) {
+            Some(&entry.op)
+        } else {
+            None
+        }
+    }
+
+    /// Iterates visible entries within `[lo, hi)` in key order.
+    pub fn range<'a>(
+        &'a self,
+        lo: Option<&'a Key>,
+        hi: Option<&'a Key>,
+    ) -> impl Iterator<Item = &'a Entry> + 'a {
+        let start = match lo {
+            Some(k) => self
+                .data
+                .entries
+                .partition_point(|e| e.key < *k),
+            None => 0,
+        };
+        self.data.entries[start..]
+            .iter()
+            .take_while(move |e| match hi {
+                Some(h) => e.key < *h,
+                None => true,
+            })
+            .filter(move |e| self.entry_visible(&e.key))
+    }
+
+    /// Iterates all visible entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry> + '_ {
+        self.range(None, None)
+    }
+
+    /// Number of entries in the underlying data (ignoring filters).
+    pub fn raw_len(&self) -> usize {
+        self.data.entries.len()
+    }
+
+    /// Number of entries visible through this handle (applies filters; O(n)
+    /// for reference components, O(1) otherwise).
+    pub fn visible_len(&self) -> usize {
+        if self.needs_compaction() {
+            self.iter().count()
+        } else {
+            self.data.entries.len()
+        }
+    }
+
+    /// Bytes of the underlying data. Reference components share the data and
+    /// report the same value for read-cost purposes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.size_bytes
+    }
+
+    /// Bytes of *visible* data: what a rebalance scan of this component would
+    /// ship, or what a merge would rewrite. O(1): the value is computed when
+    /// the component (or its filtered view) is created.
+    pub fn visible_size_bytes(&self) -> usize {
+        self.visible_bytes
+    }
+
+    /// Bytes of storage newly occupied by this component. Reference
+    /// components occupy no additional storage (they only point at existing
+    /// data), which matches the paper's description.
+    pub fn storage_bytes(&self) -> usize {
+        if self.is_reference() {
+            0
+        } else {
+            self.data.size_bytes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn comp(keys: &[u64]) -> Component {
+        let entries = keys
+            .iter()
+            .map(|&k| Entry::put(Key::from_u64(k), Bytes::from(vec![k as u8; 4])))
+            .collect();
+        Component::from_unsorted(entries, ComponentSource::Flush)
+    }
+
+    #[test]
+    fn point_lookup_finds_present_keys() {
+        let c = comp(&[1, 5, 9]);
+        assert!(c.get(&Key::from_u64(5)).is_some());
+        assert!(c.get(&Key::from_u64(4)).is_none());
+    }
+
+    #[test]
+    fn from_unsorted_dedups_keeping_newest() {
+        let entries = vec![
+            Entry::put(Key::from_u64(1), Bytes::from_static(b"old")),
+            Entry::put(Key::from_u64(1), Bytes::from_static(b"new")),
+        ];
+        let c = Component::from_unsorted(entries, ComponentSource::Flush);
+        assert_eq!(c.raw_len(), 1);
+        match c.get(&Key::from_u64(1)).unwrap() {
+            Op::Put(v) => assert_eq!(v.as_ref(), b"new"),
+            Op::Delete => panic!("expected put"),
+        }
+    }
+
+    #[test]
+    fn reference_component_filters_by_bucket() {
+        let c = comp(&(0..100).collect::<Vec<_>>());
+        let b0 = BucketId::new(0, 1);
+        let b1 = BucketId::new(1, 1);
+        let r0 = c.restrict_to_bucket(b0);
+        let r1 = c.restrict_to_bucket(b1);
+        assert!(r0.is_reference());
+        assert_eq!(r0.storage_bytes(), 0);
+        assert_eq!(r0.visible_len() + r1.visible_len(), c.raw_len());
+        // every key visible in exactly one child
+        for k in 0..100u64 {
+            let key = Key::from_u64(k);
+            let in0 = r0.get(&key).is_some();
+            let in1 = r1.get(&key).is_some();
+            assert!(in0 ^ in1, "key {k} must be visible in exactly one child");
+        }
+    }
+
+    #[test]
+    fn invalid_bucket_hides_entries() {
+        let c = comp(&(0..50).collect::<Vec<_>>());
+        let moved = BucketId::new(1, 1);
+        let cleaned = c.mark_bucket_invalid(moved);
+        for k in 0..50u64 {
+            let key = Key::from_u64(k);
+            if moved.contains_key(&key) {
+                assert!(cleaned.get(&key).is_none());
+            } else {
+                assert!(cleaned.get(&key).is_some());
+            }
+        }
+        assert!(cleaned.visible_len() < c.raw_len());
+        assert!(cleaned.needs_compaction());
+    }
+
+    #[test]
+    fn range_scan_respects_bounds_and_order() {
+        let c = comp(&[1, 3, 5, 7, 9]);
+        let lo = Key::from_u64(3);
+        let hi = Key::from_u64(8);
+        let got: Vec<u64> = c.range(Some(&lo), Some(&hi)).map(|e| e.key.as_u64()).collect();
+        assert_eq!(got, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn ref_count_tracks_sharing() {
+        let c = comp(&[1]);
+        assert_eq!(c.ref_count(), 1);
+        let r = c.restrict_to_bucket(BucketId::new(0, 1));
+        assert_eq!(c.ref_count(), 2);
+        drop(r);
+        assert_eq!(c.ref_count(), 1);
+    }
+
+    #[test]
+    fn component_ids_are_unique() {
+        let a = comp(&[1]);
+        let b = comp(&[1]);
+        assert_ne!(a.id(), b.id());
+    }
+}

@@ -1,0 +1,197 @@
+//! The per-partition local directory.
+//!
+//! Each storage partition keeps a local directory of the buckets it has been
+//! assigned (Section III). Buckets may be split locally without notifying
+//! the Cluster Controller; the global directory is only refreshed when a
+//! rebalance starts. The local directory therefore is the source of truth
+//! for which buckets exist at a partition and which bucket a key belongs to.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bucket::{hash_key, BucketId};
+use crate::entry::Key;
+
+/// The set of buckets owned by one partition.
+///
+/// Invariant: no bucket in the directory covers another (buckets are
+/// disjoint regions of the hash space).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LocalDirectory {
+    buckets: BTreeSet<BucketId>,
+}
+
+impl LocalDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        LocalDirectory {
+            buckets: BTreeSet::new(),
+        }
+    }
+
+    /// Creates a directory holding the given buckets.
+    ///
+    /// # Panics
+    /// Panics if two of the buckets overlap.
+    pub fn with_buckets(buckets: impl IntoIterator<Item = BucketId>) -> Self {
+        let mut dir = LocalDirectory::new();
+        for b in buckets {
+            dir.add(b).expect("overlapping buckets in local directory");
+        }
+        dir
+    }
+
+    /// Adds a bucket, rejecting overlaps with existing buckets.
+    pub fn add(&mut self, bucket: BucketId) -> crate::Result<()> {
+        if self
+            .buckets
+            .iter()
+            .any(|b| b.covers(&bucket) || bucket.covers(b))
+        {
+            return Err(crate::StorageError::BucketExists(bucket));
+        }
+        self.buckets.insert(bucket);
+        Ok(())
+    }
+
+    /// Removes a bucket. Returns `true` if it was present.
+    pub fn remove(&mut self, bucket: &BucketId) -> bool {
+        self.buckets.remove(bucket)
+    }
+
+    /// True if the exact bucket is present.
+    pub fn contains(&self, bucket: &BucketId) -> bool {
+        self.buckets.contains(bucket)
+    }
+
+    /// Replaces `bucket` with its two split children. Errors if the bucket is
+    /// not present.
+    pub fn split(&mut self, bucket: &BucketId) -> crate::Result<(BucketId, BucketId)> {
+        if !self.buckets.remove(bucket) {
+            return Err(crate::StorageError::UnknownBucket(*bucket));
+        }
+        let (lo, hi) = bucket.split();
+        self.buckets.insert(lo);
+        self.buckets.insert(hi);
+        Ok((lo, hi))
+    }
+
+    /// The bucket (if any) owned by this partition that a hash value falls
+    /// into.
+    pub fn lookup_hash(&self, hash: u64) -> Option<BucketId> {
+        self.buckets.iter().copied().find(|b| b.contains_hash(hash))
+    }
+
+    /// The bucket (if any) that a key falls into.
+    pub fn lookup_key(&self, key: &Key) -> Option<BucketId> {
+        self.lookup_hash(hash_key(key))
+    }
+
+    /// All buckets in this directory, in sorted order.
+    pub fn buckets(&self) -> impl Iterator<Item = BucketId> + '_ {
+        self.buckets.iter().copied()
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True if the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// The maximum depth among the buckets (the partition's local depth).
+    pub fn local_depth(&self) -> u8 {
+        self.buckets.iter().map(|b| b.depth).max().unwrap_or(0)
+    }
+
+    /// Checks the no-overlap invariant (used by property tests and debug
+    /// assertions).
+    pub fn is_consistent(&self) -> bool {
+        let v: Vec<BucketId> = self.buckets.iter().copied().collect();
+        for (i, a) in v.iter().enumerate() {
+            for b in v.iter().skip(i + 1) {
+                if a.covers(b) || b.covers(a) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut d = LocalDirectory::new();
+        d.add(BucketId::new(0b00, 2)).unwrap();
+        d.add(BucketId::new(0b10, 2)).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.lookup_hash(0b100), Some(BucketId::new(0b00, 2)));
+        assert_eq!(d.lookup_hash(0b110), Some(BucketId::new(0b10, 2)));
+        assert_eq!(d.lookup_hash(0b01), None, "bucket 01 not owned here");
+    }
+
+    #[test]
+    fn overlapping_buckets_are_rejected() {
+        let mut d = LocalDirectory::new();
+        d.add(BucketId::new(0b0, 1)).unwrap();
+        assert!(d.add(BucketId::new(0b00, 2)).is_err());
+        assert!(d.add(BucketId::new(0, 0)).is_err());
+        assert!(d.is_consistent());
+    }
+
+    #[test]
+    fn split_replaces_bucket_with_children() {
+        let mut d = LocalDirectory::new();
+        let b = BucketId::new(0b1, 1);
+        d.add(b).unwrap();
+        let (lo, hi) = d.split(&b).unwrap();
+        assert!(!d.contains(&b));
+        assert!(d.contains(&lo) && d.contains(&hi));
+        assert_eq!(d.local_depth(), 2);
+        assert!(d.is_consistent());
+        assert!(d.split(&b).is_err(), "splitting a missing bucket fails");
+    }
+
+    #[test]
+    fn lookup_key_matches_bucket_membership() {
+        let mut d = LocalDirectory::new();
+        d.add(BucketId::new(0, 1)).unwrap();
+        d.add(BucketId::new(1, 2)).unwrap();
+        d.add(BucketId::new(3, 2)).unwrap();
+        for i in 0..1000u64 {
+            let k = Key::from_u64(i);
+            let b = d.lookup_key(&k).expect("full coverage");
+            assert!(b.contains_key(&k));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_splits_preserve_consistency_and_coverage(splits in proptest::collection::vec(any::<u64>(), 0..40)) {
+            // Start with the root bucket and repeatedly split the bucket
+            // containing an arbitrary hash; the directory must stay
+            // consistent and keep covering the full hash space.
+            let mut d = LocalDirectory::new();
+            d.add(BucketId::root()).unwrap();
+            for h in splits {
+                let b = d.lookup_hash(h).expect("coverage");
+                if b.depth < 20 {
+                    d.split(&b).unwrap();
+                }
+            }
+            prop_assert!(d.is_consistent());
+            for h in [0u64, 1, 2, 3, 1 << 20, u64::MAX, 0xdead_beef] {
+                prop_assert!(d.lookup_hash(h).is_some());
+            }
+        }
+    }
+}

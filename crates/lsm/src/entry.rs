@@ -1,0 +1,219 @@
+//! Keys, values and log-structured entries.
+//!
+//! Keys are order-preserving byte strings. Helpers are provided to encode
+//! integer and composite keys in big-endian form so that the byte order
+//! matches the natural key order, which the merge iterators rely on.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An order-preserving binary key.
+///
+/// Primary keys in the TPC-H workload are integers or pairs of integers; the
+/// constructors [`Key::from_u64`] and [`Key::from_pair`] encode them
+/// big-endian so that byte-wise ordering equals numeric ordering.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Key(pub Vec<u8>);
+
+impl Key {
+    /// Builds a key from raw bytes.
+    pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
+        Key(bytes.into())
+    }
+
+    /// Encodes a single `u64` as an 8-byte big-endian key.
+    pub fn from_u64(v: u64) -> Self {
+        Key(v.to_be_bytes().to_vec())
+    }
+
+    /// Encodes a pair of `u64`s (e.g. `(orderkey, linenumber)`) as a 16-byte
+    /// big-endian composite key ordered lexicographically.
+    pub fn from_pair(a: u64, b: u64) -> Self {
+        let mut v = Vec::with_capacity(16);
+        v.extend_from_slice(&a.to_be_bytes());
+        v.extend_from_slice(&b.to_be_bytes());
+        Key(v)
+    }
+
+    /// Decodes the first 8 bytes as a big-endian `u64`. Returns 0 for shorter keys.
+    pub fn as_u64(&self) -> u64 {
+        if self.0.len() >= 8 {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&self.0[..8]);
+            u64::from_be_bytes(buf)
+        } else {
+            let mut buf = [0u8; 8];
+            buf[8 - self.0.len()..].copy_from_slice(&self.0);
+            u64::from_be_bytes(buf)
+        }
+    }
+
+    /// Decodes the key as a pair of big-endian `u64`s.
+    pub fn as_pair(&self) -> (u64, u64) {
+        let a = self.as_u64();
+        let b = if self.0.len() >= 16 {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&self.0[8..16]);
+            u64::from_be_bytes(buf)
+        } else {
+            0
+        };
+        (a, b)
+    }
+
+    /// Length of the encoded key in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the key is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Raw byte view.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.len() == 8 {
+            write!(f, "Key({})", self.as_u64())
+        } else if self.0.len() == 16 {
+            let (a, b) = self.as_pair();
+            write!(f, "Key({a},{b})")
+        } else {
+            write!(f, "Key({:?})", self.0)
+        }
+    }
+}
+
+impl From<u64> for Key {
+    fn from(v: u64) -> Self {
+        Key::from_u64(v)
+    }
+}
+
+impl From<(u64, u64)> for Key {
+    fn from(v: (u64, u64)) -> Self {
+        Key::from_pair(v.0, v.1)
+    }
+}
+
+/// Record payload stored in the primary index.
+pub type Value = Bytes;
+
+/// A single mutation: either an upsert carrying a value or a delete tombstone.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Insert or update the record with the given payload.
+    Put(Value),
+    /// Delete the record (tombstone). Tombstones are kept until a merge that
+    /// includes the oldest component drops them.
+    Delete,
+}
+
+impl Op {
+    /// Size in bytes charged for this operation's payload.
+    pub fn value_len(&self) -> usize {
+        match self {
+            Op::Put(v) => v.len(),
+            Op::Delete => 0,
+        }
+    }
+
+    /// True if this is a tombstone.
+    pub fn is_delete(&self) -> bool {
+        matches!(self, Op::Delete)
+    }
+
+    /// Returns the payload for puts, `None` for deletes.
+    pub fn value(&self) -> Option<&Value> {
+        match self {
+            Op::Put(v) => Some(v),
+            Op::Delete => None,
+        }
+    }
+}
+
+/// A key/operation pair as stored inside memory and disk components.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Entry {
+    /// The record's key.
+    pub key: Key,
+    /// The mutation applied to that key.
+    pub op: Op,
+}
+
+impl Entry {
+    /// Creates an upsert entry.
+    pub fn put(key: impl Into<Key>, value: impl Into<Value>) -> Self {
+        Entry {
+            key: key.into(),
+            op: Op::Put(value.into()),
+        }
+    }
+
+    /// Creates a tombstone entry.
+    pub fn delete(key: impl Into<Key>) -> Self {
+        Entry {
+            key: key.into(),
+            op: Op::Delete,
+        }
+    }
+
+    /// Approximate on-disk size of the entry in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.key.len() + self.op.value_len() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_keys_order_like_integers() {
+        let ks: Vec<Key> = [0u64, 1, 255, 256, 1 << 40, u64::MAX]
+            .iter()
+            .map(|&v| Key::from_u64(v))
+            .collect();
+        for w in ks.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn pair_keys_order_lexicographically() {
+        assert!(Key::from_pair(1, 99) < Key::from_pair(2, 0));
+        assert!(Key::from_pair(2, 1) < Key::from_pair(2, 2));
+        assert_eq!(Key::from_pair(7, 9).as_pair(), (7, 9));
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        for v in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(Key::from_u64(v).as_u64(), v);
+        }
+    }
+
+    #[test]
+    fn entry_size_accounts_for_key_and_value() {
+        let e = Entry::put(Key::from_u64(1), Bytes::from(vec![0u8; 100]));
+        assert_eq!(e.size_bytes(), 8 + 100 + 1);
+        let d = Entry::delete(Key::from_u64(1));
+        assert_eq!(d.size_bytes(), 9);
+    }
+
+    #[test]
+    fn op_helpers() {
+        let p = Op::Put(Bytes::from_static(b"x"));
+        assert!(!p.is_delete());
+        assert_eq!(p.value().unwrap().as_ref(), b"x");
+        assert!(Op::Delete.is_delete());
+        assert!(Op::Delete.value().is_none());
+    }
+}

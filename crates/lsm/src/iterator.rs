@@ -1,0 +1,223 @@
+//! Merging iterators over multiple LSM components.
+//!
+//! A range query over an LSM-tree must reconcile entries with identical keys
+//! coming from several components: entries from newer components override
+//! those from older components. [`MergingIter`] performs a k-way merge using
+//! a priority queue, exactly as described in Section II-B of the paper.
+//! Sources are ordered newest first; for duplicate keys the entry from the
+//! source with the smallest index wins.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::entry::{Entry, Key, Op};
+
+/// One sorted input to the merge: an already-materialised, key-ordered list
+/// of entries (memtable snapshot or visible component entries).
+pub type SortedSource = Vec<Entry>;
+
+struct HeapItem {
+    key: Key,
+    source: usize,
+    pos: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.source == other.source
+    }
+}
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse to get the smallest key first,
+        // breaking ties in favour of the newest (lowest-index) source.
+        other
+            .key
+            .cmp(&self.key)
+            .then_with(|| other.source.cmp(&self.source))
+    }
+}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A reconciling k-way merge iterator.
+pub struct MergingIter {
+    sources: Vec<SortedSource>,
+    heap: BinaryHeap<HeapItem>,
+    include_tombstones: bool,
+}
+
+impl MergingIter {
+    /// Creates a merge over the given sources, **newest source first**.
+    ///
+    /// If `include_tombstones` is false, reconciled deletes are skipped
+    /// (normal query behaviour); if true they are emitted (used by merges
+    /// that must retain tombstones).
+    pub fn new(sources: Vec<SortedSource>, include_tombstones: bool) -> Self {
+        let mut heap = BinaryHeap::new();
+        for (i, s) in sources.iter().enumerate() {
+            if let Some(e) = s.first() {
+                heap.push(HeapItem {
+                    key: e.key.clone(),
+                    source: i,
+                    pos: 0,
+                });
+            }
+        }
+        MergingIter {
+            sources,
+            heap,
+            include_tombstones,
+        }
+    }
+
+    fn advance(&mut self, source: usize, pos: usize) {
+        let next = pos + 1;
+        if let Some(e) = self.sources[source].get(next) {
+            self.heap.push(HeapItem {
+                key: e.key.clone(),
+                source,
+                pos: next,
+            });
+        }
+    }
+}
+
+impl Iterator for MergingIter {
+    type Item = Entry;
+
+    fn next(&mut self) -> Option<Entry> {
+        loop {
+            let top = self.heap.pop()?;
+            let winner = self.sources[top.source][top.pos].clone();
+            self.advance(top.source, top.pos);
+            // Drop all other occurrences of the same key (they are older).
+            while let Some(peek) = self.heap.peek() {
+                if peek.key == winner.key {
+                    let dup = self.heap.pop().expect("peeked");
+                    self.advance(dup.source, dup.pos);
+                } else {
+                    break;
+                }
+            }
+            if winner.op.is_delete() && !self.include_tombstones {
+                continue;
+            }
+            return Some(winner);
+        }
+    }
+}
+
+/// Merges the sources and returns only live (non-tombstone) entries.
+pub fn merge_live(sources: Vec<SortedSource>) -> Vec<Entry> {
+    MergingIter::new(sources, false).collect()
+}
+
+/// Merges the sources keeping reconciled tombstones (used when the merge
+/// result does not include the oldest component, so deletes must survive).
+pub fn merge_keep_tombstones(sources: Vec<SortedSource>) -> Vec<Entry> {
+    MergingIter::new(sources, true).collect()
+}
+
+/// Reconciles a point-lookup result across sources ordered newest first:
+/// the first source containing the key decides.
+pub fn reconcile_point<'a>(lookups: impl Iterator<Item = Option<&'a Op>>) -> Option<&'a Op> {
+    for op in lookups {
+        if let Some(op) = op {
+            return Some(op);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn put(k: u64, tag: &str) -> Entry {
+        Entry::put(Key::from_u64(k), Bytes::from(tag.as_bytes().to_vec()))
+    }
+
+    fn del(k: u64) -> Entry {
+        Entry::delete(Key::from_u64(k))
+    }
+
+    fn values(entries: &[Entry]) -> Vec<(u64, String)> {
+        entries
+            .iter()
+            .map(|e| {
+                (
+                    e.key.as_u64(),
+                    match &e.op {
+                        Op::Put(v) => String::from_utf8_lossy(v).to_string(),
+                        Op::Delete => "<del>".to_string(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn newer_source_wins() {
+        let newer = vec![put(1, "new1"), put(3, "new3")];
+        let older = vec![put(1, "old1"), put(2, "old2"), put(3, "old3")];
+        let merged = merge_live(vec![newer, older]);
+        assert_eq!(
+            values(&merged),
+            vec![
+                (1, "new1".into()),
+                (2, "old2".into()),
+                (3, "new3".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn tombstones_hide_older_entries() {
+        let newer = vec![del(2)];
+        let older = vec![put(1, "a"), put(2, "b"), put(3, "c")];
+        let merged = merge_live(vec![newer, older]);
+        assert_eq!(values(&merged), vec![(1, "a".into()), (3, "c".into())]);
+    }
+
+    #[test]
+    fn tombstones_kept_when_requested() {
+        let newer = vec![del(2)];
+        let older = vec![put(2, "b")];
+        let merged = merge_keep_tombstones(vec![newer, older]);
+        assert_eq!(values(&merged), vec![(2, "<del>".into())]);
+    }
+
+    #[test]
+    fn output_is_sorted_and_unique() {
+        let a = vec![put(1, "a1"), put(4, "a4"), put(9, "a9")];
+        let b = vec![put(2, "b2"), put(4, "b4"), put(8, "b8")];
+        let c = vec![put(1, "c1"), put(9, "c9"), put(10, "c10")];
+        let merged = merge_live(vec![a, b, c]);
+        let keys: Vec<u64> = merged.iter().map(|e| e.key.as_u64()).collect();
+        assert_eq!(keys, vec![1, 2, 4, 8, 9, 10]);
+        // key 4 resolved from source a (newer than b)
+        assert_eq!(values(&merged)[2], (4, "a4".into()));
+    }
+
+    #[test]
+    fn empty_sources_are_fine() {
+        assert!(merge_live(vec![]).is_empty());
+        assert!(merge_live(vec![vec![], vec![]]).is_empty());
+    }
+
+    #[test]
+    fn reconcile_point_takes_first_hit() {
+        let newer = Op::Delete;
+        let older = Op::Put(Bytes::from_static(b"x"));
+        let got = reconcile_point([None, Some(&newer), Some(&older)].into_iter());
+        assert!(matches!(got, Some(Op::Delete)));
+        assert!(reconcile_point([None, None].into_iter()).is_none());
+    }
+}

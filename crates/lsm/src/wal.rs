@@ -1,0 +1,382 @@
+//! Transaction log.
+//!
+//! AsterixDB persists every write to a transaction log for durability, and
+//! DynaHash's rebalance protocol reuses the log twice: concurrent writes to a
+//! moving bucket are captured as log records and **replicated** to the
+//! destination partition, and the Cluster Controller drives recovery from the
+//! metadata records `BEGIN` / `COMMIT` / `DONE` (Section V).
+//!
+//! The simulated log is an in-memory append-only vector with explicit
+//! `force()` points (records are only considered durable once forced), which
+//! lets the fault-injection tests model "the node failed before the record
+//! reached disk".
+
+use serde::{Deserialize, Serialize};
+
+use crate::entry::{Entry, Key, Op, Value};
+
+/// Log sequence number.
+pub type Lsn = u64;
+
+/// Identifier of a rebalance operation (metadata transaction id).
+pub type RebalanceId = u64;
+
+/// The payload of a log record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogRecordBody {
+    /// A record-level insert/update on a dataset partition.
+    Insert {
+        /// Dataset identifier.
+        dataset: u32,
+        /// Primary key.
+        key: Vec<u8>,
+        /// Record payload.
+        value: Vec<u8>,
+    },
+    /// A record-level delete.
+    Delete {
+        /// Dataset identifier.
+        dataset: u32,
+        /// Primary key.
+        key: Vec<u8>,
+    },
+    /// A rebalance operation has started (forced by the CC).
+    RebalanceBegin {
+        /// The rebalance operation id.
+        rebalance: RebalanceId,
+        /// The dataset being rebalanced.
+        dataset: u32,
+    },
+    /// The rebalance operation committed (forced by the CC).
+    RebalanceCommit {
+        /// The rebalance operation id.
+        rebalance: RebalanceId,
+    },
+    /// The rebalance operation aborted.
+    RebalanceAbort {
+        /// The rebalance operation id.
+        rebalance: RebalanceId,
+    },
+    /// No more work is needed for this rebalance operation.
+    RebalanceDone {
+        /// The rebalance operation id.
+        rebalance: RebalanceId,
+    },
+}
+
+/// A log record with its sequence number and durability status.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Sequence number, monotonically increasing per log.
+    pub lsn: Lsn,
+    /// The record body.
+    pub body: LogRecordBody,
+    /// Whether the record has been forced to (simulated) disk.
+    pub durable: bool,
+}
+
+impl LogRecord {
+    /// Size in bytes charged by the cost model for writing this record.
+    pub fn size_bytes(&self) -> usize {
+        16 + match &self.body {
+            LogRecordBody::Insert { key, value, .. } => key.len() + value.len(),
+            LogRecordBody::Delete { key, .. } => key.len(),
+            _ => 8,
+        }
+    }
+
+    /// Converts a data log record back into an LSM entry (used when applying
+    /// replicated records at a rebalance destination).
+    pub fn to_entry(&self) -> Option<Entry> {
+        match &self.body {
+            LogRecordBody::Insert { key, value, .. } => Some(Entry {
+                key: Key::from_bytes(key.clone()),
+                op: Op::Put(Value::from(value.clone())),
+            }),
+            LogRecordBody::Delete { key, .. } => Some(Entry {
+                key: Key::from_bytes(key.clone()),
+                op: Op::Delete,
+            }),
+            _ => None,
+        }
+    }
+
+    /// The dataset a data record belongs to, if it is a data record.
+    pub fn dataset(&self) -> Option<u32> {
+        match &self.body {
+            LogRecordBody::Insert { dataset, .. } | LogRecordBody::Delete { dataset, .. } => {
+                Some(*dataset)
+            }
+            LogRecordBody::RebalanceBegin { dataset, .. } => Some(*dataset),
+            _ => None,
+        }
+    }
+}
+
+/// An append-only transaction log.
+#[derive(Debug, Default, Clone)]
+pub struct TransactionLog {
+    records: Vec<LogRecord>,
+    next_lsn: Lsn,
+    /// Total bytes appended (durable or not).
+    bytes_appended: u64,
+}
+
+impl TransactionLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record without forcing it. Returns its LSN.
+    pub fn append(&mut self, body: LogRecordBody) -> Lsn {
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        let rec = LogRecord {
+            lsn,
+            body,
+            durable: false,
+        };
+        self.bytes_appended += rec.size_bytes() as u64;
+        self.records.push(rec);
+        lsn
+    }
+
+    /// Appends a record and forces the log up to and including it.
+    pub fn append_forced(&mut self, body: LogRecordBody) -> Lsn {
+        let lsn = self.append(body);
+        self.force();
+        lsn
+    }
+
+    /// Forces all appended records to disk (they become durable).
+    pub fn force(&mut self) {
+        for r in self.records.iter_mut() {
+            r.durable = true;
+        }
+    }
+
+    /// Simulates a crash: non-durable records are lost.
+    pub fn crash(&mut self) {
+        self.records.retain(|r| r.durable);
+        self.next_lsn = self.records.last().map(|r| r.lsn + 1).unwrap_or(0);
+    }
+
+    /// All records currently in the log.
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+
+    /// Records with `lsn >= from` (used for replication catch-up).
+    pub fn records_since(&self, from: Lsn) -> impl Iterator<Item = &LogRecord> {
+        self.records.iter().filter(move |r| r.lsn >= from)
+    }
+
+    /// Durable data records of a dataset with `lsn >= from` whose key
+    /// satisfies `filter` — the replication stream for a moving bucket.
+    pub fn replication_stream<'a, F>(
+        &'a self,
+        dataset: u32,
+        from: Lsn,
+        filter: F,
+    ) -> Vec<LogRecord>
+    where
+        F: Fn(&Key) -> bool + 'a,
+    {
+        self.records_since(from)
+            .filter(|r| r.dataset() == Some(dataset))
+            .filter(|r| {
+                r.to_entry()
+                    .map(|e| filter(&e.key))
+                    .unwrap_or(false)
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// The next LSN that will be assigned.
+    pub fn next_lsn(&self) -> Lsn {
+        self.next_lsn
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total bytes ever appended.
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes_appended
+    }
+
+    /// Finds the status of a rebalance operation from the durable metadata
+    /// records, as the CC does during recovery (Section V-D):
+    /// `BEGIN` without `COMMIT` ⇒ must abort; `COMMIT` without `DONE` ⇒ must
+    /// re-drive the commit; `DONE` ⇒ nothing to do.
+    pub fn rebalance_status(&self, rebalance: RebalanceId) -> RebalanceLogStatus {
+        let mut saw_begin = false;
+        let mut saw_commit = false;
+        let mut saw_abort = false;
+        let mut saw_done = false;
+        for r in self.records.iter().filter(|r| r.durable) {
+            match r.body {
+                LogRecordBody::RebalanceBegin { rebalance: id, .. } if id == rebalance => {
+                    saw_begin = true
+                }
+                LogRecordBody::RebalanceCommit { rebalance: id } if id == rebalance => {
+                    saw_commit = true
+                }
+                LogRecordBody::RebalanceAbort { rebalance: id } if id == rebalance => {
+                    saw_abort = true
+                }
+                LogRecordBody::RebalanceDone { rebalance: id } if id == rebalance => {
+                    saw_done = true
+                }
+                _ => {}
+            }
+        }
+        if saw_done {
+            RebalanceLogStatus::Done
+        } else if saw_commit {
+            RebalanceLogStatus::CommittedNotDone
+        } else if saw_abort {
+            RebalanceLogStatus::Aborted
+        } else if saw_begin {
+            RebalanceLogStatus::InFlight
+        } else {
+            RebalanceLogStatus::Unknown
+        }
+    }
+}
+
+/// Status of a rebalance operation as reconstructed from the durable log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebalanceLogStatus {
+    /// No durable record of this rebalance exists.
+    Unknown,
+    /// BEGIN is durable but no outcome record is: the CC must abort it.
+    InFlight,
+    /// COMMIT is durable but DONE is not: the CC must re-drive commit tasks.
+    CommittedNotDone,
+    /// The rebalance aborted.
+    Aborted,
+    /// The rebalance fully completed.
+    Done,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_assigns_increasing_lsns() {
+        let mut log = TransactionLog::new();
+        let a = log.append(LogRecordBody::Insert {
+            dataset: 1,
+            key: vec![1],
+            value: vec![2],
+        });
+        let b = log.append(LogRecordBody::Delete {
+            dataset: 1,
+            key: vec![1],
+        });
+        assert!(b > a);
+        assert_eq!(log.len(), 2);
+        assert!(log.bytes_appended() > 0);
+    }
+
+    #[test]
+    fn crash_loses_unforced_records() {
+        let mut log = TransactionLog::new();
+        log.append_forced(LogRecordBody::RebalanceBegin {
+            rebalance: 1,
+            dataset: 9,
+        });
+        log.append(LogRecordBody::RebalanceCommit { rebalance: 1 });
+        log.crash();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.rebalance_status(1), RebalanceLogStatus::InFlight);
+    }
+
+    #[test]
+    fn rebalance_status_progression() {
+        let mut log = TransactionLog::new();
+        assert_eq!(log.rebalance_status(5), RebalanceLogStatus::Unknown);
+        log.append_forced(LogRecordBody::RebalanceBegin {
+            rebalance: 5,
+            dataset: 1,
+        });
+        assert_eq!(log.rebalance_status(5), RebalanceLogStatus::InFlight);
+        log.append_forced(LogRecordBody::RebalanceCommit { rebalance: 5 });
+        assert_eq!(log.rebalance_status(5), RebalanceLogStatus::CommittedNotDone);
+        log.append_forced(LogRecordBody::RebalanceDone { rebalance: 5 });
+        assert_eq!(log.rebalance_status(5), RebalanceLogStatus::Done);
+    }
+
+    #[test]
+    fn aborted_status_reported() {
+        let mut log = TransactionLog::new();
+        log.append_forced(LogRecordBody::RebalanceBegin {
+            rebalance: 2,
+            dataset: 1,
+        });
+        log.append_forced(LogRecordBody::RebalanceAbort { rebalance: 2 });
+        assert_eq!(log.rebalance_status(2), RebalanceLogStatus::Aborted);
+    }
+
+    #[test]
+    fn replication_stream_filters_by_dataset_and_key() {
+        let mut log = TransactionLog::new();
+        for i in 0..20u64 {
+            log.append(LogRecordBody::Insert {
+                dataset: if i % 2 == 0 { 1 } else { 2 },
+                key: Key::from_u64(i).0,
+                value: vec![0u8; 4],
+            });
+        }
+        let start = 10;
+        let stream = log.replication_stream(1, start, |k| k.as_u64() >= 10);
+        assert!(!stream.is_empty());
+        for r in &stream {
+            assert!(r.lsn >= start);
+            assert_eq!(r.dataset(), Some(1));
+            assert!(r.to_entry().unwrap().key.as_u64() >= 10);
+        }
+    }
+
+    #[test]
+    fn to_entry_roundtrips_inserts_and_deletes() {
+        let ins = LogRecord {
+            lsn: 0,
+            body: LogRecordBody::Insert {
+                dataset: 1,
+                key: Key::from_u64(7).0,
+                value: b"abc".to_vec(),
+            },
+            durable: true,
+        };
+        let e = ins.to_entry().unwrap();
+        assert_eq!(e.key.as_u64(), 7);
+        assert!(!e.op.is_delete());
+        let del = LogRecord {
+            lsn: 1,
+            body: LogRecordBody::Delete {
+                dataset: 1,
+                key: Key::from_u64(7).0,
+            },
+            durable: true,
+        };
+        assert!(del.to_entry().unwrap().op.is_delete());
+        let meta = LogRecord {
+            lsn: 2,
+            body: LogRecordBody::RebalanceDone { rebalance: 1 },
+            durable: true,
+        };
+        assert!(meta.to_entry().is_none());
+    }
+}

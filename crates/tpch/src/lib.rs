@@ -1,0 +1,28 @@
+//! A TPC-H-like workload for evaluating DynaHash.
+//!
+//! The paper's evaluation (Section VI) loads the TPC-H benchmark at scale
+//! factor `100 × #nodes`, builds two covering secondary indexes (on LineItem
+//! and Orders), and runs the 22 TPC-H queries. This crate provides a
+//! scaled-down, deterministic equivalent:
+//!
+//! * [`schema`] — the eight TPC-H tables encoded as fixed-layout binary
+//!   records with typed accessors;
+//! * [`generator`] — a seeded data generator preserving the TPC-H table
+//!   cardinality ratios and foreign-key relationships;
+//! * [`loader`] — creates the datasets (with the paper's secondary indexes)
+//!   on a [`dynahash_cluster::Cluster`] and ingests the generated data;
+//! * [`queries`] — the 22 analytical queries expressed against the cluster's
+//!   query-execution API, preserving each query's access pattern (full scans,
+//!   index-only plans, primary-key-ordered scans, join structure).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod loader;
+pub mod queries;
+pub mod schema;
+
+pub use generator::{TpchData, TpchScale};
+pub use loader::{load_tpch, TpchTables};
+pub use queries::{query_traits, run_query, QueryTraits, NUM_QUERIES};

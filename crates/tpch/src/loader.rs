@@ -1,0 +1,166 @@
+//! Loading the TPC-H database into a cluster.
+//!
+//! The loader creates the eight TPC-H datasets with the rebalancing scheme
+//! under evaluation and the two secondary indexes the paper builds
+//! (Section VI-A): a LineItem index led by `l_shipdate` and an Orders index
+//! led by `o_orderdate`, both enabling index-only plans for date-range
+//! queries. It then ingests the generated data through data feeds.
+
+use bytes::Bytes;
+use dynahash_cluster::{Cluster, DatasetId, DatasetSpec, IngestReport, SecondaryIndexDef};
+use dynahash_core::Scheme;
+use dynahash_lsm::entry::Key;
+
+use crate::generator::{TpchData, TpchScale};
+use crate::schema::{field_extractor, L_SHIPDATE_FIELD, O_ORDERDATE_FIELD};
+
+/// The dataset ids of the loaded TPC-H tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpchTables {
+    /// LINEITEM dataset.
+    pub lineitem: DatasetId,
+    /// ORDERS dataset.
+    pub orders: DatasetId,
+    /// CUSTOMER dataset.
+    pub customer: DatasetId,
+    /// PART dataset.
+    pub part: DatasetId,
+    /// SUPPLIER dataset.
+    pub supplier: DatasetId,
+    /// PARTSUPP dataset.
+    pub partsupp: DatasetId,
+    /// NATION dataset.
+    pub nation: DatasetId,
+    /// REGION dataset.
+    pub region: DatasetId,
+}
+
+/// Name of the LineItem covering index from the paper.
+pub const LINEITEM_INDEX: &str = "idx_lineitem_shipdate";
+/// Name of the Orders covering index from the paper.
+pub const ORDERS_INDEX: &str = "idx_orders_orderdate";
+
+/// Creates the TPC-H datasets under the given scheme, generates data at the
+/// given scale, and ingests it. Returns the table handles, the generated
+/// data (for query verification), and the combined ingestion report.
+pub fn load_tpch(
+    cluster: &mut Cluster,
+    scheme: Scheme,
+    scale: TpchScale,
+) -> Result<(TpchTables, TpchData, IngestReport), dynahash_cluster::ClusterError> {
+    let data = TpchData::generate(scale);
+    let memtable_budget = 64 * 1024;
+
+    let lineitem = cluster.create_dataset(
+        DatasetSpec::new("lineitem", scheme)
+            .with_secondary_index(SecondaryIndexDef::new(
+                LINEITEM_INDEX,
+                field_extractor(L_SHIPDATE_FIELD),
+            ))
+            .with_memtable_budget(memtable_budget),
+    )?;
+    let orders = cluster.create_dataset(
+        DatasetSpec::new("orders", scheme)
+            .with_secondary_index(SecondaryIndexDef::new(
+                ORDERS_INDEX,
+                field_extractor(O_ORDERDATE_FIELD),
+            ))
+            .with_memtable_budget(memtable_budget),
+    )?;
+    let customer =
+        cluster.create_dataset(DatasetSpec::new("customer", scheme).with_memtable_budget(memtable_budget))?;
+    let part =
+        cluster.create_dataset(DatasetSpec::new("part", scheme).with_memtable_budget(memtable_budget))?;
+    let supplier =
+        cluster.create_dataset(DatasetSpec::new("supplier", scheme).with_memtable_budget(memtable_budget))?;
+    let partsupp =
+        cluster.create_dataset(DatasetSpec::new("partsupp", scheme).with_memtable_budget(memtable_budget))?;
+    let nation =
+        cluster.create_dataset(DatasetSpec::new("nation", scheme).with_memtable_budget(memtable_budget))?;
+    let region =
+        cluster.create_dataset(DatasetSpec::new("region", scheme).with_memtable_budget(memtable_budget))?;
+
+    let mut report = cluster.ingest(
+        region,
+        data.region.iter().map(|r| (r.primary_key(), r.encode())),
+    )?;
+    for r in [
+        cluster.ingest(nation, data.nation.iter().map(|r| (r.primary_key(), r.encode())))?,
+        cluster.ingest(
+            supplier,
+            data.supplier.iter().map(|r| (r.primary_key(), r.encode())),
+        )?,
+        cluster.ingest(
+            customer,
+            data.customer.iter().map(|r| (r.primary_key(), r.encode())),
+        )?,
+        cluster.ingest(part, data.part.iter().map(|r| (r.primary_key(), r.encode())))?,
+        cluster.ingest(
+            partsupp,
+            data.partsupp.iter().map(|r| (r.primary_key(), r.encode())),
+        )?,
+        cluster.ingest(orders, data.orders.iter().map(|r| (r.primary_key(), r.encode())))?,
+        cluster.ingest(
+            lineitem,
+            data.lineitem.iter().map(|r| (r.primary_key(), r.encode())),
+        )?,
+    ] {
+        report = report.merge(&r);
+    }
+
+    Ok((
+        TpchTables {
+            lineitem,
+            orders,
+            customer,
+            part,
+            supplier,
+            partsupp,
+            nation,
+            region,
+        },
+        data,
+        report,
+    ))
+}
+
+/// Converts LineItem rows into (key, payload) pairs for ingestion (used for
+/// concurrent-write workloads during rebalancing).
+pub fn lineitem_records(rows: &[crate::schema::LineItem]) -> Vec<(Key, Bytes)> {
+    rows.iter().map(|l| (l.primary_key(), l.encode())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_small_tpch_under_dynahash() {
+        let mut cluster = Cluster::new(2);
+        let scheme = Scheme::dynahash(64 * 1024, 8);
+        let (tables, data, report) = load_tpch(&mut cluster, scheme, TpchScale::tiny()).unwrap();
+        assert_eq!(report.records as usize, data.total_rows());
+        assert_eq!(cluster.dataset_len(tables.lineitem).unwrap(), data.lineitem.len());
+        assert_eq!(cluster.dataset_len(tables.orders).unwrap(), data.orders.len());
+        assert_eq!(cluster.dataset_len(tables.nation).unwrap(), 25);
+        cluster.check_dataset_consistency(tables.lineitem).unwrap();
+        cluster.check_dataset_consistency(tables.orders).unwrap();
+        assert!(report.elapsed.as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    fn load_under_hashing_scheme() {
+        let mut cluster = Cluster::new(2);
+        let (tables, data, _) = load_tpch(&mut cluster, Scheme::Hashing, TpchScale::tiny()).unwrap();
+        assert_eq!(cluster.dataset_len(tables.lineitem).unwrap(), data.lineitem.len());
+        cluster.check_dataset_consistency(tables.lineitem).unwrap();
+    }
+
+    #[test]
+    fn lineitem_records_roundtrip_keys() {
+        let data = TpchData::generate(TpchScale::tiny());
+        let recs = lineitem_records(&data.lineitem[..10]);
+        assert_eq!(recs.len(), 10);
+        assert_eq!(recs[0].0, data.lineitem[0].primary_key());
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: create a DynaHash-partitioned dataset, ingest data, scale the
+//! cluster out, and rebalance online.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use bytes::Bytes;
+use dynahash::cluster::{Cluster, DatasetSpec, RebalanceOptions, SecondaryIndexDef};
+use dynahash::core::Scheme;
+use dynahash::lsm::entry::Key;
+
+fn main() {
+    // A 2-node cluster (4 storage partitions per node by default).
+    let mut cluster = Cluster::new(2);
+    println!(
+        "created a cluster with {} nodes / {} partitions",
+        cluster.topology().num_nodes(),
+        cluster.topology().num_partitions()
+    );
+
+    // A dataset partitioned with DynaHash: buckets split automatically once
+    // they exceed 64 KiB, and rebalancing moves whole buckets.
+    let spec = DatasetSpec::new("events", Scheme::dynahash(64 * 1024, 8))
+        .with_secondary_index(SecondaryIndexDef::new("idx_events_kind", |payload| {
+            payload.first().map(|&b| Key::from_u64(b as u64))
+        }));
+    let events = cluster.create_dataset(spec).expect("create dataset");
+
+    // Ingest 20,000 small records through a data feed.
+    let records = (0..20_000u64).map(|i| {
+        let mut payload = vec![(i % 8) as u8];
+        payload.extend_from_slice(&i.to_be_bytes());
+        payload.extend_from_slice(&[0u8; 55]);
+        (Key::from_u64(i), Bytes::from(payload))
+    });
+    let ingest = cluster.ingest(events, records).expect("ingest");
+    println!(
+        "ingested {} records in {:.2} simulated seconds ({:.0} rec/s)",
+        ingest.records,
+        ingest.elapsed.as_secs_f64(),
+        ingest.records_per_sec()
+    );
+    println!(
+        "dataset distribution across partitions: {:?}",
+        cluster.dataset_distribution(events).unwrap()
+    );
+
+    // Point lookups and secondary-index queries work as usual.
+    let key = Key::from_u64(1234);
+    let partition = cluster.route_key(events, &key).unwrap();
+    let value = cluster
+        .partition(partition)
+        .unwrap()
+        .dataset(events)
+        .unwrap()
+        .get(&key)
+        .expect("record present");
+    println!("key 1234 lives on partition {partition} ({} bytes)", value.len());
+
+    // Scale out: add a node, then rebalance the dataset onto it online.
+    cluster.add_node().expect("add node");
+    let target = cluster.topology().clone();
+    let report = cluster
+        .rebalance(events, &target, RebalanceOptions::none())
+        .expect("rebalance");
+    println!(
+        "rebalance {:?}: moved {} buckets / {} records ({:.1}% of the data) in {:.2} simulated seconds",
+        report.outcome,
+        report.buckets_moved,
+        report.records_moved,
+        report.moved_fraction * 100.0,
+        report.elapsed.as_secs_f64()
+    );
+
+    // The dataset stays complete and correctly routed.
+    cluster.check_dataset_consistency(events).expect("consistent");
+    assert_eq!(cluster.dataset_len(events).unwrap(), 20_000);
+    println!("consistency check passed: all 20000 records remain reachable");
+}

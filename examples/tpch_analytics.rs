@@ -1,0 +1,84 @@
+//! TPC-H analytics scenario: load the scaled-down TPC-H database, run a few
+//! representative queries, shrink the cluster by one node, and show how the
+//! query times change (the paper's Figure 8/9 scenario in miniature).
+//!
+//! Run with `cargo run --example tpch_analytics --release`.
+
+use dynahash::cluster::{Cluster, QueryExecutor, RebalanceOptions};
+use dynahash::core::{NodeId, Scheme};
+use dynahash::tpch::{load_tpch, query_traits, run_query, TpchScale};
+
+fn main() {
+    let mut cluster = Cluster::new(4);
+    let scheme = Scheme::dynahash(128 * 1024, 16);
+    let (tables, data, ingest) =
+        load_tpch(&mut cluster, scheme, TpchScale::per_node(200, 4)).expect("load TPC-H");
+    println!(
+        "loaded {} TPC-H rows ({} lineitems) in {:.2} simulated minutes\n",
+        data.total_rows(),
+        data.lineitem.len(),
+        ingest.elapsed.as_minutes_f64()
+    );
+
+    // A representative mix: q1 (scan-heavy), q6 (index-only), q18 (needs
+    // primary-key order), q21 (most scan-heavy).
+    let queries = [1usize, 6, 18, 21];
+
+    println!("query times on the original 4-node cluster:");
+    let mut before = Vec::new();
+    for &q in &queries {
+        let mut exec = QueryExecutor::new(&mut cluster);
+        let answer = run_query(q, &mut exec, &tables).expect("query");
+        let report = exec.finish();
+        println!(
+            "  q{:<2} {:>8.3} sim s   (answer {:>14.2}, scan-heavy: {})",
+            q,
+            report.elapsed.as_secs_f64(),
+            answer,
+            query_traits(q).scan_heavy
+        );
+        before.push((q, report.elapsed.as_secs_f64(), answer));
+    }
+
+    // Shrink the cluster: rebalance every table down to 3 nodes.
+    let victim = NodeId(3);
+    let target = cluster.topology_without(victim);
+    let datasets = [
+        tables.lineitem,
+        tables.orders,
+        tables.customer,
+        tables.part,
+        tables.supplier,
+        tables.partsupp,
+        tables.nation,
+        tables.region,
+    ];
+    let mut rebalance_minutes = 0.0;
+    for ds in datasets {
+        let report = cluster
+            .rebalance(ds, &target, RebalanceOptions::none())
+            .expect("rebalance");
+        rebalance_minutes += report.elapsed.as_minutes_f64();
+    }
+    cluster.decommission_node(victim).expect("decommission");
+    println!(
+        "\nrebalanced all 8 tables from 4 to 3 nodes in {rebalance_minutes:.2} simulated minutes\n"
+    );
+
+    println!("query times on the downsized 3-node cluster:");
+    for (q, before_secs, before_answer) in before {
+        let mut exec = QueryExecutor::new(&mut cluster);
+        let answer = run_query(q, &mut exec, &tables).expect("query");
+        let report = exec.finish();
+        let after = report.elapsed.as_secs_f64();
+        assert!((answer - before_answer).abs() < 1e-6 * before_answer.abs().max(1.0));
+        println!(
+            "  q{:<2} {:>8.3} sim s   ({:+.1}% vs 4 nodes, same answer)",
+            q,
+            after,
+            (after / before_secs - 1.0) * 100.0
+        );
+    }
+    println!("\nscan-heavy queries slow down roughly in proportion to the lost node;");
+    println!("answers are identical before and after the rebalance.");
+}

@@ -1,0 +1,174 @@
+//! End-to-end integration tests spanning every crate of the workspace:
+//! storage engine → extendible hashing → cluster simulation → TPC-H workload.
+
+use bytes::Bytes;
+use dynahash::cluster::{Cluster, DatasetSpec, QueryExecutor, RebalanceOptions, SecondaryIndexDef};
+use dynahash::core::{NodeId, RebalanceOutcome, Scheme};
+use dynahash::lsm::entry::Key;
+use dynahash::tpch::{load_tpch, run_query, TpchScale, NUM_QUERIES};
+
+fn record(i: u64) -> (Key, Bytes) {
+    let mut payload = (i % 17).to_be_bytes().to_vec();
+    payload.extend_from_slice(&[0u8; 72]);
+    (Key::from_u64(i), Bytes::from(payload))
+}
+
+fn spec(scheme: Scheme) -> DatasetSpec {
+    DatasetSpec::new("events", scheme).with_secondary_index(SecondaryIndexDef::new(
+        "idx_mod17",
+        |payload: &[u8]| {
+            if payload.len() >= 8 {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&payload[..8]);
+                Some(Key::from_u64(u64::from_be_bytes(b)))
+            } else {
+                None
+            }
+        },
+    ))
+}
+
+#[test]
+fn full_lifecycle_scale_out_and_in_with_queries() {
+    let mut cluster = Cluster::new(2);
+    let ds = cluster.create_dataset(spec(Scheme::dynahash(64 * 1024, 8))).unwrap();
+    cluster.ingest(ds, (0..8_000u64).map(record)).unwrap();
+
+    // Secondary-index query before any rebalance.
+    let count_before = {
+        let mut exec = QueryExecutor::new(&mut cluster);
+        let lo = Key::from_u64(3);
+        let hi = Key::from_u64(4);
+        let hits = exec.index_scan(ds, "idx_mod17", Some(&lo), Some(&hi)).unwrap();
+        hits.iter().map(|(_, v)| v.len()).sum::<usize>()
+    };
+    assert!(count_before > 0);
+
+    // Scale out to 3 nodes.
+    cluster.add_node().unwrap();
+    let target = cluster.topology().clone();
+    let out = cluster.rebalance(ds, &target, RebalanceOptions::none()).unwrap();
+    assert_eq!(out.outcome, RebalanceOutcome::Committed);
+    assert!(out.moved_fraction < 0.6);
+    cluster.check_dataset_consistency(ds).unwrap();
+
+    // Scale back in to 2 nodes and decommission the node.
+    let victim = NodeId(2);
+    let target = cluster.topology_without(victim);
+    let back = cluster.rebalance(ds, &target, RebalanceOptions::none()).unwrap();
+    assert_eq!(back.outcome, RebalanceOutcome::Committed);
+    cluster.decommission_node(victim).unwrap();
+    cluster.check_dataset_consistency(ds).unwrap();
+    assert_eq!(cluster.dataset_len(ds).unwrap(), 8_000);
+
+    // The secondary index still answers correctly after two rebalances
+    // (lazy cleanup hides entries of moved buckets).
+    let count_after = {
+        let mut exec = QueryExecutor::new(&mut cluster);
+        let lo = Key::from_u64(3);
+        let hi = Key::from_u64(4);
+        let hits = exec.index_scan(ds, "idx_mod17", Some(&lo), Some(&hi)).unwrap();
+        hits.iter().map(|(_, v)| v.len()).sum::<usize>()
+    };
+    assert_eq!(count_before, count_after);
+}
+
+#[test]
+fn concurrent_writes_survive_scale_in() {
+    let mut cluster = Cluster::new(3);
+    let ds = cluster
+        .create_dataset(spec(Scheme::StaticHash { num_buckets: 64 }))
+        .unwrap();
+    cluster.ingest(ds, (0..6_000u64).map(record)).unwrap();
+
+    let concurrent: Vec<(Key, Bytes)> = (100_000..100_500u64).map(record).collect();
+    let victim = NodeId(2);
+    let target = cluster.topology_without(victim);
+    let report = cluster
+        .rebalance(ds, &target, RebalanceOptions::with_concurrent_writes(concurrent.clone()))
+        .unwrap();
+    assert_eq!(report.outcome, RebalanceOutcome::Committed);
+    assert_eq!(report.concurrent_writes_applied, 500);
+    cluster.decommission_node(victim).unwrap();
+    cluster.check_dataset_consistency(ds).unwrap();
+    assert_eq!(cluster.dataset_len(ds).unwrap(), 6_500);
+    for (k, _) in concurrent.iter().step_by(37) {
+        let p = cluster.route_key(ds, k).unwrap();
+        assert!(cluster.partition(p).unwrap().dataset(ds).unwrap().get(k).is_some());
+    }
+}
+
+#[test]
+fn every_scheme_gives_identical_query_answers_after_rebalancing() {
+    // Load TPC-H under DynaHash, answer a subset of queries, rebalance the
+    // cluster down a node, and check the answers do not change.
+    let mut cluster = Cluster::new(3);
+    let scheme = Scheme::dynahash(32 * 1024, 12);
+    let (tables, _, _) = load_tpch(&mut cluster, scheme, TpchScale::tiny()).unwrap();
+    let sample_queries = [1usize, 3, 6, 12, 18, 21];
+
+    let before: Vec<f64> = sample_queries
+        .iter()
+        .map(|&q| {
+            let mut exec = QueryExecutor::new(&mut cluster);
+            run_query(q, &mut exec, &tables).unwrap()
+        })
+        .collect();
+
+    let datasets = [
+        tables.lineitem,
+        tables.orders,
+        tables.customer,
+        tables.part,
+        tables.supplier,
+        tables.partsupp,
+        tables.nation,
+        tables.region,
+    ];
+    let target = cluster.topology_without(NodeId(2));
+    for ds in datasets {
+        cluster.rebalance(ds, &target, RebalanceOptions::none()).unwrap();
+        cluster.check_dataset_consistency(ds).unwrap();
+    }
+    cluster.decommission_node(NodeId(2)).unwrap();
+
+    let after: Vec<f64> = sample_queries
+        .iter()
+        .map(|&q| {
+            let mut exec = QueryExecutor::new(&mut cluster);
+            run_query(q, &mut exec, &tables).unwrap()
+        })
+        .collect();
+    for (i, &q) in sample_queries.iter().enumerate() {
+        assert!(
+            (before[i] - after[i]).abs() < 1e-6 * before[i].abs().max(1.0),
+            "q{q} changed its answer after rebalancing: {} vs {}",
+            before[i],
+            after[i]
+        );
+    }
+}
+
+#[test]
+fn hashing_and_dynahash_agree_on_all_22_queries() {
+    let answers = |scheme: Scheme| -> Vec<f64> {
+        let mut cluster = Cluster::new(2);
+        let (tables, _, _) =
+            load_tpch(&mut cluster, scheme, TpchScale { orders: 80, seed: 7 }).unwrap();
+        (1..=NUM_QUERIES)
+            .map(|n| {
+                let mut exec = QueryExecutor::new(&mut cluster);
+                run_query(n, &mut exec, &tables).unwrap()
+            })
+            .collect()
+    };
+    let hashing = answers(Scheme::Hashing);
+    let dynahash = answers(Scheme::dynahash(16 * 1024, 8));
+    for (i, (a, b)) in hashing.iter().zip(&dynahash).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-6 * a.abs().max(1.0),
+            "q{} disagrees between schemes: {a} vs {b}",
+            i + 1
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based integration tests of the rebalance invariants: whatever
+//! sequence of scale-out / scale-in / ingest steps is applied, no record is
+//! ever lost or misrouted, and the load balance stays bounded.
+
+use bytes::Bytes;
+use dynahash::cluster::{Cluster, ClusterConfig, CostModel, DatasetSpec, RebalanceOptions};
+use dynahash::core::{NodeId, RebalanceOutcome, Scheme};
+use dynahash::lsm::entry::Key;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Ingest(u16),
+    ScaleOut,
+    ScaleIn,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (50u16..400).prop_map(Step::Ingest),
+        Just(Step::ScaleOut),
+        Just(Step::ScaleIn),
+    ]
+}
+
+fn record(i: u64) -> (Key, Bytes) {
+    (Key::from_u64(i), Bytes::from(vec![(i % 233) as u8; 40]))
+}
+
+fn run_steps(scheme: Scheme, steps: &[Step]) {
+    let mut cluster = Cluster::with_config(
+        2,
+        ClusterConfig {
+            partitions_per_node: 2,
+            cost_model: CostModel::default(),
+        },
+    );
+    let ds = cluster.create_dataset(DatasetSpec::new("events", scheme)).unwrap();
+    let mut next_key = 0u64;
+    let mut expected = 0usize;
+
+    for step in steps {
+        match step {
+            Step::Ingest(n) => {
+                let n = *n as u64;
+                cluster
+                    .ingest(ds, (next_key..next_key + n).map(record))
+                    .unwrap();
+                next_key += n;
+                expected += n as usize;
+            }
+            Step::ScaleOut => {
+                if cluster.topology().num_nodes() >= 5 {
+                    continue;
+                }
+                cluster.add_node().unwrap();
+                let target = cluster.topology().clone();
+                let report = cluster.rebalance(ds, &target, RebalanceOptions::none()).unwrap();
+                assert_eq!(report.outcome, RebalanceOutcome::Committed);
+            }
+            Step::ScaleIn => {
+                if cluster.topology().num_nodes() <= 1 {
+                    continue;
+                }
+                let victim = *cluster.topology().nodes().last().unwrap();
+                let target = cluster.topology_without(victim);
+                let report = cluster.rebalance(ds, &target, RebalanceOptions::none()).unwrap();
+                assert_eq!(report.outcome, RebalanceOutcome::Committed);
+                if scheme.is_bucketed() {
+                    cluster.decommission_node(victim).unwrap();
+                } else {
+                    // the Hashing scheme drops the old storage itself
+                    cluster.decommission_node(victim).unwrap();
+                }
+            }
+        }
+        // Invariants after every step.
+        cluster.check_dataset_consistency(ds).unwrap();
+        assert_eq!(cluster.dataset_len(ds).unwrap(), expected, "records lost or duplicated");
+    }
+
+    // Spot-check a sample of keys for readability at the end.
+    for k in (0..next_key).step_by(97.max(1)) {
+        let key = Key::from_u64(k);
+        let p = cluster.route_key(ds, &key).unwrap();
+        assert!(
+            cluster.partition(p).unwrap().dataset(ds).unwrap().get(&key).is_some(),
+            "key {k} unreachable after the step sequence"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_dynahash_never_loses_records(steps in proptest::collection::vec(step_strategy(), 1..8)) {
+        run_steps(Scheme::dynahash(16 * 1024, 4), &steps);
+    }
+
+    #[test]
+    fn prop_statichash_never_loses_records(steps in proptest::collection::vec(step_strategy(), 1..8)) {
+        run_steps(Scheme::StaticHash { num_buckets: 32 }, &steps);
+    }
+}
+
+#[test]
+fn repeated_scale_out_keeps_load_balanced() {
+    let mut cluster = Cluster::new(2);
+    let scheme = Scheme::dynahash(24 * 1024, 8);
+    let ds = cluster.create_dataset(DatasetSpec::new("events", scheme)).unwrap();
+    cluster.ingest(ds, (0..12_000u64).map(record)).unwrap();
+
+    for _ in 0..3 {
+        cluster.add_node().unwrap();
+        let target = cluster.topology().clone();
+        cluster.rebalance(ds, &target, RebalanceOptions::none()).unwrap();
+        cluster.check_dataset_consistency(ds).unwrap();
+
+        // Per-node record counts should stay within 2.5x of the average
+        // (bucket granularity limits how perfect the balance can be).
+        let dist = cluster.dataset_distribution(ds).unwrap();
+        let mut per_node = std::collections::BTreeMap::new();
+        for (p, n) in dist {
+            let node = cluster.node_of_partition(p).unwrap();
+            *per_node.entry(node).or_insert(0usize) += n;
+        }
+        let avg = 12_000.0 / per_node.len() as f64;
+        for (node, count) in per_node {
+            assert!(
+                (count as f64) < avg * 2.5,
+                "node {node} holds {count} records, average is {avg}"
+            );
+        }
+    }
+    assert_eq!(cluster.topology().num_nodes(), 5);
+}
+
+#[test]
+fn aborted_rebalance_leaves_everything_untouched() {
+    use dynahash::core::FailurePoint;
+    let mut cluster = Cluster::new(2);
+    let ds = cluster
+        .create_dataset(DatasetSpec::new("events", Scheme::StaticHash { num_buckets: 32 }))
+        .unwrap();
+    cluster.ingest(ds, (0..4_000u64).map(record)).unwrap();
+    let distribution_before = cluster.dataset_distribution(ds).unwrap();
+
+    cluster.add_node().unwrap();
+    let target = cluster.topology().clone();
+    let report = cluster
+        .rebalance(
+            ds,
+            &target,
+            RebalanceOptions::with_failure(FailurePoint::NcBeforePrepared(NodeId(2))),
+        )
+        .unwrap();
+    assert_eq!(report.outcome, RebalanceOutcome::Aborted);
+    // distribution identical to before the attempt
+    assert_eq!(cluster.dataset_distribution(ds).unwrap(), {
+        let mut d = distribution_before;
+        // the new node's partitions exist but hold nothing
+        for p in cluster.topology().partitions_of_node(NodeId(2)) {
+            d.insert(p, 0);
+        }
+        d
+    });
+    cluster.check_dataset_consistency(ds).unwrap();
+}
