@@ -1,17 +1,12 @@
 //! Ablation A2: load balance of Algorithm 2 vs. round-robin assignment under
 //! bucket-size skew.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dynahash_bench::ablation_balance_quality;
+use dynahash_bench::timing::{bench_case, bench_group};
 
-fn bench_balance_quality(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_balance_quality");
-    group.sample_size(20);
-    group.bench_function("skew_sweep", |b| {
-        b.iter(|| ablation_balance_quality(&[1, 2, 4, 8, 16, 32]));
+fn main() {
+    bench_group("ablation_balance_quality");
+    bench_case("skew_sweep", 20, || {
+        ablation_balance_quality(&[1, 2, 4, 8, 16, 32])
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_balance_quality);
-criterion_main!(benches);

@@ -1,23 +1,16 @@
 //! Figure 7c: DynaHash rebalance time under concurrent ingestion.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynahash_bench::timing::{bench_case, bench_group, DEFAULT_ITERS};
 use dynahash_bench::{fig7c_concurrent_writes, ExperimentConfig};
 
-fn bench_concurrent_writes(c: &mut Criterion) {
+fn main() {
     let cfg = ExperimentConfig::quick();
-    let mut group = c.benchmark_group("fig7c_concurrent_writes");
-    group.sample_size(10);
+    bench_group("fig7c_concurrent_writes");
     for rate in [0.0f64, 5.0] {
-        group.bench_with_input(
-            BenchmarkId::new("krecords_per_sec", rate as u64),
-            &rate,
-            |b, &r| {
-                b.iter(|| fig7c_concurrent_writes(&cfg, &[r]));
-            },
+        bench_case(
+            &format!("krecords_per_sec/{}", rate as u64),
+            DEFAULT_ITERS,
+            || fig7c_concurrent_writes(&cfg, &[rate]),
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_concurrent_writes);
-criterion_main!(benches);

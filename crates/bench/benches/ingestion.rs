@@ -1,23 +1,18 @@
 //! Figure 6: ingestion time for each rebalancing scheme.
 //!
-//! Criterion measures the wall-clock time of the simulation; the simulated
+//! The harness measures the wall-clock time of the simulation; the simulated
 //! ingestion minutes (the quantity the paper plots) are printed by the
 //! `experiments` binary.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynahash_bench::timing::{bench_case, bench_group, DEFAULT_ITERS};
 use dynahash_bench::{fig6_ingestion, ExperimentConfig};
 
-fn bench_ingestion(c: &mut Criterion) {
+fn main() {
     let cfg = ExperimentConfig::quick();
-    let mut group = c.benchmark_group("fig6_ingestion");
-    group.sample_size(10);
+    bench_group("fig6_ingestion");
     for nodes in [2u32, 4] {
-        group.bench_with_input(BenchmarkId::new("all_schemes", nodes), &nodes, |b, &n| {
-            b.iter(|| fig6_ingestion(&cfg, &[n]));
+        bench_case(&format!("all_schemes/{nodes}_nodes"), DEFAULT_ITERS, || {
+            fig6_ingestion(&cfg, &[nodes])
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ingestion);
-criterion_main!(benches);

@@ -1,17 +1,12 @@
 //! Figure 9: TPC-H query performance on the downsized cluster (4 -> 3 nodes).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dynahash_bench::timing::{bench_case, bench_group, DEFAULT_ITERS};
 use dynahash_bench::{fig9_queries, ExperimentConfig};
 
-fn bench_query_downsized(c: &mut Criterion) {
+fn main() {
     let cfg = ExperimentConfig::quick();
-    let mut group = c.benchmark_group("fig9_query_downsized_cluster");
-    group.sample_size(10);
-    group.bench_function("all_queries_4_to_3_nodes", |b| {
-        b.iter(|| fig9_queries(&cfg, 4));
+    bench_group("fig9_query_downsized_cluster");
+    bench_case("all_queries_4_to_3_nodes", DEFAULT_ITERS, || {
+        fig9_queries(&cfg, 4)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_query_downsized);
-criterion_main!(benches);

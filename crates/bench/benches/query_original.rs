@@ -1,18 +1,13 @@
 //! Figure 8: TPC-H query performance on the original cluster (4 nodes),
 //! comparing Hashing, StaticHash, DynaHash, and DynaHash with lazy cleanup.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dynahash_bench::timing::{bench_case, bench_group, DEFAULT_ITERS};
 use dynahash_bench::{fig8_queries, ExperimentConfig};
 
-fn bench_query_original(c: &mut Criterion) {
+fn main() {
     let cfg = ExperimentConfig::quick();
-    let mut group = c.benchmark_group("fig8_query_original_cluster");
-    group.sample_size(10);
-    group.bench_function("all_queries_4_nodes", |b| {
-        b.iter(|| fig8_queries(&cfg, 4));
+    bench_group("fig8_query_original_cluster");
+    bench_case("all_queries_4_nodes", DEFAULT_ITERS, || {
+        fig8_queries(&cfg, 4)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_query_original);
-criterion_main!(benches);

@@ -1,22 +1,17 @@
 //! Figures 7a/7b: rebalance time for removing and adding a node.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynahash_bench::timing::{bench_case, bench_group, DEFAULT_ITERS};
 use dynahash_bench::{fig7_rebalance, ExperimentConfig, RebalanceDirection};
 
-fn bench_rebalance(c: &mut Criterion) {
+fn main() {
     let cfg = ExperimentConfig::quick();
-    let mut group = c.benchmark_group("fig7_rebalance");
-    group.sample_size(10);
+    bench_group("fig7_rebalance");
     for (label, dir) in [
         ("remove_node", RebalanceDirection::RemoveNode),
         ("add_node", RebalanceDirection::AddNode),
     ] {
-        group.bench_with_input(BenchmarkId::new(label, 2), &dir, |b, &d| {
-            b.iter(|| fig7_rebalance(&cfg, &[2], d));
+        bench_case(&format!("{label}/2_nodes"), DEFAULT_ITERS, || {
+            fig7_rebalance(&cfg, &[2], dir)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_rebalance);
-criterion_main!(benches);

@@ -1,19 +1,14 @@
 //! Ablation A1: the cost of moving a bucket under the storage options of
 //! Section IV (single LSM-tree vs. bucketed LSM-trees).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dynahash_bench::ablation_storage_options;
+use dynahash_bench::timing::{bench_case, bench_group, DEFAULT_ITERS};
 
-fn bench_storage_options(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_storage_options");
-    group.sample_size(10);
+fn main() {
+    bench_group("ablation_storage_options");
     for records in [1_000u64, 5_000] {
-        group.bench_with_input(BenchmarkId::new("records", records), &records, |b, &n| {
-            b.iter(|| ablation_storage_options(n));
+        bench_case(&format!("records/{records}"), DEFAULT_ITERS, || {
+            ablation_storage_options(records)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_storage_options);
-criterion_main!(benches);

@@ -90,7 +90,9 @@ fn main() {
     }
 
     if wants(&args.figure, "7c") {
-        println!("## Figure 7c — Rebalance time under concurrent ingestion (DynaHash, 4 -> 3 nodes)");
+        println!(
+            "## Figure 7c — Rebalance time under concurrent ingestion (DynaHash, 4 -> 3 nodes)"
+        );
         println!();
         let rates = [0.0, 10.0, 20.0, 30.0, 40.0];
         let rows = fig7c_concurrent_writes(&cfg, &rates);
@@ -150,7 +152,10 @@ fn main() {
         println!("| bucket size skew | Algorithm 2 (max/avg) | round-robin (max/avg) |");
         println!("|---|---|---|");
         for r in ablation_balance_quality(&[1, 2, 4, 8, 16]) {
-            println!("| {}x | {:.3} | {:.3} |", r.skew, r.algorithm2, r.round_robin);
+            println!(
+                "| {}x | {:.3} | {:.3} |",
+                r.skew, r.algorithm2, r.round_robin
+            );
         }
         println!();
     }

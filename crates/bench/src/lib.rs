@@ -21,6 +21,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod timing;
+
 use dynahash_cluster::{Cluster, ClusterConfig, CostModel, RebalanceOptions, SimDuration};
 use dynahash_core::{NodeId, Scheme};
 use dynahash_tpch::loader::lineitem_records;
@@ -288,7 +290,11 @@ pub struct QueryRow {
     pub scan_heavy: bool,
 }
 
-fn run_all_queries(cluster: &mut Cluster, tables: &dynahash_tpch::TpchTables, label: &str) -> Vec<QueryRow> {
+fn run_all_queries(
+    cluster: &mut Cluster,
+    tables: &dynahash_tpch::TpchTables,
+    label: &str,
+) -> Vec<QueryRow> {
     (1..=NUM_QUERIES)
         .map(|n| {
             let mut exec = dynahash_cluster::QueryExecutor::new(cluster);
@@ -345,7 +351,11 @@ pub fn fig8_queries(cfg: &ExperimentConfig, nodes: u32) -> Vec<QueryRow> {
                 .rebalance(ds, &up, RebalanceOptions::none())
                 .expect("rebalance up");
         }
-        rows.extend(run_all_queries(&mut cluster, &tables, "DynaHash-lazy-cleanup"));
+        rows.extend(run_all_queries(
+            &mut cluster,
+            &tables,
+            "DynaHash-lazy-cleanup",
+        ));
     }
     rows
 }
@@ -374,7 +384,9 @@ pub fn fig9_queries(cfg: &ExperimentConfig, nodes: u32) -> Vec<QueryRow> {
                 .rebalance(ds, &target, RebalanceOptions::none())
                 .expect("rebalance down");
         }
-        cluster.decommission_node(NodeId(nodes - 1)).expect("decommission");
+        cluster
+            .decommission_node(NodeId(nodes - 1))
+            .expect("decommission");
         rows.extend(run_all_queries(&mut cluster, &tables, scheme.name()));
     }
     rows
@@ -402,7 +414,7 @@ pub fn ablation_storage_options(records: u64) -> Vec<StorageOptionRow> {
     use dynahash_lsm::{
         BucketId, BucketedConfig, BucketedLsmTree, LsmConfig, LsmTree, StorageMetrics,
     };
-    let value = bytes::Bytes::from(vec![7u8; 100]);
+    let value = dynahash_lsm::Bytes::from(vec![7u8; 100]);
 
     // Option 1: a single LSM-tree for the whole partition.
     let metrics1 = StorageMetrics::new_shared();
@@ -428,9 +440,7 @@ pub fn ablation_storage_options(records: u64) -> Vec<StorageOptionRow> {
         metrics3,
     );
     for i in 0..records {
-        bucketed
-            .insert(i, value.clone())
-            .expect("bucketed insert");
+        bucketed.insert(i, value.clone()).expect("bucketed insert");
     }
     bucketed.flush_all();
     let opt3_read: u64 = bucketed
@@ -469,7 +479,9 @@ pub struct BalanceQualityRow {
 /// Ablation: Algorithm 2 vs. naive round-robin assignment under bucket-size
 /// skew.
 pub fn ablation_balance_quality(skews: &[u64]) -> Vec<BalanceQualityRow> {
-    use dynahash_core::balance::{balance_assignment, load_balance_factor, BalanceInput, BucketLoad};
+    use dynahash_core::balance::{
+        balance_assignment, load_balance_factor, BalanceInput, BucketLoad,
+    };
     use dynahash_core::{BucketId, ClusterTopology, PartitionId};
     use std::collections::BTreeMap;
 
@@ -510,9 +522,8 @@ pub fn ablation_balance_quality(skews: &[u64]) -> Vec<BalanceQualityRow> {
 
 /// Renders ingestion rows as a markdown table.
 pub fn format_fig6(rows: &[IngestionRow]) -> String {
-    let mut s = String::from(
-        "| nodes | scheme | ingestion time (sim s) | records |\n|---|---|---|---|\n",
-    );
+    let mut s =
+        String::from("| nodes | scheme | ingestion time (sim s) | records |\n|---|---|---|---|\n");
     for r in rows {
         s.push_str(&format!(
             "| {} | {} | {:.3} | {} |\n",
@@ -593,7 +604,11 @@ pub fn format_query_rows(rows: &[QueryRow]) -> String {
 pub fn answer_mismatches(rows: &[QueryRow]) -> Vec<usize> {
     let mut bad = Vec::new();
     for q in 1..=NUM_QUERIES {
-        let answers: Vec<f64> = rows.iter().filter(|r| r.query == q).map(|r| r.answer).collect();
+        let answers: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.query == q)
+            .map(|r| r.answer)
+            .collect();
         if answers
             .windows(2)
             .any(|w| (w[0] - w[1]).abs() > 1e-6 * w[0].abs().max(1.0))

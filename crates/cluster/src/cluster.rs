@@ -141,7 +141,8 @@ impl Cluster {
                 Some(dir) => dir.buckets_of_partition(*p),
                 None => vec![BucketId::root()],
             };
-            self.partition_mut(*p)?.create_dataset(id, &spec, initial_buckets);
+            self.partition_mut(*p)?
+                .create_dataset(id, &spec, initial_buckets);
         }
         Ok(id)
     }
@@ -176,7 +177,14 @@ impl Cluster {
             .topology
             .partitions()
             .iter()
-            .map(|p| (*p, self.partition(*p).map(|x| x.metrics().snapshot()).unwrap_or_default()))
+            .map(|p| {
+                (
+                    *p,
+                    self.partition(*p)
+                        .map(|x| x.metrics().snapshot())
+                        .unwrap_or_default(),
+                )
+            })
             .collect();
 
         let mut per_node_records: BTreeMap<NodeId, u64> = BTreeMap::new();
@@ -232,14 +240,17 @@ impl Cluster {
     /// empty local storage created on the new partitions so that rebalanced
     /// buckets have somewhere to land.
     pub fn add_node(&mut self) -> Result<NodeId, ClusterError> {
-        let new_topology = self.topology.with_added_node(self.config.partitions_per_node);
+        let new_topology = self
+            .topology
+            .with_added_node(self.config.partitions_per_node);
         let new_node_id = *new_topology.nodes().last().expect("node added");
         let new_partitions = new_topology.partitions_of_node(new_node_id);
         let mut node = NodeController::new(new_node_id, new_partitions.clone());
         for dataset in self.controller.dataset_ids() {
             let spec = self.controller.dataset(dataset)?.spec.clone();
             for p in &new_partitions {
-                node.partition_mut(*p)?.create_dataset(dataset, &spec, vec![]);
+                node.partition_mut(*p)?
+                    .create_dataset(dataset, &spec, vec![]);
             }
         }
         self.nodes.insert(new_node_id, node);
@@ -391,7 +402,7 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
+    use dynahash_lsm::Bytes;
 
     fn records(n: u64) -> Vec<(Key, Value)> {
         (0..n)
@@ -446,7 +457,10 @@ mod tests {
         cluster.check_dataset_consistency(ds).unwrap();
         let locals = cluster.local_directories(ds).unwrap();
         let total_buckets: usize = locals.iter().map(|(_, b)| b.len()).sum();
-        assert!(total_buckets > 4, "ingestion should have split buckets: {total_buckets}");
+        assert!(
+            total_buckets > 4,
+            "ingestion should have split buckets: {total_buckets}"
+        );
     }
 
     #[test]
@@ -460,7 +474,15 @@ mod tests {
         assert_eq!(cluster.topology().num_nodes(), 3);
         // the new node's partitions exist and are empty for the dataset
         for p in cluster.topology().partitions_of_node(new_node) {
-            assert_eq!(cluster.partition(p).unwrap().dataset(ds).unwrap().live_len(), 0);
+            assert_eq!(
+                cluster
+                    .partition(p)
+                    .unwrap()
+                    .dataset(ds)
+                    .unwrap()
+                    .live_len(),
+                0
+            );
         }
         // routing is unchanged until a rebalance updates the directory
         cluster.check_dataset_consistency(ds).unwrap();
@@ -486,7 +508,10 @@ mod tests {
     fn bucket_sizes_and_local_directories_cover_dataset() {
         let mut cluster = Cluster::new(2);
         let ds = cluster
-            .create_dataset(DatasetSpec::new("orders", Scheme::StaticHash { num_buckets: 16 }))
+            .create_dataset(DatasetSpec::new(
+                "orders",
+                Scheme::StaticHash { num_buckets: 16 },
+            ))
             .unwrap();
         cluster.ingest(ds, records(1000)).unwrap();
         let sizes = cluster.dataset_bucket_sizes(ds).unwrap();

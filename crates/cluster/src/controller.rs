@@ -61,9 +61,9 @@ impl ClusterController {
         let id = self.next_dataset_id;
         self.next_dataset_id += 1;
         let directory = match spec.scheme.initial_depth() {
-            Some(depth) => Some(
-                GlobalDirectory::initial(depth, &partitions).map_err(ClusterError::Core)?,
-            ),
+            Some(depth) => {
+                Some(GlobalDirectory::initial(depth, &partitions).map_err(ClusterError::Core)?)
+            }
             None => None,
         };
         self.datasets.insert(
@@ -80,7 +80,9 @@ impl ClusterController {
 
     /// Dataset metadata.
     pub fn dataset(&self, id: DatasetId) -> Result<&DatasetMeta, ClusterError> {
-        self.datasets.get(&id).ok_or(ClusterError::UnknownDataset(id))
+        self.datasets
+            .get(&id)
+            .ok_or(ClusterError::UnknownDataset(id))
     }
 
     /// Mutable dataset metadata (used by rebalance commit to swap the

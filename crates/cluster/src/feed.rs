@@ -9,12 +9,11 @@
 //! running.
 
 use dynahash_core::NodeId;
-use serde::{Deserialize, Serialize};
 
 use crate::sim::SimDuration;
 
 /// The result of one ingestion batch.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IngestReport {
     /// Records ingested.
     pub records: u64,
@@ -58,7 +57,7 @@ impl IngestReport {
 /// simulated second), as used by the "Impact of Concurrent Writes"
 /// experiment. The write rate in the paper's Figure 7c is expressed in
 /// krecords/s.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ControlledRateFeed {
     /// Ingestion rate in records per simulated second.
     pub records_per_sec: f64,

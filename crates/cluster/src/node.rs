@@ -39,7 +39,10 @@ impl NodeController {
     pub fn new(id: NodeId, partitions: Vec<PartitionId>) -> Self {
         NodeController {
             id,
-            partitions: partitions.into_iter().map(|p| (p, Partition::new(p))).collect(),
+            partitions: partitions
+                .into_iter()
+                .map(|p| (p, Partition::new(p)))
+                .collect(),
             log: TransactionLog::new(),
             alive: true,
         }
@@ -52,7 +55,9 @@ impl NodeController {
 
     /// Access to a partition.
     pub fn partition(&self, id: PartitionId) -> Result<&Partition, ClusterError> {
-        self.partitions.get(&id).ok_or(ClusterError::UnknownPartition(id))
+        self.partitions
+            .get(&id)
+            .ok_or(ClusterError::UnknownPartition(id))
     }
 
     /// Mutable access to a partition.
@@ -96,7 +101,10 @@ impl NodeController {
 
     /// Total storage bytes over all partitions.
     pub fn total_storage_bytes(&self) -> usize {
-        self.partitions.values().map(|p| p.total_storage_bytes()).sum()
+        self.partitions
+            .values()
+            .map(|p| p.total_storage_bytes())
+            .sum()
     }
 }
 

@@ -47,10 +47,7 @@ impl PartitionDataset {
         let lsm = LsmConfig::with_memtable_budget(spec.memtable_budget_bytes);
         let bucketed_cfg = BucketedConfig {
             lsm: lsm.clone(),
-            max_bucket_size_bytes: spec
-                .scheme
-                .max_bucket_size_bytes()
-                .map(|b| b as usize),
+            max_bucket_size_bytes: spec.scheme.max_bucket_size_bytes().map(|b| b as usize),
             max_depth: 20,
         };
         let secondaries = spec
@@ -74,7 +71,8 @@ impl PartitionDataset {
                 idx.insert(secondary, key.clone());
             }
         }
-        self.primary_key_index.put(key.clone(), bytes::Bytes::new());
+        self.primary_key_index
+            .put(key.clone(), dynahash_lsm::Bytes::new());
         self.primary
             .insert(key, value)
             .map_err(ClusterError::Storage)?;
@@ -110,7 +108,11 @@ impl PartitionDataset {
     pub fn total_storage_bytes(&self) -> usize {
         self.primary.storage_bytes()
             + self.primary_key_index.storage_bytes()
-            + self.secondaries.iter().map(|s| s.storage_bytes()).sum::<usize>()
+            + self
+                .secondaries
+                .iter()
+                .map(|s| s.storage_bytes())
+                .sum::<usize>()
     }
 
     /// Per-bucket primary sizes (reported to the CC for Algorithm 2).
@@ -146,15 +148,21 @@ impl PartitionDataset {
     /// Snapshot + scan of a moving bucket (flushes its memory component so
     /// the snapshot covers all writes before the rebalance start time).
     pub fn scan_bucket_for_move(&mut self, bucket: BucketId) -> Result<Vec<Entry>, ClusterError> {
-        self.primary.snapshot_bucket(bucket).map_err(ClusterError::Storage)?;
-        self.primary.scan_bucket(bucket).map_err(ClusterError::Storage)
+        self.primary
+            .snapshot_bucket(bucket)
+            .map_err(ClusterError::Storage)?;
+        self.primary
+            .scan_bucket(bucket)
+            .map_err(ClusterError::Storage)
     }
 
     /// After a committed rebalance: drops the moved bucket from the primary
     /// index, removes its keys from the primary-key index, and marks the
     /// bucket for lazy cleanup in every secondary index.
     pub fn cleanup_moved_bucket(&mut self, bucket: BucketId) -> Result<(), ClusterError> {
-        self.primary.drop_bucket(bucket).map_err(ClusterError::Storage)?;
+        self.primary
+            .drop_bucket(bucket)
+            .map_err(ClusterError::Storage)?;
         self.primary_key_index.mark_bucket_invalid(bucket);
         for s in self.secondaries.iter_mut() {
             s.mark_bucket_moved(bucket);
@@ -173,7 +181,11 @@ impl PartitionDataset {
 
     /// Bulk-loads scanned records into the pending bucket and rebuilds the
     /// corresponding secondary-index entries into the pending component lists.
-    pub fn load_pending(&mut self, bucket: BucketId, entries: Vec<Entry>) -> Result<(), ClusterError> {
+    pub fn load_pending(
+        &mut self,
+        bucket: BucketId,
+        entries: Vec<Entry>,
+    ) -> Result<(), ClusterError> {
         // Rebuild secondary entries on the fly from the record payloads.
         for (def, idx) in self.defs.iter().zip(self.secondaries.iter_mut()) {
             let rebuilt: Vec<SecondaryEntry> = entries
@@ -239,7 +251,8 @@ impl PartitionDataset {
         // Register the received keys in the primary-key index.
         if let Ok(entries) = self.primary.bucket_entries(&bucket) {
             for e in entries {
-                self.primary_key_index.put(e.key, bytes::Bytes::new());
+                self.primary_key_index
+                    .put(e.key, dynahash_lsm::Bytes::new());
             }
         }
         Ok(())
@@ -306,7 +319,9 @@ impl Partition {
 
     /// Access a dataset's local storage.
     pub fn dataset(&self, id: DatasetId) -> Result<&PartitionDataset, ClusterError> {
-        self.datasets.get(&id).ok_or(ClusterError::UnknownDataset(id))
+        self.datasets
+            .get(&id)
+            .ok_or(ClusterError::UnknownDataset(id))
     }
 
     /// Mutable access to a dataset's local storage.
@@ -323,7 +338,10 @@ impl Partition {
 
     /// Total storage bytes across datasets.
     pub fn total_storage_bytes(&self) -> usize {
-        self.datasets.values().map(|d| d.total_storage_bytes()).sum()
+        self.datasets
+            .values()
+            .map(|d| d.total_storage_bytes())
+            .sum()
     }
 }
 
@@ -348,13 +366,15 @@ mod tests {
     }
 
     fn all_buckets(depth: u8) -> Vec<BucketId> {
-        (0..(1u32 << depth)).map(|b| BucketId::new(b, depth)).collect()
+        (0..(1u32 << depth))
+            .map(|b| BucketId::new(b, depth))
+            .collect()
     }
 
-    fn payload(secondary: u64) -> bytes::Bytes {
+    fn payload(secondary: u64) -> dynahash_lsm::Bytes {
         let mut v = secondary.to_be_bytes().to_vec();
         v.extend_from_slice(&[0u8; 56]);
-        bytes::Bytes::from(v)
+        dynahash_lsm::Bytes::from(v)
     }
 
     #[test]
@@ -368,7 +388,10 @@ mod tests {
         assert_eq!(ds.live_len(), 300);
         assert!(ds.get(&Key::from_u64(5)).is_some());
         // secondary search finds all records with secondary key 3
-        let hits = ds.secondary_mut("idx_first8").unwrap().search_exact(&Key::from_u64(3));
+        let hits = ds
+            .secondary_mut("idx_first8")
+            .unwrap()
+            .search_exact(&Key::from_u64(3));
         assert_eq!(hits.len(), 30);
         assert!(ds.total_storage_bytes() > 0);
         assert_eq!(p.dataset_ids(), vec![1]);
@@ -404,7 +427,10 @@ mod tests {
         dst_ds.load_pending(moved_bucket, entries.clone()).unwrap();
         let concurrent_key = entries[0].key.clone();
         dst_ds
-            .apply_replicated(moved_bucket, Entry::put(concurrent_key.clone(), payload(99)))
+            .apply_replicated(
+                moved_bucket,
+                Entry::put(concurrent_key.clone(), payload(99)),
+            )
             .unwrap();
         assert_eq!(dst_ds.live_len(), 0, "pending data must stay invisible");
 
@@ -414,7 +440,10 @@ mod tests {
         assert_eq!(dst_ds.live_len(), moved_count);
         assert_eq!(dst_ds.get(&concurrent_key).unwrap(), payload(99));
         // rebuilt secondary index answers queries at the destination
-        let sec_hits = dst_ds.secondary_mut("idx_first8").unwrap().search_exact(&Key::from_u64(99));
+        let sec_hits = dst_ds
+            .secondary_mut("idx_first8")
+            .unwrap()
+            .search_exact(&Key::from_u64(99));
         assert_eq!(sec_hits.len(), 1);
 
         let src_ds = src.dataset_mut(1).unwrap();
@@ -422,8 +451,13 @@ mod tests {
         src_ds.cleanup_moved_bucket(moved_bucket).unwrap();
         assert_eq!(src_ds.live_len(), before - moved_count);
         // lazy cleanup: secondary queries no longer return moved records
-        let stale = src_ds.secondary_mut("idx_first8").unwrap().all_valid_entries();
-        assert!(stale.iter().all(|se| !moved_bucket.contains_key(&se.primary)));
+        let stale = src_ds
+            .secondary_mut("idx_first8")
+            .unwrap()
+            .all_valid_entries();
+        assert!(stale
+            .iter()
+            .all(|se| !moved_bucket.contains_key(&se.primary)));
     }
 
     #[test]
@@ -434,7 +468,8 @@ mod tests {
         let b = BucketId::new(0, 2); // not owned: pending only
         let ds = dst.dataset_mut(1).unwrap();
         ds.create_pending_bucket(b).unwrap();
-        ds.load_pending(b, vec![Entry::put(Key::from_u64(1), payload(1))]).unwrap();
+        ds.load_pending(b, vec![Entry::put(Key::from_u64(1), payload(1))])
+            .unwrap();
         ds.drop_pending(b);
         // installing after a drop fails gracefully, data stays invisible
         assert!(ds.install_pending(b).is_err());
@@ -446,7 +481,11 @@ mod tests {
         let mut p = Partition::new(PartitionId(3));
         assert!(p.dataset(9).is_err());
         assert!(p.dataset_mut(9).is_err());
-        p.create_dataset(9, &DatasetSpec::new("x", Scheme::Hashing), vec![BucketId::root()]);
+        p.create_dataset(
+            9,
+            &DatasetSpec::new("x", Scheme::Hashing),
+            vec![BucketId::root()],
+        );
         assert!(p.dataset(9).is_ok());
         p.drop_dataset(9);
         assert!(p.dataset(9).is_err());

@@ -11,7 +11,6 @@
 use dynahash_core::{NodeId, PartitionId};
 use dynahash_lsm::entry::{Entry, Key};
 use dynahash_lsm::{ScanOrder, SecondaryEntry};
-use serde::{Deserialize, Serialize};
 
 use crate::cluster::Cluster;
 use crate::dataset::DatasetId;
@@ -19,7 +18,7 @@ use crate::sim::{NodeTimeline, SimDuration};
 use crate::{ClusterError, Result};
 
 /// The cost summary of one query execution.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryReport {
     /// Simulated elapsed time (slowest node + coordinator).
     pub elapsed: SimDuration,
@@ -157,7 +156,12 @@ impl<'a> QueryExecutor<'a> {
 
     /// Charges extra per-partition compute (joins, grouping, expensive
     /// expressions) for work over `records` records with a relative `weight`.
-    pub fn charge_compute(&mut self, partition: PartitionId, records: u64, weight: f64) -> Result<()> {
+    pub fn charge_compute(
+        &mut self,
+        partition: PartitionId,
+        records: u64,
+        weight: f64,
+    ) -> Result<()> {
         let node = self.node_of(partition)?;
         let cost = self.cluster.cost_model().query_cpu(records, weight);
         self.timeline.charge(node, cost);
@@ -193,8 +197,8 @@ impl<'a> QueryExecutor<'a> {
 mod tests {
     use super::*;
     use crate::dataset::{DatasetSpec, SecondaryIndexDef};
-    use bytes::Bytes;
     use dynahash_core::Scheme;
+    use dynahash_lsm::Bytes;
 
     fn setup() -> (Cluster, DatasetId) {
         let mut cluster = Cluster::new(2);

@@ -18,7 +18,6 @@ use dynahash_core::{
 };
 use dynahash_lsm::entry::{Entry, Key, Value};
 use dynahash_lsm::wal::{LogRecordBody, RebalanceId, RebalanceLogStatus};
-use serde::{Deserialize, Serialize};
 
 use crate::cluster::Cluster;
 use crate::dataset::DatasetId;
@@ -61,7 +60,7 @@ impl RebalanceOptions {
 }
 
 /// Per-phase simulated times of a rebalance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PhaseTimes {
     /// Initialization: directory refresh, planning, snapshot flushes.
     pub initialization: SimDuration,
@@ -73,7 +72,7 @@ pub struct PhaseTimes {
 }
 
 /// The result of a rebalance operation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RebalanceReport {
     /// The rebalance operation id.
     pub rebalance_id: RebalanceId,
@@ -132,10 +131,12 @@ impl Cluster {
 
         // ----------------------------------------------------- initialization
         // The CC forces a BEGIN log record before anything else (Section V-D).
-        self.controller.metadata_log.append_forced(LogRecordBody::RebalanceBegin {
-            rebalance: rebalance_id,
-            dataset,
-        });
+        self.controller
+            .metadata_log
+            .append_forced(LogRecordBody::RebalanceBegin {
+                rebalance: rebalance_id,
+                dataset,
+            });
 
         // Refresh the global directory from the local directories and disable
         // bucket splits for the duration of the rebalance.
@@ -183,7 +184,9 @@ impl Cluster {
         }
 
         // -------------------------------------------------------- data movement
-        coordinator.start_data_movement().map_err(ClusterError::Core)?;
+        coordinator
+            .start_data_movement()
+            .map_err(ClusterError::Core)?;
         let mut bytes_moved = 0u64;
         let mut records_moved = 0u64;
 
@@ -277,7 +280,9 @@ impl Cluster {
                     .dataset(dataset)?
                     .primary
                     .pending_storage_bytes() as u64;
-                self.partition_mut(m.to)?.dataset_mut(dataset)?.flush_pending();
+                self.partition_mut(m.to)?
+                    .dataset_mut(dataset)?
+                    .flush_pending();
                 fin_tl.charge(dst_node, cost.disk_write(pending_bytes / 8));
             }
         }
@@ -522,10 +527,12 @@ impl Cluster {
         let cost = self.cost_model();
         let rebalance_id = self.controller.next_rebalance_id();
         let mut tl = NodeTimeline::new();
-        self.controller.metadata_log.append_forced(LogRecordBody::RebalanceBegin {
-            rebalance: rebalance_id,
-            dataset,
-        });
+        self.controller
+            .metadata_log
+            .append_forced(LogRecordBody::RebalanceBegin {
+                rebalance: rebalance_id,
+                dataset,
+            });
         tl.charge_coordinator(SimDuration::from_nanos(cost.job_overhead_ns));
 
         let spec = self.controller.dataset(dataset)?.spec.clone();
@@ -534,10 +541,8 @@ impl Cluster {
         let total_bytes = self.dataset_primary_bytes(dataset)?;
 
         // Scan every partition and route every record to its new partition.
-        let mut routed: BTreeMap<_, Vec<(Key, Value)>> = new_partitions
-            .iter()
-            .map(|p| (*p, Vec::new()))
-            .collect();
+        let mut routed: BTreeMap<_, Vec<(Key, Value)>> =
+            new_partitions.iter().map(|p| (*p, Vec::new())).collect();
         let mut bytes_moved = 0u64;
         let mut records_moved = 0u64;
         // Cross-node traffic is shipped in batches (Hyracks frames); charge
@@ -549,20 +554,29 @@ impl Cluster {
             if !part.dataset_ids().contains(&dataset) {
                 continue;
             }
-            let entries = part.dataset(dataset)?.scan(dynahash_lsm::ScanOrder::Unordered);
+            let entries = part
+                .dataset(dataset)?
+                .scan(dynahash_lsm::ScanOrder::Unordered);
             let scan_bytes: u64 = entries.iter().map(|e| e.size_bytes() as u64).sum();
             tl.charge(src_node, cost.disk_read(scan_bytes));
             for e in entries {
-                let Some(value) = e.op.value().cloned() else { continue };
+                let Some(value) = e.op.value().cloned() else {
+                    continue;
+                };
                 let dst = dynahash_core::Scheme::modulo_partition(&e.key, &new_partitions);
-                let dst_node = target.node_of(dst).ok_or(ClusterError::UnknownPartition(dst))?;
+                let dst_node = target
+                    .node_of(dst)
+                    .ok_or(ClusterError::UnknownPartition(dst))?;
                 let record_bytes = e.size_bytes() as u64;
                 bytes_moved += record_bytes;
                 records_moved += 1;
                 if dst_node != src_node {
                     *inbound_bytes.entry(dst_node).or_default() += record_bytes;
                 }
-                routed.get_mut(&dst).expect("destination exists").push((e.key, value));
+                routed
+                    .get_mut(&dst)
+                    .expect("destination exists")
+                    .push((e.key, value));
             }
         }
         for (node, bytes) in &inbound_bytes {
@@ -675,8 +689,8 @@ impl Cluster {
 mod tests {
     use super::*;
     use crate::dataset::{DatasetSpec, SecondaryIndexDef};
-    use bytes::Bytes;
     use dynahash_core::Scheme;
+    use dynahash_lsm::Bytes;
 
     fn payload(tag: u64) -> Bytes {
         let mut v = tag.to_be_bytes().to_vec();
@@ -685,7 +699,9 @@ mod tests {
     }
 
     fn records(n: u64) -> Vec<(Key, Value)> {
-        (0..n).map(|i| (Key::from_u64(i), payload(i % 50))).collect()
+        (0..n)
+            .map(|i| (Key::from_u64(i), payload(i % 50)))
+            .collect()
     }
 
     fn spec(scheme: Scheme) -> DatasetSpec {
@@ -727,14 +743,25 @@ mod tests {
             .unwrap();
         assert_eq!(report.outcome, RebalanceOutcome::Committed);
         assert!(report.buckets_moved > 0);
-        assert!(report.moved_fraction < 0.6, "moved {}", report.moved_fraction);
+        assert!(
+            report.moved_fraction < 0.6,
+            "moved {}",
+            report.moved_fraction
+        );
         assert_eq!(cluster.dataset_len(ds).unwrap(), before);
         cluster.check_dataset_consistency(ds).unwrap();
         // the new node now holds data
         let new_node_parts = cluster.topology().partitions_of_node(NodeId(2));
         let on_new: usize = new_node_parts
             .iter()
-            .map(|p| cluster.partition(*p).unwrap().dataset(ds).unwrap().live_len())
+            .map(|p| {
+                cluster
+                    .partition(*p)
+                    .unwrap()
+                    .dataset(ds)
+                    .unwrap()
+                    .live_len()
+            })
             .sum();
         assert!(on_new > 0);
     }
@@ -764,7 +791,10 @@ mod tests {
             .rebalance(ds, &target, RebalanceOptions::none())
             .unwrap();
         assert_eq!(report.outcome, RebalanceOutcome::Committed);
-        assert!(report.moved_fraction > 0.8, "global rebalancing must move most data");
+        assert!(
+            report.moved_fraction > 0.8,
+            "global rebalancing must move most data"
+        );
         assert_eq!(cluster.dataset_len(ds).unwrap(), 2000);
         cluster.check_dataset_consistency(ds).unwrap();
     }
@@ -791,10 +821,15 @@ mod tests {
         cluster.add_node().unwrap();
         let target = cluster.topology().clone();
         // new records arriving during the rebalance (keys beyond the loaded range)
-        let concurrent: Vec<(Key, Value)> =
-            (10_000..10_300u64).map(|i| (Key::from_u64(i), payload(i % 50))).collect();
+        let concurrent: Vec<(Key, Value)> = (10_000..10_300u64)
+            .map(|i| (Key::from_u64(i), payload(i % 50)))
+            .collect();
         let report = cluster
-            .rebalance(ds, &target, RebalanceOptions::with_concurrent_writes(concurrent.clone()))
+            .rebalance(
+                ds,
+                &target,
+                RebalanceOptions::with_concurrent_writes(concurrent.clone()),
+            )
             .unwrap();
         assert_eq!(report.outcome, RebalanceOutcome::Committed);
         assert_eq!(report.concurrent_writes_applied, 300);
@@ -803,7 +838,13 @@ mod tests {
         // every concurrent write is readable after the rebalance
         for (k, _) in &concurrent {
             let p = cluster.route_key(ds, k).unwrap();
-            assert!(cluster.partition(p).unwrap().dataset(ds).unwrap().get(k).is_some());
+            assert!(cluster
+                .partition(p)
+                .unwrap()
+                .dataset(ds)
+                .unwrap()
+                .get(k)
+                .is_some());
         }
     }
 
@@ -811,7 +852,9 @@ mod tests {
     fn noop_rebalance_commits_without_moving() {
         let (mut cluster, ds) = loaded_cluster(2, Scheme::StaticHash { num_buckets: 16 }, 500);
         let target = cluster.topology().clone();
-        let report = cluster.rebalance(ds, &target, RebalanceOptions::none()).unwrap();
+        let report = cluster
+            .rebalance(ds, &target, RebalanceOptions::none())
+            .unwrap();
         assert_eq!(report.outcome, RebalanceOutcome::Committed);
         assert_eq!(report.buckets_moved, 0);
         assert_eq!(report.bytes_moved, 0);

@@ -7,13 +7,12 @@
 
 use dynahash_core::NodeId;
 use dynahash_lsm::wal::{RebalanceId, RebalanceLogStatus};
-use serde::{Deserialize, Serialize};
 
 use crate::cluster::Cluster;
 use crate::{ClusterError, Result};
 
 /// What recovery found and did.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryReport {
     /// Nodes that were down and have been brought back.
     pub recovered_nodes: Vec<NodeId>,
@@ -88,9 +87,9 @@ mod tests {
     use super::*;
     use crate::dataset::DatasetSpec;
     use crate::rebalance::RebalanceOptions;
-    use bytes::Bytes;
     use dynahash_core::{FailurePoint, RebalanceOutcome, Scheme};
     use dynahash_lsm::entry::Key;
+    use dynahash_lsm::Bytes;
 
     fn loaded(nodes: u32) -> (Cluster, crate::DatasetId) {
         let mut cluster = Cluster::with_config(
@@ -101,7 +100,10 @@ mod tests {
             },
         );
         let ds = cluster
-            .create_dataset(DatasetSpec::new("orders", Scheme::StaticHash { num_buckets: 16 }))
+            .create_dataset(DatasetSpec::new(
+                "orders",
+                Scheme::StaticHash { num_buckets: 16 },
+            ))
             .unwrap();
         let records: Vec<(Key, Bytes)> = (0..1200u64)
             .map(|i| (Key::from_u64(i), Bytes::from(vec![(i % 250) as u8; 48])))
@@ -110,7 +112,9 @@ mod tests {
         (cluster, ds)
     }
 
-    fn scale_out_with_failure(failure: FailurePoint) -> (Cluster, crate::DatasetId, RebalanceOutcome) {
+    fn scale_out_with_failure(
+        failure: FailurePoint,
+    ) -> (Cluster, crate::DatasetId, RebalanceOutcome) {
         let (mut cluster, ds) = loaded(2);
         cluster.add_node().unwrap();
         let target = cluster.topology().clone();
@@ -123,7 +127,8 @@ mod tests {
 
     #[test]
     fn case1_nc_fails_before_prepared_aborts_and_leaves_dataset_intact() {
-        let (cluster, ds, outcome) = scale_out_with_failure(FailurePoint::NcBeforePrepared(NodeId(2)));
+        let (cluster, ds, outcome) =
+            scale_out_with_failure(FailurePoint::NcBeforePrepared(NodeId(2)));
         assert_eq!(outcome, RebalanceOutcome::Aborted);
         assert_eq!(cluster.dataset_len(ds).unwrap(), 1200);
         cluster.check_dataset_consistency(ds).unwrap();
@@ -132,14 +137,22 @@ mod tests {
             .topology()
             .partitions_of_node(NodeId(2))
             .iter()
-            .map(|p| cluster.partition(*p).unwrap().dataset(ds).unwrap().live_len())
+            .map(|p| {
+                cluster
+                    .partition(*p)
+                    .unwrap()
+                    .dataset(ds)
+                    .unwrap()
+                    .live_len()
+            })
             .sum();
         assert_eq!(on_new, 0);
     }
 
     #[test]
     fn case2_nc_fails_after_prepared_still_commits() {
-        let (cluster, ds, outcome) = scale_out_with_failure(FailurePoint::NcAfterPrepared(NodeId(2)));
+        let (cluster, ds, outcome) =
+            scale_out_with_failure(FailurePoint::NcAfterPrepared(NodeId(2)));
         assert_eq!(outcome, RebalanceOutcome::Committed);
         assert_eq!(cluster.dataset_len(ds).unwrap(), 1200);
         cluster.check_dataset_consistency(ds).unwrap();
@@ -155,7 +168,8 @@ mod tests {
 
     #[test]
     fn case4_nc_fails_before_committed_ack_commits_after_recovery() {
-        let (cluster, ds, outcome) = scale_out_with_failure(FailurePoint::NcBeforeCommitted(NodeId(0)));
+        let (cluster, ds, outcome) =
+            scale_out_with_failure(FailurePoint::NcBeforeCommitted(NodeId(0)));
         assert_eq!(outcome, RebalanceOutcome::Committed);
         assert_eq!(cluster.dataset_len(ds).unwrap(), 1200);
         cluster.check_dataset_consistency(ds).unwrap();

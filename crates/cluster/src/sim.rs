@@ -13,14 +13,13 @@
 //! SSD-era machine: ~2 GB/s sequential read, ~1 GB/s write, ~1 GB/s network,
 //! a few microseconds of CPU per record parsed.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::ops::{Add, AddAssign};
 
 use dynahash_core::NodeId;
 
 /// A simulated duration, stored in nanoseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
 pub struct SimDuration(pub u64);
 
 impl SimDuration {
@@ -83,7 +82,7 @@ impl std::iter::Sum for SimDuration {
 }
 
 /// The hardware cost constants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostModel {
     /// CPU time to parse and route one ingested record (ns). Ingestion in
     /// AsterixDB is CPU-heavy because of record parsing (Section VI-B).
@@ -244,9 +243,15 @@ mod tests {
         let d = SimDuration::from_secs(90);
         assert_eq!(d.as_nanos(), 90_000_000_000);
         assert!((d.as_minutes_f64() - 1.5).abs() < 1e-9);
-        assert_eq!(SimDuration::from_nanos(5) + SimDuration::from_nanos(7), SimDuration(12));
+        assert_eq!(
+            SimDuration::from_nanos(5) + SimDuration::from_nanos(7),
+            SimDuration(12)
+        );
         assert_eq!(SimDuration(10).max(SimDuration(3)), SimDuration(10));
-        assert_eq!(SimDuration(3).saturating_sub(SimDuration(10)), SimDuration(0));
+        assert_eq!(
+            SimDuration(3).saturating_sub(SimDuration(10)),
+            SimDuration(0)
+        );
     }
 
     #[test]
@@ -254,7 +259,10 @@ mod tests {
         let m = CostModel::default();
         assert_eq!(m.disk_read(1000).as_nanos(), 1000 * m.disk_read_ns_per_byte);
         assert!(m.network(0).as_nanos() >= m.network_latency_ns);
-        assert_eq!(m.ingest_cpu(10).as_nanos(), 10 * m.cpu_ns_per_ingested_record);
+        assert_eq!(
+            m.ingest_cpu(10).as_nanos(),
+            10 * m.cpu_ns_per_ingested_record
+        );
         let light = m.query_cpu(1000, 1.0);
         let heavy = m.query_cpu(1000, 3.0);
         assert_eq!(heavy.as_nanos(), 3 * light.as_nanos());

@@ -10,8 +10,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use dynahash_lsm::bucket::{hash_key, BucketId};
 use dynahash_lsm::entry::Key;
 
@@ -19,7 +17,7 @@ use crate::topology::PartitionId;
 use crate::{CoreError, Result};
 
 /// The CC's mapping from buckets to partitions.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct GlobalDirectory {
     assignment: BTreeMap<BucketId, PartitionId>,
 }
@@ -207,10 +205,7 @@ impl GlobalDirectory {
     /// by property tests to check full coverage: must equal `2^D`.
     pub fn covered_slots(&self) -> u64 {
         let d = self.global_depth();
-        self.assignment
-            .keys()
-            .map(|b| b.normalized_size(d))
-            .sum()
+        self.assignment.keys().map(|b| b.normalized_size(d)).sum()
     }
 
     /// True if every hash value maps to exactly one bucket.
@@ -222,7 +217,7 @@ impl GlobalDirectory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use dynahash_lsm::rng::SplitMix64;
 
     fn parts(n: u32) -> Vec<PartitionId> {
         (0..n).map(PartitionId).collect()
@@ -305,8 +300,8 @@ mod tests {
     #[test]
     fn mixed_depth_loads_follow_normalized_sizes() {
         let dir = GlobalDirectory::from_assignment(vec![
-            (BucketId::new(0, 1), PartitionId(0)), // size 4 at D=3
-            (BucketId::new(0b01, 2), PartitionId(1)), // size 2
+            (BucketId::new(0, 1), PartitionId(0)),     // size 4 at D=3
+            (BucketId::new(0b01, 2), PartitionId(1)),  // size 2
             (BucketId::new(0b011, 3), PartitionId(1)), // size 1
             (BucketId::new(0b111, 3), PartitionId(2)), // size 1
         ])
@@ -320,22 +315,43 @@ mod tests {
         assert!(f > 1.0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_initial_directories_route_every_key(depth in 0u8..8, nparts in 1u32..16, keys in proptest::collection::vec(any::<u64>(), 1..50)) {
+    #[test]
+    fn prop_initial_directories_route_every_key() {
+        for case in 0..16u64 {
+            let seed = 0x61d0_0000 + case;
+            let mut rng = SplitMix64::seed_from_u64(seed);
+            let depth = rng.gen_range(0..8) as u8;
+            let nparts = rng.gen_range(1..16) as u32;
+            let nkeys = rng.gen_range(1..50) as usize;
             let dir = GlobalDirectory::initial(depth, &parts(nparts)).unwrap();
-            prop_assert!(dir.covers_full_space());
-            for k in keys {
-                let key = Key::from_u64(k);
-                prop_assert!(dir.lookup_key(&key).is_some());
+            assert!(
+                dir.covers_full_space(),
+                "seed {seed}: depth {depth}, {nparts} parts"
+            );
+            for _ in 0..nkeys {
+                let key = Key::from_u64(rng.next_u64());
+                assert!(
+                    dir.lookup_key(&key).is_some(),
+                    "seed {seed}: {key:?} unrouted"
+                );
             }
         }
+    }
 
-        #[test]
-        fn prop_partition_loads_sum_to_slots(depth in 0u8..8, nparts in 1u32..16) {
+    #[test]
+    fn prop_partition_loads_sum_to_slots() {
+        for case in 0..16u64 {
+            let seed = 0x61d1_0000 + case;
+            let mut rng = SplitMix64::seed_from_u64(seed);
+            let depth = rng.gen_range(0..8) as u8;
+            let nparts = rng.gen_range(1..16) as u32;
             let dir = GlobalDirectory::initial(depth, &parts(nparts)).unwrap();
             let total: u64 = parts(nparts).iter().map(|p| dir.partition_load(*p)).sum();
-            prop_assert_eq!(total, dir.num_slots());
+            assert_eq!(
+                total,
+                dir.num_slots(),
+                "seed {seed}: depth {depth}, {nparts} parts"
+            );
         }
     }
 }

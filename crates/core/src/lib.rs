@@ -67,7 +67,10 @@ impl std::fmt::Display for CoreError {
             CoreError::UnknownPartition(p) => write!(f, "unknown partition {p:?}"),
             CoreError::InconsistentDirectory(msg) => write!(f, "inconsistent directory: {msg}"),
             CoreError::InvalidTransition { from, action } => {
-                write!(f, "invalid protocol transition from {from:?} during {action}")
+                write!(
+                    f,
+                    "invalid protocol transition from {from:?} during {action}"
+                )
             }
             CoreError::EmptyTopology => write!(f, "target topology has no partitions"),
         }

@@ -8,8 +8,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 use dynahash_lsm::wal::RebalanceId;
 use dynahash_lsm::BucketId;
 
@@ -19,7 +17,7 @@ use crate::topology::{ClusterTopology, PartitionId};
 use crate::Result;
 
 /// One bucket move from a source partition to a destination partition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BucketMove {
     /// The bucket being moved.
     pub bucket: BucketId,
@@ -32,7 +30,7 @@ pub struct BucketMove {
 }
 
 /// The complete plan of a rebalance operation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RebalancePlan {
     /// The rebalance operation id (metadata transaction id).
     pub rebalance_id: RebalanceId,
@@ -145,11 +143,7 @@ impl RebalancePlan {
     /// The partitions that participate in the rebalance (as source or
     /// destination of at least one move).
     pub fn participating_partitions(&self) -> Vec<PartitionId> {
-        let mut v: Vec<PartitionId> = self
-            .moves
-            .iter()
-            .flat_map(|m| [m.from, m.to])
-            .collect();
+        let mut v: Vec<PartitionId> = self.moves.iter().flat_map(|m| [m.from, m.to]).collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -204,7 +198,10 @@ mod tests {
         let plan = RebalancePlan::compute(2, &dir, &sizes, &target).unwrap();
         assert!(!plan.is_noop());
         let frac = plan.moved_fraction(32 * 1000);
-        assert!(frac < 0.5, "local rebalancing must not move most data: {frac}");
+        assert!(
+            frac < 0.5,
+            "local rebalancing must not move most data: {frac}"
+        );
         // the new node's partitions receive all moves
         for m in &plan.moves {
             assert_eq!(target.node_of(m.to), Some(NodeId(4)));

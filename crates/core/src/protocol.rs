@@ -11,7 +11,6 @@
 //! protocol pure makes the six failure cases of Section V-D directly
 //! testable.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 use dynahash_lsm::wal::RebalanceId;
@@ -20,7 +19,7 @@ use crate::topology::NodeId;
 use crate::{CoreError, Result};
 
 /// The phases of a rebalance operation, in order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum RebalancePhase {
     /// BEGIN has been forced; the CC is refreshing directories, computing the
     /// plan, and the NCs are flushing the moving buckets' memory components.
@@ -42,7 +41,7 @@ pub enum RebalancePhase {
 }
 
 /// A participant's vote in the prepare phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeVote {
     /// The NC completed log replication and flushed rebalance writes.
     Yes,
@@ -51,7 +50,7 @@ pub enum NodeVote {
 }
 
 /// The final outcome of a rebalance operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RebalanceOutcome {
     /// The rebalance committed: the new directory is installed.
     Committed,
@@ -60,7 +59,7 @@ pub enum RebalanceOutcome {
 }
 
 /// Failure-injection points corresponding to the six cases of Section V-D.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FailurePoint {
     /// Case 1: an NC fails before voting "prepared".
     NcBeforePrepared(NodeId),
@@ -77,7 +76,7 @@ pub enum FailurePoint {
 }
 
 /// The CC-side coordinator of one rebalance operation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RebalanceCoordinator {
     /// The rebalance operation id.
     pub rebalance_id: RebalanceId,

@@ -10,15 +10,13 @@
 //!   when they exceed a maximum size (10 GB in the paper), and rebalancing
 //!   moves whole buckets.
 
-use serde::{Deserialize, Serialize};
-
 use dynahash_lsm::bucket::{hash_key, BucketId};
 use dynahash_lsm::entry::Key;
 
 use crate::topology::PartitionId;
 
 /// A data-partitioning / rebalancing scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Scheme {
     /// Global rebalancing with hash partitioning (`hash(K) mod N`).
     Hashing,
@@ -75,7 +73,9 @@ impl Scheme {
         match self {
             Scheme::Hashing => None,
             Scheme::StaticHash { num_buckets } => Some(log2_ceil(*num_buckets)),
-            Scheme::DynaHash { initial_buckets, .. } => Some(log2_ceil(*initial_buckets)),
+            Scheme::DynaHash {
+                initial_buckets, ..
+            } => Some(log2_ceil(*initial_buckets)),
         }
     }
 
@@ -102,7 +102,9 @@ impl Scheme {
     pub fn initial_buckets(&self) -> Vec<BucketId> {
         match self.initial_depth() {
             None => Vec::new(),
-            Some(d) => (0..(1u32 << d)).map(|bits| BucketId::new(bits, d)).collect(),
+            Some(d) => (0..(1u32 << d))
+                .map(|bits| BucketId::new(bits, d))
+                .collect(),
         }
     }
 }
@@ -158,7 +160,10 @@ mod tests {
         }
         // roughly uniform: each partition gets 1000 +/- 30%
         for c in counts {
-            assert!((700..1300).contains(&c), "unbalanced modulo partitioning: {c}");
+            assert!(
+                (700..1300).contains(&c),
+                "unbalanced modulo partitioning: {c}"
+            );
         }
     }
 
@@ -166,9 +171,6 @@ mod tests {
     fn max_bucket_size_only_for_dynahash() {
         assert_eq!(Scheme::Hashing.max_bucket_size_bytes(), None);
         assert_eq!(Scheme::static_hash_256().max_bucket_size_bytes(), None);
-        assert_eq!(
-            Scheme::dynahash(42, 4).max_bucket_size_bytes(),
-            Some(42)
-        );
+        assert_eq!(Scheme::dynahash(42, 4).max_bucket_size_bytes(), Some(42));
     }
 }

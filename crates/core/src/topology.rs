@@ -6,16 +6,15 @@
 //! topology maps partitions to nodes so that the balancing algorithm can
 //! break ties by node load, as Algorithm 2 requires.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of a Node Controller.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 /// Identifier of a storage partition (unique across the cluster).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PartitionId(pub u32);
 
 impl fmt::Debug for NodeId {
@@ -40,7 +39,7 @@ impl fmt::Display for PartitionId {
 }
 
 /// The set of nodes and partitions a dataset is (or will be) spread over.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ClusterTopology {
     partition_to_node: BTreeMap<PartitionId, NodeId>,
 }
@@ -126,11 +125,7 @@ impl ClusterTopology {
     /// partitions appended (partition ids continue after the current maximum).
     pub fn with_added_node(&self, partitions_per_node: u32) -> ClusterTopology {
         let next_node = self.nodes().last().map(|n| n.0 + 1).unwrap_or(0);
-        let next_part = self
-            .partitions()
-            .last()
-            .map(|p| p.0 + 1)
-            .unwrap_or(0);
+        let next_part = self.partitions().last().map(|p| p.0 + 1).unwrap_or(0);
         let mut map = self.partition_to_node.clone();
         for i in 0..partitions_per_node {
             map.insert(PartitionId(next_part + i), NodeId(next_node));
@@ -175,7 +170,9 @@ mod tests {
         assert_eq!(smaller, t);
         let removed = bigger.partitions_removed_in(&smaller);
         assert_eq!(removed.len(), 4);
-        assert!(removed.iter().all(|p| bigger.node_of(*p) == Some(NodeId(2))));
+        assert!(removed
+            .iter()
+            .all(|p| bigger.node_of(*p) == Some(NodeId(2))));
     }
 
     #[test]

@@ -6,7 +6,6 @@
 //! more hash bit, producing the two children `bits` and `bits + 2^d` with
 //! depth `d + 1`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::entry::Key;
@@ -36,7 +35,7 @@ pub fn hash_key(key: &Key) -> u64 {
 
 /// A bucket of the extendible-hash key space: the `depth` low-order bits of
 /// the hash equal `bits`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BucketId {
     /// The low-order bits identifying the bucket (`bits < 2^depth`).
     pub bits: u32,
@@ -48,7 +47,11 @@ impl BucketId {
     /// Creates a bucket id, masking `bits` to the given depth.
     pub fn new(bits: u32, depth: u8) -> Self {
         assert!(depth <= MAX_DEPTH, "bucket depth {depth} exceeds maximum");
-        let mask = if depth == 32 { u32::MAX } else { (1u32 << depth) - 1 };
+        let mask = if depth == 32 {
+            u32::MAX
+        } else {
+            (1u32 << depth) - 1
+        };
         BucketId {
             bits: bits & mask,
             depth,
@@ -168,7 +171,7 @@ impl fmt::Debug for BucketId {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SplitMix64;
 
     #[test]
     fn split_children_partition_the_parent() {
@@ -226,34 +229,50 @@ mod tests {
         assert!(d5.contains_key(&k));
     }
 
-    proptest! {
-        #[test]
-        fn prop_children_cover_exactly_parent_hashes(hash in any::<u64>(), bits in 0u32..16, depth in 1u8..16) {
+    #[test]
+    fn prop_children_cover_exactly_parent_hashes() {
+        for case in 0..32u64 {
+            let seed = 0xbcc0_0000 + case;
+            let mut rng = SplitMix64::seed_from_u64(seed);
+            let hash = rng.next_u64();
+            let bits = rng.gen_range(0..16) as u32;
+            let depth = rng.gen_range(1..16) as u8;
             let b = BucketId::new(bits, depth);
             let (lo, hi) = b.split();
             let in_parent = b.contains_hash(hash);
             let in_children = lo.contains_hash(hash) || hi.contains_hash(hash);
-            prop_assert_eq!(in_parent, in_children);
+            assert_eq!(in_parent, in_children, "seed {seed}: {b} vs {lo}/{hi}");
             // children are disjoint
-            prop_assert!(!(lo.contains_hash(hash) && hi.contains_hash(hash)));
+            assert!(
+                !(lo.contains_hash(hash) && hi.contains_hash(hash)),
+                "seed {seed}: children overlap on hash {hash:#x}"
+            );
         }
+    }
 
-        #[test]
-        fn prop_every_hash_has_one_bucket_per_depth(hash in any::<u64>(), depth in 0u8..20) {
+    #[test]
+    fn prop_every_hash_has_one_bucket_per_depth() {
+        for case in 0..32u64 {
+            let seed = 0xbcc1_0000 + case;
+            let mut rng = SplitMix64::seed_from_u64(seed);
+            let hash = rng.next_u64();
+            let depth = rng.gen_range(0..20) as u8;
             let b = BucketId::of_hash(hash, depth);
-            prop_assert!(b.contains_hash(hash));
-            prop_assert_eq!(b.depth, depth);
+            assert!(b.contains_hash(hash), "seed {seed}");
+            assert_eq!(b.depth, depth, "seed {seed}");
         }
+    }
 
-        #[test]
-        fn prop_normalized_sizes_sum_to_directory_size(depth in 0u8..6) {
-            // A full split tree at uniform depth d has 2^d buckets of
-            // normalized size 2^(D-d); their sum must be 2^D.
+    #[test]
+    fn prop_normalized_sizes_sum_to_directory_size() {
+        // A full split tree at uniform depth d has 2^d buckets of
+        // normalized size 2^(D-d); their sum must be 2^D.
+        for depth in 0u8..6 {
             let global = 8u8;
             let total: u64 = (0..(1u32 << depth))
                 .map(|bits| BucketId::new(bits, depth).normalized_size(global))
                 .sum();
-            prop_assert_eq!(total, 1u64 << global);
+            assert_eq!(total, 1u64 << global, "depth {depth}");
         }
     }
 }

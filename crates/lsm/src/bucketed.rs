@@ -276,8 +276,16 @@ impl BucketedLsmTree {
             }
             let (lo, hi) = self.split_bucket(current)?;
             // Continue with whichever child is larger.
-            let lo_size = self.buckets.get(&lo).map(|t| t.logical_size_bytes()).unwrap_or(0);
-            let hi_size = self.buckets.get(&hi).map(|t| t.logical_size_bytes()).unwrap_or(0);
+            let lo_size = self
+                .buckets
+                .get(&lo)
+                .map(|t| t.logical_size_bytes())
+                .unwrap_or(0);
+            let hi_size = self
+                .buckets
+                .get(&hi)
+                .map(|t| t.logical_size_bytes())
+                .unwrap_or(0);
             current = if lo_size >= hi_size { lo } else { hi };
         }
     }
@@ -393,7 +401,10 @@ impl BucketedLsmTree {
             .get_mut(&bucket)
             .ok_or(StorageError::UnknownPendingBucket(bucket))?;
         let comp = Component::from_unsorted(entries, ComponentSource::Loaded);
-        StorageMetrics::add(&self.metrics.bytes_rebalance_loaded, comp.size_bytes() as u64);
+        StorageMetrics::add(
+            &self.metrics.bytes_rebalance_loaded,
+            comp.size_bytes() as u64,
+        );
         tree.append_oldest_components(vec![comp]);
         Ok(())
     }
@@ -459,7 +470,10 @@ impl BucketedLsmTree {
     pub fn is_consistent(&self) -> bool {
         self.directory.is_consistent()
             && self.directory.len() == self.buckets.len()
-            && self.directory.buckets().all(|b| self.buckets.contains_key(&b))
+            && self
+                .directory
+                .buckets()
+                .all(|b| self.buckets.contains_key(&b))
     }
 
     /// Looks up which visible bucket a key belongs to.
@@ -552,8 +566,16 @@ impl BucketedLsmTree {
                 if !self.directory.contains(&lo) || !self.directory.contains(&hi) {
                     continue;
                 }
-                let combined = self.buckets.get(&lo).map(|t| t.logical_size_bytes()).unwrap_or(0)
-                    + self.buckets.get(&hi).map(|t| t.logical_size_bytes()).unwrap_or(0);
+                let combined = self
+                    .buckets
+                    .get(&lo)
+                    .map(|t| t.logical_size_bytes())
+                    .unwrap_or(0)
+                    + self
+                        .buckets
+                        .get(&hi)
+                        .map(|t| t.logical_size_bytes())
+                        .unwrap_or(0);
                 if combined < min_combined_bytes {
                     candidate = Some(parent);
                     break;
@@ -577,7 +599,7 @@ impl BucketedLsmTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
+    use crate::bytes::Bytes;
 
     fn cfg(max_bucket: Option<usize>) -> BucketedConfig {
         BucketedConfig {
@@ -741,8 +763,11 @@ mod tests {
             .unwrap()
             .key
             .clone();
-        dest.apply_replicated(incoming, Entry::put(some_key.clone(), Bytes::from_static(b"newer")))
-            .unwrap();
+        dest.apply_replicated(
+            incoming,
+            Entry::put(some_key.clone(), Bytes::from_static(b"newer")),
+        )
+        .unwrap();
 
         // still invisible
         assert_eq!(dest.get(&some_key), None);
@@ -790,7 +815,7 @@ mod tests {
 #[cfg(test)]
 mod merge_tests {
     use super::*;
-    use bytes::Bytes;
+    use crate::bytes::Bytes;
 
     fn tree(max_bucket: Option<usize>) -> BucketedLsmTree {
         BucketedLsmTree::new(

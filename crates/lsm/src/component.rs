@@ -280,10 +280,7 @@ impl Component {
         hi: Option<&'a Key>,
     ) -> impl Iterator<Item = &'a Entry> + 'a {
         let start = match lo {
-            Some(k) => self
-                .data
-                .entries
-                .partition_point(|e| e.key < *k),
+            Some(k) => self.data.entries.partition_point(|e| e.key < *k),
             None => 0,
         };
         self.data.entries[start..]
@@ -343,7 +340,7 @@ impl Component {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
+    use crate::bytes::Bytes;
 
     fn comp(keys: &[u64]) -> Component {
         let entries = keys
@@ -415,7 +412,10 @@ mod tests {
         let c = comp(&[1, 3, 5, 7, 9]);
         let lo = Key::from_u64(3);
         let hi = Key::from_u64(8);
-        let got: Vec<u64> = c.range(Some(&lo), Some(&hi)).map(|e| e.key.as_u64()).collect();
+        let got: Vec<u64> = c
+            .range(Some(&lo), Some(&hi))
+            .map(|e| e.key.as_u64())
+            .collect();
         assert_eq!(got, vec![3, 5, 7]);
     }
 

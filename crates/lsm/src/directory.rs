@@ -8,8 +8,6 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize};
-
 use crate::bucket::{hash_key, BucketId};
 use crate::entry::Key;
 
@@ -17,7 +15,7 @@ use crate::entry::Key;
 ///
 /// Invariant: no bucket in the directory covers another (buckets are
 /// disjoint regions of the hash space).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LocalDirectory {
     buckets: BTreeSet<BucketId>,
 }
@@ -126,7 +124,7 @@ impl LocalDirectory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::SplitMix64;
 
     #[test]
     fn add_and_lookup() {
@@ -174,23 +172,30 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn prop_splits_preserve_consistency_and_coverage(splits in proptest::collection::vec(any::<u64>(), 0..40)) {
-            // Start with the root bucket and repeatedly split the bucket
-            // containing an arbitrary hash; the directory must stay
-            // consistent and keep covering the full hash space.
+    #[test]
+    fn prop_splits_preserve_consistency_and_coverage() {
+        // Start with the root bucket and repeatedly split the bucket
+        // containing an arbitrary hash; the directory must stay
+        // consistent and keep covering the full hash space.
+        for case in 0..16u64 {
+            let seed = 0xd1c0_0000 + case;
+            let mut rng = SplitMix64::seed_from_u64(seed);
+            let n = rng.gen_range(0..40) as usize;
+            let splits: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
             let mut d = LocalDirectory::new();
             d.add(BucketId::root()).unwrap();
-            for h in splits {
+            for &h in &splits {
                 let b = d.lookup_hash(h).expect("coverage");
                 if b.depth < 20 {
                     d.split(&b).unwrap();
                 }
             }
-            prop_assert!(d.is_consistent());
+            assert!(d.is_consistent(), "seed {seed}, splits {splits:#x?}");
             for h in [0u64, 1, 2, 3, 1 << 20, u64::MAX, 0xdead_beef] {
-                prop_assert!(d.lookup_hash(h).is_some());
+                assert!(
+                    d.lookup_hash(h).is_some(),
+                    "seed {seed}: hash {h:#x} uncovered"
+                );
             }
         }
     }

@@ -4,8 +4,7 @@
 //! integer and composite keys in big-endian form so that the byte order
 //! matches the natural key order, which the merge iterators rely on.
 
-use bytes::Bytes;
-use serde::{Deserialize, Serialize};
+use crate::bytes::Bytes;
 use std::fmt;
 
 /// An order-preserving binary key.
@@ -13,7 +12,7 @@ use std::fmt;
 /// Primary keys in the TPC-H workload are integers or pairs of integers; the
 /// constructors [`Key::from_u64`] and [`Key::from_pair`] encode them
 /// big-endian so that byte-wise ordering equals numeric ordering.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Key(pub Vec<u8>);
 
 impl Key {

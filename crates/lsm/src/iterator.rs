@@ -138,7 +138,7 @@ pub fn reconcile_point<'a>(lookups: impl Iterator<Item = Option<&'a Op>>) -> Opt
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
+    use crate::bytes::Bytes;
 
     fn put(k: u64, tag: &str) -> Entry {
         Entry::put(Key::from_u64(k), Bytes::from(tag.as_bytes().to_vec()))
@@ -170,11 +170,7 @@ mod tests {
         let merged = merge_live(vec![newer, older]);
         assert_eq!(
             values(&merged),
-            vec![
-                (1, "new1".into()),
-                (2, "old2".into()),
-                (3, "new3".into())
-            ]
+            vec![(1, "new1".into()), (2, "old2".into()), (3, "new3".into())]
         );
     }
 

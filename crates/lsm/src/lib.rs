@@ -27,6 +27,7 @@
 pub mod bloom;
 pub mod bucket;
 pub mod bucketed;
+pub mod bytes;
 pub mod component;
 pub mod directory;
 pub mod entry;
@@ -34,10 +35,12 @@ pub mod iterator;
 pub mod memtable;
 pub mod merge_policy;
 pub mod metrics;
+pub mod rng;
 pub mod secondary;
 pub mod tree;
 pub mod wal;
 
+pub use crate::bytes::Bytes;
 pub use bloom::BloomFilter;
 pub use bucket::{hash_key, BucketId};
 pub use bucketed::{BucketedConfig, BucketedLsmTree, ScanOrder};
@@ -47,6 +50,7 @@ pub use entry::{Entry, Key, Op, Value};
 pub use memtable::MemTable;
 pub use merge_policy::{MergePolicy, SizeTieredPolicy};
 pub use metrics::StorageMetrics;
+pub use rng::SplitMix64;
 pub use secondary::{SecondaryEntry, SecondaryIndex};
 pub use tree::{LsmConfig, LsmTree};
 pub use wal::{LogRecord, LogRecordBody, TransactionLog};

@@ -122,7 +122,7 @@ impl MemTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
+    use crate::bytes::Bytes;
 
     fn val(n: usize) -> Bytes {
         Bytes::from(vec![7u8; n])

@@ -97,13 +97,18 @@ impl MergePolicy for NoMergePolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bytes::Bytes;
     use crate::component::ComponentSource;
     use crate::entry::{Entry, Key};
-    use bytes::Bytes;
 
     fn comp_of_size(n_entries: usize, tag: u64) -> Component {
         let entries = (0..n_entries as u64)
-            .map(|i| Entry::put(Key::from_u64(tag * 1_000_000 + i), Bytes::from(vec![0u8; 100])))
+            .map(|i| {
+                Entry::put(
+                    Key::from_u64(tag * 1_000_000 + i),
+                    Bytes::from(vec![0u8; 100]),
+                )
+            })
             .collect();
         Component::from_unsorted(entries, ComponentSource::Flush)
     }
@@ -122,7 +127,11 @@ mod tests {
         let comps = vec![comp_of_size(10, 1), comp_of_size(10, 2)];
         assert_eq!(p.select_merge(&comps), None);
         // three equal components: younger sum of first two = 2 >= 1.2 * 1 -> merge all three
-        let comps = vec![comp_of_size(10, 1), comp_of_size(10, 2), comp_of_size(10, 3)];
+        let comps = vec![
+            comp_of_size(10, 1),
+            comp_of_size(10, 2),
+            comp_of_size(10, 3),
+        ];
         assert_eq!(p.select_merge(&comps), Some((0, 3)));
     }
 

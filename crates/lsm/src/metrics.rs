@@ -117,8 +117,12 @@ impl MetricsSnapshot {
         MetricsSnapshot {
             bytes_flushed: self.bytes_flushed.saturating_sub(earlier.bytes_flushed),
             bytes_merged: self.bytes_merged.saturating_sub(earlier.bytes_merged),
-            bytes_merge_read: self.bytes_merge_read.saturating_sub(earlier.bytes_merge_read),
-            bytes_query_read: self.bytes_query_read.saturating_sub(earlier.bytes_query_read),
+            bytes_merge_read: self
+                .bytes_merge_read
+                .saturating_sub(earlier.bytes_merge_read),
+            bytes_query_read: self
+                .bytes_query_read
+                .saturating_sub(earlier.bytes_query_read),
             bytes_rebalance_read: self
                 .bytes_rebalance_read
                 .saturating_sub(earlier.bytes_rebalance_read),

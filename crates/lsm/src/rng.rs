@@ -1,0 +1,158 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The repository must build with zero external dependencies, so this module
+//! replaces the `rand` crate for the two places randomness is needed: the
+//! seeded TPC-H data generator and the seeded randomized-property test
+//! harnesses. The generator is **xoshiro256++** seeded via **SplitMix64**
+//! (Blackman & Vigna), which passes statistical test batteries and is more
+//! than adequate for workload generation and test-case sampling.
+//!
+//! The API mirrors the subset of `rand::Rng` the codebase uses
+//! ([`SplitMix64::gen_range`], [`SplitMix64::gen_ratio`]) so call sites read
+//! identically to their `rand` equivalents.
+
+use std::ops::{Bound, RangeBounds};
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded deterministic PRNG (xoshiro256++ seeded via SplitMix64).
+///
+/// The name reflects the seeding procedure, which is what callers interact
+/// with: `SplitMix64::seed_from_u64(seed)` always yields the same stream.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    s: [u64; 4],
+}
+
+impl SplitMix64 {
+    /// Creates a generator whose entire stream is determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SplitMix64 { s }
+    }
+
+    /// Returns the next 64 uniformly distributed bits (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniformly distributed `u64` in the given range
+    /// (`a..b` or `a..=b`), like `rand::Rng::gen_range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range(&mut self, range: impl RangeBounds<u64>) -> u64 {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi_inclusive = match range.end_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n.checked_sub(1).expect("empty range"),
+            Bound::Unbounded => u64::MAX,
+        };
+        assert!(lo <= hi_inclusive, "empty range {lo}..={hi_inclusive}");
+        let span = hi_inclusive - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        // Rejection sampling over the largest multiple of span+1 to avoid
+        // modulo bias.
+        let n = span + 1;
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return lo + v % n;
+            }
+        }
+    }
+
+    /// Returns `true` with probability `numerator / denominator`,
+    /// like `rand::Rng::gen_ratio`.
+    pub fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0, "gen_ratio denominator must be non-zero");
+        assert!(numerator <= denominator);
+        self.gen_range(0..denominator as u64) < numerator as u64
+    }
+
+    /// Returns a uniformly distributed `usize` in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        self.gen_range(0..n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(5..=5);
+            assert_eq!(w, 5);
+            let x = rng.gen_range(0..=3);
+            assert!(x <= 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_whole_range() {
+        let mut rng = SplitMix64::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_ratio_is_roughly_calibrated() {
+        let mut rng = SplitMix64::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_ratio(1, 4)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}/10000 at p=0.25");
+    }
+}

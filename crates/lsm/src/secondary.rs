@@ -100,7 +100,7 @@ impl SecondaryIndex {
     /// Inserts a secondary-index entry.
     pub fn insert(&mut self, secondary: Key, primary: Key) {
         let composite = SecondaryEntry { secondary, primary }.encode();
-        self.tree.put(composite, bytes::Bytes::new());
+        self.tree.put(composite, crate::Bytes::new());
     }
 
     /// Deletes a secondary-index entry (requires knowing the old secondary key).
@@ -205,10 +205,13 @@ impl SecondaryIndex {
     pub fn load_into_pending(&mut self, entries: Vec<SecondaryEntry>) {
         let raw: Vec<Entry> = entries
             .into_iter()
-            .map(|se| Entry::put(se.encode(), bytes::Bytes::new()))
+            .map(|se| Entry::put(se.encode(), crate::Bytes::new()))
             .collect();
         let comp = Component::from_unsorted(raw, ComponentSource::Loaded);
-        StorageMetrics::add(&self.metrics.bytes_rebalance_loaded, comp.size_bytes() as u64);
+        StorageMetrics::add(
+            &self.metrics.bytes_rebalance_loaded,
+            comp.size_bytes() as u64,
+        );
         self.pending_tree().append_oldest_components(vec![comp]);
     }
 
@@ -218,7 +221,7 @@ impl SecondaryIndex {
         let entry = if op_is_delete {
             Entry::delete(composite)
         } else {
-            Entry::put(composite, bytes::Bytes::new())
+            Entry::put(composite, crate::Bytes::new())
         };
         self.pending_tree().apply(entry);
     }
@@ -293,7 +296,11 @@ impl SecondaryIndex {
     /// Storage bytes used by the index (visible plus pending).
     pub fn storage_bytes(&self) -> usize {
         self.tree.storage_bytes()
-            + self.pending.as_ref().map(|p| p.storage_bytes()).unwrap_or(0)
+            + self
+                .pending
+                .as_ref()
+                .map(|p| p.storage_bytes())
+                .unwrap_or(0)
     }
 
     /// Iterates every live, valid entry (used for rebuilding and tests).

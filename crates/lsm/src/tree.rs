@@ -135,7 +135,10 @@ impl LsmTree {
         let mem = self.memtable.get(key);
         let disk = self.components.iter().map(|c| c.get(key));
         let op = reconcile_point(std::iter::once(mem).chain(disk))?;
-        StorageMetrics::add(&self.metrics.bytes_query_read, (key.len() + op.value_len()) as u64);
+        StorageMetrics::add(
+            &self.metrics.bytes_query_read,
+            (key.len() + op.value_len()) as u64,
+        );
         op.value().cloned()
     }
 
@@ -323,7 +326,11 @@ impl LsmTree {
 
     /// Bytes of storage actually occupied (reference components count as 0).
     pub fn storage_bytes(&self) -> usize {
-        self.components.iter().map(|c| c.storage_bytes()).sum::<usize>() + self.memtable.size_bytes()
+        self.components
+            .iter()
+            .map(|c| c.storage_bytes())
+            .sum::<usize>()
+            + self.memtable.size_bytes()
     }
 
     /// Logical bytes of data reachable through this tree: visible bytes of
@@ -347,8 +354,8 @@ impl LsmTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bytes::Bytes;
     use crate::merge_policy::NoMergePolicy;
-    use bytes::Bytes;
 
     fn small_tree(budget: usize) -> LsmTree {
         LsmTree::new(
@@ -504,7 +511,11 @@ mod tests {
         // merge only the two newest components
         t.merge_range(0, 2);
         assert_eq!(t.num_components(), 2);
-        assert_eq!(t.get(&Key::from_u64(1)), None, "tombstone must still hide key 1");
+        assert_eq!(
+            t.get(&Key::from_u64(1)),
+            None,
+            "tombstone must still hide key 1"
+        );
         // a full merge finally drops both tombstone and shadowed entry
         t.force_merge_all();
         assert_eq!(t.num_components(), 1);

@@ -11,8 +11,6 @@
 //! lets the fault-injection tests model "the node failed before the record
 //! reached disk".
 
-use serde::{Deserialize, Serialize};
-
 use crate::entry::{Entry, Key, Op, Value};
 
 /// Log sequence number.
@@ -22,7 +20,7 @@ pub type Lsn = u64;
 pub type RebalanceId = u64;
 
 /// The payload of a log record.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LogRecordBody {
     /// A record-level insert/update on a dataset partition.
     Insert {
@@ -65,7 +63,7 @@ pub enum LogRecordBody {
 }
 
 /// A log record with its sequence number and durability status.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogRecord {
     /// Sequence number, monotonically increasing per log.
     pub lsn: Lsn,
@@ -174,22 +172,13 @@ impl TransactionLog {
 
     /// Durable data records of a dataset with `lsn >= from` whose key
     /// satisfies `filter` — the replication stream for a moving bucket.
-    pub fn replication_stream<'a, F>(
-        &'a self,
-        dataset: u32,
-        from: Lsn,
-        filter: F,
-    ) -> Vec<LogRecord>
+    pub fn replication_stream<'a, F>(&'a self, dataset: u32, from: Lsn, filter: F) -> Vec<LogRecord>
     where
         F: Fn(&Key) -> bool + 'a,
     {
         self.records_since(from)
             .filter(|r| r.dataset() == Some(dataset))
-            .filter(|r| {
-                r.to_entry()
-                    .map(|e| filter(&e.key))
-                    .unwrap_or(false)
-            })
+            .filter(|r| r.to_entry().map(|e| filter(&e.key)).unwrap_or(false))
             .cloned()
             .collect()
     }
@@ -313,7 +302,10 @@ mod tests {
         });
         assert_eq!(log.rebalance_status(5), RebalanceLogStatus::InFlight);
         log.append_forced(LogRecordBody::RebalanceCommit { rebalance: 5 });
-        assert_eq!(log.rebalance_status(5), RebalanceLogStatus::CommittedNotDone);
+        assert_eq!(
+            log.rebalance_status(5),
+            RebalanceLogStatus::CommittedNotDone
+        );
         log.append_forced(LogRecordBody::RebalanceDone { rebalance: 5 });
         assert_eq!(log.rebalance_status(5), RebalanceLogStatus::Done);
     }

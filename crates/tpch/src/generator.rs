@@ -7,8 +7,7 @@
 //! rely on. All randomness is driven by a seeded PRNG so that every run — and
 //! every rebalancing scheme under comparison — sees identical data.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dynahash_lsm::rng::SplitMix64;
 
 use crate::schema::*;
 
@@ -26,12 +25,18 @@ pub struct TpchScale {
 impl TpchScale {
     /// A tiny scale suitable for unit tests (a few hundred lineitems).
     pub fn tiny() -> Self {
-        TpchScale { orders: 100, seed: 42 }
+        TpchScale {
+            orders: 100,
+            seed: 42,
+        }
     }
 
     /// A small scale suitable for integration tests and examples.
     pub fn small() -> Self {
-        TpchScale { orders: 1_000, seed: 42 }
+        TpchScale {
+            orders: 1_000,
+            seed: 42,
+        }
     }
 
     /// The scale used by the benchmark harness: `orders_per_node × nodes`
@@ -84,7 +89,7 @@ pub struct TpchData {
 impl TpchData {
     /// Generates the database at the given scale.
     pub fn generate(scale: TpchScale) -> TpchData {
-        let mut rng = StdRng::seed_from_u64(scale.seed);
+        let mut rng = SplitMix64::seed_from_u64(scale.seed);
         let n_customers = scale.customers();
         let n_parts = scale.parts();
         let n_suppliers = scale.suppliers();
@@ -133,7 +138,8 @@ impl TpchData {
         let mut partsupp = Vec::with_capacity(n_parts * 4);
         for p in &part {
             for i in 0..4u64 {
-                let supp = 1 + (p.p_partkey + i * (n_suppliers as u64 / 4).max(1)) % n_suppliers as u64;
+                let supp =
+                    1 + (p.p_partkey + i * (n_suppliers as u64 / 4).max(1)) % n_suppliers as u64;
                 partsupp.push(PartSupp {
                     ps_partkey: p.p_partkey,
                     ps_suppkey: supp,
@@ -215,7 +221,7 @@ impl TpchData {
 /// existing range) for concurrent-ingestion experiments (Figure 7c inserts
 /// new records into LineItem while a rebalance is running).
 pub fn extra_lineitems(start_orderkey: u64, count: usize, seed: u64) -> Vec<LineItem> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     (0..count as u64)
         .map(|i| {
             let orderkey = start_orderkey + i / 4;
@@ -265,7 +271,10 @@ mod tests {
         let b = TpchData::generate(TpchScale::small());
         assert_eq!(a.lineitem, b.lineitem);
         assert_eq!(a.orders, b.orders);
-        let c = TpchData::generate(TpchScale { orders: 1000, seed: 43 });
+        let c = TpchData::generate(TpchScale {
+            orders: 1000,
+            seed: 43,
+        });
         assert_ne!(a.lineitem, c.lineitem);
     }
 

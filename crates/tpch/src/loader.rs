@@ -6,10 +6,10 @@
 //! led by `o_orderdate`, both enabling index-only plans for date-range
 //! queries. It then ingests the generated data through data feeds.
 
-use bytes::Bytes;
 use dynahash_cluster::{Cluster, DatasetId, DatasetSpec, IngestReport, SecondaryIndexDef};
 use dynahash_core::Scheme;
 use dynahash_lsm::entry::Key;
+use dynahash_lsm::Bytes;
 
 use crate::generator::{TpchData, TpchScale};
 use crate::schema::{field_extractor, L_SHIPDATE_FIELD, O_ORDERDATE_FIELD};
@@ -67,25 +67,31 @@ pub fn load_tpch(
             ))
             .with_memtable_budget(memtable_budget),
     )?;
-    let customer =
-        cluster.create_dataset(DatasetSpec::new("customer", scheme).with_memtable_budget(memtable_budget))?;
-    let part =
-        cluster.create_dataset(DatasetSpec::new("part", scheme).with_memtable_budget(memtable_budget))?;
-    let supplier =
-        cluster.create_dataset(DatasetSpec::new("supplier", scheme).with_memtable_budget(memtable_budget))?;
-    let partsupp =
-        cluster.create_dataset(DatasetSpec::new("partsupp", scheme).with_memtable_budget(memtable_budget))?;
-    let nation =
-        cluster.create_dataset(DatasetSpec::new("nation", scheme).with_memtable_budget(memtable_budget))?;
-    let region =
-        cluster.create_dataset(DatasetSpec::new("region", scheme).with_memtable_budget(memtable_budget))?;
+    let customer = cluster.create_dataset(
+        DatasetSpec::new("customer", scheme).with_memtable_budget(memtable_budget),
+    )?;
+    let part = cluster
+        .create_dataset(DatasetSpec::new("part", scheme).with_memtable_budget(memtable_budget))?;
+    let supplier = cluster.create_dataset(
+        DatasetSpec::new("supplier", scheme).with_memtable_budget(memtable_budget),
+    )?;
+    let partsupp = cluster.create_dataset(
+        DatasetSpec::new("partsupp", scheme).with_memtable_budget(memtable_budget),
+    )?;
+    let nation = cluster
+        .create_dataset(DatasetSpec::new("nation", scheme).with_memtable_budget(memtable_budget))?;
+    let region = cluster
+        .create_dataset(DatasetSpec::new("region", scheme).with_memtable_budget(memtable_budget))?;
 
     let mut report = cluster.ingest(
         region,
         data.region.iter().map(|r| (r.primary_key(), r.encode())),
     )?;
     for r in [
-        cluster.ingest(nation, data.nation.iter().map(|r| (r.primary_key(), r.encode())))?,
+        cluster.ingest(
+            nation,
+            data.nation.iter().map(|r| (r.primary_key(), r.encode())),
+        )?,
         cluster.ingest(
             supplier,
             data.supplier.iter().map(|r| (r.primary_key(), r.encode())),
@@ -94,12 +100,18 @@ pub fn load_tpch(
             customer,
             data.customer.iter().map(|r| (r.primary_key(), r.encode())),
         )?,
-        cluster.ingest(part, data.part.iter().map(|r| (r.primary_key(), r.encode())))?,
+        cluster.ingest(
+            part,
+            data.part.iter().map(|r| (r.primary_key(), r.encode())),
+        )?,
         cluster.ingest(
             partsupp,
             data.partsupp.iter().map(|r| (r.primary_key(), r.encode())),
         )?,
-        cluster.ingest(orders, data.orders.iter().map(|r| (r.primary_key(), r.encode())))?,
+        cluster.ingest(
+            orders,
+            data.orders.iter().map(|r| (r.primary_key(), r.encode())),
+        )?,
         cluster.ingest(
             lineitem,
             data.lineitem.iter().map(|r| (r.primary_key(), r.encode())),
@@ -140,8 +152,14 @@ mod tests {
         let scheme = Scheme::dynahash(64 * 1024, 8);
         let (tables, data, report) = load_tpch(&mut cluster, scheme, TpchScale::tiny()).unwrap();
         assert_eq!(report.records as usize, data.total_rows());
-        assert_eq!(cluster.dataset_len(tables.lineitem).unwrap(), data.lineitem.len());
-        assert_eq!(cluster.dataset_len(tables.orders).unwrap(), data.orders.len());
+        assert_eq!(
+            cluster.dataset_len(tables.lineitem).unwrap(),
+            data.lineitem.len()
+        );
+        assert_eq!(
+            cluster.dataset_len(tables.orders).unwrap(),
+            data.orders.len()
+        );
         assert_eq!(cluster.dataset_len(tables.nation).unwrap(), 25);
         cluster.check_dataset_consistency(tables.lineitem).unwrap();
         cluster.check_dataset_consistency(tables.orders).unwrap();
@@ -151,8 +169,12 @@ mod tests {
     #[test]
     fn load_under_hashing_scheme() {
         let mut cluster = Cluster::new(2);
-        let (tables, data, _) = load_tpch(&mut cluster, Scheme::Hashing, TpchScale::tiny()).unwrap();
-        assert_eq!(cluster.dataset_len(tables.lineitem).unwrap(), data.lineitem.len());
+        let (tables, data, _) =
+            load_tpch(&mut cluster, Scheme::Hashing, TpchScale::tiny()).unwrap();
+        assert_eq!(
+            cluster.dataset_len(tables.lineitem).unwrap(),
+            data.lineitem.len()
+        );
         cluster.check_dataset_consistency(tables.lineitem).unwrap();
     }
 

@@ -168,7 +168,9 @@ fn customers_by_key(
     exec: &mut QueryExecutor<'_>,
     t: &TpchTables,
 ) -> Result<HashMap<u64, Customer>, ClusterError> {
-    let customers = all(scan_decoded(exec, t.customer, false, |v| Customer::decode(v))?);
+    let customers = all(scan_decoded(exec, t.customer, false, |v| {
+        Customer::decode(v)
+    })?);
     Ok(customers.into_iter().map(|c| (c.c_custkey, c)).collect())
 }
 
@@ -196,8 +198,12 @@ fn q1(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
 /// q2: minimum-cost supplier — small-table joins over part/partsupp/supplier.
 fn q2(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
     let parts = all(scan_decoded(exec, t.part, false, |v| Part::decode(v))?);
-    let partsupp = all(scan_decoded(exec, t.partsupp, false, |v| PartSupp::decode(v))?);
-    let suppliers = all(scan_decoded(exec, t.supplier, false, |v| Supplier::decode(v))?);
+    let partsupp = all(scan_decoded(exec, t.partsupp, false, |v| {
+        PartSupp::decode(v)
+    })?);
+    let suppliers = all(scan_decoded(exec, t.supplier, false, |v| {
+        Supplier::decode(v)
+    })?);
     let nations = all(scan_decoded(exec, t.nation, false, |v| Nation::decode(v))?);
     charge_balanced_compute(exec, (parts.len() + partsupp.len()) as u64, 1.0)?;
 
@@ -217,7 +223,9 @@ fn q2(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
         if !wanted.contains(&ps.ps_partkey) {
             continue;
         }
-        let Some(s) = supp_by_key.get(&ps.ps_suppkey) else { continue };
+        let Some(s) = supp_by_key.get(&ps.ps_suppkey) else {
+            continue;
+        };
         if !europe.contains(&s.s_nationkey) {
             continue;
         }
@@ -225,7 +233,11 @@ fn q2(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
         *e = (*e).min(ps.ps_supplycost);
     }
     exec.charge_coordinator(min_cost.len() as u64, 0.5);
-    Ok(min_cost.values().filter(|&&c| c != u64::MAX).map(|&c| money(c)).sum())
+    Ok(min_cost
+        .values()
+        .filter(|&&c| c != u64::MAX)
+        .map(|&c| money(c))
+        .sum())
 }
 
 /// q3: shipping priority — customer ⋈ orders ⋈ lineitem with date filters.
@@ -240,7 +252,12 @@ fn q3(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
     let building_orders: HashMap<u64, &Orders> = orders
         .iter()
         .filter(|o| o.o_orderdate < cutoff)
-        .filter(|o| customers.get(&o.o_custkey).map(|c| c.c_mktsegment == 1).unwrap_or(false))
+        .filter(|o| {
+            customers
+                .get(&o.o_custkey)
+                .map(|c| c.c_mktsegment == 1)
+                .unwrap_or(false)
+        })
         .map(|o| (o.o_orderkey, o))
         .collect();
     let mut revenue: BTreeMap<u64, f64> = BTreeMap::new();
@@ -284,7 +301,9 @@ fn q5(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
     let lo = date(1994, 0);
     let hi = date(1995, 0);
     let customers = customers_by_key(exec, t)?;
-    let suppliers = all(scan_decoded(exec, t.supplier, false, |v| Supplier::decode(v))?);
+    let suppliers = all(scan_decoded(exec, t.supplier, false, |v| {
+        Supplier::decode(v)
+    })?);
     let nations = all(scan_decoded(exec, t.nation, false, |v| Nation::decode(v))?);
     let orders = orders_by_orderdate(exec, t, lo, hi)?;
     let scans = scan_lineitem(exec, t, false)?;
@@ -296,16 +315,26 @@ fn q5(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
         .filter(|n| n.n_regionkey == 2)
         .map(|n| n.n_nationkey)
         .collect();
-    let supp_nation: HashMap<u64, u64> =
-        suppliers.iter().map(|s| (s.s_suppkey, s.s_nationkey)).collect();
+    let supp_nation: HashMap<u64, u64> = suppliers
+        .iter()
+        .map(|s| (s.s_suppkey, s.s_nationkey))
+        .collect();
     let order_cust_nation: HashMap<u64, u64> = orders
         .iter()
-        .filter_map(|o| customers.get(&o.o_custkey).map(|c| (o.o_orderkey, c.c_nationkey)))
+        .filter_map(|o| {
+            customers
+                .get(&o.o_custkey)
+                .map(|c| (o.o_orderkey, c.c_nationkey))
+        })
         .collect();
     let mut per_nation: BTreeMap<u64, f64> = BTreeMap::new();
     for l in all(scans) {
-        let Some(&cust_nation) = order_cust_nation.get(&l.l_orderkey) else { continue };
-        let Some(&supp_nation_key) = supp_nation.get(&l.l_suppkey) else { continue };
+        let Some(&cust_nation) = order_cust_nation.get(&l.l_orderkey) else {
+            continue;
+        };
+        let Some(&supp_nation_key) = supp_nation.get(&l.l_suppkey) else {
+            continue;
+        };
         if cust_nation == supp_nation_key && asia.contains(&cust_nation) {
             *per_nation.entry(cust_nation).or_default() +=
                 money(l.l_extendedprice) * (1.0 - l.l_discount as f64 / 100.0);
@@ -333,24 +362,35 @@ fn q6(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
 /// q7: volume shipping between two nations over two years.
 fn q7(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
     let customers = customers_by_key(exec, t)?;
-    let suppliers = all(scan_decoded(exec, t.supplier, false, |v| Supplier::decode(v))?);
+    let suppliers = all(scan_decoded(exec, t.supplier, false, |v| {
+        Supplier::decode(v)
+    })?);
     let orders = all(scan_orders(exec, t)?);
     let scans = scan_lineitem(exec, t, false)?;
     let total: u64 = scans.iter().map(|(_, v)| v.len() as u64).sum();
     charge_balanced_compute(exec, total + orders.len() as u64, 2.0)?;
 
-    let supp_nation: HashMap<u64, u64> =
-        suppliers.iter().map(|s| (s.s_suppkey, s.s_nationkey)).collect();
-    let order_cust: HashMap<u64, u64> = orders.iter().map(|o| (o.o_orderkey, o.o_custkey)).collect();
+    let supp_nation: HashMap<u64, u64> = suppliers
+        .iter()
+        .map(|s| (s.s_suppkey, s.s_nationkey))
+        .collect();
+    let order_cust: HashMap<u64, u64> =
+        orders.iter().map(|o| (o.o_orderkey, o.o_custkey)).collect();
     let lo = date(1995, 0);
     let mut volume = 0.0;
     for l in all(scans) {
         if l.l_shipdate < lo {
             continue;
         }
-        let Some(&sn) = supp_nation.get(&l.l_suppkey) else { continue };
-        let Some(custkey) = order_cust.get(&l.l_orderkey) else { continue };
-        let Some(c) = customers.get(custkey) else { continue };
+        let Some(&sn) = supp_nation.get(&l.l_suppkey) else {
+            continue;
+        };
+        let Some(custkey) = order_cust.get(&l.l_orderkey) else {
+            continue;
+        };
+        let Some(c) = customers.get(custkey) else {
+            continue;
+        };
         if (sn == 6 && c.c_nationkey == 7) || (sn == 7 && c.c_nationkey == 6) {
             volume += money(l.l_extendedprice) * (1.0 - l.l_discount as f64 / 100.0);
         }
@@ -362,7 +402,9 @@ fn q7(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
 /// q8: national market share within a region for a part type.
 fn q8(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
     let customers = customers_by_key(exec, t)?;
-    let suppliers = all(scan_decoded(exec, t.supplier, false, |v| Supplier::decode(v))?);
+    let suppliers = all(scan_decoded(exec, t.supplier, false, |v| {
+        Supplier::decode(v)
+    })?);
     let nations = all(scan_decoded(exec, t.nation, false, |v| Nation::decode(v))?);
     let parts = all(scan_decoded(exec, t.part, false, |v| Part::decode(v))?);
     let orders = orders_by_orderdate(exec, t, date(1995, 0), date(1997, 0))?;
@@ -380,8 +422,10 @@ fn q8(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
         .filter(|p| p.p_type % 10 == 3)
         .map(|p| p.p_partkey)
         .collect();
-    let supp_nation: HashMap<u64, u64> =
-        suppliers.iter().map(|s| (s.s_suppkey, s.s_nationkey)).collect();
+    let supp_nation: HashMap<u64, u64> = suppliers
+        .iter()
+        .map(|s| (s.s_suppkey, s.s_nationkey))
+        .collect();
     let order_in_scope: HashMap<u64, bool> = orders
         .iter()
         .map(|o| {
@@ -408,14 +452,22 @@ fn q8(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
         }
     }
     exec.charge_coordinator(2, 0.1);
-    Ok(if total_volume == 0.0 { 0.0 } else { national / total_volume })
+    Ok(if total_volume == 0.0 {
+        0.0
+    } else {
+        national / total_volume
+    })
 }
 
 /// q9: product type profit measure — scans LineItem and joins part/partsupp.
 fn q9(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
     let parts = all(scan_decoded(exec, t.part, false, |v| Part::decode(v))?);
-    let partsupp = all(scan_decoded(exec, t.partsupp, false, |v| PartSupp::decode(v))?);
-    let suppliers = all(scan_decoded(exec, t.supplier, false, |v| Supplier::decode(v))?);
+    let partsupp = all(scan_decoded(exec, t.partsupp, false, |v| {
+        PartSupp::decode(v)
+    })?);
+    let suppliers = all(scan_decoded(exec, t.supplier, false, |v| {
+        Supplier::decode(v)
+    })?);
     let orders = all(scan_orders(exec, t)?);
     let scans = scan_lineitem(exec, t, false)?;
     let total: u64 = scans.iter().map(|(_, v)| v.len() as u64).sum();
@@ -430,8 +482,10 @@ fn q9(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
         .iter()
         .map(|ps| ((ps.ps_partkey, ps.ps_suppkey), ps.ps_supplycost))
         .collect();
-    let supp_nation: HashMap<u64, u64> =
-        suppliers.iter().map(|s| (s.s_suppkey, s.s_nationkey)).collect();
+    let supp_nation: HashMap<u64, u64> = suppliers
+        .iter()
+        .map(|s| (s.s_suppkey, s.s_nationkey))
+        .collect();
     let order_year: HashMap<u64, u64> = orders
         .iter()
         .map(|o| (o.o_orderkey, o.o_orderdate / 365))
@@ -463,7 +517,8 @@ fn q10(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
     let total: u64 = scans.iter().map(|(_, v)| v.len() as u64).sum();
     charge_balanced_compute(exec, total + orders.len() as u64, 1.5)?;
 
-    let order_cust: HashMap<u64, u64> = orders.iter().map(|o| (o.o_orderkey, o.o_custkey)).collect();
+    let order_cust: HashMap<u64, u64> =
+        orders.iter().map(|o| (o.o_orderkey, o.o_custkey)).collect();
     let mut revenue: BTreeMap<u64, f64> = BTreeMap::new();
     for l in all(scans) {
         if l.l_returnflag != 1 {
@@ -484,8 +539,12 @@ fn q10(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
 
 /// q11: important stock identification — partsupp value grouped by part.
 fn q11(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
-    let partsupp = all(scan_decoded(exec, t.partsupp, false, |v| PartSupp::decode(v))?);
-    let suppliers = all(scan_decoded(exec, t.supplier, false, |v| Supplier::decode(v))?);
+    let partsupp = all(scan_decoded(exec, t.partsupp, false, |v| {
+        PartSupp::decode(v)
+    })?);
+    let suppliers = all(scan_decoded(exec, t.supplier, false, |v| {
+        Supplier::decode(v)
+    })?);
     charge_balanced_compute(exec, partsupp.len() as u64, 1.0)?;
     let german: BTreeSet<u64> = suppliers
         .iter()
@@ -578,7 +637,11 @@ fn q14(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
         }
     }
     exec.charge_coordinator(1, 0.1);
-    Ok(if total == 0.0 { 0.0 } else { 100.0 * promo / total })
+    Ok(if total == 0.0 {
+        0.0
+    } else {
+        100.0 * promo / total
+    })
 }
 
 /// q15: top supplier — revenue per supplier over one quarter (index range).
@@ -597,8 +660,12 @@ fn q15(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
 /// q16: parts/supplier relationship — partsupp ⋈ part with exclusions.
 fn q16(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
     let parts = all(scan_decoded(exec, t.part, false, |v| Part::decode(v))?);
-    let partsupp = all(scan_decoded(exec, t.partsupp, false, |v| PartSupp::decode(v))?);
-    let suppliers = all(scan_decoded(exec, t.supplier, false, |v| Supplier::decode(v))?);
+    let partsupp = all(scan_decoded(exec, t.partsupp, false, |v| {
+        PartSupp::decode(v)
+    })?);
+    let suppliers = all(scan_decoded(exec, t.supplier, false, |v| {
+        Supplier::decode(v)
+    })?);
     charge_balanced_compute(exec, partsupp.len() as u64, 1.0)?;
     let complaints: BTreeSet<u64> = suppliers
         .iter()
@@ -607,7 +674,11 @@ fn q16(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
         .collect();
     let wanted: HashMap<u64, (u64, u64, u64)> = parts
         .iter()
-        .filter(|p| p.p_brand != 12 && p.p_type % 15 != 0 && [1, 9, 14, 19, 23, 36, 45, 49].contains(&p.p_size))
+        .filter(|p| {
+            p.p_brand != 12
+                && p.p_type % 15 != 0
+                && [1, 9, 14, 19, 23, 36, 45, 49].contains(&p.p_size)
+        })
         .map(|p| (p.p_partkey, (p.p_brand, p.p_type, p.p_size)))
         .collect();
     let mut supplier_cnt: BTreeMap<(u64, u64, u64), BTreeSet<u64>> = BTreeMap::new();
@@ -697,7 +768,9 @@ fn q19(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
     let part_by_key: HashMap<u64, &Part> = parts.iter().map(|p| (p.p_partkey, p)).collect();
     let mut revenue = 0.0;
     for l in all(scans) {
-        let Some(p) = part_by_key.get(&l.l_partkey) else { continue };
+        let Some(p) = part_by_key.get(&l.l_partkey) else {
+            continue;
+        };
         let matched = (p.p_brand == 12 && l.l_quantity <= 11 && p.p_container < 10)
             || (p.p_brand == 23 && (10..=20).contains(&l.l_quantity) && p.p_container < 20)
             || (p.p_brand == 34 % 25 && (20..=30).contains(&l.l_quantity));
@@ -712,8 +785,12 @@ fn q19(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
 /// q20: potential part promotion — suppliers with excess stock of a part.
 fn q20(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
     let parts = all(scan_decoded(exec, t.part, false, |v| Part::decode(v))?);
-    let partsupp = all(scan_decoded(exec, t.partsupp, false, |v| PartSupp::decode(v))?);
-    let suppliers = all(scan_decoded(exec, t.supplier, false, |v| Supplier::decode(v))?);
+    let partsupp = all(scan_decoded(exec, t.partsupp, false, |v| {
+        PartSupp::decode(v)
+    })?);
+    let suppliers = all(scan_decoded(exec, t.supplier, false, |v| {
+        Supplier::decode(v)
+    })?);
     let lines = lineitems_by_shipdate(exec, t, date(1994, 0), date(1995, 0))?;
     charge_balanced_compute(exec, (lines.len() + partsupp.len()) as u64, 1.2)?;
     let forest_parts: BTreeSet<u64> = parts
@@ -750,7 +827,9 @@ fn q20(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
 /// q21: suppliers who kept orders waiting — LineItem is effectively scanned
 /// multiple times (self-joins per order), making it the most scan-heavy query.
 fn q21(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
-    let suppliers = all(scan_decoded(exec, t.supplier, false, |v| Supplier::decode(v))?);
+    let suppliers = all(scan_decoded(exec, t.supplier, false, |v| {
+        Supplier::decode(v)
+    })?);
     let orders = all(scan_orders(exec, t)?);
     // First pass over LineItem.
     let first = scan_lineitem(exec, t, false)?;
@@ -772,7 +851,10 @@ fn q21(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
     // suppliers per order, and late suppliers per order
     let mut suppliers_per_order: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
     for l in all(second) {
-        suppliers_per_order.entry(l.l_orderkey).or_default().insert(l.l_suppkey);
+        suppliers_per_order
+            .entry(l.l_orderkey)
+            .or_default()
+            .insert(l.l_suppkey);
     }
     let mut waiting: BTreeMap<u64, u64> = BTreeMap::new();
     for l in all(first) {
@@ -793,7 +875,9 @@ fn q21(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
 
 /// q22: global sales opportunity — customers with no orders and good balance.
 fn q22(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
-    let customers = all(scan_decoded(exec, t.customer, false, |v| Customer::decode(v))?);
+    let customers = all(scan_decoded(exec, t.customer, false, |v| {
+        Customer::decode(v)
+    })?);
     let orders = all(scan_orders(exec, t)?);
     charge_balanced_compute(exec, (customers.len() + orders.len()) as u64, 1.0)?;
     let with_orders: BTreeSet<u64> = orders.iter().map(|o| o.o_custkey).collect();
@@ -842,7 +926,9 @@ pub fn run_query(n: usize, exec: &mut QueryExecutor<'_>, tables: &TpchTables) ->
         20 => q20(exec, tables),
         21 => q21(exec, tables),
         22 => q22(exec, tables),
-        _ => Err(ClusterError::Inconsistent(format!("no such TPC-H query: q{n}"))),
+        _ => Err(ClusterError::Inconsistent(format!(
+            "no such TPC-H query: q{n}"
+        ))),
     }
 }
 
@@ -862,7 +948,10 @@ mod tests {
                 let mut exec = QueryExecutor::new(&mut cluster);
                 let v = run_query(n, &mut exec, &tables).unwrap();
                 let report = exec.finish();
-                assert!(report.elapsed.as_secs_f64() > 0.0, "q{n} must cost something");
+                assert!(
+                    report.elapsed.as_secs_f64() > 0.0,
+                    "q{n} must cost something"
+                );
                 v
             })
             .collect()
@@ -915,8 +1004,15 @@ mod tests {
     #[test]
     fn unknown_query_number_errors() {
         let mut cluster = Cluster::new(1);
-        let (tables, _, _) =
-            load_tpch(&mut cluster, Scheme::Hashing, TpchScale { orders: 20, seed: 1 }).unwrap();
+        let (tables, _, _) = load_tpch(
+            &mut cluster,
+            Scheme::Hashing,
+            TpchScale {
+                orders: 20,
+                seed: 1,
+            },
+        )
+        .unwrap();
         let mut exec = QueryExecutor::new(&mut cluster);
         assert!(run_query(23, &mut exec, &tables).is_err());
         assert!(run_query(0, &mut exec, &tables).is_err());

@@ -5,8 +5,8 @@
 //! offset without a full decode. Monetary values are stored in cents and
 //! dates as days since 1992-01-01 (the TPC-H epoch).
 
-use bytes::Bytes;
 use dynahash_lsm::entry::Key;
+use dynahash_lsm::Bytes;
 
 /// Reads field `idx` (a big-endian u64) from an encoded payload.
 pub fn field_u64(payload: &[u8], idx: usize) -> Option<u64> {
@@ -295,16 +295,43 @@ mod tests {
 
     #[test]
     fn small_tables_roundtrip() {
-        let c = Customer { c_custkey: 1, c_nationkey: 7, c_mktsegment: 3, c_acctbal: 150_000, c_phone_cc: 27 };
+        let c = Customer {
+            c_custkey: 1,
+            c_nationkey: 7,
+            c_mktsegment: 3,
+            c_acctbal: 150_000,
+            c_phone_cc: 27,
+        };
         assert_eq!(Customer::decode(&c.encode()).unwrap(), c);
-        let p = Part { p_partkey: 2, p_brand: 12, p_type: 55, p_size: 30, p_container: 9, p_retailprice: 90_000, p_mfgr: 1 };
+        let p = Part {
+            p_partkey: 2,
+            p_brand: 12,
+            p_type: 55,
+            p_size: 30,
+            p_container: 9,
+            p_retailprice: 90_000,
+            p_mfgr: 1,
+        };
         assert_eq!(Part::decode(&p.encode()).unwrap(), p);
-        let s = Supplier { s_suppkey: 3, s_nationkey: 11, s_acctbal: 123, s_complaint: 1 };
+        let s = Supplier {
+            s_suppkey: 3,
+            s_nationkey: 11,
+            s_acctbal: 123,
+            s_complaint: 1,
+        };
         assert_eq!(Supplier::decode(&s.encode()).unwrap(), s);
-        let ps = PartSupp { ps_partkey: 2, ps_suppkey: 3, ps_availqty: 100, ps_supplycost: 500 };
+        let ps = PartSupp {
+            ps_partkey: 2,
+            ps_suppkey: 3,
+            ps_availqty: 100,
+            ps_supplycost: 500,
+        };
         assert_eq!(PartSupp::decode(&ps.encode()).unwrap(), ps);
         assert_eq!(ps.primary_key(), Key::from_pair(2, 3));
-        let n = Nation { n_nationkey: 4, n_regionkey: 1 };
+        let n = Nation {
+            n_nationkey: 4,
+            n_regionkey: 1,
+        };
         assert_eq!(Nation::decode(&n.encode()).unwrap(), n);
         let r = Region { r_regionkey: 4 };
         assert_eq!(Region::decode(&r.encode()).unwrap(), r);

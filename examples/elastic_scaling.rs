@@ -4,10 +4,10 @@
 //!
 //! Run with `cargo run --example elastic_scaling`.
 
-use bytes::Bytes;
 use dynahash::cluster::{Cluster, DatasetSpec, RebalanceOptions};
 use dynahash::core::{NodeId, Scheme};
 use dynahash::lsm::entry::Key;
+use dynahash::lsm::Bytes;
 
 fn record(i: u64) -> (Key, Bytes) {
     (Key::from_u64(i), Bytes::from(vec![(i % 251) as u8; 96]))

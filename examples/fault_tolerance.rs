@@ -5,28 +5,47 @@
 //!
 //! Run with `cargo run --example fault_tolerance`.
 
-use bytes::Bytes;
 use dynahash::cluster::{Cluster, DatasetSpec, RebalanceOptions};
 use dynahash::core::{FailurePoint, NodeId, RebalanceOutcome, Scheme};
 use dynahash::lsm::entry::Key;
+use dynahash::lsm::Bytes;
 
 fn build_cluster() -> (Cluster, dynahash::cluster::DatasetId) {
     let mut cluster = Cluster::new(3);
     let ds = cluster
-        .create_dataset(DatasetSpec::new("accounts", Scheme::StaticHash { num_buckets: 64 }))
+        .create_dataset(DatasetSpec::new(
+            "accounts",
+            Scheme::StaticHash { num_buckets: 64 },
+        ))
         .expect("create dataset");
-    let records = (0..10_000u64).map(|i| (Key::from_u64(i), Bytes::from(vec![(i % 200) as u8; 80])));
+    let records =
+        (0..10_000u64).map(|i| (Key::from_u64(i), Bytes::from(vec![(i % 200) as u8; 80])));
     cluster.ingest(ds, records).expect("ingest");
     (cluster, ds)
 }
 
 fn main() {
     let cases: [(&str, FailurePoint); 6] = [
-        ("case 1: NC fails before voting prepared", FailurePoint::NcBeforePrepared(NodeId(3))),
-        ("case 2: NC fails after voting prepared", FailurePoint::NcAfterPrepared(NodeId(3))),
-        ("case 3: CC fails before forcing COMMIT", FailurePoint::CcBeforeCommitLog),
-        ("case 4: NC fails before acking commit", FailurePoint::NcBeforeCommitted(NodeId(0))),
-        ("case 5: CC fails after COMMIT, before DONE", FailurePoint::CcAfterCommitBeforeDone),
+        (
+            "case 1: NC fails before voting prepared",
+            FailurePoint::NcBeforePrepared(NodeId(3)),
+        ),
+        (
+            "case 2: NC fails after voting prepared",
+            FailurePoint::NcAfterPrepared(NodeId(3)),
+        ),
+        (
+            "case 3: CC fails before forcing COMMIT",
+            FailurePoint::CcBeforeCommitLog,
+        ),
+        (
+            "case 4: NC fails before acking commit",
+            FailurePoint::NcBeforeCommitted(NodeId(0)),
+        ),
+        (
+            "case 5: CC fails after COMMIT, before DONE",
+            FailurePoint::CcAfterCommitBeforeDone,
+        ),
         ("case 6: CC fails after DONE", FailurePoint::CcAfterDone),
     ];
 
@@ -38,7 +57,9 @@ fn main() {
         let report = cluster
             .rebalance(ds, &target, RebalanceOptions::with_failure(failure))
             .expect("rebalance executes");
-        cluster.check_dataset_consistency(ds).expect("dataset stays consistent");
+        cluster
+            .check_dataset_consistency(ds)
+            .expect("dataset stays consistent");
         let records = cluster.dataset_len(ds).unwrap();
         assert_eq!(records, 10_000, "no record may be lost or duplicated");
         let verdict = match report.outcome {

@@ -15,7 +15,10 @@ fn main() {
 
     // Baseline: no concurrent writes.
     let baseline_secs = run_with_rate(0.0);
-    println!("{:>6} krec/s  -> {:>7.2} simulated seconds (baseline)", 0, baseline_secs);
+    println!(
+        "{:>6} krec/s  -> {:>7.2} simulated seconds (baseline)",
+        0, baseline_secs
+    );
 
     for rate in [5.0, 10.0, 20.0] {
         let secs = run_with_rate(rate);
@@ -54,7 +57,9 @@ fn run_with_rate(krecords_per_sec: f64) -> f64 {
         )
         .expect("rebalance");
 
-    cluster.check_dataset_consistency(tables.lineitem).expect("consistent");
+    cluster
+        .check_dataset_consistency(tables.lineitem)
+        .expect("consistent");
     assert_eq!(
         cluster.dataset_len(tables.lineitem).unwrap(),
         lineitem_count + expected_new,

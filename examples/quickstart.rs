@@ -3,10 +3,10 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use bytes::Bytes;
 use dynahash::cluster::{Cluster, DatasetSpec, RebalanceOptions, SecondaryIndexDef};
 use dynahash::core::Scheme;
 use dynahash::lsm::entry::Key;
+use dynahash::lsm::Bytes;
 
 fn main() {
     // A 2-node cluster (4 storage partitions per node by default).
@@ -19,10 +19,11 @@ fn main() {
 
     // A dataset partitioned with DynaHash: buckets split automatically once
     // they exceed 64 KiB, and rebalancing moves whole buckets.
-    let spec = DatasetSpec::new("events", Scheme::dynahash(64 * 1024, 8))
-        .with_secondary_index(SecondaryIndexDef::new("idx_events_kind", |payload| {
+    let spec = DatasetSpec::new("events", Scheme::dynahash(64 * 1024, 8)).with_secondary_index(
+        SecondaryIndexDef::new("idx_events_kind", |payload| {
             payload.first().map(|&b| Key::from_u64(b as u64))
-        }));
+        }),
+    );
     let events = cluster.create_dataset(spec).expect("create dataset");
 
     // Ingest 20,000 small records through a data feed.
@@ -54,7 +55,10 @@ fn main() {
         .unwrap()
         .get(&key)
         .expect("record present");
-    println!("key 1234 lives on partition {partition} ({} bytes)", value.len());
+    println!(
+        "key 1234 lives on partition {partition} ({} bytes)",
+        value.len()
+    );
 
     // Scale out: add a node, then rebalance the dataset onto it online.
     cluster.add_node().expect("add node");
@@ -72,7 +76,9 @@ fn main() {
     );
 
     // The dataset stays complete and correctly routed.
-    cluster.check_dataset_consistency(events).expect("consistent");
+    cluster
+        .check_dataset_consistency(events)
+        .expect("consistent");
     assert_eq!(cluster.dataset_len(events).unwrap(), 20_000);
     println!("consistency check passed: all 20000 records remain reachable");
 }

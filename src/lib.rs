@@ -19,7 +19,7 @@
 //! use dynahash::cluster::{Cluster, DatasetSpec, RebalanceOptions};
 //! use dynahash::core::Scheme;
 //! use dynahash::lsm::entry::Key;
-//! use bytes::Bytes;
+//! use dynahash::lsm::Bytes;
 //!
 //! // A 2-node cluster with a DynaHash-partitioned dataset.
 //! let mut cluster = Cluster::new(2);

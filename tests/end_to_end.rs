@@ -1,10 +1,10 @@
 //! End-to-end integration tests spanning every crate of the workspace:
 //! storage engine → extendible hashing → cluster simulation → TPC-H workload.
 
-use bytes::Bytes;
 use dynahash::cluster::{Cluster, DatasetSpec, QueryExecutor, RebalanceOptions, SecondaryIndexDef};
 use dynahash::core::{NodeId, RebalanceOutcome, Scheme};
 use dynahash::lsm::entry::Key;
+use dynahash::lsm::Bytes;
 use dynahash::tpch::{load_tpch, run_query, TpchScale, NUM_QUERIES};
 
 fn record(i: u64) -> (Key, Bytes) {
@@ -31,7 +31,9 @@ fn spec(scheme: Scheme) -> DatasetSpec {
 #[test]
 fn full_lifecycle_scale_out_and_in_with_queries() {
     let mut cluster = Cluster::new(2);
-    let ds = cluster.create_dataset(spec(Scheme::dynahash(64 * 1024, 8))).unwrap();
+    let ds = cluster
+        .create_dataset(spec(Scheme::dynahash(64 * 1024, 8)))
+        .unwrap();
     cluster.ingest(ds, (0..8_000u64).map(record)).unwrap();
 
     // Secondary-index query before any rebalance.
@@ -39,7 +41,9 @@ fn full_lifecycle_scale_out_and_in_with_queries() {
         let mut exec = QueryExecutor::new(&mut cluster);
         let lo = Key::from_u64(3);
         let hi = Key::from_u64(4);
-        let hits = exec.index_scan(ds, "idx_mod17", Some(&lo), Some(&hi)).unwrap();
+        let hits = exec
+            .index_scan(ds, "idx_mod17", Some(&lo), Some(&hi))
+            .unwrap();
         hits.iter().map(|(_, v)| v.len()).sum::<usize>()
     };
     assert!(count_before > 0);
@@ -47,7 +51,9 @@ fn full_lifecycle_scale_out_and_in_with_queries() {
     // Scale out to 3 nodes.
     cluster.add_node().unwrap();
     let target = cluster.topology().clone();
-    let out = cluster.rebalance(ds, &target, RebalanceOptions::none()).unwrap();
+    let out = cluster
+        .rebalance(ds, &target, RebalanceOptions::none())
+        .unwrap();
     assert_eq!(out.outcome, RebalanceOutcome::Committed);
     assert!(out.moved_fraction < 0.6);
     cluster.check_dataset_consistency(ds).unwrap();
@@ -55,7 +61,9 @@ fn full_lifecycle_scale_out_and_in_with_queries() {
     // Scale back in to 2 nodes and decommission the node.
     let victim = NodeId(2);
     let target = cluster.topology_without(victim);
-    let back = cluster.rebalance(ds, &target, RebalanceOptions::none()).unwrap();
+    let back = cluster
+        .rebalance(ds, &target, RebalanceOptions::none())
+        .unwrap();
     assert_eq!(back.outcome, RebalanceOutcome::Committed);
     cluster.decommission_node(victim).unwrap();
     cluster.check_dataset_consistency(ds).unwrap();
@@ -67,7 +75,9 @@ fn full_lifecycle_scale_out_and_in_with_queries() {
         let mut exec = QueryExecutor::new(&mut cluster);
         let lo = Key::from_u64(3);
         let hi = Key::from_u64(4);
-        let hits = exec.index_scan(ds, "idx_mod17", Some(&lo), Some(&hi)).unwrap();
+        let hits = exec
+            .index_scan(ds, "idx_mod17", Some(&lo), Some(&hi))
+            .unwrap();
         hits.iter().map(|(_, v)| v.len()).sum::<usize>()
     };
     assert_eq!(count_before, count_after);
@@ -85,7 +95,11 @@ fn concurrent_writes_survive_scale_in() {
     let victim = NodeId(2);
     let target = cluster.topology_without(victim);
     let report = cluster
-        .rebalance(ds, &target, RebalanceOptions::with_concurrent_writes(concurrent.clone()))
+        .rebalance(
+            ds,
+            &target,
+            RebalanceOptions::with_concurrent_writes(concurrent.clone()),
+        )
         .unwrap();
     assert_eq!(report.outcome, RebalanceOutcome::Committed);
     assert_eq!(report.concurrent_writes_applied, 500);
@@ -94,7 +108,13 @@ fn concurrent_writes_survive_scale_in() {
     assert_eq!(cluster.dataset_len(ds).unwrap(), 6_500);
     for (k, _) in concurrent.iter().step_by(37) {
         let p = cluster.route_key(ds, k).unwrap();
-        assert!(cluster.partition(p).unwrap().dataset(ds).unwrap().get(k).is_some());
+        assert!(cluster
+            .partition(p)
+            .unwrap()
+            .dataset(ds)
+            .unwrap()
+            .get(k)
+            .is_some());
     }
 }
 
@@ -127,7 +147,9 @@ fn every_scheme_gives_identical_query_answers_after_rebalancing() {
     ];
     let target = cluster.topology_without(NodeId(2));
     for ds in datasets {
-        cluster.rebalance(ds, &target, RebalanceOptions::none()).unwrap();
+        cluster
+            .rebalance(ds, &target, RebalanceOptions::none())
+            .unwrap();
         cluster.check_dataset_consistency(ds).unwrap();
     }
     cluster.decommission_node(NodeId(2)).unwrap();
@@ -153,8 +175,15 @@ fn every_scheme_gives_identical_query_answers_after_rebalancing() {
 fn hashing_and_dynahash_agree_on_all_22_queries() {
     let answers = |scheme: Scheme| -> Vec<f64> {
         let mut cluster = Cluster::new(2);
-        let (tables, _, _) =
-            load_tpch(&mut cluster, scheme, TpchScale { orders: 80, seed: 7 }).unwrap();
+        let (tables, _, _) = load_tpch(
+            &mut cluster,
+            scheme,
+            TpchScale {
+                orders: 80,
+                seed: 7,
+            },
+        )
+        .unwrap();
         (1..=NUM_QUERIES)
             .map(|n| {
                 let mut exec = QueryExecutor::new(&mut cluster);

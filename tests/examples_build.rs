@@ -1,0 +1,40 @@
+//! Regression test: the examples under `examples/` must keep compiling.
+//!
+//! The seed of this repository shipped examples that had never been built
+//! (there were no Cargo manifests at all), so this test shells out to the
+//! same `cargo` that is running the test suite and builds every example
+//! offline in a single invocation — covering future examples too, with no
+//! list to keep in sync. Cargo's target-directory locking makes the nested
+//! invocation safe, and the build is incremental, so after the first run
+//! this is cheap.
+
+use std::process::Command;
+
+#[test]
+fn all_examples_compile() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+
+    // The five examples the paper reproduction ships today; a rename or
+    // removal should be a conscious decision, not silent drift.
+    for expected in [
+        "elastic_scaling",
+        "fault_tolerance",
+        "ingestion_feed",
+        "quickstart",
+        "tpch_analytics",
+    ] {
+        let path = format!("{manifest_dir}/examples/{expected}.rs");
+        assert!(
+            std::path::Path::new(&path).exists(),
+            "expected example `{expected}` is missing"
+        );
+    }
+
+    let status = Command::new(&cargo)
+        .current_dir(manifest_dir)
+        .args(["build", "--offline", "--examples"])
+        .status()
+        .expect("failed to spawn cargo");
+    assert!(status.success(), "`cargo build --examples` failed");
+}

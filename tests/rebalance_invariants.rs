@@ -2,11 +2,11 @@
 //! sequence of scale-out / scale-in / ingest steps is applied, no record is
 //! ever lost or misrouted, and the load balance stays bounded.
 
-use bytes::Bytes;
 use dynahash::cluster::{Cluster, ClusterConfig, CostModel, DatasetSpec, RebalanceOptions};
 use dynahash::core::{NodeId, RebalanceOutcome, Scheme};
 use dynahash::lsm::entry::Key;
-use proptest::prelude::*;
+use dynahash::lsm::rng::SplitMix64;
+use dynahash::lsm::Bytes;
 
 #[derive(Debug, Clone)]
 enum Step {
@@ -15,12 +15,46 @@ enum Step {
     ScaleIn,
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (50u16..400).prop_map(Step::Ingest),
-        Just(Step::ScaleOut),
-        Just(Step::ScaleIn),
-    ]
+/// Draws a step with the same distribution the old proptest strategy used:
+/// one of Ingest(50..400), ScaleOut, ScaleIn, uniformly.
+fn random_step(rng: &mut SplitMix64) -> Step {
+    match rng.gen_range(0..3) {
+        0 => Step::Ingest(rng.gen_range(50..400) as u16),
+        1 => Step::ScaleOut,
+        _ => Step::ScaleIn,
+    }
+}
+
+fn random_steps(rng: &mut SplitMix64) -> Vec<Step> {
+    let n = rng.gen_range(1..8) as usize;
+    (0..n).map(|_| random_step(rng)).collect()
+}
+
+/// Number of randomized cases per property.
+const CASES: u64 = 12;
+
+/// Runs `CASES` seeded random step sequences against `scheme`. On failure the
+/// panic message names the failing seed and the exact step sequence so the
+/// case can be replayed deterministically.
+fn check_never_loses_records(scheme: Scheme, seed_base: u64) {
+    for case in 0..CASES {
+        let seed = seed_base + case;
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let steps = random_steps(&mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_steps(scheme, &steps);
+        }));
+        if let Err(panic) = result {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!(
+                "property failed for scheme {scheme:?}\n  seed: {seed}\n  steps: {steps:?}\n  cause: {msg}"
+            );
+        }
+    }
 }
 
 fn record(i: u64) -> (Key, Bytes) {
@@ -35,7 +69,9 @@ fn run_steps(scheme: Scheme, steps: &[Step]) {
             cost_model: CostModel::default(),
         },
     );
-    let ds = cluster.create_dataset(DatasetSpec::new("events", scheme)).unwrap();
+    let ds = cluster
+        .create_dataset(DatasetSpec::new("events", scheme))
+        .unwrap();
     let mut next_key = 0u64;
     let mut expected = 0usize;
 
@@ -55,7 +91,9 @@ fn run_steps(scheme: Scheme, steps: &[Step]) {
                 }
                 cluster.add_node().unwrap();
                 let target = cluster.topology().clone();
-                let report = cluster.rebalance(ds, &target, RebalanceOptions::none()).unwrap();
+                let report = cluster
+                    .rebalance(ds, &target, RebalanceOptions::none())
+                    .unwrap();
                 assert_eq!(report.outcome, RebalanceOutcome::Committed);
             }
             Step::ScaleIn => {
@@ -64,7 +102,9 @@ fn run_steps(scheme: Scheme, steps: &[Step]) {
                 }
                 let victim = *cluster.topology().nodes().last().unwrap();
                 let target = cluster.topology_without(victim);
-                let report = cluster.rebalance(ds, &target, RebalanceOptions::none()).unwrap();
+                let report = cluster
+                    .rebalance(ds, &target, RebalanceOptions::none())
+                    .unwrap();
                 assert_eq!(report.outcome, RebalanceOutcome::Committed);
                 if scheme.is_bucketed() {
                     cluster.decommission_node(victim).unwrap();
@@ -76,7 +116,11 @@ fn run_steps(scheme: Scheme, steps: &[Step]) {
         }
         // Invariants after every step.
         cluster.check_dataset_consistency(ds).unwrap();
-        assert_eq!(cluster.dataset_len(ds).unwrap(), expected, "records lost or duplicated");
+        assert_eq!(
+            cluster.dataset_len(ds).unwrap(),
+            expected,
+            "records lost or duplicated"
+        );
     }
 
     // Spot-check a sample of keys for readability at the end.
@@ -84,37 +128,43 @@ fn run_steps(scheme: Scheme, steps: &[Step]) {
         let key = Key::from_u64(k);
         let p = cluster.route_key(ds, &key).unwrap();
         assert!(
-            cluster.partition(p).unwrap().dataset(ds).unwrap().get(&key).is_some(),
+            cluster
+                .partition(p)
+                .unwrap()
+                .dataset(ds)
+                .unwrap()
+                .get(&key)
+                .is_some(),
             "key {k} unreachable after the step sequence"
         );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn prop_dynahash_never_loses_records() {
+    check_never_loses_records(Scheme::dynahash(16 * 1024, 4), 0xdee0_0000);
+}
 
-    #[test]
-    fn prop_dynahash_never_loses_records(steps in proptest::collection::vec(step_strategy(), 1..8)) {
-        run_steps(Scheme::dynahash(16 * 1024, 4), &steps);
-    }
-
-    #[test]
-    fn prop_statichash_never_loses_records(steps in proptest::collection::vec(step_strategy(), 1..8)) {
-        run_steps(Scheme::StaticHash { num_buckets: 32 }, &steps);
-    }
+#[test]
+fn prop_statichash_never_loses_records() {
+    check_never_loses_records(Scheme::StaticHash { num_buckets: 32 }, 0xdee1_0000);
 }
 
 #[test]
 fn repeated_scale_out_keeps_load_balanced() {
     let mut cluster = Cluster::new(2);
     let scheme = Scheme::dynahash(24 * 1024, 8);
-    let ds = cluster.create_dataset(DatasetSpec::new("events", scheme)).unwrap();
+    let ds = cluster
+        .create_dataset(DatasetSpec::new("events", scheme))
+        .unwrap();
     cluster.ingest(ds, (0..12_000u64).map(record)).unwrap();
 
     for _ in 0..3 {
         cluster.add_node().unwrap();
         let target = cluster.topology().clone();
-        cluster.rebalance(ds, &target, RebalanceOptions::none()).unwrap();
+        cluster
+            .rebalance(ds, &target, RebalanceOptions::none())
+            .unwrap();
         cluster.check_dataset_consistency(ds).unwrap();
 
         // Per-node record counts should stay within 2.5x of the average
@@ -141,7 +191,10 @@ fn aborted_rebalance_leaves_everything_untouched() {
     use dynahash::core::FailurePoint;
     let mut cluster = Cluster::new(2);
     let ds = cluster
-        .create_dataset(DatasetSpec::new("events", Scheme::StaticHash { num_buckets: 32 }))
+        .create_dataset(DatasetSpec::new(
+            "events",
+            Scheme::StaticHash { num_buckets: 32 },
+        ))
         .unwrap();
     cluster.ingest(ds, (0..4_000u64).map(record)).unwrap();
     let distribution_before = cluster.dataset_distribution(ds).unwrap();
