@@ -1,7 +1,11 @@
-//! Figures 7a/7b: rebalance time for removing and adding a node.
+//! Figures 7a/7b: rebalance time for removing and adding a node, plus the
+//! wave-parallelism study of the step-driven executor (serial vs parallel
+//! bucket movement).
 
 use dynahash_bench::timing::{bench_case, bench_group, DEFAULT_ITERS};
-use dynahash_bench::{fig7_rebalance, ExperimentConfig, RebalanceDirection};
+use dynahash_bench::{
+    fig7_rebalance, format_waves, rebalance_wave_scaling, ExperimentConfig, RebalanceDirection,
+};
 
 fn main() {
     let cfg = ExperimentConfig::quick();
@@ -14,4 +18,24 @@ fn main() {
             fig7_rebalance(&cfg, &[2], dir)
         });
     }
+
+    // Serial vs parallel wave movement: wall-clock per configuration, then
+    // the simulated makespans — the parallel schedule must be strictly
+    // faster in simulated time (it moves the same buckets in fewer,
+    // barely-longer waves).
+    bench_group("wave_parallelism");
+    for moves_per_wave in [1usize, 4] {
+        bench_case(
+            &format!("dynahash_4to3/max_moves_{moves_per_wave}"),
+            DEFAULT_ITERS,
+            || rebalance_wave_scaling(&cfg, &[moves_per_wave]),
+        );
+    }
+    let rows = rebalance_wave_scaling(&cfg, &[1, 4]);
+    println!("simulated makespan (DynaHash LineItem, 4 -> 3 nodes):");
+    print!("{}", format_waves(&rows));
+    assert!(
+        rows[1].minutes < rows[0].minutes,
+        "parallel waves must beat the serial schedule in simulated time"
+    );
 }

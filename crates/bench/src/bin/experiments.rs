@@ -27,7 +27,7 @@ fn parse_args() -> Args {
             "--quick" => args.quick = true,
             "--figure" => args.figure = iter.next(),
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--quick] [--figure 6|7a|7b|7c|8|9|ablations]");
+                eprintln!("usage: experiments [--quick] [--figure 6|7a|7b|7c|waves|8|9|ablations]");
                 std::process::exit(0);
             }
             other => {
@@ -97,6 +97,13 @@ fn main() {
         let rates = [0.0, 10.0, 20.0, 30.0, 40.0];
         let rows = fig7c_concurrent_writes(&cfg, &rates);
         println!("{}", format_fig7c(&rows));
+    }
+
+    if wants(&args.figure, "waves") {
+        println!("## Wave parallelism — step-driven rebalance (DynaHash, 4 -> 3 nodes)");
+        println!();
+        let rows = rebalance_wave_scaling(&cfg, &[1, 2, 4, 8]);
+        println!("{}", format_waves(&rows));
     }
 
     if wants(&args.figure, "8") {

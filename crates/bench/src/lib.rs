@@ -23,7 +23,9 @@
 
 pub mod timing;
 
-use dynahash_cluster::{Cluster, ClusterConfig, CostModel, RebalanceOptions, SimDuration};
+use dynahash_cluster::{
+    Cluster, ClusterConfig, CostModel, RebalanceJob, RebalanceOptions, SimDuration,
+};
 use dynahash_core::{NodeId, Scheme};
 use dynahash_tpch::loader::lineitem_records;
 use dynahash_tpch::{generator, load_tpch, query_traits, run_query, TpchScale, NUM_QUERIES};
@@ -154,6 +156,12 @@ pub struct RebalanceRow {
     pub moved_fraction: f64,
 }
 
+/// Wave width used by the figure experiments. AsterixDB executes the data
+/// movement as one Hyracks job that ships buckets from all partitions
+/// concurrently, so the figures use a parallel wave schedule rather than the
+/// conservative serial default of `RebalanceOptions`.
+const FIGURE_MOVES_PER_WAVE: usize = 4;
+
 /// Figures 7a/7b: rebalance time for removing or adding one node.
 pub fn fig7_rebalance(
     cfg: &ExperimentConfig,
@@ -196,7 +204,11 @@ pub fn fig7_rebalance(
             ] {
                 let bytes = cluster.dataset_primary_bytes(ds).unwrap_or(0) as f64;
                 let report = cluster
-                    .rebalance(ds, &target, RebalanceOptions::none())
+                    .rebalance(
+                        ds,
+                        &target,
+                        RebalanceOptions::none().with_max_concurrent_moves(FIGURE_MOVES_PER_WAVE),
+                    )
                     .expect("rebalance");
                 total += report.elapsed;
                 moved += report.moved_fraction * bytes;
@@ -241,7 +253,11 @@ pub fn fig7c_concurrent_writes(
         let (tables, _, _) = load_tpch(&mut cluster, scheme, cfg.scale(nodes)).expect("load");
         let target = cluster.topology_without(NodeId(nodes - 1));
         let report = cluster
-            .rebalance(tables.lineitem, &target, RebalanceOptions::none())
+            .rebalance(
+                tables.lineitem,
+                &target,
+                RebalanceOptions::none().with_max_concurrent_moves(FIGURE_MOVES_PER_WAVE),
+            )
             .expect("rebalance");
         report.elapsed.as_secs_f64()
     };
@@ -260,7 +276,9 @@ pub fn fig7c_concurrent_writes(
             .rebalance(
                 tables.lineitem,
                 &target,
-                RebalanceOptions::with_concurrent_writes(writes),
+                RebalanceOptions::none()
+                    .with_max_concurrent_moves(FIGURE_MOVES_PER_WAVE)
+                    .with_concurrent_writes(writes),
             )
             .expect("rebalance with writes");
         rows.push(ConcurrentWriteRow {
@@ -270,6 +288,80 @@ pub fn fig7c_concurrent_writes(
         });
     }
     rows
+}
+
+// -------------------------------------------- wave parallelism (step executor)
+
+/// One row of the wave-parallelism study: the same DynaHash scale-in
+/// rebalance executed by the step-driven job with a different
+/// `max_concurrent_moves`.
+#[derive(Debug, Clone)]
+pub struct WaveRow {
+    /// Bucket moves per wave.
+    pub max_concurrent_moves: usize,
+    /// Total simulated rebalance makespan in minutes.
+    pub minutes: f64,
+    /// Simulated makespan of the data-movement phase alone (the sum of the
+    /// waves' makespans) in minutes.
+    pub movement_minutes: f64,
+    /// Number of waves the moves were scheduled into.
+    pub waves: usize,
+    /// Buckets moved (identical across rows — only the schedule differs).
+    pub buckets_moved: usize,
+}
+
+/// Wave-parallelism study: rebalance LineItem from 4 to 3 nodes with the
+/// step-driven executor, varying how many bucket moves each wave runs in
+/// parallel. `max_concurrent_moves = 1` reproduces the serial
+/// one-bucket-at-a-time schedule; wider waves are charged their slowest node
+/// only, so they finish strictly faster while moving exactly the same
+/// buckets.
+pub fn rebalance_wave_scaling(cfg: &ExperimentConfig, max_moves: &[usize]) -> Vec<WaveRow> {
+    let nodes = 4u32;
+    let mut rows = Vec::new();
+    for &moves_per_wave in max_moves {
+        let mut cluster = cfg.cluster(nodes);
+        let scheme = cfg.dynahash_scheme(nodes);
+        let (tables, _, _) = load_tpch(&mut cluster, scheme, cfg.scale(nodes)).expect("load");
+        let target = cluster.topology_without(NodeId(nodes - 1));
+        let mut job = RebalanceJob::plan(&mut cluster, tables.lineitem, &target, moves_per_wave)
+            .expect("plan job");
+        let waves = job.num_waves();
+        job.init(&mut cluster).expect("init");
+        while job.has_remaining_waves() {
+            job.run_wave(&mut cluster).expect("wave");
+        }
+        job.prepare(&mut cluster).expect("prepare");
+        job.decide(&mut cluster).expect("decide");
+        job.commit(&mut cluster).expect("commit");
+        let report = job.finalize(&mut cluster).expect("finalize");
+        rows.push(WaveRow {
+            max_concurrent_moves: moves_per_wave,
+            minutes: report.elapsed.as_minutes_f64(),
+            movement_minutes: report.phases.data_movement.as_minutes_f64(),
+            waves,
+            buckets_moved: report.buckets_moved,
+        });
+    }
+    rows
+}
+
+/// Renders wave-parallelism rows as a markdown table.
+pub fn format_waves(rows: &[WaveRow]) -> String {
+    let mut s = String::from(
+        "| moves/wave | waves | buckets | movement (sim s) | total (sim s) |\n|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "| {} | {} | {} | {:.3} | {:.3} |\n",
+            r.max_concurrent_moves,
+            r.waves,
+            r.buckets_moved,
+            r.movement_minutes * 60.0,
+            r.minutes * 60.0
+        ));
+    }
+    s
 }
 
 // -------------------------------------------------------------- Figures 8 / 9
@@ -662,6 +754,23 @@ mod tests {
         assert!(rows[1].minutes >= rows[0].minutes);
         assert!(rows[1].concurrent_records > 0);
         assert!(format_fig7c(&rows).contains("krec"));
+    }
+
+    #[test]
+    fn parallel_waves_beat_serial_makespan() {
+        let rows = rebalance_wave_scaling(&tiny(), &[1, 4]);
+        assert_eq!(rows.len(), 2);
+        let (serial, parallel) = (&rows[0], &rows[1]);
+        assert_eq!(serial.buckets_moved, parallel.buckets_moved);
+        assert!(parallel.waves < serial.waves);
+        assert!(
+            parallel.movement_minutes < serial.movement_minutes,
+            "parallel movement {} !< serial {}",
+            parallel.movement_minutes,
+            serial.movement_minutes
+        );
+        assert!(parallel.minutes < serial.minutes);
+        assert!(format_waves(&rows).contains("moves/wave"));
     }
 
     #[test]

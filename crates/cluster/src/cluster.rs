@@ -8,11 +8,11 @@
 
 use std::collections::BTreeMap;
 
-use dynahash_core::{ClusterTopology, NodeId, PartitionId, Scheme};
+use dynahash_core::{ClusterTopology, GlobalDirectory, NodeId, PartitionId, Scheme};
 use dynahash_lsm::bucket::BucketId;
 use dynahash_lsm::entry::{Key, Value};
 use dynahash_lsm::metrics::MetricsSnapshot;
-use dynahash_lsm::wal::LogRecordBody;
+use dynahash_lsm::wal::{LogRecordBody, RebalanceId, RebalanceLogStatus};
 
 use crate::controller::ClusterController;
 use crate::dataset::{DatasetId, DatasetSpec};
@@ -40,6 +40,23 @@ impl Default for ClusterConfig {
     }
 }
 
+/// Replication state of one in-flight step-driven rebalance, registered by
+/// the [`crate::job::RebalanceJob`] so the *normal* ingestion path stays
+/// online during data movement: writes routed to a bucket whose wave has
+/// already shipped it are transparently replicated to the destination's
+/// pending copy (Section V-C), and writes are briefly blocked once the
+/// prepare phase has flushed the pending components.
+pub(crate) struct ActiveRebalance {
+    /// The pre-rebalance directory every write routes through until commit.
+    pub routing: GlobalDirectory,
+    /// The rebalance target topology (destination partitions live here).
+    pub target: ClusterTopology,
+    /// Shipped bucket -> destination partition (grows wave by wave).
+    pub shipped: BTreeMap<BucketId, PartitionId>,
+    /// True from the prepare phase until commit/abort: writes are blocked.
+    pub write_blocked: bool,
+}
+
 /// The simulated cluster.
 pub struct Cluster {
     config: ClusterConfig,
@@ -47,6 +64,8 @@ pub struct Cluster {
     nodes: BTreeMap<NodeId, NodeController>,
     /// The Cluster Controller.
     pub controller: ClusterController,
+    /// In-flight step-driven rebalances, by dataset (see [`ActiveRebalance`]).
+    pub(crate) active_rebalances: BTreeMap<DatasetId, ActiveRebalance>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -77,6 +96,7 @@ impl Cluster {
             topology,
             nodes,
             controller: ClusterController::new(),
+            active_rebalances: BTreeMap::new(),
         }
     }
 
@@ -152,7 +172,7 @@ impl Cluster {
     pub fn route_key(&self, dataset: DatasetId, key: &Key) -> Result<PartitionId, ClusterError> {
         let meta = self.controller.dataset(dataset)?;
         meta.route_key(key)
-            .ok_or_else(|| ClusterError::RoutingFailed(dataset))
+            .ok_or(ClusterError::RoutingFailed(dataset))
     }
 
     // ------------------------------------------------------------ ingestion
@@ -169,6 +189,14 @@ impl Cluster {
         dataset: DatasetId,
         records: impl IntoIterator<Item = (Key, Value)>,
     ) -> Result<IngestReport, ClusterError> {
+        // A step-driven rebalance keeps the feed online during data movement
+        // by replicating writes to already-shipped buckets; only the brief
+        // prepare-to-commit window blocks writes (Section V-C).
+        if let Some(active) = self.active_rebalances.get(&dataset) {
+            if active.write_blocked {
+                return Err(ClusterError::DatasetWriteBlocked(dataset));
+            }
+        }
         let routing = self.controller.routing_snapshot(dataset)?;
         let cost_model = self.config.cost_model;
 
@@ -188,12 +216,23 @@ impl Cluster {
             .collect();
 
         let mut per_node_records: BTreeMap<NodeId, u64> = BTreeMap::new();
+        // Per-node replication traffic (records, bytes) to pending buckets.
+        let mut replicated: BTreeMap<NodeId, (u64, u64)> = BTreeMap::new();
         let mut total = 0u64;
         for (key, value) in records {
             let partition = routing
                 .route_key(&key)
                 .ok_or(ClusterError::RoutingFailed(dataset))?;
             let node_id = self.node_of_partition(partition)?;
+            // Writes hitting a bucket whose wave already shipped it must
+            // also reach the destination's pending copy, or the commit-time
+            // cleanup of the source bucket would drop them.
+            let replica = self.active_rebalances.get(&dataset).and_then(|active| {
+                let (bucket, _) = active.routing.lookup_key(&key)?;
+                let dst_partition = *active.shipped.get(&bucket)?;
+                let dst_node = active.target.node_of(dst_partition);
+                Some((bucket, dst_partition, dst_node, key.clone(), value.clone()))
+            });
             let node = self.node_mut(node_id)?;
             if !node.is_alive() {
                 return Err(ClusterError::NodeDown(node_id));
@@ -208,6 +247,15 @@ impl Cluster {
                 .ingest(key, value)?;
             *per_node_records.entry(node_id).or_default() += 1;
             total += 1;
+            if let Some((bucket, dst_partition, dst_node, key, value)) = replica {
+                let dst_node = dst_node.ok_or(ClusterError::UnknownPartition(dst_partition))?;
+                let entry = replicated.entry(dst_node).or_default();
+                entry.0 += 1;
+                entry.1 += (key.len() + value.len()) as u64;
+                self.partition_mut(dst_partition)?
+                    .dataset_mut(dataset)?
+                    .apply_replicated(bucket, dynahash_lsm::Entry::put(key, value))?;
+            }
         }
 
         // Cost accounting: CPU for parsing/routing plus the IO the storage
@@ -216,6 +264,12 @@ impl Cluster {
         timeline.charge_coordinator(SimDuration::from_nanos(cost_model.job_overhead_ns));
         for (node_id, records) in &per_node_records {
             timeline.charge(*node_id, cost_model.ingest_cpu(*records));
+        }
+        for (node_id, (records, bytes)) in &replicated {
+            timeline.charge(
+                *node_id,
+                cost_model.network(*bytes) + cost_model.ingest_cpu(*records),
+            );
         }
         for p in self.topology.partitions() {
             let node_id = self.node_of_partition(p)?;
@@ -367,6 +421,24 @@ impl Cluster {
         self.controller.scheme_of(dataset)
     }
 
+    /// Enables or disables bucket splits for a dataset on every partition
+    /// (splits are suspended for the duration of a rebalance).
+    pub(crate) fn set_splits_enabled(
+        &mut self,
+        dataset: DatasetId,
+        enabled: bool,
+    ) -> Result<(), ClusterError> {
+        for p in self.topology().partitions() {
+            let part = self.partition_mut(p)?;
+            if part.dataset_ids().contains(&dataset) {
+                part.dataset_mut(dataset)?
+                    .primary
+                    .set_splits_enabled(enabled);
+            }
+        }
+        Ok(())
+    }
+
     /// Checks global consistency for a dataset: every record is stored on the
     /// partition its key routes to, and partitions' local directories are
     /// internally consistent. Used by integration and property tests.
@@ -396,6 +468,62 @@ impl Cluster {
             }
         }
         Ok(())
+    }
+
+    /// The full post-rebalance integrity contract, used by the failure-point
+    /// matrix tests: whatever happened during the rebalance, after it reaches
+    /// a terminal state the cluster must satisfy, all at once:
+    ///
+    /// 1. every record is stored on the partition its key routes to and the
+    ///    local directories are internally consistent
+    ///    ([`Cluster::check_dataset_consistency`]);
+    /// 2. for bucketed schemes, the CC's global directory covers the whole
+    ///    hash space **and** equals the directory rebuilt from the
+    ///    partitions' local directories (directory agreement);
+    /// 3. no partition holds leftover pending rebalance state (received
+    ///    buckets were either installed or discarded);
+    /// 4. the metadata log reached the terminal `Done` status for the
+    ///    operation (WAL agreement).
+    pub fn check_rebalance_integrity(
+        &self,
+        dataset: DatasetId,
+        rebalance: RebalanceId,
+    ) -> Result<(), ClusterError> {
+        self.check_dataset_consistency(dataset)?;
+        let meta = self.controller.dataset(dataset)?;
+        if let Some(dir) = &meta.directory {
+            if !dir.covers_full_space() {
+                return Err(ClusterError::Inconsistent(
+                    "global directory does not cover the hash space".to_string(),
+                ));
+            }
+            let refreshed = GlobalDirectory::refresh_from_locals(self.local_directories(dataset)?)
+                .map_err(ClusterError::Core)?;
+            if &refreshed != dir {
+                return Err(ClusterError::Inconsistent(
+                    "local directories disagree with the CC's global directory".to_string(),
+                ));
+            }
+        }
+        for p in self.topology.partitions() {
+            let part = self.partition(p)?;
+            if !part.dataset_ids().contains(&dataset) {
+                continue;
+            }
+            let ds = part.dataset(dataset)?;
+            if !ds.primary.pending_bucket_ids().is_empty() || ds.primary.pending_storage_bytes() > 0
+            {
+                return Err(ClusterError::Inconsistent(format!(
+                    "partition {p} still holds pending rebalance state"
+                )));
+            }
+        }
+        match self.controller.metadata_log.rebalance_status(rebalance) {
+            RebalanceLogStatus::Done => Ok(()),
+            status => Err(ClusterError::Inconsistent(format!(
+                "rebalance {rebalance} has non-terminal log status {status:?}"
+            ))),
+        }
     }
 }
 

@@ -82,6 +82,25 @@ impl ControlledRateFeed {
     }
 }
 
+/// Splits a batch of feed records into exactly `n` sub-batches of near-equal
+/// size, preserving arrival order. The one-shot rebalance driver uses this to
+/// spread a scenario's concurrent writes across the job's waves, so every
+/// wave boundary sees fresh mid-flight ingestion. Some sub-batches may be
+/// empty when there are fewer records than batches.
+pub fn split_into_batches<T>(records: Vec<T>, n: usize) -> Vec<Vec<T>> {
+    let n = n.max(1);
+    let total = records.len();
+    let base = total / n;
+    let extra = total % n;
+    let mut out = Vec::with_capacity(n);
+    let mut iter = records.into_iter();
+    for i in 0..n {
+        let take = base + usize::from(i < extra);
+        out.push(iter.by_ref().take(take).collect());
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,6 +141,21 @@ mod tests {
         assert_eq!(m.elapsed, SimDuration::from_secs(3));
         assert_eq!(m.per_node[0], (NodeId(0), SimDuration::from_secs(2)));
         assert_eq!(m.per_node[1], (NodeId(1), SimDuration::from_secs(2)));
+    }
+
+    #[test]
+    fn split_into_batches_preserves_order_and_count() {
+        let batches = split_into_batches((0..10).collect::<Vec<_>>(), 3);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0], vec![0, 1, 2, 3]);
+        assert_eq!(batches[1], vec![4, 5, 6]);
+        assert_eq!(batches[2], vec![7, 8, 9]);
+        // fewer records than batches: the tail batches are empty
+        let sparse = split_into_batches(vec![1, 2], 5);
+        assert_eq!(sparse.iter().map(Vec::len).sum::<usize>(), 2);
+        assert_eq!(sparse.len(), 5);
+        // zero batches is clamped to one
+        assert_eq!(split_into_batches(vec![7], 0), vec![vec![7]]);
     }
 
     #[test]

@@ -1,0 +1,866 @@
+//! The step-driven rebalance executor (the resumable form of Section V).
+//!
+//! [`RebalanceJob`] decomposes the three-phase rebalance protocol into an
+//! explicit state machine with one method per step:
+//!
+//! ```text
+//! plan -> init -> run_wave(0) .. run_wave(n-1) -> prepare -> decide
+//!                                                      |        |
+//!                                                    abort      +-> commit
+//!                                                      |        |
+//!                                                      +--------+-> finalize
+//! ```
+//!
+//! The job holds **no borrow of the cluster** between steps, so the cluster
+//! stays fully usable mid-rebalance: queries can run, feed batches can be
+//! applied through [`RebalanceJob::apply_feed_batch`] (with replication to
+//! already-shipped buckets), and nodes or the Cluster Controller can crash
+//! and recover. Each wave moves up to `max_concurrent_moves` buckets in
+//! parallel and simulated time is charged per wave — the wave's *makespan*
+//! is its slowest participating node — so wider waves finish measurably
+//! earlier than the serial one-bucket-at-a-time schedule.
+//!
+//! The one-shot [`crate::cluster::Cluster::rebalance`] entry point is a thin
+//! driver loop over this job (see [`crate::rebalance`]); driving the job
+//! directly is how scenario tests observe and perturb a rebalance between
+//! any two steps. A job must always be driven to [`RebalanceJob::finalize`]
+//! (via commit or abort) — abandoning one mid-flight leaves bucket splits
+//! disabled and the dataset's write-replication state registered.
+
+use std::collections::BTreeMap;
+
+use dynahash_core::{
+    ClusterTopology, GlobalDirectory, NodeId, NodeVote, RebalanceCoordinator, RebalanceOutcome,
+    RebalancePlan,
+};
+use dynahash_lsm::entry::{Key, Value};
+use dynahash_lsm::wal::{LogRecordBody, RebalanceId};
+
+use crate::cluster::Cluster;
+use crate::dataset::DatasetId;
+use crate::rebalance::{PhaseTimes, RebalanceReport};
+use crate::sim::{NodeTimeline, SimDuration, WaveClock};
+use crate::{ClusterError, Result};
+
+/// A step boundary of the one-shot driver loop, where scenario hooks
+/// ([`crate::rebalance::StepHook`]) fire. Between any two steps the cluster
+/// is fully usable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepPoint {
+    /// After the plan is computed (BEGIN forced, waves scheduled).
+    AfterPlan,
+    /// After initialization (splits disabled, moving buckets snapshotted).
+    AfterInit,
+    /// After the given wave (0-based) completed.
+    AfterWave(usize),
+    /// After every wave (matches each `AfterWave(_)` boundary).
+    AfterEveryWave,
+    /// After all waves, before the prepare phase blocks the dataset.
+    BeforePrepare,
+    /// After every alive participant voted "prepared".
+    AfterPrepare,
+    /// After the COMMIT record was forced, before commit tasks run.
+    AfterCommitLog,
+    /// Before finalization (commit tasks ran; DONE not yet forced).
+    BeforeFinalize,
+}
+
+/// The observable state of a [`RebalanceJob`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// The plan is computed and BEGIN is forced; nothing has moved yet.
+    Planned,
+    /// Data movement is in progress; `completed_waves` waves have run.
+    Moving {
+        /// Number of waves that have completed so far.
+        completed_waves: usize,
+    },
+    /// All waves ran and every alive participant voted.
+    Prepared,
+    /// The commit/abort decision is durable (COMMIT or ABORT was forced).
+    Decided(RebalanceOutcome),
+    /// Commit tasks ran on every alive node and the CC routing is installed.
+    CommitTasksDone,
+    /// The job is finished (DONE is forced) with the recorded outcome.
+    Finalized(RebalanceOutcome),
+}
+
+impl JobState {
+    fn name(&self) -> &'static str {
+        match self {
+            JobState::Planned => "Planned",
+            JobState::Moving { .. } => "Moving",
+            JobState::Prepared => "Prepared",
+            JobState::Decided(RebalanceOutcome::Committed) => "Decided(Committed)",
+            JobState::Decided(RebalanceOutcome::Aborted) => "Decided(Aborted)",
+            JobState::CommitTasksDone => "CommitTasksDone",
+            JobState::Finalized(_) => "Finalized",
+        }
+    }
+}
+
+/// Cost and shape summary of one executed wave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaveReport {
+    /// The wave index (0-based).
+    pub wave: usize,
+    /// Bucket moves executed by this wave.
+    pub moves: usize,
+    /// Primary-index bytes shipped by this wave.
+    pub bytes: u64,
+    /// Records shipped by this wave.
+    pub records: u64,
+    /// The wave's simulated makespan (slowest participating node).
+    pub makespan: SimDuration,
+}
+
+/// A resumable, step-driven rebalance of one bucketed dataset.
+pub struct RebalanceJob {
+    dataset: DatasetId,
+    rebalance_id: RebalanceId,
+    target: ClusterTopology,
+    plan: RebalancePlan,
+    waves: Vec<Vec<dynahash_core::BucketMove>>,
+    /// The refreshed pre-rebalance directory: the routing every write uses
+    /// until the commit installs the new directory at the CC.
+    routing: GlobalDirectory,
+    participants: Vec<NodeId>,
+    coordinator: RebalanceCoordinator,
+    state: JobState,
+    init_tl: NodeTimeline,
+    move_tl: NodeTimeline,
+    fin_tl: NodeTimeline,
+    clock: WaveClock,
+    total_bytes: u64,
+    bytes_moved: u64,
+    records_moved: u64,
+    writes_applied: u64,
+}
+
+impl std::fmt::Debug for RebalanceJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RebalanceJob")
+            .field("rebalance_id", &self.rebalance_id)
+            .field("dataset", &self.dataset)
+            .field("state", &self.state)
+            .field("waves", &self.waves.len())
+            .field("moves", &self.plan.num_moves())
+            .finish()
+    }
+}
+
+impl RebalanceJob {
+    // ------------------------------------------------------------- stepping
+
+    /// Plans a rebalance of `dataset` onto `target`: forces the BEGIN log
+    /// record, refreshes the global directory from the partitions' local
+    /// directories, runs Algorithm 2, and schedules the resulting moves into
+    /// waves of at most `max_concurrent_moves`. Only bucketed schemes can be
+    /// driven step-by-step; the Hashing baseline rebuilds the dataset in one
+    /// shot and goes through [`Cluster::rebalance`].
+    pub fn plan(
+        cluster: &mut Cluster,
+        dataset: DatasetId,
+        target: &ClusterTopology,
+        max_concurrent_moves: usize,
+    ) -> Result<Self> {
+        if target.is_empty() {
+            return Err(ClusterError::Core(dynahash_core::CoreError::EmptyTopology));
+        }
+        if !cluster.scheme_of(dataset)?.is_bucketed() {
+            return Err(ClusterError::RebalanceAborted(
+                "the step-driven RebalanceJob requires a bucketed scheme".to_string(),
+            ));
+        }
+        let rebalance_id = cluster.controller.next_rebalance_id();
+        // The CC forces BEGIN before anything else (Section V-D).
+        cluster
+            .controller
+            .metadata_log
+            .append_forced(LogRecordBody::RebalanceBegin {
+                rebalance: rebalance_id,
+                dataset,
+            });
+
+        let locals = cluster.local_directories(dataset)?;
+        let routing = GlobalDirectory::refresh_from_locals(locals).map_err(ClusterError::Core)?;
+        let sizes = cluster.dataset_bucket_sizes(dataset)?;
+        let plan = RebalancePlan::compute(rebalance_id, &routing, &sizes, target)
+            .map_err(ClusterError::Core)?;
+        let total_bytes = cluster.dataset_primary_bytes(dataset)?;
+
+        // Participants: every node hosting a source or destination partition
+        // of the plan, plus all target nodes (which must ack the commit).
+        let mut participants: Vec<NodeId> = target.nodes();
+        for m in &plan.moves {
+            if let Some(n) = cluster.topology().node_of(m.from) {
+                if !participants.contains(&n) {
+                    participants.push(n);
+                }
+            }
+        }
+        participants.sort_unstable();
+
+        let topology = cluster.topology().clone();
+        let waves = plan.schedule_waves(max_concurrent_moves, |p| topology.node_of(p));
+        let coordinator = RebalanceCoordinator::new(rebalance_id, participants.clone());
+
+        Ok(RebalanceJob {
+            dataset,
+            rebalance_id,
+            target: target.clone(),
+            plan,
+            waves,
+            routing,
+            participants,
+            coordinator,
+            state: JobState::Planned,
+            init_tl: NodeTimeline::new(),
+            move_tl: NodeTimeline::new(),
+            fin_tl: NodeTimeline::new(),
+            clock: WaveClock::new(),
+            total_bytes,
+            bytes_moved: 0,
+            records_moved: 0,
+            writes_applied: 0,
+        })
+    }
+
+    /// Initialization: disables bucket splits for the duration of the
+    /// rebalance, snapshot-flushes every moving bucket (its flush time is the
+    /// rebalance start time for the concurrency-control split), and moves the
+    /// coordinator into the data-movement phase.
+    pub fn init(&mut self, cluster: &mut Cluster) -> Result<()> {
+        self.expect(matches!(self.state, JobState::Planned), "init")?;
+        let cost = cluster.cost_model();
+        cluster.set_splits_enabled(self.dataset, false)?;
+
+        // CC contacts every participant to fetch directories / dispatch work.
+        for n in &self.participants {
+            self.init_tl
+                .charge(*n, SimDuration::from_nanos(cost.network_latency_ns));
+        }
+        self.init_tl
+            .charge_coordinator(SimDuration::from_nanos(cost.job_overhead_ns));
+
+        for m in &self.plan.moves {
+            let node = cluster.node_of_partition(m.from)?;
+            let before = cluster.partition(m.from)?.metrics().snapshot();
+            cluster
+                .partition_mut(m.from)?
+                .dataset_mut(self.dataset)?
+                .primary
+                .snapshot_bucket(m.bucket)
+                .map_err(ClusterError::Storage)?;
+            let after = cluster.partition(m.from)?.metrics().snapshot();
+            let delta = after.delta_since(&before);
+            self.init_tl
+                .charge(node, cost.disk_write(delta.bytes_flushed));
+        }
+
+        self.coordinator
+            .start_data_movement()
+            .map_err(ClusterError::Core)?;
+        // Register with the cluster so the normal ingestion path replicates
+        // writes to shipped buckets for the duration of data movement.
+        cluster.active_rebalances.insert(
+            self.dataset,
+            crate::cluster::ActiveRebalance {
+                routing: self.routing.clone(),
+                target: self.target.clone(),
+                shipped: BTreeMap::new(),
+                write_blocked: false,
+            },
+        );
+        self.state = JobState::Moving { completed_waves: 0 };
+        Ok(())
+    }
+
+    /// Runs the next wave: scans each of the wave's buckets at its source,
+    /// ships it, and bulk-loads it into a pending (invisible) bucket at its
+    /// destination. All moves of a wave run in parallel, so the wave is
+    /// charged its makespan — the slowest participating node. Both ends of
+    /// every move must be alive; crash a node mid-movement and the operator
+    /// must either recover it or [`RebalanceJob::abort`].
+    pub fn run_wave(&mut self, cluster: &mut Cluster) -> Result<WaveReport> {
+        let wave_index = match self.state {
+            JobState::Moving { completed_waves } if completed_waves < self.waves.len() => {
+                completed_waves
+            }
+            _ => return Err(self.invalid_step("run_wave")),
+        };
+        let cost = cluster.cost_model();
+        let wave = self.waves[wave_index].clone();
+
+        // Data movement needs both ends of every move up.
+        for m in &wave {
+            let src_node = cluster.node_of_partition(m.from)?;
+            let dst_node = self
+                .target
+                .node_of(m.to)
+                .ok_or(ClusterError::UnknownPartition(m.to))?;
+            for node in [src_node, dst_node] {
+                if !cluster.node_is_alive(node) {
+                    return Err(ClusterError::NodeDown(node));
+                }
+            }
+        }
+
+        let mut wave_tl = NodeTimeline::new();
+        let mut bytes = 0u64;
+        let mut records = 0u64;
+        for m in &wave {
+            let src_node = cluster.node_of_partition(m.from)?;
+            let dst_node = self
+                .target
+                .node_of(m.to)
+                .ok_or(ClusterError::UnknownPartition(m.to))?;
+            let entries = cluster
+                .partition_mut(m.from)?
+                .dataset_mut(self.dataset)?
+                .scan_bucket_for_move(m.bucket)?;
+            let bucket_bytes: u64 = entries.iter().map(|e| e.size_bytes() as u64).sum();
+            let bucket_records = entries.len() as u64;
+
+            // Source reads the bucket; the network ships it; the destination
+            // writes the loaded components and rebuilds secondary entries.
+            // Empty buckets only need a directory update, which travels with
+            // the commit message, so they incur no per-move transfer cost.
+            if bucket_bytes > 0 {
+                wave_tl.charge(src_node, cost.disk_read(bucket_bytes));
+                wave_tl.charge(dst_node, cost.network(bucket_bytes));
+                wave_tl.charge(
+                    dst_node,
+                    cost.disk_write(bucket_bytes) + cost.index_rebuild_cpu(bucket_records),
+                );
+            }
+
+            let dst = cluster.partition_mut(m.to)?.dataset_mut(self.dataset)?;
+            dst.create_pending_bucket(m.bucket)?;
+            dst.load_pending(m.bucket, entries)?;
+
+            bytes += bucket_bytes;
+            records += bucket_records;
+        }
+
+        // From now on, writes routed to this wave's buckets replicate to the
+        // destinations' pending copies (the normal ingest path consults this).
+        if let Some(active) = cluster.active_rebalances.get_mut(&self.dataset) {
+            for m in &wave {
+                active.shipped.insert(m.bucket, m.to);
+            }
+        }
+
+        let makespan = wave_tl.elapsed();
+        self.clock.record_wave(&wave_tl);
+        self.move_tl.extend(&wave_tl);
+        self.bytes_moved += bytes;
+        self.records_moved += records;
+        self.state = JobState::Moving {
+            completed_waves: wave_index + 1,
+        };
+        Ok(WaveReport {
+            wave: wave_index,
+            moves: wave.len(),
+            bytes,
+            records,
+            makespan,
+        })
+    }
+
+    /// Applies a batch of concurrent writes while data movement is in
+    /// progress (between any two waves, or before/after all of them). The
+    /// batch goes through the *normal* feed path — [`Cluster::ingest`] —
+    /// which consults the registered rebalance state: records hitting a
+    /// bucket whose wave has *already shipped it* are replicated to the
+    /// destination's pending bucket, while writes to buckets that have not
+    /// shipped yet need no replication (the wave's snapshot scan picks them
+    /// up). The only thing this wrapper adds is folding the batch into the
+    /// job's data-movement time accounting.
+    pub fn apply_feed_batch(
+        &mut self,
+        cluster: &mut Cluster,
+        records: impl IntoIterator<Item = (Key, Value)>,
+    ) -> Result<u64> {
+        self.expect(
+            matches!(self.state, JobState::Moving { .. }),
+            "apply_feed_batch",
+        )?;
+        let report = cluster.ingest(self.dataset, records)?;
+        // Like a wave, the feed batch is bounded by its slowest node.
+        let mut batch_tl = NodeTimeline::new();
+        for (node, busy) in &report.per_node {
+            batch_tl.charge(*node, *busy);
+        }
+        self.clock.record_wave(&batch_tl);
+        self.move_tl.extend(&batch_tl);
+        self.writes_applied += report.records;
+        Ok(report.records)
+    }
+
+    /// Prepare (the first half of 2PC): every destination flushes the memory
+    /// components holding replicated writes, and every alive participant
+    /// votes "prepared". Requires all waves to have run.
+    pub fn prepare(&mut self, cluster: &mut Cluster) -> Result<()> {
+        self.expect(
+            matches!(self.state, JobState::Moving { completed_waves } if completed_waves == self.waves.len()),
+            "prepare",
+        )?;
+        let cost = cluster.cost_model();
+        self.coordinator
+            .start_prepare()
+            .map_err(ClusterError::Core)?;
+        for m in &self.plan.moves {
+            let dst_node = self
+                .target
+                .node_of(m.to)
+                .ok_or(ClusterError::UnknownPartition(m.to))?;
+            if cluster.node_is_alive(dst_node) {
+                let pending_bytes = cluster
+                    .partition(m.to)?
+                    .dataset(self.dataset)?
+                    .primary
+                    .pending_storage_bytes() as u64;
+                cluster
+                    .partition_mut(m.to)?
+                    .dataset_mut(self.dataset)?
+                    .flush_pending();
+                self.fin_tl
+                    .charge(dst_node, cost.disk_write(pending_bytes / 8));
+            }
+        }
+        // Reads still proceed, but writes are blocked from here until the
+        // decision: the pending components are flushed and a late write
+        // could no longer be replicated (Section V-C).
+        if let Some(active) = cluster.active_rebalances.get_mut(&self.dataset) {
+            active.write_blocked = true;
+        }
+        // Alive participants vote yes; dead ones cannot vote.
+        for n in &self.participants {
+            if cluster.node_is_alive(*n) {
+                self.coordinator
+                    .record_vote(*n, NodeVote::Yes)
+                    .map_err(ClusterError::Core)?;
+            }
+        }
+        self.fin_tl.charge_coordinator(SimDuration::from_nanos(
+            cost.network_latency_ns * self.participants.len() as u64,
+        ));
+        self.state = JobState::Prepared;
+        Ok(())
+    }
+
+    /// Decides the outcome from the collected votes. A unanimous yes forces
+    /// the COMMIT log record — the rebalance is then determined to commit —
+    /// and any missing vote aborts (forcing the ABORT record and discarding
+    /// all pending buckets).
+    pub fn decide(&mut self, cluster: &mut Cluster) -> Result<RebalanceOutcome> {
+        self.expect(matches!(self.state, JobState::Prepared), "decide")?;
+        if self.coordinator.unanimous_yes() {
+            // The outcome is determined by forcing the COMMIT record.
+            cluster
+                .controller
+                .metadata_log
+                .append_forced(LogRecordBody::RebalanceCommit {
+                    rebalance: self.rebalance_id,
+                });
+            self.coordinator.decide().map_err(ClusterError::Core)?;
+            self.state = JobState::Decided(RebalanceOutcome::Committed);
+            Ok(RebalanceOutcome::Committed)
+        } else {
+            self.coordinator.decide().map_err(ClusterError::Core)?;
+            self.abort_cleanup(cluster)?;
+            self.state = JobState::Decided(RebalanceOutcome::Aborted);
+            Ok(RebalanceOutcome::Aborted)
+        }
+    }
+
+    /// Aborts the job from any step before the commit decision (operator
+    /// cancellation, or CC recovery finding BEGIN without COMMIT). Forces the
+    /// ABORT record and discards all pending buckets; idempotent once the
+    /// job is already aborted.
+    pub fn abort(&mut self, cluster: &mut Cluster) -> Result<()> {
+        match self.state {
+            JobState::Planned | JobState::Moving { .. } | JobState::Prepared => {}
+            JobState::Decided(RebalanceOutcome::Aborted) => return Ok(()),
+            _ => return Err(self.invalid_step("abort")),
+        }
+        self.coordinator.abort().map_err(ClusterError::Core)?;
+        self.abort_cleanup(cluster)?;
+        self.state = JobState::Decided(RebalanceOutcome::Aborted);
+        Ok(())
+    }
+
+    /// Commit tasks (after a committed decision): every alive node installs
+    /// its received buckets and cleans up its moved buckets, and the CC
+    /// installs the new directory and partition list.
+    pub fn commit(&mut self, cluster: &mut Cluster) -> Result<()> {
+        self.expect(
+            matches!(self.state, JobState::Decided(RebalanceOutcome::Committed)),
+            "commit",
+        )?;
+        self.run_commit_tasks(cluster)?;
+        for n in &self.participants.clone() {
+            if cluster.node_is_alive(*n) {
+                self.coordinator
+                    .record_committed(*n)
+                    .map_err(ClusterError::Core)?;
+            }
+        }
+        let meta = cluster.controller.dataset_mut(self.dataset)?;
+        meta.directory = Some(self.plan.new_directory.clone());
+        meta.partitions = self.target.partitions();
+        // The new directory is live: ingestion resumes through it.
+        cluster.active_rebalances.remove(&self.dataset);
+        self.state = JobState::CommitTasksDone;
+        Ok(())
+    }
+
+    /// Finalization: recovers every crashed node, has recovered nodes repeat
+    /// their (idempotent) commit or cleanup tasks, forces DONE, re-enables
+    /// bucket splits, and produces the report. This is the step that makes
+    /// failure Cases 2, 4, and 5 converge — however many participants died,
+    /// finalize re-drives their tasks until the cluster agrees with the
+    /// durable decision.
+    pub fn finalize(&mut self, cluster: &mut Cluster) -> Result<RebalanceReport> {
+        let outcome = match self.state {
+            JobState::Decided(RebalanceOutcome::Aborted) => {
+                cluster.recover_all_nodes();
+                // Recovered nodes repeat the cleanup; discarding is
+                // idempotent, so this is safe whatever they saw before dying.
+                self.drop_all_pending(cluster)?;
+                RebalanceOutcome::Aborted
+            }
+            JobState::CommitTasksDone => {
+                cluster.recover_all_nodes();
+                self.run_commit_tasks(cluster)?;
+                for n in &self.participants.clone() {
+                    if cluster.node_is_alive(*n) {
+                        self.coordinator
+                            .record_committed(*n)
+                            .map_err(ClusterError::Core)?;
+                    }
+                }
+                RebalanceOutcome::Committed
+            }
+            _ => return Err(self.invalid_step("finalize")),
+        };
+        cluster
+            .controller
+            .metadata_log
+            .append_forced(LogRecordBody::RebalanceDone {
+                rebalance: self.rebalance_id,
+            });
+        self.coordinator.finish().map_err(ClusterError::Core)?;
+        // Splits resume after the rebalance completes, whatever the outcome,
+        // and any leftover replication state is dropped (normally already
+        // removed by commit/abort; kept idempotent for crashed drivers).
+        cluster.active_rebalances.remove(&self.dataset);
+        cluster.set_splits_enabled(self.dataset, true)?;
+        self.state = JobState::Finalized(outcome);
+        Ok(self.report(outcome))
+    }
+
+    // ------------------------------------------------------------ accessors
+
+    /// The rebalance operation id.
+    pub fn rebalance_id(&self) -> RebalanceId {
+        self.rebalance_id
+    }
+
+    /// The dataset being rebalanced.
+    pub fn dataset(&self) -> DatasetId {
+        self.dataset
+    }
+
+    /// The current job state.
+    pub fn state(&self) -> JobState {
+        self.state
+    }
+
+    /// The computed plan.
+    pub fn plan_ref(&self) -> &RebalancePlan {
+        &self.plan
+    }
+
+    /// The scheduled waves.
+    pub fn waves(&self) -> &[Vec<dynahash_core::BucketMove>] {
+        &self.waves
+    }
+
+    /// Total number of scheduled waves.
+    pub fn num_waves(&self) -> usize {
+        self.waves.len()
+    }
+
+    /// Number of waves that have completed.
+    pub fn completed_waves(&self) -> usize {
+        match self.state {
+            JobState::Planned => 0,
+            JobState::Moving { completed_waves } => completed_waves,
+            _ => self.waves.len(),
+        }
+    }
+
+    /// True while [`RebalanceJob::run_wave`] has waves left to run.
+    pub fn has_remaining_waves(&self) -> bool {
+        matches!(self.state, JobState::Moving { completed_waves } if completed_waves < self.waves.len())
+    }
+
+    /// Concurrent writes applied through the job so far.
+    pub fn writes_applied(&self) -> u64 {
+        self.writes_applied
+    }
+
+    /// The outcome, once the job is decided.
+    pub fn outcome(&self) -> Option<RebalanceOutcome> {
+        match self.state {
+            JobState::Decided(o) | JobState::Finalized(o) => Some(o),
+            JobState::CommitTasksDone => Some(RebalanceOutcome::Committed),
+            _ => None,
+        }
+    }
+
+    /// True once the job is finalized.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.state, JobState::Finalized(_))
+    }
+
+    // ------------------------------------------------------------- internals
+
+    fn expect(&self, ok: bool, action: &'static str) -> Result<()> {
+        if ok {
+            Ok(())
+        } else {
+            Err(self.invalid_step(action))
+        }
+    }
+
+    fn invalid_step(&self, action: &'static str) -> ClusterError {
+        ClusterError::InvalidJobStep {
+            action,
+            state: self.state.name(),
+        }
+    }
+
+    fn abort_cleanup(&mut self, cluster: &mut Cluster) -> Result<()> {
+        // The rebalance is off: ingestion resumes through the old directory.
+        cluster.active_rebalances.remove(&self.dataset);
+        cluster
+            .controller
+            .metadata_log
+            .append_forced(LogRecordBody::RebalanceAbort {
+                rebalance: self.rebalance_id,
+            });
+        self.drop_all_pending(cluster)
+    }
+
+    fn drop_all_pending(&mut self, cluster: &mut Cluster) -> Result<()> {
+        for m in &self.plan.moves {
+            if cluster.topology().node_of(m.to).is_some() {
+                cluster
+                    .partition_mut(m.to)?
+                    .dataset_mut(self.dataset)?
+                    .drop_pending(m.bucket);
+            }
+        }
+        Ok(())
+    }
+
+    fn run_commit_tasks(&mut self, cluster: &mut Cluster) -> Result<()> {
+        let cost = cluster.cost_model();
+        // One commit message per participating node covers all of its bucket
+        // installs and cleanups.
+        for n in self.plan.participating_partitions().iter().filter_map(|p| {
+            self.target
+                .node_of(*p)
+                .or_else(|| cluster.topology().node_of(*p))
+        }) {
+            self.fin_tl
+                .charge(n, SimDuration::from_nanos(cost.network_latency_ns));
+        }
+        for m in &self.plan.moves {
+            // Destination: install the received bucket.
+            if let Some(dst_node) = self.target.node_of(m.to) {
+                if cluster.node_is_alive(dst_node) {
+                    cluster
+                        .partition_mut(m.to)?
+                        .dataset_mut(self.dataset)?
+                        .install_pending(m.bucket)?;
+                }
+            }
+            // Source: drop the moved bucket and mark secondary indexes for
+            // lazy cleanup.
+            if let Some(src_node) = cluster.topology().node_of(m.from) {
+                if cluster.node_is_alive(src_node) {
+                    cluster
+                        .partition_mut(m.from)?
+                        .dataset_mut(self.dataset)?
+                        .cleanup_moved_bucket(m.bucket)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn report(&self, outcome: RebalanceOutcome) -> RebalanceReport {
+        let mut total_tl = NodeTimeline::new();
+        total_tl.extend(&self.init_tl);
+        total_tl.extend(&self.move_tl);
+        total_tl.extend(&self.fin_tl);
+        RebalanceReport {
+            rebalance_id: self.rebalance_id,
+            outcome,
+            elapsed: self.init_tl.elapsed() + self.clock.elapsed() + self.fin_tl.elapsed(),
+            phases: PhaseTimes {
+                initialization: self.init_tl.elapsed(),
+                data_movement: self.clock.elapsed(),
+                finalization: self.fin_tl.elapsed(),
+            },
+            bytes_moved: self.bytes_moved,
+            records_moved: self.records_moved,
+            buckets_moved: self.plan.num_moves(),
+            moved_fraction: if self.total_bytes == 0 {
+                0.0
+            } else {
+                self.bytes_moved as f64 / self.total_bytes as f64
+            },
+            per_node: total_tl.breakdown(),
+            concurrent_writes_applied: self.writes_applied,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetSpec;
+    use dynahash_core::Scheme;
+    use dynahash_lsm::Bytes;
+
+    fn loaded(nodes: u32, n: u64) -> (Cluster, DatasetId) {
+        let mut cluster = Cluster::with_config(
+            nodes,
+            crate::ClusterConfig {
+                partitions_per_node: 2,
+                cost_model: crate::CostModel::default(),
+            },
+        );
+        let ds = cluster
+            .create_dataset(DatasetSpec::new(
+                "events",
+                Scheme::StaticHash { num_buckets: 32 },
+            ))
+            .unwrap();
+        let records: Vec<(Key, Bytes)> = (0..n)
+            .map(|i| (Key::from_u64(i), Bytes::from(vec![(i % 251) as u8; 48])))
+            .collect();
+        cluster.ingest(ds, records).unwrap();
+        (cluster, ds)
+    }
+
+    #[test]
+    fn happy_path_steps_commit() {
+        let (mut cluster, ds) = loaded(2, 2000);
+        cluster.add_node().unwrap();
+        let target = cluster.topology().clone();
+        let mut job = RebalanceJob::plan(&mut cluster, ds, &target, 2).unwrap();
+        assert_eq!(job.state(), JobState::Planned);
+        assert!(job.num_waves() >= 2, "expected multiple waves");
+        job.init(&mut cluster).unwrap();
+        let mut seen = 0;
+        while job.has_remaining_waves() {
+            let report = job.run_wave(&mut cluster).unwrap();
+            assert_eq!(report.wave, seen);
+            assert!(report.moves >= 1 && report.moves <= 2);
+            seen += 1;
+        }
+        assert_eq!(seen, job.num_waves());
+        job.prepare(&mut cluster).unwrap();
+        assert_eq!(
+            job.decide(&mut cluster).unwrap(),
+            RebalanceOutcome::Committed
+        );
+        job.commit(&mut cluster).unwrap();
+        let report = job.finalize(&mut cluster).unwrap();
+        assert_eq!(report.outcome, RebalanceOutcome::Committed);
+        assert!(job.is_terminal());
+        assert_eq!(cluster.dataset_len(ds).unwrap(), 2000);
+        cluster
+            .check_rebalance_integrity(ds, report.rebalance_id)
+            .unwrap();
+    }
+
+    #[test]
+    fn out_of_order_steps_are_rejected() {
+        let (mut cluster, ds) = loaded(2, 500);
+        cluster.add_node().unwrap();
+        let target = cluster.topology().clone();
+        let mut job = RebalanceJob::plan(&mut cluster, ds, &target, 1).unwrap();
+        // cannot run a wave, prepare, or commit before init
+        assert!(matches!(
+            job.run_wave(&mut cluster),
+            Err(ClusterError::InvalidJobStep { .. })
+        ));
+        assert!(job.prepare(&mut cluster).is_err());
+        assert!(job.commit(&mut cluster).is_err());
+        assert!(job.finalize(&mut cluster).is_err());
+        job.init(&mut cluster).unwrap();
+        // cannot prepare with waves remaining
+        assert!(job.prepare(&mut cluster).is_err());
+        // abort works mid-movement and is idempotent
+        job.abort(&mut cluster).unwrap();
+        job.abort(&mut cluster).unwrap();
+        let report = job.finalize(&mut cluster).unwrap();
+        assert_eq!(report.outcome, RebalanceOutcome::Aborted);
+        assert_eq!(cluster.dataset_len(ds).unwrap(), 500);
+        cluster
+            .check_rebalance_integrity(ds, report.rebalance_id)
+            .unwrap();
+    }
+
+    #[test]
+    fn wave_with_a_dead_source_node_reports_node_down() {
+        let (mut cluster, ds) = loaded(3, 2000);
+        let victim = NodeId(2);
+        let target = cluster.topology_without(victim);
+        let mut job = RebalanceJob::plan(&mut cluster, ds, &target, 4).unwrap();
+        job.init(&mut cluster).unwrap();
+        cluster.crash_node(victim).unwrap();
+        // every move sources from the victim, so the wave cannot run
+        assert!(matches!(
+            job.run_wave(&mut cluster),
+            Err(ClusterError::NodeDown(n)) if n == victim
+        ));
+        // recover and the same wave runs
+        cluster.recover_node(victim).unwrap();
+        job.run_wave(&mut cluster).unwrap();
+        while job.has_remaining_waves() {
+            job.run_wave(&mut cluster).unwrap();
+        }
+        job.prepare(&mut cluster).unwrap();
+        assert_eq!(
+            job.decide(&mut cluster).unwrap(),
+            RebalanceOutcome::Committed
+        );
+        job.commit(&mut cluster).unwrap();
+        let report = job.finalize(&mut cluster).unwrap();
+        assert_eq!(cluster.dataset_len(ds).unwrap(), 2000);
+        cluster
+            .check_rebalance_integrity(ds, report.rebalance_id)
+            .unwrap();
+    }
+
+    #[test]
+    fn hashing_scheme_cannot_be_stepped() {
+        let mut cluster = Cluster::new(2);
+        let ds = cluster
+            .create_dataset(DatasetSpec::new("events", Scheme::Hashing))
+            .unwrap();
+        let target = cluster.topology().clone();
+        assert!(matches!(
+            RebalanceJob::plan(&mut cluster, ds, &target, 1),
+            Err(ClusterError::RebalanceAborted(_))
+        ));
+    }
+}

@@ -13,9 +13,11 @@
 //! * data feeds for ingestion with cost accounting ([`feed`],
 //!   [`cluster::Cluster::ingest`]);
 //! * query execution primitives with a per-node cost model ([`query`]);
-//! * the online rebalance executor implementing the paper's three-phase,
-//!   two-phase-commit protocol for bucketed schemes and the global
-//!   rebalancing baseline ([`rebalance`]);
+//! * the step-driven rebalance executor — the resumable
+//!   [`job::RebalanceJob`] state machine implementing the paper's
+//!   three-phase, two-phase-commit protocol wave by wave ([`job`]) — plus
+//!   the one-shot driver loop over it and the global rebalancing baseline
+//!   ([`rebalance`]);
 //! * fault injection and recovery for the six failure cases ([`recovery`]);
 //! * the hardware cost model and simulated-time accounting ([`sim`]).
 
@@ -26,6 +28,7 @@ pub mod cluster;
 pub mod controller;
 pub mod dataset;
 pub mod feed;
+pub mod job;
 pub mod node;
 pub mod partition;
 pub mod query;
@@ -36,13 +39,14 @@ pub mod sim;
 pub use cluster::{Cluster, ClusterConfig};
 pub use controller::ClusterController;
 pub use dataset::{DatasetId, DatasetMeta, DatasetSpec, SecondaryIndexDef};
-pub use feed::{ControlledRateFeed, IngestReport};
+pub use feed::{split_into_batches, ControlledRateFeed, IngestReport};
+pub use job::{JobState, RebalanceJob, StepPoint, WaveReport};
 pub use node::NodeController;
 pub use partition::{Partition, PartitionDataset};
 pub use query::{QueryExecutor, QueryReport};
-pub use rebalance::{RebalanceOptions, RebalanceReport};
+pub use rebalance::{PhaseTimes, RebalanceOptions, RebalanceReport, StepHook};
 pub use recovery::RecoveryReport;
-pub use sim::{CostModel, NodeTimeline, SimDuration};
+pub use sim::{CostModel, NodeTimeline, SimDuration, WaveClock};
 
 use dynahash_core::{CoreError, NodeId, PartitionId};
 use dynahash_lsm::StorageError;
@@ -60,6 +64,9 @@ pub enum ClusterError {
     UnknownNode(NodeId),
     /// The node is down.
     NodeDown(NodeId),
+    /// Writes to the dataset are briefly blocked while a rebalance runs its
+    /// prepare/commit window (Section V-C).
+    DatasetWriteBlocked(DsId),
     /// The node still holds data and cannot be decommissioned.
     NodeNotEmpty(NodeId, usize),
     /// No partition could be determined for a key of this dataset.
@@ -68,6 +75,13 @@ pub enum ClusterError {
     UnknownIndex(String),
     /// The rebalance operation aborted.
     RebalanceAborted(String),
+    /// A rebalance job step was invoked from the wrong state.
+    InvalidJobStep {
+        /// The step that was attempted.
+        action: &'static str,
+        /// The state the job was in.
+        state: &'static str,
+    },
     /// A consistency check failed.
     Inconsistent(String),
     /// An underlying storage error.
@@ -83,12 +97,19 @@ impl std::fmt::Display for ClusterError {
             ClusterError::UnknownPartition(p) => write!(f, "unknown partition {p}"),
             ClusterError::UnknownNode(n) => write!(f, "unknown node {n}"),
             ClusterError::NodeDown(n) => write!(f, "node {n} is down"),
+            ClusterError::DatasetWriteBlocked(d) => write!(
+                f,
+                "dataset {d} writes are briefly blocked by a rebalance prepare phase"
+            ),
             ClusterError::NodeNotEmpty(n, records) => {
                 write!(f, "node {n} still holds {records} records")
             }
             ClusterError::RoutingFailed(d) => write!(f, "routing failed for dataset {d}"),
             ClusterError::UnknownIndex(name) => write!(f, "unknown secondary index {name}"),
             ClusterError::RebalanceAborted(msg) => write!(f, "rebalance aborted: {msg}"),
+            ClusterError::InvalidJobStep { action, state } => {
+                write!(f, "invalid rebalance job step {action} from state {state}")
+            }
             ClusterError::Inconsistent(msg) => write!(f, "inconsistency detected: {msg}"),
             ClusterError::Storage(e) => write!(f, "storage error: {e}"),
             ClusterError::Core(e) => write!(f, "core error: {e}"),

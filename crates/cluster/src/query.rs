@@ -8,8 +8,10 @@
 //! serial coordinator work for final aggregation. TPC-H query programs in
 //! `dynahash-tpch` are written against this API.
 
+use std::collections::BTreeMap;
+
 use dynahash_core::{NodeId, PartitionId};
-use dynahash_lsm::entry::{Entry, Key};
+use dynahash_lsm::entry::{Entry, Key, Value};
 use dynahash_lsm::{ScanOrder, SecondaryEntry};
 
 use crate::cluster::Cluster;
@@ -92,6 +94,30 @@ impl<'a> QueryExecutor<'a> {
             out.push((p, entries));
         }
         Ok(out)
+    }
+
+    /// Scans the whole dataset unordered and folds the result into one
+    /// key → value map, also returning the raw (pre-dedup) record count.
+    ///
+    /// A consistent cluster yields every key on exactly one partition, so
+    /// `raw_count == map.len()`; a mismatch means a record is visible twice
+    /// (e.g. both a source bucket and an installed copy). The
+    /// query-during-rebalance tests use this to assert that a scan between
+    /// any two waves returns exactly the committed record set, never a
+    /// partial or duplicated view of the moving buckets.
+    pub fn collect_records(&mut self, dataset: DatasetId) -> Result<(BTreeMap<Key, Value>, usize)> {
+        let scans = self.scan_table(dataset, false)?;
+        let mut out = BTreeMap::new();
+        let mut raw_count = 0usize;
+        for (_, entries) in scans {
+            for e in entries {
+                if let Some(v) = e.op.value() {
+                    raw_count += 1;
+                    out.insert(e.key, v.clone());
+                }
+            }
+        }
+        Ok((out, raw_count))
     }
 
     /// Searches a secondary index on every partition in parallel, returning
@@ -254,6 +280,16 @@ mod tests {
             q.finish().elapsed
         };
         assert!(ordered > unordered);
+    }
+
+    #[test]
+    fn collect_records_dedupes_nothing_on_a_consistent_cluster() {
+        let (mut cluster, ds) = setup();
+        let mut q = QueryExecutor::new(&mut cluster);
+        let (map, raw) = q.collect_records(ds).unwrap();
+        assert_eq!(map.len(), 2000);
+        assert_eq!(raw, 2000, "no key may be visible on two partitions");
+        assert!(map.contains_key(&Key::from_u64(0)));
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! Fault tolerance and recovery (Section V-D).
 //!
 //! Node and Cluster Controller failures during a rebalance are injected
-//! through [`crate::rebalance::RebalanceOptions::with_failure`]; this module
-//! adds the cluster-level crash/recover entry points and a recovery report,
-//! and hosts the tests that walk through the paper's six failure cases.
+//! through [`crate::rebalance::RebalanceOptions::with_failure`] (which the
+//! one-shot driver translates into crashes between the steps of the
+//! [`crate::job::RebalanceJob`] state machine), or directly by scenario code
+//! driving a job step-by-step. This module adds the cluster-level
+//! crash/recover entry points and a recovery report, and hosts the tests
+//! that walk through the paper's six failure cases.
 
 use dynahash_core::NodeId;
 use dynahash_lsm::wal::{RebalanceId, RebalanceLogStatus};
@@ -39,6 +42,20 @@ impl Cluster {
     /// True if the node is currently up.
     pub fn node_is_alive(&self, node: NodeId) -> bool {
         self.node(node).map(|n| n.is_alive()).unwrap_or(false)
+    }
+
+    /// Recovers every crashed node. Used by the rebalance finalization step
+    /// (recovered NCs re-run their idempotent commit or cleanup tasks) and
+    /// available to scenarios driving a job step-by-step.
+    pub fn recover_all_nodes(&mut self) {
+        let nodes: Vec<NodeId> = self.topology().nodes();
+        for n in nodes {
+            if let Ok(nc) = self.node_mut(n) {
+                if !nc.is_alive() {
+                    nc.recover();
+                }
+            }
+        }
     }
 
     /// Crashes and immediately recovers the Cluster Controller, then scans
@@ -119,7 +136,7 @@ mod tests {
         cluster.add_node().unwrap();
         let target = cluster.topology().clone();
         let report = cluster
-            .rebalance(ds, &target, RebalanceOptions::with_failure(failure))
+            .rebalance(ds, &target, RebalanceOptions::none().with_failure(failure))
             .unwrap();
         let outcome = report.outcome;
         (cluster, ds, outcome)

@@ -6,14 +6,14 @@
 //! plan also carries the byte cost of each move, which the experiments use
 //! to report the rebalance data-movement cost.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use dynahash_lsm::wal::RebalanceId;
 use dynahash_lsm::BucketId;
 
 use crate::balance::{balance_assignment, BalanceInput, BucketLoad};
 use crate::directory::GlobalDirectory;
-use crate::topology::{ClusterTopology, PartitionId};
+use crate::topology::{ClusterTopology, NodeId, PartitionId};
 use crate::Result;
 
 /// One bucket move from a source partition to a destination partition.
@@ -149,6 +149,53 @@ impl RebalancePlan {
         v
     }
 
+    /// Groups the moves into execution *waves* of at most
+    /// `max_concurrent_moves` moves each, for the step-driven rebalance
+    /// executor. Each wave runs its moves in parallel and is charged the
+    /// slowest participating node (its makespan), so the scheduler
+    /// interleaves moves round-robin across (destination node, source node)
+    /// pairs: consecutive moves land on distinct node pairs whenever
+    /// possible, maximising the hardware a wave keeps busy.
+    ///
+    /// `source_node_of` maps a source partition to its node in the *current*
+    /// (pre-rebalance) topology; destinations are resolved against the plan's
+    /// target topology. A `max_concurrent_moves` of 1 reproduces the fully
+    /// serial schedule. Every move appears in exactly one wave.
+    pub fn schedule_waves<F>(
+        &self,
+        max_concurrent_moves: usize,
+        source_node_of: F,
+    ) -> Vec<Vec<BucketMove>>
+    where
+        F: Fn(PartitionId) -> Option<NodeId>,
+    {
+        let cap = max_concurrent_moves.max(1);
+        type PairKey = (Option<NodeId>, Option<NodeId>);
+        let mut groups: BTreeMap<PairKey, VecDeque<BucketMove>> = BTreeMap::new();
+        for m in &self.moves {
+            let key = (self.target.node_of(m.to), source_node_of(m.from));
+            groups.entry(key).or_default().push_back(*m);
+        }
+        let mut interleaved = Vec::with_capacity(self.moves.len());
+        while !groups.is_empty() {
+            let keys: Vec<PairKey> = groups.keys().copied().collect();
+            for key in keys {
+                if let Some(queue) = groups.get_mut(&key) {
+                    if let Some(m) = queue.pop_front() {
+                        interleaved.push(m);
+                    }
+                    if queue.is_empty() {
+                        groups.remove(&key);
+                    }
+                }
+            }
+        }
+        interleaved
+            .chunks(cap)
+            .map(<[BucketMove]>::to_vec)
+            .collect()
+    }
+
     /// The fraction of the dataset (by bytes) that moves, given the total
     /// dataset size. This is the paper's headline metric: global rebalancing
     /// moves ≈ 100 % of the data, bucketing schemes move far less.
@@ -218,6 +265,57 @@ mod tests {
         assert_eq!(plan.new_directory, dir);
         assert_eq!(plan.total_bytes_moved(), 0);
         assert!(plan.participating_partitions().is_empty());
+    }
+
+    #[test]
+    fn serial_schedule_is_one_move_per_wave() {
+        let topo = ClusterTopology::uniform(4, 2);
+        let dir = GlobalDirectory::initial(5, &topo.partitions()).unwrap();
+        let sizes = sizes_uniform(&dir, 1000);
+        let target = topo.without_node(NodeId(3));
+        let plan = RebalancePlan::compute(7, &dir, &sizes, &target).unwrap();
+        let waves = plan.schedule_waves(1, |p| topo.node_of(p));
+        assert_eq!(waves.len(), plan.num_moves());
+        assert!(waves.iter().all(|w| w.len() == 1));
+    }
+
+    #[test]
+    fn waves_cover_every_move_exactly_once_and_spread_nodes() {
+        let topo = ClusterTopology::uniform(4, 2);
+        let dir = GlobalDirectory::initial(5, &topo.partitions()).unwrap();
+        let sizes = sizes_uniform(&dir, 1000);
+        let target = topo.without_node(NodeId(3));
+        let plan = RebalancePlan::compute(8, &dir, &sizes, &target).unwrap();
+        let waves = plan.schedule_waves(4, |p| topo.node_of(p));
+        // 8 moves in waves of <= 4
+        assert!(waves.iter().all(|w| !w.is_empty() && w.len() <= 4));
+        let mut flattened: Vec<BucketId> = waves
+            .iter()
+            .flat_map(|w| w.iter().map(|m| m.bucket))
+            .collect();
+        flattened.sort();
+        let mut expected: Vec<BucketId> = plan.moves.iter().map(|m| m.bucket).collect();
+        expected.sort();
+        assert_eq!(flattened, expected);
+        // a full wave spreads its moves over more than one destination node
+        let first = &waves[0];
+        let dst_nodes: std::collections::BTreeSet<_> =
+            first.iter().filter_map(|m| target.node_of(m.to)).collect();
+        assert!(
+            dst_nodes.len() > 1,
+            "wave should span multiple destination nodes: {dst_nodes:?}"
+        );
+    }
+
+    #[test]
+    fn zero_concurrency_is_clamped_to_serial() {
+        let topo = ClusterTopology::uniform(3, 2);
+        let dir = GlobalDirectory::initial(4, &topo.partitions()).unwrap();
+        let sizes = sizes_uniform(&dir, 5);
+        let target = topo.without_node(NodeId(2));
+        let plan = RebalancePlan::compute(9, &dir, &sizes, &target).unwrap();
+        let waves = plan.schedule_waves(0, |p| topo.node_of(p));
+        assert_eq!(waves.len(), plan.num_moves());
     }
 
     #[test]

@@ -33,8 +33,8 @@ impl BloomFilter {
         // Double hashing: derive k positions from two 32-bit halves of the
         // 64-bit key hash.
         let h = hash_key(key);
-        let h1 = (h & 0xffff_ffff) as u64;
-        let h2 = (h >> 32) as u64;
+        let h1 = h & 0xffff_ffff;
+        let h2 = h >> 32;
         let n = self.num_bits as u64;
         (0..self.num_hashes as u64)
             .map(move |i| ((h1.wrapping_add(i.wrapping_mul(h2))) % n) as usize)

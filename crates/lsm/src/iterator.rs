@@ -126,13 +126,8 @@ pub fn merge_keep_tombstones(sources: Vec<SortedSource>) -> Vec<Entry> {
 
 /// Reconciles a point-lookup result across sources ordered newest first:
 /// the first source containing the key decides.
-pub fn reconcile_point<'a>(lookups: impl Iterator<Item = Option<&'a Op>>) -> Option<&'a Op> {
-    for op in lookups {
-        if let Some(op) = op {
-            return Some(op);
-        }
-    }
-    None
+pub fn reconcile_point<'a>(mut lookups: impl Iterator<Item = Option<&'a Op>>) -> Option<&'a Op> {
+    lookups.find_map(|op| op)
 }
 
 #[cfg(test)]

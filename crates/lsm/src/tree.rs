@@ -284,7 +284,7 @@ impl LsmTree {
     /// Registers already-built components as the **newest** data of this tree.
     pub fn prepend_newest_components(&mut self, comps: Vec<Component>) {
         let mut new_list = comps;
-        new_list.extend(self.components.drain(..));
+        new_list.append(&mut self.components);
         self.components = new_list;
     }
 

@@ -103,14 +103,14 @@ fn scan_lineitem(
     t: &TpchTables,
     ordered: bool,
 ) -> Result<Vec<(PartitionId, Vec<LineItem>)>, ClusterError> {
-    scan_decoded(exec, t.lineitem, ordered, |v| LineItem::decode(v))
+    scan_decoded(exec, t.lineitem, ordered, LineItem::decode)
 }
 
 fn scan_orders(
     exec: &mut QueryExecutor<'_>,
     t: &TpchTables,
 ) -> Result<Vec<(PartitionId, Vec<Orders>)>, ClusterError> {
-    scan_decoded(exec, t.orders, false, |v| Orders::decode(v))
+    scan_decoded(exec, t.orders, false, Orders::decode)
 }
 
 fn all<T>(scans: Vec<(PartitionId, Vec<T>)>) -> Vec<T> {
@@ -197,14 +197,14 @@ fn q1(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
 
 /// q2: minimum-cost supplier — small-table joins over part/partsupp/supplier.
 fn q2(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
-    let parts = all(scan_decoded(exec, t.part, false, |v| Part::decode(v))?);
+    let parts = all(scan_decoded(exec, t.part, false, Part::decode)?);
     let partsupp = all(scan_decoded(exec, t.partsupp, false, |v| {
         PartSupp::decode(v)
     })?);
     let suppliers = all(scan_decoded(exec, t.supplier, false, |v| {
         Supplier::decode(v)
     })?);
-    let nations = all(scan_decoded(exec, t.nation, false, |v| Nation::decode(v))?);
+    let nations = all(scan_decoded(exec, t.nation, false, Nation::decode)?);
     charge_balanced_compute(exec, (parts.len() + partsupp.len()) as u64, 1.0)?;
 
     let europe: BTreeSet<u64> = nations
@@ -304,7 +304,7 @@ fn q5(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
     let suppliers = all(scan_decoded(exec, t.supplier, false, |v| {
         Supplier::decode(v)
     })?);
-    let nations = all(scan_decoded(exec, t.nation, false, |v| Nation::decode(v))?);
+    let nations = all(scan_decoded(exec, t.nation, false, Nation::decode)?);
     let orders = orders_by_orderdate(exec, t, lo, hi)?;
     let scans = scan_lineitem(exec, t, false)?;
     let total: u64 = scans.iter().map(|(_, v)| v.len() as u64).sum();
@@ -405,8 +405,8 @@ fn q8(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
     let suppliers = all(scan_decoded(exec, t.supplier, false, |v| {
         Supplier::decode(v)
     })?);
-    let nations = all(scan_decoded(exec, t.nation, false, |v| Nation::decode(v))?);
-    let parts = all(scan_decoded(exec, t.part, false, |v| Part::decode(v))?);
+    let nations = all(scan_decoded(exec, t.nation, false, Nation::decode)?);
+    let parts = all(scan_decoded(exec, t.part, false, Part::decode)?);
     let orders = orders_by_orderdate(exec, t, date(1995, 0), date(1997, 0))?;
     let scans = scan_lineitem(exec, t, false)?;
     let total: u64 = scans.iter().map(|(_, v)| v.len() as u64).sum();
@@ -461,7 +461,7 @@ fn q8(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
 
 /// q9: product type profit measure — scans LineItem and joins part/partsupp.
 fn q9(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
-    let parts = all(scan_decoded(exec, t.part, false, |v| Part::decode(v))?);
+    let parts = all(scan_decoded(exec, t.part, false, Part::decode)?);
     let partsupp = all(scan_decoded(exec, t.partsupp, false, |v| {
         PartSupp::decode(v)
     })?);
@@ -619,7 +619,7 @@ fn q13(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
 
 /// q14: promotion effect — LineItem shipdate month via the index, join Part.
 fn q14(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
-    let parts = all(scan_decoded(exec, t.part, false, |v| Part::decode(v))?);
+    let parts = all(scan_decoded(exec, t.part, false, Part::decode)?);
     let lines = lineitems_by_shipdate(exec, t, date(1995, 240), date(1995, 270))?;
     charge_balanced_compute(exec, (lines.len() + parts.len()) as u64, 0.8)?;
     let promo_parts: BTreeSet<u64> = parts
@@ -659,7 +659,7 @@ fn q15(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
 
 /// q16: parts/supplier relationship — partsupp ⋈ part with exclusions.
 fn q16(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
-    let parts = all(scan_decoded(exec, t.part, false, |v| Part::decode(v))?);
+    let parts = all(scan_decoded(exec, t.part, false, Part::decode)?);
     let partsupp = all(scan_decoded(exec, t.partsupp, false, |v| {
         PartSupp::decode(v)
     })?);
@@ -696,7 +696,7 @@ fn q16(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
 
 /// q17: small-quantity-order revenue — full LineItem scan, per-part averages.
 fn q17(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
-    let parts = all(scan_decoded(exec, t.part, false, |v| Part::decode(v))?);
+    let parts = all(scan_decoded(exec, t.part, false, Part::decode)?);
     let scans = scan_lineitem(exec, t, false)?;
     let total: u64 = scans.iter().map(|(_, v)| v.len() as u64).sum();
     // q17 re-aggregates LineItem per part: relatively light compute compared
@@ -761,7 +761,7 @@ fn q18(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
 
 /// q19: discounted revenue — LineItem ⋈ Part with OR-ed predicates.
 fn q19(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
-    let parts = all(scan_decoded(exec, t.part, false, |v| Part::decode(v))?);
+    let parts = all(scan_decoded(exec, t.part, false, Part::decode)?);
     let scans = scan_lineitem(exec, t, false)?;
     let total: u64 = scans.iter().map(|(_, v)| v.len() as u64).sum();
     charge_balanced_compute(exec, total, 0.7)?;
@@ -784,7 +784,7 @@ fn q19(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
 
 /// q20: potential part promotion — suppliers with excess stock of a part.
 fn q20(exec: &mut QueryExecutor<'_>, t: &TpchTables) -> QResult {
-    let parts = all(scan_decoded(exec, t.part, false, |v| Part::decode(v))?);
+    let parts = all(scan_decoded(exec, t.part, false, Part::decode)?);
     let partsupp = all(scan_decoded(exec, t.partsupp, false, |v| {
         PartSupp::decode(v)
     })?);

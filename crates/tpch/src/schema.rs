@@ -281,7 +281,7 @@ mod tests {
             o_orderkey: 7,
             o_custkey: 3,
             o_orderstatus: 1,
-            o_totalprice: 999_99,
+            o_totalprice: 99999,
             o_orderdate: date(1997, 12),
             o_orderpriority: 2,
             o_shippriority: 0,

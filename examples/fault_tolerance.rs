@@ -55,7 +55,7 @@ fn main() {
         cluster.add_node().expect("add node");
         let target = cluster.topology().clone();
         let report = cluster
-            .rebalance(ds, &target, RebalanceOptions::with_failure(failure))
+            .rebalance(ds, &target, RebalanceOptions::none().with_failure(failure))
             .expect("rebalance executes");
         cluster
             .check_dataset_consistency(ds)

@@ -53,7 +53,7 @@ fn run_with_rate(krecords_per_sec: f64) -> f64 {
         .rebalance(
             tables.lineitem,
             &target,
-            RebalanceOptions::with_concurrent_writes(writes),
+            RebalanceOptions::none().with_concurrent_writes(writes),
         )
         .expect("rebalance");
 

@@ -9,8 +9,8 @@
 //! * [`core`] — extendible hashing, the global directory, the greedy
 //!   balancing algorithm, rebalancing schemes, and the rebalance protocol;
 //! * [`cluster`] — the simulated shared-nothing cluster (Cluster Controller,
-//!   Node Controllers, partitions, feeds, queries, online rebalancing,
-//!   fault injection);
+//!   Node Controllers, partitions, feeds, queries, the step-driven
+//!   [`cluster::RebalanceJob`] executor, fault injection);
 //! * [`tpch`] — the TPC-H-like workload used by the paper's evaluation.
 //!
 //! ## Quick start

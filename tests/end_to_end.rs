@@ -98,7 +98,7 @@ fn concurrent_writes_survive_scale_in() {
         .rebalance(
             ds,
             &target,
-            RebalanceOptions::with_concurrent_writes(concurrent.clone()),
+            RebalanceOptions::none().with_concurrent_writes(concurrent.clone()),
         )
         .unwrap();
     assert_eq!(report.outcome, RebalanceOutcome::Committed);

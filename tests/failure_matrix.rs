@@ -1,0 +1,206 @@
+//! Exhaustive failure-point matrix (Section V-D).
+//!
+//! Every `FailurePoint` variant is crossed with every bucketed scheme and
+//! with both rebalance directions (scale-out and scale-in). For each cell
+//! the rebalance must either commit fully or abort cleanly: afterwards the
+//! record count is unchanged, every record routes to the partition that
+//! stores it, the CC's global directory agrees with the partitions' local
+//! directories, no pending rebalance state is left anywhere, and the
+//! metadata WAL shows the terminal `Done` status
+//! ([`Cluster::check_rebalance_integrity`]).
+
+use dynahash::cluster::{Cluster, ClusterConfig, CostModel, DatasetSpec, RebalanceOptions};
+use dynahash::core::{FailurePoint, NodeId, RebalanceOutcome, Scheme};
+use dynahash::lsm::entry::Key;
+use dynahash::lsm::Bytes;
+
+const RECORDS: u64 = 1500;
+
+fn schemes() -> Vec<(&'static str, Scheme)> {
+    vec![
+        ("StaticHash", Scheme::StaticHash { num_buckets: 32 }),
+        ("DynaHash", Scheme::dynahash(16 * 1024, 8)),
+    ]
+}
+
+/// Every failure case with its expected outcome. `new_node` is the node
+/// added by a scale-out (or removed by a scale-in); `old_node` survives in
+/// both directions.
+fn failure_cases(
+    new_node: NodeId,
+    old_node: NodeId,
+) -> Vec<(&'static str, FailurePoint, RebalanceOutcome)> {
+    use FailurePoint::*;
+    use RebalanceOutcome::*;
+    vec![
+        // Case 1: a missing prepare vote aborts the rebalance.
+        (
+            "nc_before_prepared/new",
+            NcBeforePrepared(new_node),
+            Aborted,
+        ),
+        (
+            "nc_before_prepared/old",
+            NcBeforePrepared(old_node),
+            Aborted,
+        ),
+        // Case 2: the vote is already in; the commit goes through and the
+        // recovered NC re-runs its commit tasks.
+        (
+            "nc_after_prepared/new",
+            NcAfterPrepared(new_node),
+            Committed,
+        ),
+        (
+            "nc_after_prepared/old",
+            NcAfterPrepared(old_node),
+            Committed,
+        ),
+        // Case 3: BEGIN without COMMIT found on CC recovery -> abort.
+        ("cc_before_commit_log", CcBeforeCommitLog, Aborted),
+        // Case 4: COMMIT is durable; the recovered NC finishes its tasks.
+        (
+            "nc_before_committed/new",
+            NcBeforeCommitted(new_node),
+            Committed,
+        ),
+        (
+            "nc_before_committed/old",
+            NcBeforeCommitted(old_node),
+            Committed,
+        ),
+        // Case 5: COMMIT without DONE -> the commit tasks are re-driven.
+        (
+            "cc_after_commit_before_done",
+            CcAfterCommitBeforeDone,
+            Committed,
+        ),
+        // Case 6: DONE is durable; recovery has nothing to do.
+        ("cc_after_done", CcAfterDone, Committed),
+    ]
+}
+
+fn loaded_cluster(nodes: u32, scheme: Scheme) -> (Cluster, u32) {
+    let mut cluster = Cluster::with_config(
+        nodes,
+        ClusterConfig {
+            partitions_per_node: 2,
+            cost_model: CostModel::default(),
+        },
+    );
+    let ds = cluster
+        .create_dataset(DatasetSpec::new("events", scheme))
+        .unwrap();
+    let records: Vec<(Key, Bytes)> = (0..RECORDS)
+        .map(|i| (Key::from_u64(i), Bytes::from(vec![(i % 249) as u8; 48])))
+        .collect();
+    cluster.ingest(ds, records).unwrap();
+    (cluster, ds)
+}
+
+/// Runs one matrix cell and asserts the full integrity contract.
+fn run_cell(
+    cluster: &mut Cluster,
+    ds: u32,
+    target: &dynahash::core::ClusterTopology,
+    label: &str,
+    scheme_name: &str,
+    failure: FailurePoint,
+    expected: RebalanceOutcome,
+) {
+    let report = cluster
+        .rebalance(ds, target, RebalanceOptions::none().with_failure(failure))
+        .unwrap_or_else(|e| panic!("[{scheme_name}/{label}] rebalance errored: {e}"));
+    assert_eq!(
+        report.outcome, expected,
+        "[{scheme_name}/{label}] unexpected outcome"
+    );
+    assert_eq!(
+        cluster.dataset_len(ds).unwrap(),
+        RECORDS as usize,
+        "[{scheme_name}/{label}] records lost or duplicated"
+    );
+    cluster
+        .check_rebalance_integrity(ds, report.rebalance_id)
+        .unwrap_or_else(|e| panic!("[{scheme_name}/{label}] integrity violated: {e}"));
+    // every crashed node is back up by the time the rebalance returns
+    for n in cluster.topology().nodes() {
+        assert!(
+            cluster.node_is_alive(n),
+            "[{scheme_name}/{label}] node {n} left down"
+        );
+    }
+}
+
+#[test]
+fn failure_matrix_scale_out() {
+    for (scheme_name, scheme) in schemes() {
+        for (label, failure, expected) in failure_cases(NodeId(2), NodeId(0)) {
+            let (mut cluster, ds) = loaded_cluster(2, scheme);
+            cluster.add_node().unwrap();
+            let target = cluster.topology().clone();
+            run_cell(
+                &mut cluster,
+                ds,
+                &target,
+                label,
+                scheme_name,
+                failure,
+                expected,
+            );
+            // direction-specific posture: an abort leaves the new node
+            // empty, a commit lands data on it
+            let on_new: usize = cluster
+                .topology()
+                .partitions_of_node(NodeId(2))
+                .iter()
+                .map(|p| {
+                    cluster
+                        .partition(*p)
+                        .unwrap()
+                        .dataset(ds)
+                        .unwrap()
+                        .live_len()
+                })
+                .sum();
+            match expected {
+                RebalanceOutcome::Aborted => assert_eq!(
+                    on_new, 0,
+                    "[{scheme_name}/{label}] aborted rebalance leaked data onto the new node"
+                ),
+                RebalanceOutcome::Committed => assert!(
+                    on_new > 0,
+                    "[{scheme_name}/{label}] committed rebalance left the new node empty"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn failure_matrix_scale_in() {
+    for (scheme_name, scheme) in schemes() {
+        for (label, failure, expected) in failure_cases(NodeId(2), NodeId(0)) {
+            let (mut cluster, ds) = loaded_cluster(3, scheme);
+            let victim = NodeId(2);
+            let target = cluster.topology_without(victim);
+            run_cell(
+                &mut cluster,
+                ds,
+                &target,
+                label,
+                scheme_name,
+                failure,
+                expected,
+            );
+            // a committed scale-in empties the victim so it can be removed
+            if expected == RebalanceOutcome::Committed {
+                cluster
+                    .decommission_node(victim)
+                    .unwrap_or_else(|e| panic!("[{scheme_name}/{label}] decommission failed: {e}"));
+                assert_eq!(cluster.topology().num_nodes(), 2);
+                cluster.check_dataset_consistency(ds).unwrap();
+            }
+        }
+    }
+}

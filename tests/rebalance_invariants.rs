@@ -124,7 +124,7 @@ fn run_steps(scheme: Scheme, steps: &[Step]) {
     }
 
     // Spot-check a sample of keys for readability at the end.
-    for k in (0..next_key).step_by(97.max(1)) {
+    for k in (0..next_key).step_by(97) {
         let key = Key::from_u64(k);
         let p = cluster.route_key(ds, &key).unwrap();
         assert!(
@@ -205,7 +205,7 @@ fn aborted_rebalance_leaves_everything_untouched() {
         .rebalance(
             ds,
             &target,
-            RebalanceOptions::with_failure(FailurePoint::NcBeforePrepared(NodeId(2))),
+            RebalanceOptions::none().with_failure(FailurePoint::NcBeforePrepared(NodeId(2))),
         )
         .unwrap();
     assert_eq!(report.outcome, RebalanceOutcome::Aborted);

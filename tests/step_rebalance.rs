@@ -1,0 +1,437 @@
+//! Scenarios for the step-driven rebalance executor.
+//!
+//! These tests drive [`RebalanceJob`] step-by-step — the cluster is fully
+//! usable between any two steps — and check the paper's online guarantees:
+//! scans between waves see exactly the committed record set, feed batches
+//! ingested mid-flight survive the bucket moves, nodes can crash and recover
+//! between waves, and a controller restart mid-job aborts cleanly. A seeded
+//! property test (same harness style as `rebalance_invariants.rs`: the
+//! failing seed and step trace are printed on panic) interleaves random
+//! grow/shrink jobs with feed ingestion and asserts the directory and
+//! record-set invariants after every single job step.
+
+use std::collections::BTreeSet;
+
+use dynahash::cluster::{
+    Cluster, ClusterConfig, CostModel, DatasetSpec, QueryExecutor, RebalanceJob, RebalanceOptions,
+};
+use dynahash::core::{NodeId, RebalanceOutcome, Scheme};
+use dynahash::lsm::entry::Key;
+use dynahash::lsm::rng::SplitMix64;
+use dynahash::lsm::Bytes;
+
+fn record(i: u64) -> (Key, Bytes) {
+    (Key::from_u64(i), Bytes::from(vec![(i % 241) as u8; 40]))
+}
+
+fn cluster_with(nodes: u32, scheme: Scheme, n: u64) -> (Cluster, u32) {
+    let mut cluster = Cluster::with_config(
+        nodes,
+        ClusterConfig {
+            partitions_per_node: 2,
+            cost_model: CostModel::default(),
+        },
+    );
+    let ds = cluster
+        .create_dataset(DatasetSpec::new("events", scheme))
+        .unwrap();
+    cluster.ingest(ds, (0..n).map(record)).unwrap();
+    (cluster, ds)
+}
+
+/// Scans the dataset and asserts it contains exactly `expected` keys, with
+/// no key visible twice (the online-query guarantee: pending buckets stay
+/// invisible, source buckets stay visible until the commit).
+fn assert_committed_set(cluster: &mut Cluster, ds: u32, expected: &BTreeSet<u64>, when: &str) {
+    let mut q = QueryExecutor::new(cluster);
+    let (map, raw) = q.collect_records(ds).unwrap();
+    assert_eq!(
+        raw,
+        map.len(),
+        "{when}: a record is visible on two partitions"
+    );
+    let seen: BTreeSet<u64> = map.keys().map(Key::as_u64).collect();
+    assert_eq!(
+        &seen, expected,
+        "{when}: scan disagrees with the committed record set"
+    );
+}
+
+/// The acceptance scenario: a rebalance driven step-by-step with a scan
+/// query and a feed batch applied between every pair of waves and a node
+/// crash/recovery mid-movement — and the job still commits with every
+/// integrity invariant intact.
+#[test]
+fn step_driven_job_survives_queries_feeds_and_crashes_between_waves() {
+    let (mut cluster, ds) = cluster_with(3, Scheme::StaticHash { num_buckets: 32 }, 3000);
+    let mut expected: BTreeSet<u64> = (0..3000).collect();
+    cluster.add_node().unwrap();
+    let target = cluster.topology().clone();
+
+    let mut job = RebalanceJob::plan(&mut cluster, ds, &target, 2).unwrap();
+    assert!(job.num_waves() >= 2, "scenario needs multiple waves");
+    job.init(&mut cluster).unwrap();
+
+    let mut next_feed_key = 100_000u64;
+    let mut crashed_once = false;
+    while job.has_remaining_waves() {
+        let wave = job.run_wave(&mut cluster).unwrap();
+
+        // 1. a scan between waves sees exactly the committed records
+        assert_committed_set(
+            &mut cluster,
+            ds,
+            &expected,
+            &format!("after wave {}", wave.wave),
+        );
+
+        // 2. a feed batch lands mid-flight (replicated where needed)
+        let batch: Vec<_> = (next_feed_key..next_feed_key + 40).map(record).collect();
+        job.apply_feed_batch(&mut cluster, batch).unwrap();
+        expected.extend(next_feed_key..next_feed_key + 40);
+        next_feed_key += 40;
+        assert_committed_set(
+            &mut cluster,
+            ds,
+            &expected,
+            &format!("after feed batch at wave {}", wave.wave),
+        );
+
+        // 3. crash a node between two waves, query the survivors' view,
+        //    recover, and keep rebalancing
+        if !crashed_once {
+            crashed_once = true;
+            cluster.crash_node(NodeId(0)).unwrap();
+            assert!(!cluster.node_is_alive(NodeId(0)));
+            cluster.recover_node(NodeId(0)).unwrap();
+        }
+    }
+
+    job.prepare(&mut cluster).unwrap();
+    assert_eq!(
+        job.decide(&mut cluster).unwrap(),
+        RebalanceOutcome::Committed
+    );
+    job.commit(&mut cluster).unwrap();
+    let report = job.finalize(&mut cluster).unwrap();
+
+    assert_eq!(report.outcome, RebalanceOutcome::Committed);
+    assert_eq!(report.concurrent_writes_applied, job.writes_applied());
+    assert_eq!(cluster.dataset_len(ds).unwrap(), expected.len());
+    assert_committed_set(&mut cluster, ds, &expected, "after finalize");
+    cluster
+        .check_rebalance_integrity(ds, report.rebalance_id)
+        .unwrap();
+    // every feed record is readable through the *new* routing
+    for k in (100_000..next_feed_key).step_by(7) {
+        let key = Key::from_u64(k);
+        let p = cluster.route_key(ds, &key).unwrap();
+        assert!(
+            cluster
+                .partition(p)
+                .unwrap()
+                .dataset(ds)
+                .unwrap()
+                .get(&key)
+                .is_some(),
+            "feed key {k} unreachable after the rebalance"
+        );
+    }
+}
+
+/// The online-query guarantee in isolation: with fully serial waves (the
+/// most step boundaries possible), a scan between every pair of waves
+/// returns exactly the committed record set.
+#[test]
+fn scan_between_every_pair_of_waves_sees_the_committed_set() {
+    let (mut cluster, ds) = cluster_with(2, Scheme::StaticHash { num_buckets: 16 }, 2000);
+    let expected: BTreeSet<u64> = (0..2000).collect();
+    cluster.add_node().unwrap();
+    let target = cluster.topology().clone();
+
+    let mut job = RebalanceJob::plan(&mut cluster, ds, &target, 1).unwrap();
+    job.init(&mut cluster).unwrap();
+    assert_committed_set(&mut cluster, ds, &expected, "after init");
+    while job.has_remaining_waves() {
+        let wave = job.run_wave(&mut cluster).unwrap();
+        assert_committed_set(
+            &mut cluster,
+            ds,
+            &expected,
+            &format!("between waves {} and {}", wave.wave, wave.wave + 1),
+        );
+    }
+    job.prepare(&mut cluster).unwrap();
+    job.decide(&mut cluster).unwrap();
+    job.commit(&mut cluster).unwrap();
+    let report = job.finalize(&mut cluster).unwrap();
+    assert_committed_set(&mut cluster, ds, &expected, "after finalize");
+    cluster
+        .check_rebalance_integrity(ds, report.rebalance_id)
+        .unwrap();
+}
+
+/// A controller restart between waves follows the paper's recovery rule —
+/// BEGIN without COMMIT aborts — and the abort leaves the dataset exactly as
+/// it was.
+#[test]
+fn controller_restart_between_waves_aborts_cleanly() {
+    let (mut cluster, ds) = cluster_with(2, Scheme::StaticHash { num_buckets: 16 }, 1200);
+    let expected: BTreeSet<u64> = (0..1200).collect();
+    cluster.add_node().unwrap();
+    let target = cluster.topology().clone();
+
+    let mut job = RebalanceJob::plan(&mut cluster, ds, &target, 1).unwrap();
+    job.init(&mut cluster).unwrap();
+    job.run_wave(&mut cluster).unwrap();
+
+    // the CC dies and comes back: the metadata log shows the operation
+    // in-flight, so recovery aborts it
+    let recovery = cluster.restart_controller();
+    assert!(recovery.aborted_rebalances.contains(&job.rebalance_id()));
+    job.abort(&mut cluster).unwrap();
+    let report = job.finalize(&mut cluster).unwrap();
+
+    assert_eq!(report.outcome, RebalanceOutcome::Aborted);
+    assert_committed_set(&mut cluster, ds, &expected, "after aborted job");
+    cluster
+        .check_rebalance_integrity(ds, report.rebalance_id)
+        .unwrap();
+    // the dataset rebalances fine afterwards
+    let report = cluster
+        .rebalance(ds, &target, RebalanceOptions::none())
+        .unwrap();
+    assert_eq!(report.outcome, RebalanceOutcome::Committed);
+    cluster
+        .check_rebalance_integrity(ds, report.rebalance_id)
+        .unwrap();
+}
+
+/// The *normal* public ingestion path stays online during data movement:
+/// `Cluster::ingest` between waves replicates writes to already-shipped
+/// buckets, so nothing is lost when the commit drops the source buckets.
+/// Once the prepare phase flushes the pending components, writes are
+/// briefly blocked (Section V-C) instead of being silently dropped.
+#[test]
+fn normal_ingest_between_waves_loses_nothing() {
+    let (mut cluster, ds) = cluster_with(2, Scheme::StaticHash { num_buckets: 16 }, 1200);
+    let mut expected: BTreeSet<u64> = (0..1200).collect();
+    cluster.add_node().unwrap();
+    let target = cluster.topology().clone();
+
+    let mut job = RebalanceJob::plan(&mut cluster, ds, &target, 1).unwrap();
+    job.init(&mut cluster).unwrap();
+
+    let mut next_key = 200_000u64;
+    while job.has_remaining_waves() {
+        job.run_wave(&mut cluster).unwrap();
+        // plain Cluster::ingest — NOT job.apply_feed_batch
+        cluster
+            .ingest(ds, (next_key..next_key + 60).map(record))
+            .unwrap();
+        expected.extend(next_key..next_key + 60);
+        next_key += 60;
+        assert_committed_set(&mut cluster, ds, &expected, "after plain ingest");
+    }
+
+    job.prepare(&mut cluster).unwrap();
+    // writes are briefly blocked between prepare and the decision
+    let blocked = cluster.ingest(ds, vec![record(999_999)]);
+    assert!(
+        matches!(
+            blocked,
+            Err(dynahash::cluster::ClusterError::DatasetWriteBlocked(d)) if d == ds
+        ),
+        "writes must be blocked during the prepare window, got {blocked:?}"
+    );
+
+    job.decide(&mut cluster).unwrap();
+    job.commit(&mut cluster).unwrap();
+    let report = job.finalize(&mut cluster).unwrap();
+    assert_eq!(report.outcome, RebalanceOutcome::Committed);
+    assert_eq!(cluster.dataset_len(ds).unwrap(), expected.len());
+    assert_committed_set(&mut cluster, ds, &expected, "after finalize");
+    cluster
+        .check_rebalance_integrity(ds, report.rebalance_id)
+        .unwrap();
+    // ingestion works again after the commit, through the new directory
+    cluster.ingest(ds, vec![record(999_999)]).unwrap();
+    assert_eq!(cluster.dataset_len(ds).unwrap(), expected.len() + 1);
+    cluster.check_dataset_consistency(ds).unwrap();
+}
+
+// ---------------------------------------------------------------- property
+
+#[derive(Debug, Clone)]
+enum Step {
+    Grow { max_moves: usize },
+    Shrink { max_moves: usize },
+    Feed(u16),
+}
+
+fn random_step(rng: &mut SplitMix64) -> Step {
+    match rng.gen_range(0..4) {
+        0 | 1 => Step::Feed(rng.gen_range(40..250) as u16),
+        2 => Step::Grow {
+            max_moves: rng.gen_range(1..5) as usize,
+        },
+        _ => Step::Shrink {
+            max_moves: rng.gen_range(1..5) as usize,
+        },
+    }
+}
+
+/// Number of randomized cases per property.
+const CASES: u64 = 12;
+
+fn check_stepped_rebalances_never_lose_records(scheme: Scheme, seed_base: u64) {
+    for case in 0..CASES {
+        let seed = seed_base + case;
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let n = rng.gen_range(2..6) as usize;
+        let steps: Vec<Step> = (0..n).map(|_| random_step(&mut rng)).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_steps(scheme, seed, &steps);
+        }));
+        if let Err(panic) = result {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!(
+                "property failed for scheme {scheme:?}\n  seed: {seed}\n  steps: {steps:?}\n  cause: {msg}"
+            );
+        }
+    }
+}
+
+/// Invariants that must hold after *every* job step: the CC's directory
+/// covers the full hash space, every record routes to the partition storing
+/// it, and a scan sees exactly the expected record set.
+fn assert_step_invariants(cluster: &mut Cluster, ds: u32, expected: &BTreeSet<u64>, when: &str) {
+    let meta = cluster.controller.dataset(ds).unwrap();
+    let dir = meta
+        .directory
+        .as_ref()
+        .expect("bucketed datasets keep a directory");
+    assert!(
+        dir.covers_full_space(),
+        "{when}: directory leaves hash-space holes"
+    );
+    cluster
+        .check_dataset_consistency(ds)
+        .unwrap_or_else(|e| panic!("{when}: {e}"));
+    assert_committed_set(cluster, ds, expected, when);
+}
+
+fn run_steps(scheme: Scheme, seed: u64, steps: &[Step]) {
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x5eed_f00d);
+    let mut cluster = Cluster::with_config(
+        2,
+        ClusterConfig {
+            partitions_per_node: 2,
+            cost_model: CostModel::default(),
+        },
+    );
+    let ds = cluster
+        .create_dataset(DatasetSpec::new("events", scheme))
+        .unwrap();
+    let mut next_key = 0u64;
+    let mut expected: BTreeSet<u64> = BTreeSet::new();
+    let ingest =
+        |cluster: &mut Cluster, expected: &mut BTreeSet<u64>, next_key: &mut u64, n: u64| {
+            cluster
+                .ingest(ds, (*next_key..*next_key + n).map(record))
+                .unwrap();
+            expected.extend(*next_key..*next_key + n);
+            *next_key += n;
+        };
+    ingest(&mut cluster, &mut expected, &mut next_key, 300);
+
+    for (i, step) in steps.iter().enumerate() {
+        match step {
+            Step::Feed(n) => {
+                ingest(&mut cluster, &mut expected, &mut next_key, *n as u64);
+            }
+            Step::Grow { max_moves } | Step::Shrink { max_moves } => {
+                let grow = matches!(step, Step::Grow { .. });
+                let (target, victim) = if grow {
+                    if cluster.topology().num_nodes() >= 5 {
+                        continue;
+                    }
+                    cluster.add_node().unwrap();
+                    (cluster.topology().clone(), None)
+                } else {
+                    if cluster.topology().num_nodes() <= 1 {
+                        continue;
+                    }
+                    let victim = *cluster.topology().nodes().last().unwrap();
+                    (cluster.topology_without(victim), Some(victim))
+                };
+
+                let mut job = RebalanceJob::plan(&mut cluster, ds, &target, *max_moves).unwrap();
+                assert_step_invariants(&mut cluster, ds, &expected, &format!("step {i}: planned"));
+                job.init(&mut cluster).unwrap();
+                assert_step_invariants(&mut cluster, ds, &expected, &format!("step {i}: init"));
+                while job.has_remaining_waves() {
+                    let wave = job.run_wave(&mut cluster).unwrap();
+                    assert_step_invariants(
+                        &mut cluster,
+                        ds,
+                        &expected,
+                        &format!("step {i}: wave {}", wave.wave),
+                    );
+                    // interleave a feed batch through the job
+                    let n = rng.gen_range(0..120);
+                    if n > 0 {
+                        let batch: Vec<_> = (next_key..next_key + n).map(record).collect();
+                        job.apply_feed_batch(&mut cluster, batch).unwrap();
+                        expected.extend(next_key..next_key + n);
+                        next_key += n;
+                        assert_step_invariants(
+                            &mut cluster,
+                            ds,
+                            &expected,
+                            &format!("step {i}: feed after wave {}", wave.wave),
+                        );
+                    }
+                }
+                job.prepare(&mut cluster).unwrap();
+                assert_step_invariants(&mut cluster, ds, &expected, &format!("step {i}: prepared"));
+                assert_eq!(
+                    job.decide(&mut cluster).unwrap(),
+                    RebalanceOutcome::Committed
+                );
+                job.commit(&mut cluster).unwrap();
+                assert_step_invariants(&mut cluster, ds, &expected, &format!("step {i}: commit"));
+                let report = job.finalize(&mut cluster).unwrap();
+                cluster
+                    .check_rebalance_integrity(ds, report.rebalance_id)
+                    .unwrap_or_else(|e| panic!("step {i}: integrity after finalize: {e}"));
+                assert_step_invariants(&mut cluster, ds, &expected, &format!("step {i}: final"));
+                if let Some(victim) = victim {
+                    cluster.decommission_node(victim).unwrap();
+                }
+            }
+        }
+        assert_eq!(
+            cluster.dataset_len(ds).unwrap(),
+            expected.len(),
+            "step {i}: records lost or duplicated"
+        );
+    }
+}
+
+#[test]
+fn prop_stepped_dynahash_jobs_never_lose_records() {
+    check_stepped_rebalances_never_lose_records(Scheme::dynahash(16 * 1024, 4), 0x57e9_0000);
+}
+
+#[test]
+fn prop_stepped_statichash_jobs_never_lose_records() {
+    check_stepped_rebalances_never_lose_records(
+        Scheme::StaticHash { num_buckets: 32 },
+        0x57e9_1000,
+    );
+}
