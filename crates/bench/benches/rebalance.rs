@@ -1,10 +1,12 @@
-//! Figures 7a/7b: rebalance time for removing and adding a node, plus the
+//! Figures 7a/7b: rebalance time for removing and adding a node, the
 //! wave-parallelism study of the step-driven executor (serial vs parallel
-//! bucket movement).
+//! bucket movement), and the move-policy study (component shipping vs
+//! record re-materialisation).
 
 use dynahash_bench::timing::{bench_case, bench_group, DEFAULT_ITERS};
 use dynahash_bench::{
-    fig7_rebalance, format_waves, rebalance_wave_scaling, ExperimentConfig, RebalanceDirection,
+    fig7_rebalance, format_move_policy, format_waves, move_policy_comparison,
+    rebalance_wave_scaling, ExperimentConfig, RebalanceDirection,
 };
 
 fn main() {
@@ -37,5 +39,22 @@ fn main() {
     assert!(
         rows[1].minutes < rows[0].minutes,
         "parallel waves must beat the serial schedule in simulated time"
+    );
+
+    // Component shipping vs record re-materialisation: wall-clock per
+    // policy, then the simulated makespans — shipping sealed components
+    // must be strictly faster while leaving byte-identical contents.
+    bench_group("move_policy");
+    bench_case("dynahash_4to3/records_vs_components", DEFAULT_ITERS, || {
+        move_policy_comparison(&cfg)
+    });
+    let rows = move_policy_comparison(&cfg);
+    println!("simulated makespan by move policy (DynaHash LineItem, 4 -> 3 nodes):");
+    print!("{}", format_move_policy(&rows));
+    let (records, components) = (&rows[0], &rows[1]);
+    assert_eq!(records.content_checksum, components.content_checksum);
+    assert!(
+        components.movement_minutes < records.movement_minutes,
+        "component shipping must beat record movement in simulated time"
     );
 }

@@ -4,30 +4,51 @@
 //! Usage:
 //!
 //! ```text
-//! experiments                # run everything at the default scale
-//! experiments --quick        # smaller scale, fewer cluster sizes
-//! experiments --figure 7a    # run a single figure (6, 7a, 7b, 7c, 8, 9, ablations)
+//! experiments                     # run everything at the default scale
+//! experiments --quick             # smaller scale, fewer cluster sizes
+//! experiments --figure 7a         # run a single figure
+//! experiments --json results.json # also emit machine-readable results
 //! ```
+//!
+//! Figures: 6, 7a, 7b, 7c, waves, move_policy, 8, 9, ablations.
+//!
+//! The `move_policy` figure doubles as a regression gate: the run fails
+//! (exit code 1) unless component shipping is strictly faster than
+//! record-level movement while leaving byte-identical contents — the
+//! paper's core rebalance-efficiency claim.
 
+use dynahash_bench::json::Json;
 use dynahash_bench::*;
 
 struct Args {
     quick: bool,
     figure: Option<String>,
+    json: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
         figure: None,
+        json: None,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--quick" => args.quick = true,
             "--figure" => args.figure = iter.next(),
+            "--json" => {
+                args.json = iter.next();
+                if args.json.is_none() {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }
+            }
             "--help" | "-h" => {
-                eprintln!("usage: experiments [--quick] [--figure 6|7a|7b|7c|waves|8|9|ablations]");
+                eprintln!(
+                    "usage: experiments [--quick] [--json <path>] \
+                     [--figure 6|7a|7b|7c|waves|move_policy|8|9|ablations]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -46,6 +67,113 @@ fn wants(figure: &Option<String>, name: &str) -> bool {
     }
 }
 
+fn fig6_json(rows: &[IngestionRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("nodes", Json::Int(r.nodes as u64)),
+                    ("scheme", Json::str(r.scheme)),
+                    ("sim_seconds", Json::Num(r.minutes * 60.0)),
+                    ("records", Json::Int(r.records)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn fig7_json(rows: &[RebalanceRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("nodes", Json::Int(r.nodes as u64)),
+                    ("scheme", Json::str(r.scheme)),
+                    ("sim_seconds", Json::Num(r.minutes * 60.0)),
+                    ("moved_fraction", Json::Num(r.moved_fraction)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn fig7c_json(rows: &[ConcurrentWriteRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("write_rate_krps", Json::Num(r.write_rate_krps)),
+                    ("sim_seconds", Json::Num(r.minutes * 60.0)),
+                    ("concurrent_records", Json::Int(r.concurrent_records)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn waves_json(rows: &[WaveRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    (
+                        "max_concurrent_moves",
+                        Json::Int(r.max_concurrent_moves as u64),
+                    ),
+                    ("waves", Json::Int(r.waves as u64)),
+                    ("buckets_moved", Json::Int(r.buckets_moved as u64)),
+                    ("movement_sim_seconds", Json::Num(r.movement_minutes * 60.0)),
+                    ("total_sim_seconds", Json::Num(r.minutes * 60.0)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn move_policy_json(rows: &[MovePolicyRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("policy", Json::str(r.policy)),
+                    ("movement_sim_seconds", Json::Num(r.movement_minutes * 60.0)),
+                    ("total_sim_seconds", Json::Num(r.minutes * 60.0)),
+                    ("bytes_moved", Json::Int(r.bytes_moved)),
+                    ("records_moved", Json::Int(r.records_moved)),
+                    ("buckets_moved", Json::Int(r.buckets_moved as u64)),
+                    (
+                        "content_checksum",
+                        Json::str(format!("{:016x}", r.content_checksum)),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// `groups` pairs each row set with the cluster size it ran on — the rows
+/// themselves carry no node count, and a flat concatenation would make the
+/// 4-node and 16-node timings indistinguishable in the JSON trajectory.
+fn queries_json(groups: &[(u32, Vec<QueryRow>)]) -> Json {
+    Json::Arr(
+        groups
+            .iter()
+            .flat_map(|(nodes, rows)| {
+                rows.iter().map(|r| {
+                    Json::obj([
+                        ("nodes", Json::Int(*nodes as u64)),
+                        ("query", Json::Int(r.query as u64)),
+                        ("scheme", Json::str(r.scheme.clone())),
+                        ("sim_seconds", Json::Num(r.seconds)),
+                        ("answer", Json::Num(r.answer)),
+                        ("scan_heavy", Json::Bool(r.scan_heavy)),
+                    ])
+                })
+            })
+            .collect(),
+    )
+}
+
 fn main() {
     let args = parse_args();
     let cfg = if args.quick {
@@ -60,6 +188,9 @@ fn main() {
     };
     let query_nodes: Vec<u32> = if args.quick { vec![4] } else { vec![4, 16] };
 
+    let mut figures = Json::obj([]);
+    let mut gate_failed = false;
+
     println!("# DynaHash experiment results");
     println!();
     println!(
@@ -73,6 +204,7 @@ fn main() {
         println!();
         let rows = fig6_ingestion(&cfg, &node_counts);
         println!("{}", format_fig6(&rows));
+        figures.push_field("fig6_ingestion", fig6_json(&rows));
     }
 
     if wants(&args.figure, "7a") {
@@ -80,6 +212,7 @@ fn main() {
         println!();
         let rows = fig7_rebalance(&cfg, &node_counts, RebalanceDirection::RemoveNode);
         println!("{}", format_fig7(&rows));
+        figures.push_field("fig7a_remove_node", fig7_json(&rows));
     }
 
     if wants(&args.figure, "7b") {
@@ -87,6 +220,7 @@ fn main() {
         println!();
         let rows = fig7_rebalance(&cfg, &node_counts, RebalanceDirection::AddNode);
         println!("{}", format_fig7(&rows));
+        figures.push_field("fig7b_add_node", fig7_json(&rows));
     }
 
     if wants(&args.figure, "7c") {
@@ -97,6 +231,7 @@ fn main() {
         let rates = [0.0, 10.0, 20.0, 30.0, 40.0];
         let rows = fig7c_concurrent_writes(&cfg, &rates);
         println!("{}", format_fig7c(&rows));
+        figures.push_field("fig7c_concurrent_writes", fig7c_json(&rows));
     }
 
     if wants(&args.figure, "waves") {
@@ -104,9 +239,46 @@ fn main() {
         println!();
         let rows = rebalance_wave_scaling(&cfg, &[1, 2, 4, 8]);
         println!("{}", format_waves(&rows));
+        figures.push_field("waves", waves_json(&rows));
+    }
+
+    if wants(&args.figure, "move_policy") {
+        println!("## Move policy — component shipping vs record movement (DynaHash, 4 -> 3 nodes)");
+        println!();
+        let rows = move_policy_comparison(&cfg);
+        println!("{}", format_move_policy(&rows));
+        figures.push_field("move_policy", move_policy_json(&rows));
+        let records = rows.iter().find(|r| r.policy == "Records");
+        let components = rows.iter().find(|r| r.policy == "Components");
+        match (records, components) {
+            (Some(rec), Some(comp)) => {
+                if comp.content_checksum != rec.content_checksum {
+                    eprintln!("GATE FAILED: move policies left different dataset contents");
+                    gate_failed = true;
+                }
+                if comp.movement_minutes >= rec.movement_minutes {
+                    eprintln!(
+                        "GATE FAILED: component shipping ({:.6} sim s) is not strictly faster \
+                         than record movement ({:.6} sim s)",
+                        comp.movement_minutes * 60.0,
+                        rec.movement_minutes * 60.0
+                    );
+                    gate_failed = true;
+                }
+            }
+            _ => {
+                eprintln!("GATE FAILED: move_policy rows missing");
+                gate_failed = true;
+            }
+        }
+        if !gate_failed {
+            println!("(gate: Components strictly faster than Records, contents identical)");
+            println!();
+        }
     }
 
     if wants(&args.figure, "8") {
+        let mut groups = Vec::new();
         for &n in &query_nodes {
             println!("## Figure 8 — TPC-H query time on the original cluster ({n} nodes)");
             println!();
@@ -119,10 +291,13 @@ fn main() {
                 println!("WARNING: answer mismatches on queries {mismatches:?}");
             }
             println!();
+            groups.push((n, rows));
         }
+        figures.push_field("fig8_queries", queries_json(&groups));
     }
 
     if wants(&args.figure, "9") {
+        let mut groups = Vec::new();
         for &n in &query_nodes {
             println!(
                 "## Figure 9 — TPC-H query time on the downsized cluster ({} -> {} nodes)",
@@ -139,7 +314,9 @@ fn main() {
                 println!("WARNING: answer mismatches on queries {mismatches:?}");
             }
             println!();
+            groups.push((n, rows));
         }
+        figures.push_field("fig9_queries", queries_json(&groups));
     }
 
     if wants(&args.figure, "ablations") {
@@ -147,7 +324,8 @@ fn main() {
         println!();
         println!("| option | bucket-move read bytes | avg components per lookup |");
         println!("|---|---|---|");
-        for r in ablation_storage_options(5000) {
+        let storage = ablation_storage_options(5000);
+        for r in &storage {
             println!(
                 "| {} | {} | {:.1} |",
                 r.option, r.bucket_move_read_bytes, r.lookup_components
@@ -158,12 +336,76 @@ fn main() {
         println!();
         println!("| bucket size skew | Algorithm 2 (max/avg) | round-robin (max/avg) |");
         println!("|---|---|---|");
-        for r in ablation_balance_quality(&[1, 2, 4, 8, 16]) {
+        let balance = ablation_balance_quality(&[1, 2, 4, 8, 16]);
+        for r in &balance {
             println!(
                 "| {}x | {:.3} | {:.3} |",
                 r.skew, r.algorithm2, r.round_robin
             );
         }
         println!();
+        figures.push_field(
+            "ablation_storage_options",
+            Json::Arr(
+                storage
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("option", Json::str(r.option)),
+                            (
+                                "bucket_move_read_bytes",
+                                Json::Int(r.bucket_move_read_bytes),
+                            ),
+                            ("lookup_components", Json::Num(r.lookup_components)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        figures.push_field(
+            "ablation_balance_quality",
+            Json::Arr(
+                balance
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("skew", Json::Int(r.skew)),
+                            ("algorithm2", Json::Num(r.algorithm2)),
+                            ("round_robin", Json::Num(r.round_robin)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+    }
+
+    if let Some(path) = &args.json {
+        let doc = Json::obj([
+            (
+                "config",
+                Json::obj([
+                    ("orders_per_node", Json::Int(cfg.orders_per_node as u64)),
+                    (
+                        "partitions_per_node",
+                        Json::Int(cfg.partitions_per_node as u64),
+                    ),
+                    ("quick", Json::Bool(args.quick)),
+                    (
+                        "node_counts",
+                        Json::Arr(node_counts.iter().map(|&n| Json::Int(n as u64)).collect()),
+                    ),
+                ]),
+            ),
+            ("figures", figures),
+        ]);
+        if let Err(e) = std::fs::write(path, doc.render() + "\n") {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("machine-readable results written to {path}");
+    }
+
+    if gate_failed {
+        std::process::exit(1);
     }
 }

@@ -21,12 +21,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod timing;
 
 use dynahash_cluster::{
-    Cluster, ClusterConfig, CostModel, RebalanceJob, RebalanceOptions, SimDuration,
+    Cluster, ClusterConfig, CostModel, QueryExecutor, RebalanceJob, RebalanceOptions, SimDuration,
 };
-use dynahash_core::{NodeId, Scheme};
+use dynahash_core::{MovePolicy, NodeId, Scheme};
 use dynahash_tpch::loader::lineitem_records;
 use dynahash_tpch::{generator, load_tpch, query_traits, run_query, TpchScale, NUM_QUERIES};
 
@@ -344,6 +345,105 @@ pub fn rebalance_wave_scaling(cfg: &ExperimentConfig, max_moves: &[usize]) -> Ve
         });
     }
     rows
+}
+
+// ------------------------------------------------- move policy (tentpole)
+
+/// One row of the move-policy study: the same DynaHash scale-in rebalance
+/// executed once per [`MovePolicy`].
+#[derive(Debug, Clone)]
+pub struct MovePolicyRow {
+    /// Policy label ("Records" / "Components").
+    pub policy: &'static str,
+    /// Total simulated rebalance makespan in minutes.
+    pub minutes: f64,
+    /// Simulated makespan of the data-movement phase alone, in minutes.
+    pub movement_minutes: f64,
+    /// Primary-index bytes moved.
+    pub bytes_moved: u64,
+    /// Records moved.
+    pub records_moved: u64,
+    /// Buckets moved (identical across rows — only the transfer differs).
+    pub buckets_moved: usize,
+    /// Order-independent checksum of the post-rebalance record set; both
+    /// policies must produce the same value (byte-identical contents).
+    pub content_checksum: u64,
+}
+
+/// Order-independent FNV-style checksum over every (key, value) pair of the
+/// dataset, used to check that both move policies leave byte-identical
+/// contents behind.
+fn dataset_checksum(cluster: &mut Cluster, dataset: u32) -> u64 {
+    let mut exec = QueryExecutor::new(cluster);
+    let (records, _) = exec.collect_records(dataset).expect("collect records");
+    let mut acc = 0u64;
+    for (k, v) in &records {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in k.as_slice().iter().chain(v.as_ref()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        acc = acc.wrapping_add(h);
+    }
+    acc ^ records.len() as u64
+}
+
+/// Move-policy study: rebalance LineItem from 4 to 3 nodes under each
+/// policy. Component shipping moves the same buckets and leaves
+/// byte-identical contents, but skips the per-record re-materialisation CPU
+/// on both sides of the transfer — the paper's core efficiency claim — so
+/// its data-movement makespan must be strictly lower.
+pub fn move_policy_comparison(cfg: &ExperimentConfig) -> Vec<MovePolicyRow> {
+    let nodes = 4u32;
+    [MovePolicy::Records, MovePolicy::Components]
+        .into_iter()
+        .map(|policy| {
+            let mut cluster = cfg.cluster(nodes);
+            let scheme = cfg.dynahash_scheme(nodes);
+            let (tables, _, _) = load_tpch(&mut cluster, scheme, cfg.scale(nodes)).expect("load");
+            let target = cluster.topology_without(NodeId(nodes - 1));
+            let report = cluster
+                .rebalance(
+                    tables.lineitem,
+                    &target,
+                    RebalanceOptions::none()
+                        .with_max_concurrent_moves(FIGURE_MOVES_PER_WAVE)
+                        .with_move_policy(policy),
+                )
+                .expect("rebalance");
+            cluster
+                .check_rebalance_integrity(tables.lineitem, report.rebalance_id)
+                .expect("post-rebalance integrity");
+            MovePolicyRow {
+                policy: policy.name(),
+                minutes: report.elapsed.as_minutes_f64(),
+                movement_minutes: report.phases.data_movement.as_minutes_f64(),
+                bytes_moved: report.bytes_moved,
+                records_moved: report.records_moved,
+                buckets_moved: report.buckets_moved,
+                content_checksum: dataset_checksum(&mut cluster, tables.lineitem),
+            }
+        })
+        .collect()
+}
+
+/// Renders move-policy rows as a markdown table.
+pub fn format_move_policy(rows: &[MovePolicyRow]) -> String {
+    let mut s = String::from(
+        "| policy | buckets | records | movement (sim s) | total (sim s) | checksum |\n|---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "| {} | {} | {} | {:.3} | {:.3} | {:016x} |\n",
+            r.policy,
+            r.buckets_moved,
+            r.records_moved,
+            r.movement_minutes * 60.0,
+            r.minutes * 60.0,
+            r.content_checksum
+        ));
+    }
+    s
 }
 
 /// Renders wave-parallelism rows as a markdown table.
@@ -771,6 +871,28 @@ mod tests {
         );
         assert!(parallel.minutes < serial.minutes);
         assert!(format_waves(&rows).contains("moves/wave"));
+    }
+
+    #[test]
+    fn component_shipping_beats_record_movement() {
+        let rows = move_policy_comparison(&tiny());
+        assert_eq!(rows.len(), 2);
+        let records = rows.iter().find(|r| r.policy == "Records").unwrap();
+        let components = rows.iter().find(|r| r.policy == "Components").unwrap();
+        assert_eq!(records.buckets_moved, components.buckets_moved);
+        assert_eq!(records.records_moved, components.records_moved);
+        assert_eq!(
+            records.content_checksum, components.content_checksum,
+            "both policies must leave byte-identical contents"
+        );
+        assert!(
+            components.movement_minutes < records.movement_minutes,
+            "component shipping must beat record movement: {} !< {}",
+            components.movement_minutes,
+            records.movement_minutes
+        );
+        assert!(components.minutes < records.minutes);
+        assert!(format_move_policy(&rows).contains("Components"));
     }
 
     #[test]

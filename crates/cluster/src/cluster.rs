@@ -249,12 +249,24 @@ impl Cluster {
             total += 1;
             if let Some((bucket, dst_partition, dst_node, key, value)) = replica {
                 let dst_node = dst_node.ok_or(ClusterError::UnknownPartition(dst_partition))?;
+                // A write to an already-shipped bucket must reach the
+                // destination's pending copy or be lost by the commit-time
+                // source cleanup — a dead destination fails the feed loudly,
+                // exactly like a dead source partition.
+                if !self.node_is_alive(dst_node) {
+                    return Err(ClusterError::NodeDown(dst_node));
+                }
                 let entry = replicated.entry(dst_node).or_default();
                 entry.0 += 1;
                 entry.1 += (key.len() + value.len()) as u64;
-                self.partition_mut(dst_partition)?
-                    .dataset_mut(dataset)?
-                    .apply_replicated(bucket, dynahash_lsm::Entry::put(key, value))?;
+                let ds = self.partition_mut(dst_partition)?.dataset_mut(dataset)?;
+                // The bucket is in the active rebalance's shipped set, so a
+                // missing pending copy means a destination crash wiped the
+                // uncommitted transfer: re-create it here so replication
+                // keeps flowing, and the commit re-ships the lost base data
+                // from the metadata log.
+                ds.ensure_pending_bucket(bucket)?;
+                ds.apply_replicated(bucket, dynahash_lsm::Entry::put(key, value))?;
             }
         }
 

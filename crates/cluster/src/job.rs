@@ -30,11 +30,11 @@
 use std::collections::BTreeMap;
 
 use dynahash_core::{
-    ClusterTopology, GlobalDirectory, NodeId, NodeVote, RebalanceCoordinator, RebalanceOutcome,
-    RebalancePlan,
+    BucketMove, ClusterTopology, GlobalDirectory, MovePolicy, NodeId, NodeVote,
+    RebalanceCoordinator, RebalanceOutcome, RebalancePlan,
 };
 use dynahash_lsm::entry::{Key, Value};
-use dynahash_lsm::wal::{LogRecordBody, RebalanceId};
+use dynahash_lsm::wal::{LogRecordBody, RebalanceId, ShippedMove};
 
 use crate::cluster::Cluster;
 use crate::dataset::DatasetId;
@@ -110,8 +110,19 @@ pub struct WaveReport {
     pub bytes: u64,
     /// Records shipped by this wave.
     pub records: u64,
+    /// Sealed components shipped whole by this wave (0 under the Records
+    /// policy, which re-materialises the data instead).
+    pub components: usize,
     /// The wave's simulated makespan (slowest participating node).
     pub makespan: SimDuration,
+}
+
+/// What one bucket move transferred (internal accounting of
+/// [`RebalanceJob::ship_move`]).
+struct ShipStats {
+    bytes: u64,
+    records: u64,
+    component_ids: Vec<u64>,
 }
 
 /// A resumable, step-driven rebalance of one bucketed dataset.
@@ -126,6 +137,7 @@ pub struct RebalanceJob {
     routing: GlobalDirectory,
     participants: Vec<NodeId>,
     coordinator: RebalanceCoordinator,
+    move_policy: MovePolicy,
     state: JobState,
     init_tl: NodeTimeline,
     move_tl: NodeTimeline,
@@ -214,6 +226,7 @@ impl RebalanceJob {
             routing,
             participants,
             coordinator,
+            move_policy: MovePolicy::default(),
             state: JobState::Planned,
             init_tl: NodeTimeline::new(),
             move_tl: NodeTimeline::new(),
@@ -276,12 +289,24 @@ impl RebalanceJob {
         Ok(())
     }
 
-    /// Runs the next wave: scans each of the wave's buckets at its source,
-    /// ships it, and bulk-loads it into a pending (invisible) bucket at its
-    /// destination. All moves of a wave run in parallel, so the wave is
-    /// charged its makespan — the slowest participating node. Both ends of
-    /// every move must be alive; crash a node mid-movement and the operator
-    /// must either recover it or [`RebalanceJob::abort`].
+    /// Runs the next wave, moving each of the wave's buckets under the job's
+    /// [`MovePolicy`]:
+    ///
+    /// * **Components** (the default): the source flushes the bucket's
+    ///   memory component and ships its sealed components whole — cheap
+    ///   handle clones carrying their Bloom filters and sorted runs — and
+    ///   the destination installs them into the pending bucket directly,
+    ///   rebuilding only the secondary-index entries.
+    /// * **Records**: the source merges the bucket into a record stream and
+    ///   the destination re-materialises it (re-sort, Bloom rebuild, every
+    ///   index rebuilt) — the baseline this PR's cost model charges for.
+    ///
+    /// All moves of a wave run in parallel, so the wave is charged its
+    /// makespan — the slowest participating node. The CC forces a
+    /// `RebalanceShip` metadata record after the wave so crash recovery can
+    /// replay the component-level moves. Both ends of every move must be
+    /// alive; crash a node mid-movement and the operator must either recover
+    /// it or [`RebalanceJob::abort`].
     pub fn run_wave(&mut self, cluster: &mut Cluster) -> Result<WaveReport> {
         let wave_index = match self.state {
             JobState::Moving { completed_waves } if completed_waves < self.waves.len() => {
@@ -289,7 +314,6 @@ impl RebalanceJob {
             }
             _ => return Err(self.invalid_step("run_wave")),
         };
-        let cost = cluster.cost_model();
         let wave = self.waves[wave_index].clone();
 
         // Data movement needs both ends of every move up.
@@ -309,39 +333,35 @@ impl RebalanceJob {
         let mut wave_tl = NodeTimeline::new();
         let mut bytes = 0u64;
         let mut records = 0u64;
+        let mut components = 0usize;
+        let mut shipped: Vec<ShippedMove> = Vec::with_capacity(wave.len());
         for m in &wave {
-            let src_node = cluster.node_of_partition(m.from)?;
-            let dst_node = self
-                .target
-                .node_of(m.to)
-                .ok_or(ClusterError::UnknownPartition(m.to))?;
-            let entries = cluster
-                .partition_mut(m.from)?
-                .dataset_mut(self.dataset)?
-                .scan_bucket_for_move(m.bucket)?;
-            let bucket_bytes: u64 = entries.iter().map(|e| e.size_bytes() as u64).sum();
-            let bucket_records = entries.len() as u64;
-
-            // Source reads the bucket; the network ships it; the destination
-            // writes the loaded components and rebuilds secondary entries.
-            // Empty buckets only need a directory update, which travels with
-            // the commit message, so they incur no per-move transfer cost.
-            if bucket_bytes > 0 {
-                wave_tl.charge(src_node, cost.disk_read(bucket_bytes));
-                wave_tl.charge(dst_node, cost.network(bucket_bytes));
-                wave_tl.charge(
-                    dst_node,
-                    cost.disk_write(bucket_bytes) + cost.index_rebuild_cpu(bucket_records),
-                );
-            }
-
-            let dst = cluster.partition_mut(m.to)?.dataset_mut(self.dataset)?;
-            dst.create_pending_bucket(m.bucket)?;
-            dst.load_pending(m.bucket, entries)?;
-
-            bytes += bucket_bytes;
-            records += bucket_records;
+            let stats = self.ship_move(cluster, m, &mut wave_tl)?;
+            bytes += stats.bytes;
+            records += stats.records;
+            components += stats.component_ids.len();
+            shipped.push(ShippedMove {
+                bucket_bits: m.bucket.bits,
+                bucket_depth: m.bucket.depth,
+                from: m.from.0,
+                to: m.to.0,
+                component_ids: stats.component_ids,
+                bytes: stats.bytes,
+                records: stats.records,
+            });
         }
+        // The CC forces the wave's ship record: if a destination later loses
+        // its uncommitted pending state in a crash, recovery replays these
+        // moves by re-shipping from the sources.
+        cluster
+            .controller
+            .metadata_log
+            .append_forced(LogRecordBody::RebalanceShip {
+                rebalance: self.rebalance_id,
+                dataset: self.dataset,
+                wave: wave_index as u32,
+                moves: shipped,
+            });
 
         // From now on, writes routed to this wave's buckets replicate to the
         // destinations' pending copies (the normal ingest path consults this).
@@ -364,8 +384,94 @@ impl RebalanceJob {
             moves: wave.len(),
             bytes,
             records,
+            components,
             makespan,
         })
+    }
+
+    /// Executes one bucket move under the job's policy, charging the
+    /// participating nodes on `tl`. Empty buckets only need a directory
+    /// update, which travels with the commit message, so they incur no
+    /// per-move transfer cost.
+    fn ship_move(
+        &self,
+        cluster: &mut Cluster,
+        m: &BucketMove,
+        tl: &mut NodeTimeline,
+    ) -> Result<ShipStats> {
+        let cost = cluster.cost_model();
+        let src_node = cluster.node_of_partition(m.from)?;
+        let dst_node = self
+            .target
+            .node_of(m.to)
+            .ok_or(ClusterError::UnknownPartition(m.to))?;
+        match self.move_policy {
+            MovePolicy::Records => {
+                let entries = cluster
+                    .partition_mut(m.from)?
+                    .dataset_mut(self.dataset)?
+                    .scan_bucket_for_move(m.bucket)?;
+                let bytes: u64 = entries.iter().map(|e| e.size_bytes() as u64).sum();
+                let records = entries.len() as u64;
+                // The source merges the bucket's components into a record
+                // stream; the network ships records; the destination
+                // re-materialises them — re-sort, Bloom rebuild, primary
+                // component build — and rebuilds the secondary entries.
+                if bytes > 0 {
+                    tl.charge(
+                        src_node,
+                        cost.disk_read(bytes) + cost.rematerialize_cpu(records),
+                    );
+                    tl.charge(dst_node, cost.network(bytes));
+                    tl.charge(
+                        dst_node,
+                        cost.disk_write(bytes)
+                            + cost.rematerialize_cpu(records)
+                            + cost.index_rebuild_cpu(records),
+                    );
+                }
+                let dst = cluster.partition_mut(m.to)?.dataset_mut(self.dataset)?;
+                dst.ensure_pending_bucket(m.bucket)?;
+                dst.load_pending(m.bucket, entries)?;
+                Ok(ShipStats {
+                    bytes,
+                    records,
+                    component_ids: Vec::new(),
+                })
+            }
+            MovePolicy::Components => {
+                let comps = cluster
+                    .partition_mut(m.from)?
+                    .dataset_mut(self.dataset)?
+                    .ship_bucket_components(m.bucket)?;
+                let bytes: u64 = comps.iter().map(|c| c.visible_size_bytes() as u64).sum();
+                let component_ids: Vec<u64> = comps.iter().map(|c| c.id()).collect();
+                let dst = cluster.partition_mut(m.to)?.dataset_mut(self.dataset)?;
+                dst.ensure_pending_bucket(m.bucket)?;
+                let records = dst.install_shipped_components(m.bucket, comps)?;
+                // Sealed components travel as whole files: one sequential
+                // read, one transfer, one sequential write. Bloom filters and
+                // sorted runs arrive ready to serve, so the only CPU charged
+                // at the destination is the secondary-index rebuild.
+                if bytes > 0 {
+                    tl.charge(src_node, cost.disk_read(bytes));
+                    tl.charge(
+                        dst_node,
+                        cost.network(bytes)
+                            + cost.component_ship_overhead(component_ids.len() as u64),
+                    );
+                    tl.charge(
+                        dst_node,
+                        cost.disk_write(bytes) + cost.index_rebuild_cpu(records),
+                    );
+                }
+                Ok(ShipStats {
+                    bytes,
+                    records,
+                    component_ids,
+                })
+            }
+        }
     }
 
     /// Applies a batch of concurrent writes while data movement is in
@@ -588,6 +694,17 @@ impl RebalanceJob {
         &self.waves
     }
 
+    /// How this job moves buckets (default: [`MovePolicy::Components`]).
+    pub fn move_policy(&self) -> MovePolicy {
+        self.move_policy
+    }
+
+    /// Sets how buckets move. Call before the first wave runs; switching
+    /// mid-job would charge the remaining waves under the new policy.
+    pub fn set_move_policy(&mut self, policy: MovePolicy) {
+        self.move_policy = policy;
+    }
+
     /// Total number of scheduled waves.
     pub fn num_waves(&self) -> usize {
         self.waves.len()
@@ -679,18 +796,35 @@ impl RebalanceJob {
             self.fin_tl
                 .charge(n, SimDuration::from_nanos(cost.network_latency_ns));
         }
-        for m in &self.plan.moves {
-            // Destination: install the received bucket.
-            if let Some(dst_node) = self.target.node_of(m.to) {
-                if cluster.node_is_alive(dst_node) {
-                    cluster
-                        .partition_mut(m.to)?
-                        .dataset_mut(self.dataset)?
-                        .install_pending(m.bucket)?;
-                }
+        // First pass: every alive destination installs its received buckets,
+        // re-shipping transfers that a crash wiped (replayed from the ship
+        // records in the metadata log).
+        let moves = self.plan.moves.clone();
+        for m in &moves {
+            let Some(dst_node) = self.target.node_of(m.to) else {
+                continue;
+            };
+            if cluster.node_is_alive(dst_node) && self.ensure_shipped(cluster, m)? {
+                cluster
+                    .partition_mut(m.to)?
+                    .dataset_mut(self.dataset)?
+                    .install_pending(m.bucket)?;
             }
-            // Source: drop the moved bucket and mark secondary indexes for
-            // lazy cleanup.
+        }
+        // Second pass: a source drops its moved bucket (and marks secondary
+        // indexes for lazy cleanup) only once the destination serves it —
+        // dropping earlier would make a destination-side crash unrecoverable,
+        // since re-shipping needs the source copy.
+        for m in &moves {
+            let installed = cluster
+                .partition(m.to)
+                .ok()
+                .and_then(|p| p.dataset(self.dataset).ok())
+                .map(|ds| ds.primary.directory().contains(&m.bucket))
+                .unwrap_or(false);
+            if !installed {
+                continue;
+            }
             if let Some(src_node) = cluster.topology().node_of(m.from) {
                 if cluster.node_is_alive(src_node) {
                     cluster
@@ -701,6 +835,52 @@ impl RebalanceJob {
             }
         }
         Ok(())
+    }
+
+    /// Makes sure the destination of `m` holds the transferred bucket data,
+    /// re-shipping it from the source when an uncommitted transfer was lost
+    /// to a crash. Returns false if the move cannot be completed yet (the
+    /// source is down); [`RebalanceJob::finalize`] recovers every node and
+    /// retries.
+    fn ensure_shipped(&mut self, cluster: &mut Cluster, m: &BucketMove) -> Result<bool> {
+        {
+            let ds = cluster.partition(m.to)?.dataset(self.dataset)?;
+            if ds.primary.directory().contains(&m.bucket)
+                || ds.primary.pending_has_base_data(&m.bucket)
+            {
+                return Ok(true);
+            }
+        }
+        // The transfer must have been recorded durable before it can be
+        // replayed (run_wave forces one ship record per wave).
+        let was_shipped = cluster
+            .controller
+            .metadata_log
+            .shipped_moves(self.rebalance_id)
+            .iter()
+            .any(|s| {
+                s.bucket_bits == m.bucket.bits
+                    && s.bucket_depth == m.bucket.depth
+                    && s.from == m.from.0
+                    && s.to == m.to.0
+            });
+        if !was_shipped {
+            return Ok(false);
+        }
+        let src_node = cluster.node_of_partition(m.from)?;
+        let src_owns = cluster
+            .partition(m.from)?
+            .dataset(self.dataset)?
+            .primary
+            .directory()
+            .contains(&m.bucket);
+        if !src_owns || !cluster.node_is_alive(src_node) {
+            return Ok(false);
+        }
+        let mut tl = NodeTimeline::new();
+        self.ship_move(cluster, m, &mut tl)?;
+        self.fin_tl.extend(&tl);
+        Ok(true)
     }
 
     fn report(&self, outcome: RebalanceOutcome) -> RebalanceReport {
@@ -849,6 +1029,77 @@ mod tests {
         cluster
             .check_rebalance_integrity(ds, report.rebalance_id)
             .unwrap();
+    }
+
+    #[test]
+    fn components_policy_ships_sealed_components_and_logs_the_waves() {
+        let (mut cluster, ds) = loaded(2, 2000);
+        cluster.add_node().unwrap();
+        let target = cluster.topology().clone();
+        let mut job = RebalanceJob::plan(&mut cluster, ds, &target, 2).unwrap();
+        assert_eq!(job.move_policy(), dynahash_core::MovePolicy::Components);
+        job.init(&mut cluster).unwrap();
+        let mut components = 0usize;
+        while job.has_remaining_waves() {
+            components += job.run_wave(&mut cluster).unwrap().components;
+        }
+        assert!(components > 0, "waves must ship sealed components");
+        let shipped = cluster
+            .controller
+            .metadata_log
+            .shipped_moves(job.rebalance_id());
+        assert_eq!(shipped.len(), job.plan_ref().num_moves());
+        assert!(shipped.iter().any(|m| !m.component_ids.is_empty()));
+        job.prepare(&mut cluster).unwrap();
+        job.decide(&mut cluster).unwrap();
+        job.commit(&mut cluster).unwrap();
+        let report = job.finalize(&mut cluster).unwrap();
+        assert_eq!(cluster.dataset_len(ds).unwrap(), 2000);
+        cluster
+            .check_rebalance_integrity(ds, report.rebalance_id)
+            .unwrap();
+    }
+
+    #[test]
+    fn destination_crash_after_shipping_is_reshipped_from_the_log() {
+        let (mut cluster, ds) = loaded(2, 2000);
+        let new_node = cluster.add_node().unwrap();
+        let target = cluster.topology().clone();
+        let mut job = RebalanceJob::plan(&mut cluster, ds, &target, 4).unwrap();
+        job.init(&mut cluster).unwrap();
+        while job.has_remaining_waves() {
+            job.run_wave(&mut cluster).unwrap();
+        }
+        job.prepare(&mut cluster).unwrap();
+        // The new node received buckets and voted; its crash now wipes the
+        // uncommitted pending state (the transfer metadata was never forced).
+        cluster.crash_node(new_node).unwrap();
+        assert_eq!(
+            job.decide(&mut cluster).unwrap(),
+            RebalanceOutcome::Committed
+        );
+        job.commit(&mut cluster).unwrap();
+        let report = job.finalize(&mut cluster).unwrap();
+        assert_eq!(report.outcome, RebalanceOutcome::Committed);
+        assert_eq!(cluster.dataset_len(ds).unwrap(), 2000);
+        cluster
+            .check_rebalance_integrity(ds, report.rebalance_id)
+            .unwrap();
+        // the recovered node serves its re-shipped buckets
+        let on_new: usize = cluster
+            .topology()
+            .partitions_of_node(new_node)
+            .iter()
+            .map(|p| {
+                cluster
+                    .partition(*p)
+                    .unwrap()
+                    .dataset(ds)
+                    .unwrap()
+                    .live_len()
+            })
+            .sum();
+        assert!(on_new > 0, "lost transfers must be re-shipped");
     }
 
     #[test]

@@ -48,6 +48,8 @@ pub use rebalance::{PhaseTimes, RebalanceOptions, RebalanceReport, StepHook};
 pub use recovery::RecoveryReport;
 pub use sim::{CostModel, NodeTimeline, SimDuration, WaveClock};
 
+pub use dynahash_core::MovePolicy;
+
 use dynahash_core::{CoreError, NodeId, PartitionId};
 use dynahash_lsm::StorageError;
 

@@ -86,10 +86,17 @@ impl NodeController {
     /// records are lost. Data in "disk" components survives (it is durable by
     /// construction); in-memory components survive too because AsterixDB
     /// replays the durable log on recovery — the simulation keeps them
-    /// directly rather than replaying.
+    /// directly rather than replaying. Pending rebalance state does **not**
+    /// survive: the metadata registering an in-flight transfer is only
+    /// forced by the rebalance commit, so restart recovery discards the
+    /// orphan received components and the rebalance executor re-ships them
+    /// from the moves recorded in the CC's metadata log.
     pub fn crash(&mut self) {
         self.alive = false;
         self.log.crash();
+        for p in self.partitions.values_mut() {
+            p.drop_all_pending();
+        }
     }
 
     /// Recovers a crashed node. The caller (the CC) is responsible for

@@ -11,12 +11,32 @@ use std::sync::Arc;
 
 use dynahash_core::PartitionId;
 use dynahash_lsm::{
-    BucketId, BucketedConfig, BucketedLsmTree, Entry, Key, LsmConfig, LsmTree, ScanOrder,
-    SecondaryEntry, SecondaryIndex, StorageMetrics, Value,
+    BucketId, BucketedConfig, BucketedLsmTree, Component, Entry, Key, LazyMergeIter, LsmConfig,
+    LsmTree, RefSource, ScanOrder, SecondaryEntry, SecondaryIndex, StorageMetrics, Value,
 };
 
 use crate::dataset::{DatasetId, DatasetSpec, SecondaryIndexDef};
 use crate::ClusterError;
+
+/// Appends the secondary-index entries `value` yields for `key` under every
+/// index definition into the per-index accumulators (`out[i]` belongs to
+/// `defs[i]`). Shared by both rebalance transfer paths so the Records and
+/// Components policies can never diverge in how they rebuild indexes.
+fn collect_secondary_entries(
+    defs: &[SecondaryIndexDef],
+    key: &Key,
+    value: &Value,
+    out: &mut [Vec<SecondaryEntry>],
+) {
+    for (def, entries) in defs.iter().zip(out.iter_mut()) {
+        if let Some(secondary) = (def.extractor)(value) {
+            entries.push(SecondaryEntry {
+                secondary,
+                primary: key.clone(),
+            });
+        }
+    }
+}
 
 /// Per-dataset storage inside one partition.
 pub struct PartitionDataset {
@@ -156,6 +176,18 @@ impl PartitionDataset {
             .map_err(ClusterError::Storage)
     }
 
+    /// Snapshot + component-level ship of a moving bucket: flushes the
+    /// bucket's memory component, then hands out its sealed components as
+    /// cheap shipped handles (no per-record merge, no Bloom rebuild).
+    pub fn ship_bucket_components(
+        &mut self,
+        bucket: BucketId,
+    ) -> Result<Vec<Component>, ClusterError> {
+        self.primary
+            .ship_bucket(bucket)
+            .map_err(ClusterError::Storage)
+    }
+
     /// After a committed rebalance: drops the moved bucket from the primary
     /// index, removes its keys from the primary-key index, and marks the
     /// bucket for lazy cleanup in every secondary index.
@@ -179,6 +211,16 @@ impl PartitionDataset {
             .map_err(ClusterError::Storage)
     }
 
+    /// Creates the pending bucket unless it already exists (the replication
+    /// path may have re-created it after a destination crash, or a recovery
+    /// retry may re-ship into it).
+    pub fn ensure_pending_bucket(&mut self, bucket: BucketId) -> Result<(), ClusterError> {
+        if self.primary.has_pending_bucket(&bucket) {
+            return Ok(());
+        }
+        self.create_pending_bucket(bucket)
+    }
+
     /// Bulk-loads scanned records into the pending bucket and rebuilds the
     /// corresponding secondary-index entries into the pending component lists.
     pub fn load_pending(
@@ -187,18 +229,13 @@ impl PartitionDataset {
         entries: Vec<Entry>,
     ) -> Result<(), ClusterError> {
         // Rebuild secondary entries on the fly from the record payloads.
-        for (def, idx) in self.defs.iter().zip(self.secondaries.iter_mut()) {
-            let rebuilt: Vec<SecondaryEntry> = entries
-                .iter()
-                .filter_map(|e| {
-                    e.op.value().and_then(|v| {
-                        (def.extractor)(v).map(|secondary| SecondaryEntry {
-                            secondary,
-                            primary: e.key.clone(),
-                        })
-                    })
-                })
-                .collect();
+        let mut rebuilt: Vec<Vec<SecondaryEntry>> = self.defs.iter().map(|_| Vec::new()).collect();
+        for e in &entries {
+            if let Some(v) = e.op.value() {
+                collect_secondary_entries(&self.defs, &e.key, v, &mut rebuilt);
+            }
+        }
+        for (idx, rebuilt) in self.secondaries.iter_mut().zip(rebuilt) {
             if !rebuilt.is_empty() {
                 idx.load_into_pending(rebuilt);
             }
@@ -214,6 +251,41 @@ impl PartitionDataset {
         self.primary
             .load_into_pending(bucket, entries)
             .map_err(ClusterError::Storage)
+    }
+
+    /// Installs components shipped whole from a source partition into the
+    /// pending bucket. Only the secondary-index entries are rebuilt (from a
+    /// lazy reconciling merge over the shipped components); the primary data
+    /// — sorted runs and Bloom filters included — arrives ready to serve.
+    /// Returns the number of live records covered, for cost accounting.
+    pub fn install_shipped_components(
+        &mut self,
+        bucket: BucketId,
+        comps: Vec<Component>,
+    ) -> Result<u64, ClusterError> {
+        let mut live_records = 0u64;
+        let mut rebuilt: Vec<Vec<SecondaryEntry>> = self.defs.iter().map(|_| Vec::new()).collect();
+        {
+            let sources: Vec<RefSource<'_>> = comps
+                .iter()
+                .map(|c| Box::new(c.iter().map(|e| (&e.key, &e.op))) as RefSource<'_>)
+                .collect();
+            for e in LazyMergeIter::new(sources, false) {
+                live_records += 1;
+                if let Some(v) = e.op.value() {
+                    collect_secondary_entries(&self.defs, &e.key, v, &mut rebuilt);
+                }
+            }
+        }
+        for (idx, rebuilt) in self.secondaries.iter_mut().zip(rebuilt) {
+            if !rebuilt.is_empty() {
+                idx.load_into_pending(rebuilt);
+            }
+        }
+        self.primary
+            .install_shipped(bucket, comps)
+            .map_err(ClusterError::Storage)?;
+        Ok(live_records)
     }
 
     /// Applies a replicated concurrent write to the pending bucket (and the
@@ -261,6 +333,17 @@ impl PartitionDataset {
     /// Discards all pending state for this dataset (abort path). Idempotent.
     pub fn drop_pending(&mut self, bucket: BucketId) {
         self.primary.drop_pending(bucket);
+        for s in self.secondaries.iter_mut() {
+            s.drop_pending();
+        }
+    }
+
+    /// Discards every pending bucket and pending secondary list (crash
+    /// recovery: the metadata registering an uncommitted transfer was never
+    /// forced, so orphan received components are dropped on restart and the
+    /// rebalance recovery path re-ships them).
+    pub fn drop_all_pending(&mut self) {
+        self.primary.drop_all_pending();
         for s in self.secondaries.iter_mut() {
             s.drop_pending();
         }
@@ -342,6 +425,13 @@ impl Partition {
             .values()
             .map(|d| d.total_storage_bytes())
             .sum()
+    }
+
+    /// Discards the pending rebalance state of every dataset (crash path).
+    pub fn drop_all_pending(&mut self) {
+        for ds in self.datasets.values_mut() {
+            ds.drop_all_pending();
+        }
     }
 }
 

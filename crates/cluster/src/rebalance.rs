@@ -13,7 +13,7 @@
 
 use std::collections::BTreeMap;
 
-use dynahash_core::{ClusterTopology, FailurePoint, NodeId, RebalanceOutcome};
+use dynahash_core::{ClusterTopology, FailurePoint, MovePolicy, NodeId, RebalanceOutcome};
 use dynahash_lsm::entry::{Key, Value};
 use dynahash_lsm::wal::{LogRecordBody, RebalanceId, RebalanceLogStatus};
 
@@ -57,6 +57,12 @@ pub struct RebalanceOptions {
     pub max_concurrent_moves: usize,
     /// Scenario hooks fired between job steps (bucketed schemes only).
     pub hooks: Vec<(StepPoint, StepHook)>,
+    /// How buckets move during the data-movement phase. The default,
+    /// [`MovePolicy::Components`], ships sealed LSM components whole; the
+    /// [`MovePolicy::Records`] baseline re-materialises every record and is
+    /// kept as a correctness oracle and benchmark reference. Ignored by the
+    /// Hashing scheme, which has no buckets to ship.
+    pub move_policy: MovePolicy,
 }
 
 impl std::fmt::Debug for RebalanceOptions {
@@ -66,6 +72,7 @@ impl std::fmt::Debug for RebalanceOptions {
             .field("failure", &self.failure)
             .field("max_concurrent_moves", &self.max_concurrent_moves.max(1))
             .field("hooks", &self.hooks.len())
+            .field("move_policy", &self.move_policy)
             .finish()
     }
 }
@@ -91,6 +98,12 @@ impl RebalanceOptions {
     /// Sets how many bucket moves each wave runs in parallel.
     pub fn with_max_concurrent_moves(mut self, moves: usize) -> Self {
         self.max_concurrent_moves = moves;
+        self
+    }
+
+    /// Sets how buckets move (component shipping vs record re-materialisation).
+    pub fn with_move_policy(mut self, policy: MovePolicy) -> Self {
+        self.move_policy = policy;
         self
     }
 
@@ -192,8 +205,10 @@ impl Cluster {
             failure,
             max_concurrent_moves,
             mut hooks,
+            move_policy,
         } = options;
         let mut job = RebalanceJob::plan(self, dataset, target, max_concurrent_moves)?;
+        job.set_move_policy(move_policy);
         match self.drive_job(&mut job, concurrent_writes, failure, &mut hooks) {
             Ok(report) => Ok(report),
             Err(e) => {
@@ -712,10 +727,17 @@ mod tests {
             .with_max_concurrent_moves(8)
             .with_concurrent_writes(vec![(Key::from_u64(1), payload(1))])
             .with_failure(FailurePoint::CcAfterDone)
+            .with_move_policy(MovePolicy::Records)
             .with_hook(StepPoint::AfterInit, |_, _| Ok(()));
         assert_eq!(opts.max_concurrent_moves, 8);
         assert_eq!(opts.concurrent_writes.len(), 1);
         assert_eq!(opts.failure, Some(FailurePoint::CcAfterDone));
+        assert_eq!(opts.move_policy, MovePolicy::Records);
+        assert_eq!(
+            RebalanceOptions::none().move_policy,
+            MovePolicy::Components,
+            "component shipping is the default"
+        );
         assert_eq!(opts.hooks.len(), 1);
         let dbg = format!("{opts:?}");
         assert!(dbg.contains("max_concurrent_moves"));

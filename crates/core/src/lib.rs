@@ -35,7 +35,7 @@ pub use directory::GlobalDirectory;
 pub use dynahash_lsm::{hash_key, BucketId};
 pub use plan::{BucketMove, RebalancePlan};
 pub use protocol::{
-    FailurePoint, NodeVote, RebalanceCoordinator, RebalanceOutcome, RebalancePhase,
+    FailurePoint, MovePolicy, NodeVote, RebalanceCoordinator, RebalanceOutcome, RebalancePhase,
 };
 pub use scheme::Scheme;
 pub use topology::{ClusterTopology, NodeId, PartitionId};

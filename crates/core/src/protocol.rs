@@ -49,6 +49,34 @@ pub enum NodeVote {
     No,
 }
 
+/// How the data-movement phase transfers a bucket between partitions
+/// (Section IV of the paper argues for component-level movement: sealed LSM
+/// components are immutable, so a bucket can move as whole files).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MovePolicy {
+    /// Scan the bucket into records at the source and re-materialise them at
+    /// the destination (merge, re-sort, rebuild Bloom filters, rebuild every
+    /// index). The static-hash-era baseline; kept as a correctness oracle
+    /// and benchmark reference.
+    Records,
+    /// Ship the bucket's sealed components whole: Bloom filters and sorted
+    /// runs travel with the component files, and the destination rebuilds
+    /// only its secondary indexes. The default, and the source of the
+    /// paper's rebalance-efficiency claim.
+    #[default]
+    Components,
+}
+
+impl MovePolicy {
+    /// Stable label used by reports and benchmarks.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MovePolicy::Records => "Records",
+            MovePolicy::Components => "Components",
+        }
+    }
+}
+
 /// The final outcome of a rebalance operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RebalanceOutcome {

@@ -17,7 +17,7 @@ use crate::bucket::{hash_key, BucketId};
 use crate::component::{Component, ComponentSource};
 use crate::directory::LocalDirectory;
 use crate::entry::{Entry, Key, Op, Value};
-use crate::iterator::merge_live;
+use crate::iterator::kmerge_disjoint;
 use crate::metrics::StorageMetrics;
 use crate::tree::{LsmConfig, LsmTree};
 use crate::{Result, StorageError};
@@ -165,23 +165,14 @@ impl BucketedLsmTree {
     ///   internally ordered).
     /// * [`ScanOrder::Ordered`] merge-sorts the per-bucket results.
     pub fn scan(&self, order: ScanOrder) -> Vec<Entry> {
-        match order {
-            ScanOrder::Unordered => {
-                let mut out = Vec::new();
-                for tree in self.buckets.values() {
-                    out.extend(tree.scan_all());
-                }
-                out
-            }
-            ScanOrder::Ordered => {
-                let sources: Vec<Vec<Entry>> =
-                    self.buckets.values().map(|t| t.scan_all()).collect();
-                merge_live(sources)
-            }
-        }
+        self.scan_range(None, None, order)
     }
 
-    /// Range scan over `[lo, hi)` with the requested output order.
+    /// Range scan over `[lo, hi)` with the requested output order. The
+    /// ordered path is a k-way merge over the buckets' lazy component
+    /// iterators (bucket key sets are disjoint), so the globally ordered
+    /// output is materialised exactly once instead of collecting a
+    /// `Vec<Entry>` per bucket and merging the copies.
     pub fn scan_range(&self, lo: Option<&Key>, hi: Option<&Key>, order: ScanOrder) -> Vec<Entry> {
         match order {
             ScanOrder::Unordered => {
@@ -192,9 +183,11 @@ impl BucketedLsmTree {
                 out
             }
             ScanOrder::Ordered => {
-                let sources: Vec<Vec<Entry>> =
-                    self.buckets.values().map(|t| t.scan(lo, hi)).collect();
-                merge_live(sources)
+                let iters: Vec<_> = self.buckets.values().map(|t| t.iter_live(lo, hi)).collect();
+                let out = kmerge_disjoint(iters);
+                let bytes: usize = out.iter().map(|e| e.size_bytes()).sum();
+                StorageMetrics::add(&self.metrics.bytes_query_read, bytes as u64);
+                out
             }
         }
     }
@@ -366,6 +359,31 @@ impl BucketedLsmTree {
         Ok(entries)
     }
 
+    /// Ships a bucket as sealed components (Section IV: disk components are
+    /// immutable, so moving a bucket is moving its component files). The
+    /// bucket's memory component is flushed first, then every component is
+    /// handed out as a cheap `Arc`-clone marked [`Component::is_shipped`] —
+    /// Bloom filters, sorted runs, and any bucket/lazy-cleanup filters travel
+    /// with the handle, and no `restrict_to_bucket` copy is made: every
+    /// component of a bucket's tree already exposes only that bucket's
+    /// entries. Components are returned newest first, the tree's own order.
+    pub fn ship_bucket(&mut self, bucket: BucketId) -> Result<Vec<Component>> {
+        let tree = self
+            .buckets
+            .get_mut(&bucket)
+            .ok_or(StorageError::UnknownBucket(bucket))?;
+        tree.flush();
+        let comps: Vec<Component> = tree
+            .components()
+            .iter()
+            .map(|c| c.clone_shipped())
+            .collect();
+        let bytes: usize = comps.iter().map(|c| c.visible_size_bytes()).sum();
+        StorageMetrics::add(&self.metrics.bytes_rebalance_shipped, bytes as u64);
+        StorageMetrics::add(&self.metrics.components_shipped, comps.len() as u64);
+        Ok(comps)
+    }
+
     /// Drops a moved bucket after a committed rebalance: it is removed from
     /// the local directory so new queries cannot see it. Reference counting
     /// (Arc) keeps the components alive for readers that still hold them.
@@ -381,15 +399,18 @@ impl BucketedLsmTree {
     // -------------------------------------------- rebalance destination side
 
     /// Registers a new pending (received) bucket at a destination partition.
-    /// Pending buckets are invisible to queries until installed.
+    /// Pending buckets are invisible to queries until installed. Merges are
+    /// paused on the pending tree until the install: the loaded/shipped base
+    /// components and the replicated-write flushes must survive as-is so
+    /// recovery can tell a healthy pending bucket from one whose transfer a
+    /// crash wiped ([`BucketedLsmTree::pending_has_base_data`]).
     pub fn create_pending_bucket(&mut self, bucket: BucketId) -> Result<()> {
         if self.pending.contains_key(&bucket) {
             return Err(StorageError::PendingBucketExists(bucket));
         }
-        self.pending.insert(
-            bucket,
-            LsmTree::new(self.config.lsm.clone(), Arc::clone(&self.metrics)),
-        );
+        let mut tree = LsmTree::new(self.config.lsm.clone(), Arc::clone(&self.metrics));
+        tree.pause_merges();
+        self.pending.insert(bucket, tree);
         Ok(())
     }
 
@@ -409,8 +430,50 @@ impl BucketedLsmTree {
         Ok(())
     }
 
+    /// Installs components shipped whole from a source partition into a
+    /// pending bucket. The handles are appended as the **oldest** data of the
+    /// pending tree — replicated log records applied afterwards (or already
+    /// sitting in the pending memory component) stay newer, exactly as the
+    /// record-level `load_into_pending` path orders its bulk-loaded
+    /// component. The components keep their internal newest-first order.
+    pub fn install_shipped(&mut self, bucket: BucketId, comps: Vec<Component>) -> Result<()> {
+        let tree = self
+            .pending
+            .get_mut(&bucket)
+            .ok_or(StorageError::UnknownPendingBucket(bucket))?;
+        let bytes: usize = comps.iter().map(|c| c.visible_size_bytes()).sum();
+        StorageMetrics::add(&self.metrics.bytes_rebalance_loaded, bytes as u64);
+        tree.append_oldest_components(comps);
+        Ok(())
+    }
+
+    /// True if a pending (received, not yet installed) bucket exists.
+    pub fn has_pending_bucket(&self, bucket: &BucketId) -> bool {
+        self.pending.contains_key(bucket)
+    }
+
+    /// True if the pending bucket holds its base data — shipped or
+    /// bulk-loaded components, as opposed to only replicated log records
+    /// accumulated after a crash wiped the uncommitted transfer. Recovery
+    /// re-ships the bucket from its source when this is false.
+    pub fn pending_has_base_data(&self, bucket: &BucketId) -> bool {
+        self.pending
+            .get(bucket)
+            .map(|t| {
+                t.components()
+                    .iter()
+                    .any(|c| c.is_shipped() || c.source() == ComponentSource::Loaded)
+            })
+            .unwrap_or(false)
+    }
+
     /// Applies a replicated log record (a concurrent write captured at the
-    /// source) to a pending bucket's memory component.
+    /// source) to a pending bucket's memory component. The pending bucket
+    /// must exist — a replicated write to an unregistered bucket is a
+    /// routing bug upstream. (After a destination crash wiped an uncommitted
+    /// transfer, the cluster's replication path re-creates the pending
+    /// bucket explicitly for buckets of the active rebalance before
+    /// applying; see `Cluster::ingest`.)
     pub fn apply_replicated(&mut self, bucket: BucketId, entry: Entry) -> Result<()> {
         let tree = self
             .pending
@@ -432,12 +495,15 @@ impl BucketedLsmTree {
     /// "add the loaded disk components to the component lists").
     /// Idempotent if the bucket is already installed.
     pub fn install_pending(&mut self, bucket: BucketId) -> Result<()> {
-        let Some(tree) = self.pending.remove(&bucket) else {
+        let Some(mut tree) = self.pending.remove(&bucket) else {
             if self.directory.contains(&bucket) {
                 return Ok(()); // already installed (recovery retries are idempotent)
             }
             return Err(StorageError::UnknownPendingBucket(bucket));
         };
+        // Merges were paused while the bucket was pending; the installed
+        // bucket compacts normally again.
+        tree.resume_merges();
         self.directory.add(bucket)?;
         self.buckets.insert(bucket, tree);
         Ok(())
@@ -796,6 +862,111 @@ mod tests {
         assert!(t.bucket_of_hash(0).is_none());
         t.drop_pending(b); // never existed: no-op
         assert!(t.is_consistent());
+    }
+
+    #[test]
+    fn ship_bucket_moves_sealed_components_without_copying() {
+        let mut src = tree_with_depth(1, None);
+        let mut dst = BucketedLsmTree::new(
+            cfg(None),
+            [BucketId::new(1, 1)],
+            StorageMetrics::new_shared(),
+        );
+        for i in 0..300u64 {
+            src.insert(i, val(16)).unwrap();
+        }
+        let moving = BucketId::new(0, 1);
+        let expected = src.bucket_entries(&moving).unwrap();
+        let comps = src.ship_bucket(moving).unwrap();
+        assert!(!comps.is_empty());
+        assert!(comps.iter().all(|c| c.is_shipped()));
+        // the shipped handles share the source's data (no copy was made)
+        let src_ids: Vec<_> = src
+            .bucket_tree(&moving)
+            .unwrap()
+            .components()
+            .iter()
+            .map(|c| c.id())
+            .collect();
+        assert_eq!(comps.iter().map(|c| c.id()).collect::<Vec<_>>(), src_ids);
+        let snap = src.metrics().snapshot();
+        assert_eq!(snap.components_shipped, comps.len() as u64);
+        assert!(snap.bytes_rebalance_shipped > 0);
+
+        dst.create_pending_bucket(moving).unwrap();
+        // a replicated concurrent write applied before the transfer lands
+        // must stay newer than the shipped base data
+        let overwritten = expected[0].key.clone();
+        dst.apply_replicated(moving, Entry::put(overwritten.clone(), val(1)))
+            .unwrap();
+        dst.flush_pending();
+        dst.install_shipped(moving, comps).unwrap();
+        assert!(dst.pending_has_base_data(&moving));
+        assert_eq!(dst.live_len(), 0, "pending data must stay invisible");
+        dst.install_pending(moving).unwrap();
+        assert_eq!(dst.live_len(), expected.len());
+        assert_eq!(dst.get(&overwritten).unwrap(), val(1));
+        for e in &expected[1..] {
+            assert_eq!(dst.get(&e.key).as_ref(), e.op.value());
+        }
+    }
+
+    #[test]
+    fn pending_merges_stay_paused_so_base_provenance_survives_heavy_feeds() {
+        let mut src = tree_with_depth(1, None);
+        for i in 0..200u64 {
+            src.insert(i, val(16)).unwrap();
+        }
+        let moving = BucketId::new(0, 1);
+        let comps = src.ship_bucket(moving).unwrap();
+        let mut dst = BucketedLsmTree::new(
+            cfg(None), // 16 KiB memtable budget, auto flush + merge on
+            [BucketId::new(1, 1)],
+            StorageMetrics::new_shared(),
+        );
+        dst.create_pending_bucket(moving).unwrap();
+        dst.install_shipped(moving, comps).unwrap();
+        // A replicated feed far above the memtable budget flushes the
+        // pending tree repeatedly; without paused merges a size-tiered merge
+        // would rewrite the shipped base components (erasing the provenance
+        // that crash recovery checks) and force a spurious re-ship.
+        for i in 0..600u64 {
+            if moving.contains_key(&Key::from_u64(i)) {
+                dst.apply_replicated(moving, Entry::put(Key::from_u64(i), val(64)))
+                    .unwrap();
+            }
+        }
+        assert!(
+            dst.pending_has_base_data(&moving),
+            "shipped base components must survive replicated-feed flushes"
+        );
+        dst.install_pending(moving).unwrap();
+        assert!(!dst.bucket_tree(&moving).unwrap().merges_paused());
+        assert_eq!(dst.live_len(), dst.bucket_entries(&moving).unwrap().len());
+    }
+
+    #[test]
+    fn apply_replicated_requires_a_registered_pending_bucket() {
+        let mut dst = tree_with_depth(1, None);
+        let b = BucketId::new(0, 2);
+        dst.create_pending_bucket(b).unwrap();
+        dst.drop_pending(b); // crash wiped the uncommitted transfer
+        assert!(!dst.has_pending_bucket(&b));
+        // a misrouted replicated write surfaces as an error, not a silent
+        // fresh pending tree
+        assert!(matches!(
+            dst.apply_replicated(b, Entry::put(Key::from_u64(8), val(4))),
+            Err(StorageError::UnknownPendingBucket(_))
+        ));
+        // the recovery path re-creates the pending bucket explicitly; the
+        // re-created bucket holds only replicated records until re-shipped
+        dst.create_pending_bucket(b).unwrap();
+        dst.apply_replicated(b, Entry::put(Key::from_u64(8), val(4)))
+            .unwrap();
+        assert!(
+            !dst.pending_has_base_data(&b),
+            "a recreated pending bucket holds only replicated records"
+        );
     }
 
     #[test]

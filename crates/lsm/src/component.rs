@@ -137,6 +137,13 @@ pub struct Component {
     /// Bytes of data visible through this handle, computed eagerly when the
     /// filters change so that size queries stay O(1).
     visible_bytes: usize,
+    /// Entries visible through this handle, cached alongside
+    /// `visible_bytes` so that `visible_len` is O(1) too.
+    visible_count: usize,
+    /// True if this handle was transferred whole from another partition by a
+    /// component-shipping rebalance (provenance; the underlying data keeps
+    /// its original flush/merge source).
+    shipped: bool,
 }
 
 impl Component {
@@ -144,12 +151,15 @@ impl Component {
     pub fn from_sorted(entries: Vec<Entry>, source: ComponentSource) -> Self {
         let data = Arc::new(DiskComponentData::from_sorted(entries, source));
         let visible_bytes = data.size_bytes;
+        let visible_count = data.entries.len();
         Component {
             data,
             visible_bucket: None,
             invalid_buckets: Arc::new(Vec::new()),
             layout: KeyLayout::PrimaryKey,
             visible_bytes,
+            visible_count,
+            shipped: false,
         }
     }
 
@@ -178,9 +188,35 @@ impl Component {
             invalid_buckets: Arc::clone(&self.invalid_buckets),
             layout: self.layout,
             visible_bytes: 0,
+            visible_count: 0,
+            shipped: self.shipped,
         };
-        c.visible_bytes = c.iter().map(|e| e.size_bytes()).sum();
+        c.recompute_visibility();
         c
+    }
+
+    /// Returns a handle to the same sealed data marked as shipped from
+    /// another partition (component-level bucket movement). The filters,
+    /// Bloom filter, and sorted run travel with the handle — nothing is
+    /// copied or rebuilt.
+    pub fn clone_shipped(&self) -> Component {
+        let mut c = self.clone();
+        c.shipped = true;
+        c
+    }
+
+    /// True if this handle was received whole from another partition.
+    pub fn is_shipped(&self) -> bool {
+        self.shipped
+    }
+
+    /// One pass over the visible entries refreshing both cached counters.
+    fn recompute_visibility(&mut self) {
+        let (count, bytes) = self
+            .iter()
+            .fold((0usize, 0usize), |(n, b), e| (n + 1, b + e.size_bytes()));
+        self.visible_count = count;
+        self.visible_bytes = bytes;
     }
 
     /// Returns a copy of this component with `bucket` marked invalid (lazy
@@ -204,8 +240,10 @@ impl Component {
             invalid_buckets: Arc::new(inv),
             layout,
             visible_bytes: 0,
+            visible_count: 0,
+            shipped: self.shipped,
         };
-        c.visible_bytes = c.iter().map(|e| e.size_bytes()).sum();
+        c.recompute_visibility();
         c
     }
 
@@ -251,6 +289,11 @@ impl Component {
             if !self.layout.key_in_bucket(key, b) {
                 return false;
             }
+        }
+        // The common case: no lazy-cleanup metadata, so there is nothing to
+        // scan (and no hash to recompute) per entry.
+        if self.invalid_buckets.is_empty() {
+            return true;
         }
         !self
             .invalid_buckets
@@ -302,14 +345,10 @@ impl Component {
         self.data.entries.len()
     }
 
-    /// Number of entries visible through this handle (applies filters; O(n)
-    /// for reference components, O(1) otherwise).
+    /// Number of entries visible through this handle (applies filters). O(1):
+    /// the count is cached whenever the handle's filters change.
     pub fn visible_len(&self) -> usize {
-        if self.needs_compaction() {
-            self.iter().count()
-        } else {
-            self.data.entries.len()
-        }
+        self.visible_count
     }
 
     /// Bytes of the underlying data. Reference components share the data and
@@ -434,5 +473,34 @@ mod tests {
         let a = comp(&[1]);
         let b = comp(&[1]);
         assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn visible_len_and_bytes_stay_cached_through_filter_changes() {
+        let c = comp(&(0..80).collect::<Vec<_>>());
+        assert_eq!(c.visible_len(), 80);
+        assert_eq!(c.visible_size_bytes(), c.size_bytes());
+        let r = c.restrict_to_bucket(BucketId::new(0, 1));
+        assert_eq!(r.visible_len(), r.iter().count());
+        assert_eq!(
+            r.visible_size_bytes(),
+            r.iter().map(|e| e.size_bytes()).sum::<usize>()
+        );
+        let cleaned = c.mark_bucket_invalid(BucketId::new(1, 1));
+        assert_eq!(cleaned.visible_len(), cleaned.iter().count());
+        assert_eq!(cleaned.visible_len() + r.visible_len(), c.visible_len());
+    }
+
+    #[test]
+    fn clone_shipped_shares_data_and_keeps_filters() {
+        let c = comp(&(0..40).collect::<Vec<_>>());
+        let restricted = c.restrict_to_bucket(BucketId::new(1, 1));
+        let shipped = restricted.clone_shipped();
+        assert!(shipped.is_shipped());
+        assert!(!restricted.is_shipped());
+        assert_eq!(shipped.id(), c.id(), "shipping must not copy the data");
+        assert_eq!(shipped.visible_len(), restricted.visible_len());
+        assert_eq!(shipped.visible_bucket(), restricted.visible_bucket());
+        assert_eq!(c.ref_count(), 3, "shipped handle shares the Arc");
     }
 }

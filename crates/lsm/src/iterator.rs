@@ -130,6 +130,168 @@ pub fn reconcile_point<'a>(mut lookups: impl Iterator<Item = Option<&'a Op>>) ->
     lookups.find_map(|op| op)
 }
 
+// --------------------------------------------------------- lazy k-way merge
+
+/// A lazily-consumed sorted input to [`LazyMergeIter`]: key-ordered
+/// `(key, op)` pairs borrowed from a memtable or a component's `range()`
+/// iterator. Nothing is materialised up front.
+pub type RefSource<'a> = Box<dyn Iterator<Item = (&'a Key, &'a Op)> + 'a>;
+
+struct RefHeapItem<'a> {
+    key: &'a Key,
+    source: usize,
+}
+
+impl PartialEq for RefHeapItem<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.source == other.source
+    }
+}
+impl Eq for RefHeapItem<'_> {}
+
+impl Ord for RefHeapItem<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Smallest key first; ties go to the newest (lowest-index) source.
+        other
+            .key
+            .cmp(self.key)
+            .then_with(|| other.source.cmp(&self.source))
+    }
+}
+impl PartialOrd for RefHeapItem<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A reconciling k-way merge that pulls lazily from borrowed sources (newest
+/// source first) and clones only the winning entries. This is the
+/// allocation-light replacement for collecting every source into its own
+/// `Vec<Entry>` before merging: the output is materialised exactly once.
+pub struct LazyMergeIter<'a> {
+    sources: Vec<RefSource<'a>>,
+    /// The current (unconsumed) head of each source; its key is in the heap.
+    heads: Vec<Option<(&'a Key, &'a Op)>>,
+    heap: BinaryHeap<RefHeapItem<'a>>,
+    include_tombstones: bool,
+}
+
+impl<'a> LazyMergeIter<'a> {
+    /// Creates a merge over the given sources, **newest source first**. With
+    /// `include_tombstones` false, reconciled deletes are skipped (query
+    /// behaviour); with true they are emitted (partial-merge behaviour).
+    pub fn new(sources: Vec<RefSource<'a>>, include_tombstones: bool) -> Self {
+        let mut it = LazyMergeIter {
+            heads: (0..sources.len()).map(|_| None).collect(),
+            sources,
+            heap: BinaryHeap::new(),
+            include_tombstones,
+        };
+        for i in 0..it.sources.len() {
+            it.pull(i);
+        }
+        it
+    }
+
+    fn pull(&mut self, source: usize) {
+        if let Some((k, op)) = self.sources[source].next() {
+            self.heap.push(RefHeapItem { key: k, source });
+            self.heads[source] = Some((k, op));
+        } else {
+            self.heads[source] = None;
+        }
+    }
+}
+
+impl Iterator for LazyMergeIter<'_> {
+    type Item = Entry;
+
+    fn next(&mut self) -> Option<Entry> {
+        loop {
+            let top = self.heap.pop()?;
+            let (key, op) = self.heads[top.source].take().expect("head in heap");
+            self.pull(top.source);
+            // Drop all other occurrences of the same key (they are older).
+            while let Some(peek) = self.heap.peek() {
+                if peek.key == key {
+                    let dup = self.heap.pop().expect("peeked");
+                    self.heads[dup.source].take();
+                    self.pull(dup.source);
+                } else {
+                    break;
+                }
+            }
+            if op.is_delete() && !self.include_tombstones {
+                continue;
+            }
+            return Some(Entry {
+                key: key.clone(),
+                op: op.clone(),
+            });
+        }
+    }
+}
+
+/// K-way merge of already-reconciled, key-ordered entry iterators whose key
+/// sets are pairwise disjoint (per-bucket scans: every key lives in exactly
+/// one bucket). The output is materialised exactly once, in key order; the
+/// heap owns each source's head entry directly, so no per-entry key clone
+/// is made.
+pub fn kmerge_disjoint<I>(iters: Vec<I>) -> Vec<Entry>
+where
+    I: Iterator<Item = Entry>,
+{
+    struct OwnedHeapItem {
+        entry: Entry,
+        source: usize,
+    }
+    impl PartialEq for OwnedHeapItem {
+        fn eq(&self, other: &Self) -> bool {
+            self.entry.key == other.entry.key && self.source == other.source
+        }
+    }
+    impl Eq for OwnedHeapItem {}
+    impl Ord for OwnedHeapItem {
+        fn cmp(&self, other: &Self) -> Ordering {
+            other
+                .entry
+                .key
+                .cmp(&self.entry.key)
+                .then_with(|| other.source.cmp(&self.source))
+        }
+    }
+    impl PartialOrd for OwnedHeapItem {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    let mut iters = iters;
+    let mut heap = BinaryHeap::with_capacity(iters.len());
+    for (i, it) in iters.iter_mut().enumerate() {
+        if let Some(entry) = it.next() {
+            heap.push(OwnedHeapItem { entry, source: i });
+        }
+    }
+    let mut out = Vec::new();
+    while let Some(top) = heap.pop() {
+        if let Some(entry) = iters[top.source].next() {
+            heap.push(OwnedHeapItem {
+                entry,
+                source: top.source,
+            });
+        }
+        debug_assert!(
+            out.last()
+                .map(|p: &Entry| p.key < top.entry.key)
+                .unwrap_or(true),
+            "kmerge_disjoint sources must hold pairwise-disjoint sorted keys"
+        );
+        out.push(top.entry);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +363,46 @@ mod tests {
     fn empty_sources_are_fine() {
         assert!(merge_live(vec![]).is_empty());
         assert!(merge_live(vec![vec![], vec![]]).is_empty());
+    }
+
+    fn ref_sources(sources: &[Vec<Entry>]) -> Vec<RefSource<'_>> {
+        sources
+            .iter()
+            .map(|s| Box::new(s.iter().map(|e| (&e.key, &e.op))) as RefSource<'_>)
+            .collect()
+    }
+
+    #[test]
+    fn lazy_merge_matches_materialized_merge() {
+        let newer = vec![del(2), put(3, "new3")];
+        let older = vec![put(1, "old1"), put(2, "old2"), put(3, "old3")];
+        let expected = merge_live(vec![newer.clone(), older.clone()]);
+        let lazy: Vec<Entry> =
+            LazyMergeIter::new(ref_sources(&[newer.clone(), older.clone()]), false).collect();
+        assert_eq!(values(&lazy), values(&expected));
+        let expected_t = merge_keep_tombstones(vec![newer.clone(), older.clone()]);
+        let lazy_t: Vec<Entry> = LazyMergeIter::new(ref_sources(&[newer, older]), true).collect();
+        assert_eq!(values(&lazy_t), values(&expected_t));
+    }
+
+    #[test]
+    fn lazy_merge_handles_empty_sources() {
+        let lazy: Vec<Entry> = LazyMergeIter::new(Vec::new(), false).collect();
+        assert!(lazy.is_empty());
+        let lazy: Vec<Entry> =
+            LazyMergeIter::new(ref_sources(&[vec![], vec![put(1, "a")], vec![]]), false).collect();
+        assert_eq!(values(&lazy), vec![(1, "a".into())]);
+    }
+
+    #[test]
+    fn kmerge_disjoint_orders_across_sources() {
+        let a = vec![put(1, "a"), put(5, "a"), put(9, "a")];
+        let b = vec![put(2, "b"), put(4, "b")];
+        let c = vec![put(3, "c"), put(8, "c")];
+        let merged = kmerge_disjoint(vec![a.into_iter(), b.into_iter(), c.into_iter()]);
+        let keys: Vec<u64> = merged.iter().map(|e| e.key.as_u64()).collect();
+        assert_eq!(keys, vec![1, 2, 3, 4, 5, 8, 9]);
+        assert!(kmerge_disjoint(Vec::<std::vec::IntoIter<Entry>>::new()).is_empty());
     }
 
     #[test]

@@ -47,13 +47,14 @@ pub use bucketed::{BucketedConfig, BucketedLsmTree, ScanOrder};
 pub use component::{Component, ComponentId, ComponentSource};
 pub use directory::LocalDirectory;
 pub use entry::{Entry, Key, Op, Value};
+pub use iterator::{kmerge_disjoint, LazyMergeIter, RefSource};
 pub use memtable::MemTable;
 pub use merge_policy::{MergePolicy, SizeTieredPolicy};
 pub use metrics::StorageMetrics;
 pub use rng::SplitMix64;
 pub use secondary::{SecondaryEntry, SecondaryIndex};
 pub use tree::{LsmConfig, LsmTree};
-pub use wal::{LogRecord, LogRecordBody, TransactionLog};
+pub use wal::{LogRecord, LogRecordBody, ShippedMove, TransactionLog};
 
 /// Errors produced by the storage layer.
 #[derive(Debug, Clone, PartialEq, Eq)]

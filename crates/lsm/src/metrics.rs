@@ -23,6 +23,10 @@ pub struct StorageMetrics {
     pub bytes_rebalance_read: AtomicU64,
     /// Bytes bulk-loaded from rebalance transfers.
     pub bytes_rebalance_loaded: AtomicU64,
+    /// Bytes shipped as whole sealed components during a rebalance.
+    pub bytes_rebalance_shipped: AtomicU64,
+    /// Sealed components shipped whole during a rebalance.
+    pub components_shipped: AtomicU64,
     /// Records ingested through the write path.
     pub records_written: AtomicU64,
     /// Number of flush operations.
@@ -58,6 +62,8 @@ impl StorageMetrics {
             bytes_query_read: Self::get(&self.bytes_query_read),
             bytes_rebalance_read: Self::get(&self.bytes_rebalance_read),
             bytes_rebalance_loaded: Self::get(&self.bytes_rebalance_loaded),
+            bytes_rebalance_shipped: Self::get(&self.bytes_rebalance_shipped),
+            components_shipped: Self::get(&self.components_shipped),
             records_written: Self::get(&self.records_written),
             flush_count: Self::get(&self.flush_count),
             merge_count: Self::get(&self.merge_count),
@@ -73,6 +79,8 @@ impl StorageMetrics {
         self.bytes_query_read.store(0, Ordering::Relaxed);
         self.bytes_rebalance_read.store(0, Ordering::Relaxed);
         self.bytes_rebalance_loaded.store(0, Ordering::Relaxed);
+        self.bytes_rebalance_shipped.store(0, Ordering::Relaxed);
+        self.components_shipped.store(0, Ordering::Relaxed);
         self.records_written.store(0, Ordering::Relaxed);
         self.flush_count.store(0, Ordering::Relaxed);
         self.merge_count.store(0, Ordering::Relaxed);
@@ -95,6 +103,10 @@ pub struct MetricsSnapshot {
     pub bytes_rebalance_read: u64,
     /// Bytes loaded from rebalance transfers.
     pub bytes_rebalance_loaded: u64,
+    /// Bytes shipped as whole sealed components.
+    pub bytes_rebalance_shipped: u64,
+    /// Sealed components shipped whole.
+    pub components_shipped: u64,
     /// Records ingested.
     pub records_written: u64,
     /// Flush operations.
@@ -129,6 +141,12 @@ impl MetricsSnapshot {
             bytes_rebalance_loaded: self
                 .bytes_rebalance_loaded
                 .saturating_sub(earlier.bytes_rebalance_loaded),
+            bytes_rebalance_shipped: self
+                .bytes_rebalance_shipped
+                .saturating_sub(earlier.bytes_rebalance_shipped),
+            components_shipped: self
+                .components_shipped
+                .saturating_sub(earlier.components_shipped),
             records_written: self.records_written.saturating_sub(earlier.records_written),
             flush_count: self.flush_count.saturating_sub(earlier.flush_count),
             merge_count: self.merge_count.saturating_sub(earlier.merge_count),

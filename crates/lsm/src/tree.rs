@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use crate::component::{Component, ComponentSource};
 use crate::entry::{Entry, Key, Value};
-use crate::iterator::{merge_keep_tombstones, merge_live, reconcile_point};
+use crate::iterator::{reconcile_point, LazyMergeIter, RefSource};
 use crate::memtable::MemTable;
 use crate::merge_policy::{MergePolicy, SizeTieredPolicy};
 use crate::metrics::StorageMetrics;
@@ -142,23 +142,24 @@ impl LsmTree {
         op.value().cloned()
     }
 
-    /// Range scan over `[lo, hi)` returning live entries in key order,
-    /// reconciling across all components with a priority queue.
-    pub fn scan(&self, lo: Option<&Key>, hi: Option<&Key>) -> Vec<Entry> {
-        let mut sources = Vec::with_capacity(self.components.len() + 1);
-        sources.push(
-            self.memtable
-                .range(lo, hi)
-                .map(|(k, op)| Entry {
-                    key: k.clone(),
-                    op: op.clone(),
-                })
-                .collect::<Vec<_>>(),
-        );
+    /// A lazy, reconciling k-way merge over `[lo, hi)` of the memory
+    /// component and every disk component's `range()` iterator, newest
+    /// first. Tombstoned keys are skipped; nothing is materialised until the
+    /// caller consumes the iterator.
+    pub fn iter_live<'a>(&'a self, lo: Option<&'a Key>, hi: Option<&'a Key>) -> LazyMergeIter<'a> {
+        let mut sources: Vec<RefSource<'a>> = Vec::with_capacity(self.components.len() + 1);
+        sources.push(Box::new(self.memtable.range(lo, hi)));
         for c in &self.components {
-            sources.push(c.range(lo, hi).cloned().collect());
+            sources.push(Box::new(c.range(lo, hi).map(|e| (&e.key, &e.op))));
         }
-        let out = merge_live(sources);
+        LazyMergeIter::new(sources, false)
+    }
+
+    /// Range scan over `[lo, hi)` returning live entries in key order. The
+    /// merge pulls lazily from the component iterators and materialises the
+    /// reconciled output exactly once.
+    pub fn scan(&self, lo: Option<&Key>, hi: Option<&Key>) -> Vec<Entry> {
+        let out: Vec<Entry> = self.iter_live(lo, hi).collect();
         let bytes: usize = out.iter().map(|e| e.size_bytes()).sum();
         StorageMetrics::add(&self.metrics.bytes_query_read, bytes as u64);
         out
@@ -242,19 +243,15 @@ impl LsmTree {
         let merged_slice = &self.components[start..end];
         let includes_oldest = end == self.components.len();
         let read_bytes: usize = merged_slice.iter().map(|c| c.size_bytes()).sum();
-        let sources: Vec<Vec<Entry>> = merged_slice
+        let sources: Vec<RefSource<'_>> = merged_slice
             .iter()
-            .map(|c| c.iter().cloned().collect())
+            .map(|c| Box::new(c.iter().map(|e| (&e.key, &e.op))) as RefSource<'_>)
             .collect();
         // A merge that does not include the oldest component must keep
         // tombstones so that deletes still shadow older data. Merges realise
         // reference-component filtering and lazy cleanup because they only
         // read *visible* entries.
-        let merged_entries = if includes_oldest {
-            merge_live(sources)
-        } else {
-            merge_keep_tombstones(sources)
-        };
+        let merged_entries: Vec<Entry> = LazyMergeIter::new(sources, !includes_oldest).collect();
         let new_comp = Component::from_sorted(merged_entries, ComponentSource::Merge);
         StorageMetrics::add(&self.metrics.bytes_merge_read, read_bytes as u64);
         StorageMetrics::add(&self.metrics.bytes_merged, new_comp.size_bytes() as u64);

@@ -19,6 +19,29 @@ pub type Lsn = u64;
 /// Identifier of a rebalance operation (metadata transaction id).
 pub type RebalanceId = u64;
 
+/// One bucket move executed by shipping sealed components, as recorded in
+/// the metadata log. Identifiers are primitive so the log stays
+/// storage-agnostic; `bucket_bits`/`bucket_depth` encode the
+/// [`crate::bucket::BucketId`] and `from`/`to` are partition ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShippedMove {
+    /// The moved bucket's hash bits.
+    pub bucket_bits: u32,
+    /// The moved bucket's depth.
+    pub bucket_depth: u8,
+    /// Source partition id.
+    pub from: u32,
+    /// Destination partition id.
+    pub to: u32,
+    /// Identifiers of the sealed components that were shipped whole (empty
+    /// for a record-level move).
+    pub component_ids: Vec<u64>,
+    /// Visible bytes transferred.
+    pub bytes: u64,
+    /// Live records transferred.
+    pub records: u64,
+}
+
 /// The payload of a log record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LogRecordBody {
@@ -44,6 +67,20 @@ pub enum LogRecordBody {
         rebalance: RebalanceId,
         /// The dataset being rebalanced.
         dataset: u32,
+    },
+    /// A wave of the rebalance shipped buckets to their destinations (forced
+    /// by the CC after the wave completes). Recovery replays these moves: a
+    /// destination that lost its uncommitted pending state is re-shipped the
+    /// listed buckets from their sources before the commit installs them.
+    RebalanceShip {
+        /// The rebalance operation id.
+        rebalance: RebalanceId,
+        /// The dataset being rebalanced.
+        dataset: u32,
+        /// The wave index (0-based).
+        wave: u32,
+        /// The moves the wave executed.
+        moves: Vec<ShippedMove>,
     },
     /// The rebalance operation committed (forced by the CC).
     RebalanceCommit {
@@ -79,6 +116,10 @@ impl LogRecord {
         16 + match &self.body {
             LogRecordBody::Insert { key, value, .. } => key.len() + value.len(),
             LogRecordBody::Delete { key, .. } => key.len(),
+            LogRecordBody::RebalanceShip { moves, .. } => moves
+                .iter()
+                .map(|m| 32 + m.component_ids.len() * 8)
+                .sum::<usize>(),
             _ => 8,
         }
     }
@@ -106,6 +147,7 @@ impl LogRecord {
                 Some(*dataset)
             }
             LogRecordBody::RebalanceBegin { dataset, .. } => Some(*dataset),
+            LogRecordBody::RebalanceShip { dataset, .. } => Some(*dataset),
             _ => None,
         }
     }
@@ -241,6 +283,25 @@ impl TransactionLog {
             RebalanceLogStatus::Unknown
         }
     }
+
+    /// The durable component-level moves of a rebalance operation, in ship
+    /// order. Recovery uses this to re-ship buckets whose destination lost
+    /// its uncommitted pending state.
+    pub fn shipped_moves(&self, rebalance: RebalanceId) -> Vec<&ShippedMove> {
+        self.records
+            .iter()
+            .filter(|r| r.durable)
+            .filter_map(|r| match &r.body {
+                LogRecordBody::RebalanceShip {
+                    rebalance: id,
+                    moves,
+                    ..
+                } if *id == rebalance => Some(moves.iter()),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
 }
 
 /// Status of a rebalance operation as reconstructed from the durable log.
@@ -339,6 +400,37 @@ mod tests {
             assert_eq!(r.dataset(), Some(1));
             assert!(r.to_entry().unwrap().key.as_u64() >= 10);
         }
+    }
+
+    #[test]
+    fn shipped_moves_survive_only_when_forced() {
+        let mut log = TransactionLog::new();
+        let mv = ShippedMove {
+            bucket_bits: 3,
+            bucket_depth: 2,
+            from: 0,
+            to: 5,
+            component_ids: vec![11, 12],
+            bytes: 4096,
+            records: 32,
+        };
+        log.append_forced(LogRecordBody::RebalanceShip {
+            rebalance: 9,
+            dataset: 1,
+            wave: 0,
+            moves: vec![mv.clone()],
+        });
+        log.append(LogRecordBody::RebalanceShip {
+            rebalance: 9,
+            dataset: 1,
+            wave: 1,
+            moves: vec![mv.clone()],
+        });
+        log.crash();
+        let shipped = log.shipped_moves(9);
+        assert_eq!(shipped.len(), 1, "unforced ship record lost in the crash");
+        assert_eq!(shipped[0], &mv);
+        assert!(log.shipped_moves(8).is_empty());
     }
 
     #[test]
