@@ -1,12 +1,14 @@
 //! Figures 7a/7b: rebalance time for removing and adding a node, the
 //! wave-parallelism study of the step-driven executor (serial vs parallel
-//! bucket movement), and the move-policy study (component shipping vs
-//! record re-materialisation).
+//! bucket movement), the move-policy study (component shipping vs record
+//! re-materialisation), and the session-routing study (redirect protocol
+//! traffic and overhead of the versioned-directory client API).
 
 use dynahash_bench::timing::{bench_case, bench_group, DEFAULT_ITERS};
 use dynahash_bench::{
-    fig7_rebalance, format_move_policy, format_waves, move_policy_comparison,
-    rebalance_wave_scaling, ExperimentConfig, RebalanceDirection,
+    fig7_rebalance, format_move_policy, format_routing, format_waves, move_policy_comparison,
+    rebalance_wave_scaling, routing_gate_violations, session_routing_study, ExperimentConfig,
+    RebalanceDirection,
 };
 
 fn main() {
@@ -56,5 +58,25 @@ fn main() {
     assert!(
         components.movement_minutes < records.movement_minutes,
         "component shipping must beat record movement in simulated time"
+    );
+
+    // Session routing: wall-clock of the full study (load, stale sessions
+    // across a stepped 4 -> 3 rebalance, convergence), then the protocol
+    // counters — stale sessions must converge with zero integrity
+    // violations and redirects bounded by buckets moved.
+    bench_group("session_routing");
+    bench_case("dynahash_4to3/stale_sessions", DEFAULT_ITERS, || {
+        session_routing_study(&cfg)
+    });
+    let rows = session_routing_study(&cfg);
+    println!("redirect-protocol traffic (DynaHash events, 4 -> 3 nodes):");
+    print!("{}", format_routing(&rows));
+    let deterministic: Vec<String> = routing_gate_violations(&rows)
+        .into_iter()
+        .filter(|v| !v.contains("overhead"))
+        .collect();
+    assert!(
+        deterministic.is_empty(),
+        "session-routing violations: {deterministic:?}"
     );
 }

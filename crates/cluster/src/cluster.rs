@@ -132,16 +132,31 @@ impl Cluster {
         self.nodes.get_mut(&id).ok_or(ClusterError::UnknownNode(id))
     }
 
-    /// Access a partition (through its node).
-    pub fn partition(&self, id: PartitionId) -> Result<&Partition, ClusterError> {
+    /// Access a partition (through its node). Crate-internal: clients go
+    /// through [`crate::session::Session`]; tests and operators that need
+    /// white-box access use [`Cluster::admin`].
+    pub(crate) fn partition(&self, id: PartitionId) -> Result<&Partition, ClusterError> {
         let node = self.node_of_partition(id)?;
         self.node(node)?.partition(id)
     }
 
-    /// Mutable access to a partition.
-    pub fn partition_mut(&mut self, id: PartitionId) -> Result<&mut Partition, ClusterError> {
+    /// Mutable access to a partition (crate-internal, see
+    /// [`Cluster::partition`]).
+    pub(crate) fn partition_mut(
+        &mut self,
+        id: PartitionId,
+    ) -> Result<&mut Partition, ClusterError> {
         let node = self.node_of_partition(id)?;
         self.node_mut(node)?.partition_mut(id)
+    }
+
+    /// The white-box escape hatch around the session API: direct partition
+    /// access, omniscient routing, and unrouted ingestion. For tests,
+    /// benchmarks, and operational tooling that must inspect or seed
+    /// physical state; everything on the data path belongs on
+    /// [`Cluster::session`] instead.
+    pub fn admin(&mut self) -> Admin<'_> {
+        Admin { cluster: self }
     }
 
     // ------------------------------------------------------------- datasets
@@ -168,8 +183,14 @@ impl Cluster {
     }
 
     /// Routes a key of a dataset to its partition using the CC's current
-    /// routing state.
-    pub fn route_key(&self, dataset: DatasetId, key: &Key) -> Result<PartitionId, ClusterError> {
+    /// routing state. Crate-internal: clients route through their cached
+    /// [`crate::session::Session`] snapshot; white-box code uses
+    /// [`crate::cluster::Admin::route_key`].
+    pub(crate) fn route_key(
+        &self,
+        dataset: DatasetId,
+        key: &Key,
+    ) -> Result<PartitionId, ClusterError> {
         let meta = self.controller.dataset(dataset)?;
         meta.route_key(key)
             .ok_or(ClusterError::RoutingFailed(dataset))
@@ -184,7 +205,13 @@ impl Cluster {
     ///
     /// Returns an [`IngestReport`] with the simulated elapsed time (the
     /// slowest node bounds the feed, as in the paper's ingestion experiment).
-    pub fn ingest(
+    ///
+    /// Crate-internal: the public feed path is
+    /// [`crate::session::Session::ingest`], which routes from the client's
+    /// cached directory and participates in the stale-directory redirect
+    /// protocol; unrouted seeding for tests goes through
+    /// [`crate::cluster::Admin::ingest`].
+    pub(crate) fn ingest(
         &mut self,
         dataset: DatasetId,
         records: impl IntoIterator<Item = (Key, Value)>,
@@ -299,6 +326,103 @@ impl Cluster {
         })
     }
 
+    /// Inserts one record through the routed write path — the slim
+    /// single-record form of [`Cluster::ingest`] backing
+    /// [`crate::session::Session::put`]: WAL append, index maintenance, and
+    /// replication to an already-shipped bucket, without the batch path's
+    /// cluster-wide metrics sweeps (a point write's cost report is discarded
+    /// anyway).
+    pub(crate) fn put_routed(
+        &mut self,
+        dataset: DatasetId,
+        key: Key,
+        value: Value,
+    ) -> Result<(), ClusterError> {
+        if let Some(active) = self.active_rebalances.get(&dataset) {
+            if active.write_blocked {
+                return Err(ClusterError::DatasetWriteBlocked(dataset));
+            }
+        }
+        let partition = self.route_key(dataset, &key)?;
+        let node_id = self.node_of_partition(partition)?;
+        let replica = self.active_rebalances.get(&dataset).and_then(|active| {
+            let (bucket, _) = active.routing.lookup_key(&key)?;
+            let dst_partition = *active.shipped.get(&bucket)?;
+            let dst_node = active.target.node_of(dst_partition);
+            Some((bucket, dst_partition, dst_node, key.clone(), value.clone()))
+        });
+        let node = self.node_mut(node_id)?;
+        if !node.is_alive() {
+            return Err(ClusterError::NodeDown(node_id));
+        }
+        node.log.append(LogRecordBody::Insert {
+            dataset,
+            key: key.as_slice().to_vec(),
+            value: value.to_vec(),
+        });
+        node.partition_mut(partition)?
+            .dataset_mut(dataset)?
+            .ingest(key, value)?;
+        if let Some((bucket, dst_partition, dst_node, key, value)) = replica {
+            let dst_node = dst_node.ok_or(ClusterError::UnknownPartition(dst_partition))?;
+            if !self.node_is_alive(dst_node) {
+                return Err(ClusterError::NodeDown(dst_node));
+            }
+            let ds = self.partition_mut(dst_partition)?.dataset_mut(dataset)?;
+            ds.ensure_pending_bucket(bucket)?;
+            ds.apply_replicated(bucket, dynahash_lsm::Entry::put(key, value))?;
+        }
+        Ok(())
+    }
+
+    /// Deletes one record through the routed write path: a tombstone is
+    /// appended to the owning node's log and applied to the primary,
+    /// primary-key, and secondary indexes (the old payload drives the
+    /// secondary extractors, so index scans never return phantom hits for
+    /// deleted records). While a rebalance is mid-flight the tombstone —
+    /// secondary deletions included — is replicated to the destination's
+    /// pending bucket, exactly like an insert. Returns whether the key was
+    /// live.
+    pub(crate) fn delete_routed(
+        &mut self,
+        dataset: DatasetId,
+        key: &Key,
+    ) -> Result<bool, ClusterError> {
+        if let Some(active) = self.active_rebalances.get(&dataset) {
+            if active.write_blocked {
+                return Err(ClusterError::DatasetWriteBlocked(dataset));
+            }
+        }
+        let partition = self.route_key(dataset, key)?;
+        let node_id = self.node_of_partition(partition)?;
+        let replica = self.active_rebalances.get(&dataset).and_then(|active| {
+            let (bucket, _) = active.routing.lookup_key(key)?;
+            let dst_partition = *active.shipped.get(&bucket)?;
+            let dst_node = active.target.node_of(dst_partition);
+            Some((bucket, dst_partition, dst_node))
+        });
+        let node = self.node_mut(node_id)?;
+        if !node.is_alive() {
+            return Err(ClusterError::NodeDown(node_id));
+        }
+        node.log.append(LogRecordBody::Delete {
+            dataset,
+            key: key.as_slice().to_vec(),
+        });
+        let ds = node.partition_mut(partition)?.dataset_mut(dataset)?;
+        let old_value = ds.delete(key)?;
+        if let Some((bucket, dst_partition, dst_node)) = replica {
+            let dst_node = dst_node.ok_or(ClusterError::UnknownPartition(dst_partition))?;
+            if !self.node_is_alive(dst_node) {
+                return Err(ClusterError::NodeDown(dst_node));
+            }
+            let ds = self.partition_mut(dst_partition)?.dataset_mut(dataset)?;
+            ds.ensure_pending_bucket(bucket)?;
+            ds.apply_replicated_delete(bucket, key.clone(), old_value.as_ref())?;
+        }
+        Ok(old_value.is_some())
+    }
+
     // -------------------------------------------------------------- scaling
 
     /// Adds a node with the configured number of partitions. The new node is
@@ -343,11 +467,17 @@ impl Cluster {
         }
         self.nodes.remove(&node);
         self.topology = self.topology.without_node(node);
-        // Drop the removed partitions from every dataset's partition list.
+        // Drop the removed partitions from every dataset's partition list,
+        // bumping the routing version so cached sessions stop dispatching
+        // scans to partitions that no longer exist.
         for dataset in self.controller.dataset_ids() {
             let topo = self.topology.clone();
             let meta = self.controller.dataset_mut(dataset)?;
+            let before = meta.partitions.len();
             meta.partitions.retain(|p| topo.node_of(*p).is_some());
+            if meta.partitions.len() != before {
+                meta.bump_partitions_version();
+            }
         }
         Ok(())
     }
@@ -536,6 +666,45 @@ impl Cluster {
                 "rebalance {rebalance} has non-terminal log status {status:?}"
             ))),
         }
+    }
+}
+
+/// White-box access to a cluster, handed out by [`Cluster::admin`].
+///
+/// This is the clearly named escape hatch around the [`Cluster::session`]
+/// API: it routes with the CC's live state and touches partitions directly,
+/// bypassing the versioned-directory redirect protocol. Integration tests
+/// use it to verify *physical* placement ("is the record stored where its
+/// key routes?"); nothing on the data path should.
+pub struct Admin<'a> {
+    cluster: &'a mut Cluster,
+}
+
+impl Admin<'_> {
+    /// Routes a key with the CC's current (always-fresh) routing state.
+    pub fn route_key(&self, dataset: DatasetId, key: &Key) -> Result<PartitionId, ClusterError> {
+        self.cluster.route_key(dataset, key)
+    }
+
+    /// Direct read access to a partition.
+    pub fn partition(&self, id: PartitionId) -> Result<&Partition, ClusterError> {
+        self.cluster.partition(id)
+    }
+
+    /// Direct mutable access to a partition.
+    pub fn partition_mut(&mut self, id: PartitionId) -> Result<&mut Partition, ClusterError> {
+        self.cluster.partition_mut(id)
+    }
+
+    /// Unrouted batch ingestion with the CC's live routing state (test
+    /// seeding; the sanctioned feed path is
+    /// [`crate::session::Session::ingest`]).
+    pub fn ingest(
+        &mut self,
+        dataset: DatasetId,
+        records: impl IntoIterator<Item = (Key, Value)>,
+    ) -> Result<IngestReport, ClusterError> {
+        self.cluster.ingest(dataset, records)
     }
 }
 

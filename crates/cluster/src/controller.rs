@@ -73,9 +73,17 @@ impl ClusterController {
                 spec,
                 directory,
                 partitions,
+                partitions_version: 1,
             },
         );
         Ok(id)
+    }
+
+    /// The current routing version of a dataset: what a partition echoes in
+    /// a stale-directory rejection, and what client sessions compare their
+    /// cached snapshot against.
+    pub fn routing_version(&self, id: DatasetId) -> Result<u64, ClusterError> {
+        Ok(self.dataset(id)?.routing_version())
     }
 
     /// Dataset metadata.

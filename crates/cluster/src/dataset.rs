@@ -97,6 +97,12 @@ pub struct DatasetMeta {
     /// The ordered partition list used by `hash(K) mod N` routing (Hashing
     /// scheme) and by per-partition job dispatch.
     pub partitions: Vec<PartitionId>,
+    /// Bumped whenever `partitions` changes (a rebalance commit installs a
+    /// new partition list, a Hashing rebuild swaps it wholesale, or a
+    /// decommission drops entries). Together with the directory version this
+    /// makes [`DatasetMeta::routing_version`] change whenever *any* cached
+    /// routing state could have gone stale.
+    pub partitions_version: u64,
 }
 
 impl DatasetMeta {
@@ -118,6 +124,19 @@ impl DatasetMeta {
     pub fn is_bucketed(&self) -> bool {
         self.directory.is_some()
     }
+
+    /// The version of this dataset's routing state, as carried by cached
+    /// client snapshots and echoed in stale-directory rejections. Monotonic:
+    /// it changes whenever the directory or the partition list changes.
+    pub fn routing_version(&self) -> u64 {
+        let dir = self.directory.as_ref().map(|d| d.version()).unwrap_or(0);
+        dir + self.partitions_version
+    }
+
+    /// Records that the partition list changed, invalidating cached routes.
+    pub fn bump_partitions_version(&mut self) {
+        self.partitions_version += 1;
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +152,7 @@ mod tests {
             spec: DatasetSpec::new("orders", Scheme::static_hash_256()),
             directory: Some(dir),
             partitions: topo.partitions(),
+            partitions_version: 1,
         }
     }
 
@@ -156,6 +176,7 @@ mod tests {
             spec: DatasetSpec::new("orders", Scheme::Hashing),
             directory: None,
             partitions: topo.partitions(),
+            partitions_version: 1,
         };
         assert!(!m.is_bucketed());
         for i in 0..100u64 {

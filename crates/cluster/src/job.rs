@@ -196,6 +196,14 @@ impl RebalanceJob {
 
         let locals = cluster.local_directories(dataset)?;
         let routing = GlobalDirectory::refresh_from_locals(locals).map_err(ClusterError::Core)?;
+        // The initialization-phase refresh is visible to clients: absorbing
+        // local bucket splits into the CC's directory bumps its version (if
+        // anything changed), so cached sessions pick the finer-grained
+        // routing up on their next refresh. Routing is unaffected — a split
+        // bucket's children live on the same partition as their parent.
+        if let Some(dir) = cluster.controller.dataset_mut(dataset)?.directory.as_mut() {
+            dir.install(&routing);
+        }
         let sizes = cluster.dataset_bucket_sizes(dataset)?;
         let plan = RebalancePlan::compute(rebalance_id, &routing, &sizes, target)
             .map_err(ClusterError::Core)?;
@@ -614,8 +622,18 @@ impl RebalanceJob {
             }
         }
         let meta = cluster.controller.dataset_mut(self.dataset)?;
-        meta.directory = Some(self.plan.new_directory.clone());
-        meta.partitions = self.target.partitions();
+        // Install the planned directory *into* the CC's versioned copy: the
+        // per-bucket differences land in the change log under one version
+        // bump, so stale sessions catch up with a cheap delta instead of a
+        // full snapshot.
+        match meta.directory.as_mut() {
+            Some(dir) => dir.install(&self.plan.new_directory),
+            None => meta.directory = Some(self.plan.new_directory.clone()),
+        }
+        if meta.partitions != self.target.partitions() {
+            meta.partitions = self.target.partitions();
+            meta.bump_partitions_version();
+        }
         // The new directory is live: ingestion resumes through it.
         cluster.active_rebalances.remove(&self.dataset);
         self.state = JobState::CommitTasksDone;

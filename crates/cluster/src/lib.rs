@@ -10,8 +10,11 @@
 //!
 //! * dataset creation with a [`dynahash_core::Scheme`] and local secondary
 //!   indexes ([`dataset`]);
+//! * the client-facing [`session::Session`] layer — the only sanctioned way
+//!   to read and write data: sessions cache a versioned directory snapshot
+//!   and handle stale-directory redirects transparently ([`session`]);
 //! * data feeds for ingestion with cost accounting ([`feed`],
-//!   [`cluster::Cluster::ingest`]);
+//!   [`session::Session::ingest`]);
 //! * query execution primitives with a per-node cost model ([`query`]);
 //! * the step-driven rebalance executor — the resumable
 //!   [`job::RebalanceJob`] state machine implementing the paper's
@@ -34,9 +37,10 @@ pub mod partition;
 pub mod query;
 pub mod rebalance;
 pub mod recovery;
+pub mod session;
 pub mod sim;
 
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{Admin, Cluster, ClusterConfig};
 pub use controller::ClusterController;
 pub use dataset::{DatasetId, DatasetMeta, DatasetSpec, SecondaryIndexDef};
 pub use feed::{split_into_batches, ControlledRateFeed, IngestReport};
@@ -46,6 +50,7 @@ pub use partition::{Partition, PartitionDataset};
 pub use query::{QueryExecutor, QueryReport};
 pub use rebalance::{PhaseTimes, RebalanceOptions, RebalanceReport, StepHook};
 pub use recovery::RecoveryReport;
+pub use session::{RouteError, Session, SessionMetrics};
 pub use sim::{CostModel, NodeTimeline, SimDuration, WaveClock};
 
 pub use dynahash_core::MovePolicy;
@@ -84,6 +89,9 @@ pub enum ClusterError {
         /// The state the job was in.
         state: &'static str,
     },
+    /// A session-routing protocol error (a stale-directory rejection that
+    /// escaped the session's bounded refresh-and-retry loop).
+    Route(session::RouteError),
     /// A consistency check failed.
     Inconsistent(String),
     /// An underlying storage error.
@@ -112,6 +120,7 @@ impl std::fmt::Display for ClusterError {
             ClusterError::InvalidJobStep { action, state } => {
                 write!(f, "invalid rebalance job step {action} from state {state}")
             }
+            ClusterError::Route(e) => write!(f, "routing protocol error: {e}"),
             ClusterError::Inconsistent(msg) => write!(f, "inconsistency detected: {msg}"),
             ClusterError::Storage(e) => write!(f, "storage error: {e}"),
             ClusterError::Core(e) => write!(f, "core error: {e}"),

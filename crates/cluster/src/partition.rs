@@ -104,6 +104,27 @@ impl PartitionDataset {
         self.primary.get(key)
     }
 
+    /// Deletes one record: a tombstone in the primary index, a delete in the
+    /// primary-key index, and — driven by the old payload — deletes of the
+    /// record's secondary entries, so index scans never return phantom hits
+    /// for deleted records. Returns the payload the record held, if it was
+    /// live.
+    pub fn delete(&mut self, key: &Key) -> Result<Option<Value>, ClusterError> {
+        let old = self.primary.get(key);
+        if let Some(old) = &old {
+            for (def, idx) in self.defs.iter().zip(self.secondaries.iter_mut()) {
+                if let Some(secondary) = (def.extractor)(old) {
+                    idx.delete(secondary, key.clone());
+                }
+            }
+        }
+        self.primary_key_index.delete(key.clone());
+        self.primary
+            .delete(key.clone())
+            .map_err(ClusterError::Storage)?;
+        Ok(old)
+    }
+
     /// Full scan of the primary index.
     pub fn scan(&self, order: ScanOrder) -> Vec<Entry> {
         self.primary.scan(order)
@@ -286,6 +307,28 @@ impl PartitionDataset {
             .install_shipped(bucket, comps)
             .map_err(ClusterError::Storage)?;
         Ok(live_records)
+    }
+
+    /// Applies a replicated concurrent delete to the pending bucket: the
+    /// primary tombstone, plus — when the source supplied the old payload —
+    /// deletes of the secondary entries in the pending lists, so an
+    /// installed bucket serves no phantom index hits either.
+    pub fn apply_replicated_delete(
+        &mut self,
+        bucket: BucketId,
+        key: Key,
+        old_value: Option<&Value>,
+    ) -> Result<(), ClusterError> {
+        if let Some(old) = old_value {
+            for (def, idx) in self.defs.iter().zip(self.secondaries.iter_mut()) {
+                if let Some(secondary) = (def.extractor)(old) {
+                    idx.apply_replicated(secondary, key.clone(), true);
+                }
+            }
+        }
+        self.primary
+            .apply_replicated(bucket, Entry::delete(key))
+            .map_err(ClusterError::Storage)
     }
 
     /// Applies a replicated concurrent write to the pending bucket (and the

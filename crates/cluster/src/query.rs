@@ -7,6 +7,15 @@
 //! point fetches) and charges each partition's node for the work, plus
 //! serial coordinator work for final aggregation. TPC-H query programs in
 //! `dynahash-tpch` are written against this API.
+//!
+//! Like a [`crate::session::Session`], the executor is a *client* of the
+//! routing state: the first touch of each dataset caches an immutable copy
+//! of its routing snapshot (Section III — a query job takes the directory
+//! copy at compile time) and every per-partition dispatch goes through that
+//! cache. Because the executor holds the cluster for the whole query, its
+//! snapshots cannot go stale mid-job; long-lived clients that *can* go
+//! stale use [`crate::cluster::Cluster::session`] and its redirect protocol
+//! instead. Open an executor with [`crate::cluster::Cluster::query`].
 
 use std::collections::BTreeMap;
 
@@ -15,7 +24,7 @@ use dynahash_lsm::entry::{Entry, Key, Value};
 use dynahash_lsm::{ScanOrder, SecondaryEntry};
 
 use crate::cluster::Cluster;
-use crate::dataset::DatasetId;
+use crate::dataset::{DatasetId, DatasetMeta};
 use crate::sim::{NodeTimeline, SimDuration};
 use crate::{ClusterError, Result};
 
@@ -34,21 +43,51 @@ pub struct QueryReport {
 pub struct QueryExecutor<'a> {
     cluster: &'a mut Cluster,
     timeline: NodeTimeline,
+    /// Per-dataset routing snapshots, taken on first touch: the query-job
+    /// equivalent of a session cache.
+    snapshots: BTreeMap<DatasetId, DatasetMeta>,
+}
+
+impl Cluster {
+    /// Opens a query coordinator: the sanctioned entry point for analytics.
+    /// The executor snapshots each dataset's routing state on first touch
+    /// and dispatches all per-partition work through those snapshots.
+    pub fn query(&mut self) -> QueryExecutor<'_> {
+        QueryExecutor::new(self)
+    }
 }
 
 impl<'a> QueryExecutor<'a> {
     /// Starts a query. The job-compilation/dispatch overhead is charged to
-    /// the coordinator immediately.
+    /// the coordinator immediately. Equivalent to
+    /// [`crate::cluster::Cluster::query`].
     pub fn new(cluster: &'a mut Cluster) -> Self {
         let overhead = cluster.cost_model().job_overhead_ns;
         let mut timeline = NodeTimeline::new();
         timeline.charge_coordinator(SimDuration::from_nanos(overhead));
-        QueryExecutor { cluster, timeline }
+        QueryExecutor {
+            cluster,
+            timeline,
+            snapshots: BTreeMap::new(),
+        }
     }
 
     /// Immutable access to the cluster (for routing metadata etc.).
     pub fn cluster(&self) -> &Cluster {
         self.cluster
+    }
+
+    /// The partitions a dataset's work is dispatched to, from the cached
+    /// routing snapshot (taken on this executor's first touch of the
+    /// dataset).
+    fn partitions_of(&mut self, dataset: DatasetId) -> Result<Vec<PartitionId>> {
+        if let Some(meta) = self.snapshots.get(&dataset) {
+            return Ok(meta.partitions.clone());
+        }
+        let meta = self.cluster.controller.routing_snapshot(dataset)?;
+        let partitions = meta.partitions.clone();
+        self.snapshots.insert(dataset, meta);
+        Ok(partitions)
     }
 
     fn node_of(&self, partition: PartitionId) -> Result<NodeId> {
@@ -67,7 +106,7 @@ impl<'a> QueryExecutor<'a> {
     ) -> Result<Vec<(PartitionId, Vec<Entry>)>> {
         let cost_model = self.cluster.cost_model();
         let mut out = Vec::new();
-        for p in self.cluster.topology().partitions() {
+        for p in self.partitions_of(dataset)? {
             let part = self.cluster.partition(p)?;
             if !part.dataset_ids().contains(&dataset) {
                 continue;
@@ -132,7 +171,7 @@ impl<'a> QueryExecutor<'a> {
     ) -> Result<Vec<(PartitionId, Vec<SecondaryEntry>)>> {
         let cost_model = self.cluster.cost_model();
         let mut out = Vec::new();
-        for p in self.cluster.topology().partitions() {
+        for p in self.partitions_of(dataset)? {
             let node = self.node_of(p)?;
             let part = self.cluster.partition_mut(p)?;
             if !part.dataset_ids().contains(&dataset) {

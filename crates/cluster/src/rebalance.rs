@@ -472,11 +472,14 @@ impl Cluster {
             }
         }
 
-        // Swap the routing metadata and finish.
+        // Swap the routing metadata and finish. The version bump tells
+        // cached sessions their modulo routes are void: the dataset was
+        // rebuilt wholesale on the new partition list.
         {
             let meta = self.controller.dataset_mut(dataset)?;
             meta.partitions = new_partitions;
             meta.directory = None;
+            meta.bump_partitions_version();
         }
         self.controller
             .metadata_log

@@ -7,8 +7,18 @@
 //! routing stays correct because a split bucket's children cover exactly the
 //! parent's hash range — and is refreshed from the partitions' local
 //! directories when a rebalance starts.
+//!
+//! The directory is **versioned**: every mutation (a [`GlobalDirectory::reassign`],
+//! a [`GlobalDirectory::remove`], or an [`GlobalDirectory::install`]/refresh
+//! absorbing local splits or a rebalance commit) bumps a monotonically
+//! increasing version and appends the changed buckets to a bounded change
+//! log. Clients (query coordinators and `Session` handles in the cluster
+//! crate) cache a snapshot of the directory together with its version; when
+//! a partition rejects a stale-routed request, the client catches up either
+//! with a cheap [`DirectoryDelta`] ([`GlobalDirectory::delta_since`]) or — if
+//! the log no longer reaches back far enough — a full snapshot.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use dynahash_lsm::bucket::{hash_key, BucketId};
 use dynahash_lsm::entry::Key;
@@ -16,16 +26,83 @@ use dynahash_lsm::entry::Key;
 use crate::topology::PartitionId;
 use crate::{CoreError, Result};
 
+/// How many directory changes are retained for delta catch-up. Sessions that
+/// fall further behind than this fall back to a full snapshot refresh.
+const MAX_CHANGE_LOG: usize = 1024;
+
+/// One logged directory change: the bucket now maps to `Some(partition)`, or
+/// was removed from the directory (`None`).
+type DirectoryChange = (u64, BucketId, Option<PartitionId>);
+
+/// The changes between two directory versions, applied by a client to bring
+/// a cached snapshot up to date without re-fetching the whole directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectoryDelta {
+    /// The version the delta starts from (the client's cached version).
+    pub from_version: u64,
+    /// The version the delta brings the client to.
+    pub to_version: u64,
+    /// Per-bucket changes, already deduplicated to the latest state:
+    /// `Some(partition)` assigns (or re-assigns) the bucket, `None` removes
+    /// it (e.g. a split parent superseded by its children).
+    pub changes: Vec<(BucketId, Option<PartitionId>)>,
+}
+
+impl DirectoryDelta {
+    /// True if the delta carries no changes (the client was already current).
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+}
+
 /// The CC's mapping from buckets to partitions.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Equality compares the *assignment only*: two directories with the same
+/// bucket-to-partition mapping are equal even if they reached it at
+/// different versions (integrity checks rebuild a fresh directory from the
+/// partitions' local views and compare it against the CC's copy).
+#[derive(Debug, Clone, Eq)]
 pub struct GlobalDirectory {
     assignment: BTreeMap<BucketId, PartitionId>,
+    /// Monotonic version, bumped by every mutation.
+    version: u64,
+    /// Bounded log of recent changes, each tagged with the version it
+    /// produced. Multiple entries may share a version (a refresh or a
+    /// rebalance commit installs all of its changes under one bump).
+    log: VecDeque<DirectoryChange>,
+    /// The oldest version `delta_since` can still serve: requests for
+    /// anything older must fall back to a full snapshot.
+    oldest_delta_base: u64,
+}
+
+impl PartialEq for GlobalDirectory {
+    fn eq(&self, other: &Self) -> bool {
+        self.assignment == other.assignment
+    }
+}
+
+impl Default for GlobalDirectory {
+    fn default() -> Self {
+        GlobalDirectory {
+            assignment: BTreeMap::new(),
+            version: 1,
+            log: VecDeque::new(),
+            oldest_delta_base: 1,
+        }
+    }
 }
 
 impl GlobalDirectory {
     /// Creates an empty directory.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    fn with_assignment(assignment: BTreeMap<BucketId, PartitionId>) -> Self {
+        GlobalDirectory {
+            assignment,
+            ..Self::default()
+        }
     }
 
     /// Creates a directory with `2^depth` buckets assigned round-robin over
@@ -40,16 +117,14 @@ impl GlobalDirectory {
             let partition = partitions[(bits as usize) % partitions.len()];
             assignment.insert(bucket, partition);
         }
-        Ok(GlobalDirectory { assignment })
+        Ok(GlobalDirectory::with_assignment(assignment))
     }
 
     /// Builds a directory from an explicit assignment.
     pub fn from_assignment(
         assignment: impl IntoIterator<Item = (BucketId, PartitionId)>,
     ) -> Result<Self> {
-        let dir = GlobalDirectory {
-            assignment: assignment.into_iter().collect(),
-        };
+        let dir = GlobalDirectory::with_assignment(assignment.into_iter().collect());
         dir.check_consistency()?;
         Ok(dir)
     }
@@ -185,20 +260,142 @@ impl GlobalDirectory {
                 }
             }
         }
-        let dir = GlobalDirectory { assignment };
+        let dir = GlobalDirectory::with_assignment(assignment);
         dir.check_consistency()?;
         Ok(dir)
     }
 
-    /// Reassigns a bucket to a new partition (used when applying a rebalance
-    /// plan at commit time).
-    pub fn reassign(&mut self, bucket: BucketId, to: PartitionId) {
-        self.assignment.insert(bucket, to);
+    // ------------------------------------------------- versioned mutations
+
+    /// The directory version. Bumped by every mutation; cached client
+    /// snapshots carry the version they were taken at.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
-    /// Removes a bucket from the directory.
+    fn push_change(&mut self, bucket: BucketId, to: Option<PartitionId>) {
+        self.log.push_back((self.version, bucket, to));
+        while self.log.len() > MAX_CHANGE_LOG {
+            if let Some((v, _, _)) = self.log.pop_front() {
+                // Changes up to and including version `v` may now be missing
+                // from the log, so `v` is the oldest base a delta can serve.
+                self.oldest_delta_base = self.oldest_delta_base.max(v);
+            }
+        }
+    }
+
+    /// Reassigns a bucket to a new partition (used when applying a rebalance
+    /// plan at commit time). Bumps the version when the ownership actually
+    /// changes; a no-op reassignment leaves the version untouched so clients
+    /// are not forced through spurious refreshes.
+    pub fn reassign(&mut self, bucket: BucketId, to: PartitionId) {
+        if self.assignment.get(&bucket) == Some(&to) {
+            return;
+        }
+        self.assignment.insert(bucket, to);
+        self.version += 1;
+        self.push_change(bucket, Some(to));
+    }
+
+    /// Removes a bucket from the directory, bumping the version.
+    ///
+    /// Removal *must* bump: before versioning, `remove` and
+    /// `refresh_from_locals` could silently diverge — a bucket dropped
+    /// mid-refresh left the directory with a different assignment under what
+    /// looked like the same routing state, so cached clients had no way to
+    /// notice (see the `removal_bumps_version_*` regression test).
     pub fn remove(&mut self, bucket: &BucketId) -> Option<PartitionId> {
-        self.assignment.remove(bucket)
+        let removed = self.assignment.remove(bucket);
+        if removed.is_some() {
+            self.version += 1;
+            self.push_change(*bucket, None);
+        }
+        removed
+    }
+
+    /// Replaces this directory's assignment with `new`'s, recording the
+    /// per-bucket differences in the change log under a single version bump.
+    /// Used by the rebalance commit (installing the planned directory) and by
+    /// the initialization-phase refresh (absorbing local bucket splits).
+    /// Leaves the version untouched when nothing changed.
+    pub fn install(&mut self, new: &GlobalDirectory) {
+        let mut changes: Vec<(BucketId, Option<PartitionId>)> = Vec::new();
+        for (bucket, partition) in &new.assignment {
+            if self.assignment.get(bucket) != Some(partition) {
+                changes.push((*bucket, Some(*partition)));
+            }
+        }
+        for bucket in self.assignment.keys() {
+            if !new.assignment.contains_key(bucket) {
+                changes.push((*bucket, None));
+            }
+        }
+        if changes.is_empty() {
+            return;
+        }
+        self.assignment = new.assignment.clone();
+        self.version += 1;
+        for (bucket, to) in changes {
+            self.push_change(bucket, to);
+        }
+    }
+
+    /// Refreshes this directory in place from the partitions' local
+    /// directories, bumping the version if any bucket changed (a split
+    /// replaced a parent with its children, a bucket moved, or one vanished).
+    pub fn refresh(
+        &mut self,
+        local_views: impl IntoIterator<Item = (PartitionId, Vec<BucketId>)>,
+    ) -> Result<()> {
+        let fresh = GlobalDirectory::refresh_from_locals(local_views)?;
+        self.install(&fresh);
+        Ok(())
+    }
+
+    /// The changes needed to bring a snapshot taken at `since` up to the
+    /// current version, or `None` when the change log no longer reaches back
+    /// that far (the client must take a full snapshot instead). A client that
+    /// is already current gets an empty delta.
+    pub fn delta_since(&self, since: u64) -> Option<DirectoryDelta> {
+        if since > self.version || since < self.oldest_delta_base {
+            return None;
+        }
+        // Later entries supersede earlier ones for the same bucket.
+        let mut latest: BTreeMap<BucketId, Option<PartitionId>> = BTreeMap::new();
+        for (v, bucket, to) in &self.log {
+            if *v > since {
+                latest.insert(*bucket, *to);
+            }
+        }
+        Some(DirectoryDelta {
+            from_version: since,
+            to_version: self.version,
+            changes: latest.into_iter().collect(),
+        })
+    }
+
+    /// Applies a delta produced by [`GlobalDirectory::delta_since`] to this
+    /// (cached) directory, bringing it to the delta's target version. Errors
+    /// if the delta does not start at this directory's version.
+    pub fn apply_delta(&mut self, delta: &DirectoryDelta) -> Result<()> {
+        if delta.from_version != self.version {
+            return Err(CoreError::InconsistentDirectory(format!(
+                "delta starts at version {} but the cached directory is at {}",
+                delta.from_version, self.version
+            )));
+        }
+        for (bucket, to) in &delta.changes {
+            match to {
+                Some(p) => {
+                    self.assignment.insert(*bucket, *p);
+                }
+                None => {
+                    self.assignment.remove(bucket);
+                }
+            }
+        }
+        self.version = delta.to_version;
+        Ok(())
     }
 
     /// The total number of hash-space slots (at global depth) covered — used
@@ -336,6 +533,142 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn reassign_bumps_version_and_logs_the_change() {
+        let mut dir = GlobalDirectory::initial(2, &parts(2)).unwrap();
+        let v0 = dir.version();
+        dir.reassign(BucketId::new(0, 2), PartitionId(1));
+        assert_eq!(dir.version(), v0 + 1);
+        // a no-op reassignment does not churn the version
+        dir.reassign(BucketId::new(0, 2), PartitionId(1));
+        assert_eq!(dir.version(), v0 + 1);
+        let delta = dir.delta_since(v0).unwrap();
+        assert_eq!(delta.to_version, v0 + 1);
+        assert_eq!(
+            delta.changes,
+            vec![(BucketId::new(0, 2), Some(PartitionId(1)))]
+        );
+    }
+
+    /// Regression: `remove` used to leave the version untouched, so a
+    /// directory that dropped a bucket mid-refresh (e.g. a split parent
+    /// superseded by its children) was indistinguishable from the unchanged
+    /// one — cached clients kept routing through the removed bucket with no
+    /// way to detect the divergence from a refreshed copy.
+    #[test]
+    fn removal_bumps_version_and_appears_in_deltas() {
+        let mut dir = GlobalDirectory::initial(2, &parts(2)).unwrap();
+        let v0 = dir.version();
+        let parent = BucketId::new(0, 2);
+        assert_eq!(dir.remove(&parent), Some(PartitionId(0)));
+        assert!(
+            dir.version() > v0,
+            "removing a bucket must bump the version"
+        );
+        // removing a bucket that is not there is a no-op
+        let v1 = dir.version();
+        assert_eq!(dir.remove(&parent), None);
+        assert_eq!(dir.version(), v1);
+        // the removal is visible to delta catch-up, so a cached client
+        // converges to the same assignment instead of silently diverging
+        let mut cached = GlobalDirectory::initial(2, &parts(2)).unwrap();
+        cached.apply_delta(&dir.delta_since(v0).unwrap()).unwrap();
+        assert_eq!(cached, dir);
+        assert_eq!(cached.version(), dir.version());
+        // ...and refresh-from-locals of the same post-removal state agrees
+        let refreshed =
+            GlobalDirectory::refresh_from_locals(dir.iter().map(|(b, p)| (p, vec![b])).fold(
+                std::collections::BTreeMap::<PartitionId, Vec<BucketId>>::new(),
+                |mut acc, (p, bs)| {
+                    acc.entry(p).or_default().extend(bs);
+                    acc
+                },
+            ))
+            .unwrap();
+        assert_eq!(refreshed, dir);
+    }
+
+    #[test]
+    fn install_diffs_and_delta_catches_a_stale_snapshot_up() {
+        let mut dir = GlobalDirectory::initial(2, &parts(2)).unwrap();
+        let snapshot = dir.clone();
+        let v0 = dir.version();
+        // absorb a local split of bucket 00 and move bucket 01
+        let mut fresh = dir.clone();
+        fresh.remove(&BucketId::new(0b00, 2));
+        fresh.reassign(BucketId::new(0b000, 3), PartitionId(0));
+        fresh.reassign(BucketId::new(0b100, 3), PartitionId(0));
+        fresh.reassign(BucketId::new(0b01, 2), PartitionId(0));
+        dir.install(&fresh);
+        assert_eq!(dir.version(), v0 + 1, "install bumps once");
+        assert!(dir.covers_full_space());
+        // installing the same assignment again is a no-op
+        dir.install(&fresh);
+        assert_eq!(dir.version(), v0 + 1);
+
+        let delta = dir.delta_since(snapshot.version()).unwrap();
+        assert_eq!(delta.changes.len(), 4);
+        let mut cached = snapshot;
+        cached.apply_delta(&delta).unwrap();
+        assert_eq!(cached, dir);
+        assert_eq!(cached.version(), dir.version());
+        // a delta from the wrong base is rejected
+        let bad = dir.delta_since(dir.version()).unwrap();
+        assert!(bad.is_empty());
+        let mut stale = GlobalDirectory::initial(2, &parts(2)).unwrap();
+        assert!(stale.apply_delta(&delta).is_ok() || delta.from_version != stale.version());
+    }
+
+    #[test]
+    fn delta_since_refuses_versions_outside_the_log() {
+        let mut dir = GlobalDirectory::initial(1, &parts(2)).unwrap();
+        // ahead of the server: impossible to serve
+        assert!(dir.delta_since(dir.version() + 1).is_none());
+        // push enough changes to truncate the log
+        for i in 0..(super::MAX_CHANGE_LOG as u32 + 50) {
+            let p = PartitionId(i % 2);
+            let other = PartitionId((i + 1) % 2);
+            dir.reassign(BucketId::new(0, 1), p);
+            dir.reassign(BucketId::new(1, 1), other);
+        }
+        assert!(
+            dir.delta_since(1).is_none(),
+            "truncated history must force a full refresh"
+        );
+        assert!(dir.delta_since(dir.version()).is_some());
+    }
+
+    #[test]
+    fn refresh_in_place_bumps_only_on_change() {
+        let mut dir = GlobalDirectory::initial(2, &parts(2)).unwrap();
+        let v0 = dir.version();
+        // identical local views: no version churn
+        let same: Vec<(PartitionId, Vec<BucketId>)> = (0..2)
+            .map(|p| (PartitionId(p), dir.buckets_of_partition(PartitionId(p))))
+            .collect();
+        dir.refresh(same).unwrap();
+        assert_eq!(dir.version(), v0);
+        // partition 0's bucket 00 split locally into 000/100
+        let split: Vec<(PartitionId, Vec<BucketId>)> = vec![
+            (
+                PartitionId(0),
+                vec![
+                    BucketId::new(0b000, 3),
+                    BucketId::new(0b100, 3),
+                    BucketId::new(0b10, 2),
+                ],
+            ),
+            (
+                PartitionId(1),
+                vec![BucketId::new(0b01, 2), BucketId::new(0b11, 2)],
+            ),
+        ];
+        dir.refresh(split).unwrap();
+        assert_eq!(dir.version(), v0 + 1);
+        assert!(dir.covers_full_space());
+        assert_eq!(dir.global_depth(), 3);
     }
 
     #[test]

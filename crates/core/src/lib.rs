@@ -31,7 +31,7 @@ pub mod scheme;
 pub mod topology;
 
 pub use balance::{balance_assignment, BalanceInput, BucketLoad};
-pub use directory::GlobalDirectory;
+pub use directory::{DirectoryDelta, GlobalDirectory};
 pub use dynahash_lsm::{hash_key, BucketId};
 pub use plan::{BucketMove, RebalancePlan};
 pub use protocol::{

@@ -83,38 +83,80 @@ pub fn load_tpch(
     let region = cluster
         .create_dataset(DatasetSpec::new("region", scheme).with_memtable_budget(memtable_budget))?;
 
-    let mut report = cluster.ingest(
+    // Each table is fed through its own client session — the sanctioned
+    // data path: the feed routes from the session's cached directory
+    // snapshot and participates in the stale-directory redirect protocol.
+    let feed = |cluster: &mut Cluster,
+                dataset: DatasetId,
+                records: Vec<(Key, Bytes)>|
+     -> Result<IngestReport, dynahash_cluster::ClusterError> {
+        let mut session = cluster.session(dataset)?;
+        session.ingest(cluster, records)
+    };
+    let mut report = feed(
+        cluster,
         region,
-        data.region.iter().map(|r| (r.primary_key(), r.encode())),
+        data.region
+            .iter()
+            .map(|r| (r.primary_key(), r.encode()))
+            .collect(),
     )?;
     for r in [
-        cluster.ingest(
+        feed(
+            cluster,
             nation,
-            data.nation.iter().map(|r| (r.primary_key(), r.encode())),
+            data.nation
+                .iter()
+                .map(|r| (r.primary_key(), r.encode()))
+                .collect(),
         )?,
-        cluster.ingest(
+        feed(
+            cluster,
             supplier,
-            data.supplier.iter().map(|r| (r.primary_key(), r.encode())),
+            data.supplier
+                .iter()
+                .map(|r| (r.primary_key(), r.encode()))
+                .collect(),
         )?,
-        cluster.ingest(
+        feed(
+            cluster,
             customer,
-            data.customer.iter().map(|r| (r.primary_key(), r.encode())),
+            data.customer
+                .iter()
+                .map(|r| (r.primary_key(), r.encode()))
+                .collect(),
         )?,
-        cluster.ingest(
+        feed(
+            cluster,
             part,
-            data.part.iter().map(|r| (r.primary_key(), r.encode())),
+            data.part
+                .iter()
+                .map(|r| (r.primary_key(), r.encode()))
+                .collect(),
         )?,
-        cluster.ingest(
+        feed(
+            cluster,
             partsupp,
-            data.partsupp.iter().map(|r| (r.primary_key(), r.encode())),
+            data.partsupp
+                .iter()
+                .map(|r| (r.primary_key(), r.encode()))
+                .collect(),
         )?,
-        cluster.ingest(
+        feed(
+            cluster,
             orders,
-            data.orders.iter().map(|r| (r.primary_key(), r.encode())),
+            data.orders
+                .iter()
+                .map(|r| (r.primary_key(), r.encode()))
+                .collect(),
         )?,
-        cluster.ingest(
+        feed(
+            cluster,
             lineitem,
-            data.lineitem.iter().map(|r| (r.primary_key(), r.encode())),
+            data.lineitem
+                .iter()
+                .map(|r| (r.primary_key(), r.encode()))
+                .collect(),
         )?,
     ] {
         report = report.merge(&r);

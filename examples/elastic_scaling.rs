@@ -18,8 +18,11 @@ fn run_scenario(scheme: Scheme) -> (f64, f64) {
     let ds = cluster
         .create_dataset(DatasetSpec::new("measurements", scheme))
         .expect("create dataset");
-    cluster
-        .ingest(ds, (0..30_000u64).map(record))
+    // one long-lived client session carries all the ingestion; it goes
+    // stale at every rebalance and converges through the redirect protocol
+    let mut session = cluster.session(ds).expect("open session");
+    session
+        .ingest(&mut cluster, (0..30_000u64).map(record))
         .expect("initial load");
 
     let mut total_minutes = 0.0;
@@ -38,8 +41,8 @@ fn run_scenario(scheme: Scheme) -> (f64, f64) {
         total_moved_fraction += report.moved_fraction;
         steps += 1.0;
         let start = 30_000 + step * 5_000;
-        cluster
-            .ingest(ds, (start..start + 5_000).map(record))
+        session
+            .ingest(&mut cluster, (start..start + 5_000).map(record))
             .expect("ingest between steps");
     }
 
@@ -58,6 +61,11 @@ fn run_scenario(scheme: Scheme) -> (f64, f64) {
 
     cluster.check_dataset_consistency(ds).expect("consistent");
     assert_eq!(cluster.dataset_len(ds).unwrap(), 40_000);
+    // the stale session still reads its own writes after three rebalances
+    assert!(session
+        .get(&cluster, &Key::from_u64(39_999))
+        .expect("routed read")
+        .is_some());
     (total_minutes, total_moved_fraction / steps)
 }
 

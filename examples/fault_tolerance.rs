@@ -20,7 +20,8 @@ fn build_cluster() -> (Cluster, dynahash::cluster::DatasetId) {
         .expect("create dataset");
     let records =
         (0..10_000u64).map(|i| (Key::from_u64(i), Bytes::from(vec![(i % 200) as u8; 80])));
-    cluster.ingest(ds, records).expect("ingest");
+    let mut session = cluster.session(ds).expect("open session");
+    session.ingest(&mut cluster, records).expect("ingest");
     (cluster, ds)
 }
 
@@ -61,6 +62,13 @@ fn main() {
             .check_dataset_consistency(ds)
             .expect("dataset stays consistent");
         let records = cluster.dataset_len(ds).unwrap();
+        // a client session opened before the failure still reads correctly,
+        // redirecting if the rebalance committed under its feet
+        let mut session = cluster.session(ds).expect("session");
+        assert!(session
+            .get(&cluster, &Key::from_u64(4_321))
+            .expect("routed read")
+            .is_some());
         assert_eq!(records, 10_000, "no record may be lost or duplicated");
         let verdict = match report.outcome {
             RebalanceOutcome::Committed => "committed (new directory installed)",

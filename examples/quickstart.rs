@@ -1,5 +1,6 @@
-//! Quickstart: create a DynaHash-partitioned dataset, ingest data, scale the
-//! cluster out, and rebalance online.
+//! Quickstart: create a DynaHash-partitioned dataset, talk to it through a
+//! client `Session`, scale the cluster out, and watch the session ride
+//! through the rebalance via the stale-directory redirect protocol.
 //!
 //! Run with `cargo run --example quickstart`.
 
@@ -26,14 +27,22 @@ fn main() {
     );
     let events = cluster.create_dataset(spec).expect("create dataset");
 
-    // Ingest 20,000 small records through a data feed.
+    // All reads and writes go through a client session, which caches a
+    // versioned snapshot of the global directory and routes from it.
+    let mut session = cluster.session(events).expect("open session");
+    println!(
+        "opened a session at directory version {}",
+        session.cached_version()
+    );
+
+    // Ingest 20,000 small records through the session (the data-feed path).
     let records = (0..20_000u64).map(|i| {
         let mut payload = vec![(i % 8) as u8];
         payload.extend_from_slice(&i.to_be_bytes());
         payload.extend_from_slice(&[0u8; 55]);
         (Key::from_u64(i), Bytes::from(payload))
     });
-    let ingest = cluster.ingest(events, records).expect("ingest");
+    let ingest = session.ingest(&mut cluster, records).expect("ingest");
     println!(
         "ingested {} records in {:.2} simulated seconds ({:.0} rec/s)",
         ingest.records,
@@ -45,22 +54,16 @@ fn main() {
         cluster.dataset_distribution(events).unwrap()
     );
 
-    // Point lookups and secondary-index queries work as usual.
+    // Point lookups route from the session's cached directory.
     let key = Key::from_u64(1234);
-    let partition = cluster.route_key(events, &key).unwrap();
-    let value = cluster
-        .partition(partition)
-        .unwrap()
-        .dataset(events)
-        .unwrap()
-        .get(&key)
+    let value = session
+        .get(&cluster, &key)
+        .expect("routed read")
         .expect("record present");
-    println!(
-        "key 1234 lives on partition {partition} ({} bytes)",
-        value.len()
-    );
+    println!("key 1234 read through the session ({} bytes)", value.len());
 
     // Scale out: add a node, then rebalance the dataset onto it online.
+    // The session is NOT told about any of this.
     cluster.add_node().expect("add node");
     let target = cluster.topology().clone();
     let report = cluster
@@ -73,6 +76,23 @@ fn main() {
         report.records_moved,
         report.moved_fraction * 100.0,
         report.elapsed.as_secs_f64()
+    );
+
+    // The session's cached directory is now stale. Its next read of a moved
+    // bucket is rejected by the old owner, the session refreshes (a cheap
+    // directory delta) and retries — all transparent to the caller.
+    let value = session
+        .get(&cluster, &key)
+        .expect("redirected read")
+        .expect("record still present");
+    let m = session.metrics();
+    println!(
+        "stale read served after {} redirect(s) and {} refresh(es) \
+         (now at directory version {}, {} bytes)",
+        m.redirects,
+        m.refreshes(),
+        session.cached_version(),
+        value.len()
     );
 
     // The dataset stays complete and correctly routed.

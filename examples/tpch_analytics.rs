@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --example tpch_analytics --release`.
 
-use dynahash::cluster::{Cluster, QueryExecutor, RebalanceOptions};
+use dynahash::cluster::{Cluster, RebalanceOptions};
 use dynahash::core::{NodeId, Scheme};
 use dynahash::tpch::{load_tpch, query_traits, run_query, TpchScale};
 
@@ -27,7 +27,7 @@ fn main() {
     println!("query times on the original 4-node cluster:");
     let mut before = Vec::new();
     for &q in &queries {
-        let mut exec = QueryExecutor::new(&mut cluster);
+        let mut exec = cluster.query();
         let answer = run_query(q, &mut exec, &tables).expect("query");
         let report = exec.finish();
         println!(
@@ -67,7 +67,7 @@ fn main() {
 
     println!("query times on the downsized 3-node cluster:");
     for (q, before_secs, before_answer) in before {
-        let mut exec = QueryExecutor::new(&mut cluster);
+        let mut exec = cluster.query();
         let answer = run_query(q, &mut exec, &tables).expect("query");
         let report = exec.finish();
         let after = report.elapsed.as_secs_f64();

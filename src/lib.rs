@@ -27,15 +27,21 @@
 //!     .create_dataset(DatasetSpec::new("events", Scheme::dynahash(64 * 1024, 8)))
 //!     .unwrap();
 //!
-//! // Ingest some records.
+//! // All data I/O goes through a client session, which caches a versioned
+//! // snapshot of the routing directory.
+//! let mut session = cluster.session(ds).unwrap();
 //! let records = (0..1000u64).map(|i| (Key::from_u64(i), Bytes::from(vec![0u8; 64])));
-//! cluster.ingest(ds, records).unwrap();
+//! session.ingest(&mut cluster, records).unwrap();
 //!
 //! // Scale out and rebalance online.
 //! cluster.add_node().unwrap();
 //! let target = cluster.topology().clone();
 //! let report = cluster.rebalance(ds, &target, RebalanceOptions::none()).unwrap();
 //! assert!(report.moved_fraction < 0.5); // local rebalancing, not a full reshuffle
+//!
+//! // The session is now stale; its next read of a moved bucket redirects,
+//! // refreshes its cached directory, and retries — transparently.
+//! assert!(session.get(&cluster, &Key::from_u64(123)).unwrap().is_some());
 //! cluster.check_dataset_consistency(ds).unwrap();
 //! ```
 

@@ -1,7 +1,7 @@
 //! End-to-end integration tests spanning every crate of the workspace:
 //! storage engine → extendible hashing → cluster simulation → TPC-H workload.
 
-use dynahash::cluster::{Cluster, DatasetSpec, QueryExecutor, RebalanceOptions, SecondaryIndexDef};
+use dynahash::cluster::{Cluster, DatasetSpec, RebalanceOptions, SecondaryIndexDef};
 use dynahash::core::{NodeId, RebalanceOutcome, Scheme};
 use dynahash::lsm::entry::Key;
 use dynahash::lsm::Bytes;
@@ -34,11 +34,14 @@ fn full_lifecycle_scale_out_and_in_with_queries() {
     let ds = cluster
         .create_dataset(spec(Scheme::dynahash(64 * 1024, 8)))
         .unwrap();
-    cluster.ingest(ds, (0..8_000u64).map(record)).unwrap();
+    let mut session = cluster.session(ds).unwrap();
+    session
+        .ingest(&mut cluster, (0..8_000u64).map(record))
+        .unwrap();
 
     // Secondary-index query before any rebalance.
     let count_before = {
-        let mut exec = QueryExecutor::new(&mut cluster);
+        let mut exec = cluster.query();
         let lo = Key::from_u64(3);
         let hi = Key::from_u64(4);
         let hits = exec
@@ -69,10 +72,21 @@ fn full_lifecycle_scale_out_and_in_with_queries() {
     cluster.check_dataset_consistency(ds).unwrap();
     assert_eq!(cluster.dataset_len(ds).unwrap(), 8_000);
 
+    // The session opened before both rebalances is stale across two
+    // directory versions; the redirect protocol converges it transparently.
+    assert_eq!(
+        session
+            .get(&cluster, &Key::from_u64(4_242))
+            .unwrap()
+            .map(|v| v.len()),
+        Some(80)
+    );
+    assert!(session.metrics().refreshes() >= 1);
+
     // The secondary index still answers correctly after two rebalances
     // (lazy cleanup hides entries of moved buckets).
     let count_after = {
-        let mut exec = QueryExecutor::new(&mut cluster);
+        let mut exec = cluster.query();
         let lo = Key::from_u64(3);
         let hi = Key::from_u64(4);
         let hits = exec
@@ -89,7 +103,10 @@ fn concurrent_writes_survive_scale_in() {
     let ds = cluster
         .create_dataset(spec(Scheme::StaticHash { num_buckets: 64 }))
         .unwrap();
-    cluster.ingest(ds, (0..6_000u64).map(record)).unwrap();
+    let mut session = cluster.session(ds).unwrap();
+    session
+        .ingest(&mut cluster, (0..6_000u64).map(record))
+        .unwrap();
 
     let concurrent: Vec<(Key, Bytes)> = (100_000..100_500u64).map(record).collect();
     let victim = NodeId(2);
@@ -106,15 +123,10 @@ fn concurrent_writes_survive_scale_in() {
     cluster.decommission_node(victim).unwrap();
     cluster.check_dataset_consistency(ds).unwrap();
     assert_eq!(cluster.dataset_len(ds).unwrap(), 6_500);
-    for (k, _) in concurrent.iter().step_by(37) {
-        let p = cluster.route_key(ds, k).unwrap();
-        assert!(cluster
-            .partition(p)
-            .unwrap()
-            .dataset(ds)
-            .unwrap()
-            .get(k)
-            .is_some());
+    // the pre-rebalance session reads every concurrent write through the
+    // redirect protocol
+    for (k, v) in concurrent.iter().step_by(37) {
+        assert_eq!(session.get(&cluster, k).unwrap().as_ref(), Some(v));
     }
 }
 
@@ -130,7 +142,7 @@ fn every_scheme_gives_identical_query_answers_after_rebalancing() {
     let before: Vec<f64> = sample_queries
         .iter()
         .map(|&q| {
-            let mut exec = QueryExecutor::new(&mut cluster);
+            let mut exec = cluster.query();
             run_query(q, &mut exec, &tables).unwrap()
         })
         .collect();
@@ -157,7 +169,7 @@ fn every_scheme_gives_identical_query_answers_after_rebalancing() {
     let after: Vec<f64> = sample_queries
         .iter()
         .map(|&q| {
-            let mut exec = QueryExecutor::new(&mut cluster);
+            let mut exec = cluster.query();
             run_query(q, &mut exec, &tables).unwrap()
         })
         .collect();
@@ -186,7 +198,7 @@ fn hashing_and_dynahash_agree_on_all_22_queries() {
         .unwrap();
         (1..=NUM_QUERIES)
             .map(|n| {
-                let mut exec = QueryExecutor::new(&mut cluster);
+                let mut exec = cluster.query();
                 run_query(n, &mut exec, &tables).unwrap()
             })
             .collect()

@@ -94,7 +94,8 @@ fn loaded_cluster(nodes: u32, scheme: Scheme) -> (Cluster, u32) {
     let records: Vec<(Key, Bytes)> = (0..RECORDS)
         .map(|i| (Key::from_u64(i), Bytes::from(vec![(i % 249) as u8; 48])))
         .collect();
-    cluster.ingest(ds, records).unwrap();
+    let mut session = cluster.session(ds).unwrap();
+    session.ingest(&mut cluster, records).unwrap();
     (cluster, ds)
 }
 
@@ -149,19 +150,12 @@ fn failure_matrix_scale_out() {
                 expected,
             );
             // direction-specific posture: an abort leaves the new node
-            // empty, a commit lands data on it
-            let on_new: usize = cluster
-                .topology()
-                .partitions_of_node(NodeId(2))
+            // empty, a commit lands data on it (white-box placement check)
+            let parts = cluster.topology().partitions_of_node(NodeId(2));
+            let admin = cluster.admin();
+            let on_new: usize = parts
                 .iter()
-                .map(|p| {
-                    cluster
-                        .partition(*p)
-                        .unwrap()
-                        .dataset(ds)
-                        .unwrap()
-                        .live_len()
-                })
+                .map(|p| admin.partition(*p).unwrap().dataset(ds).unwrap().live_len())
                 .sum();
             match expected {
                 RebalanceOutcome::Aborted => assert_eq!(

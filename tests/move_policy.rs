@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 
 use dynahash::cluster::{
-    Cluster, ClusterConfig, CostModel, DatasetSpec, QueryExecutor, RebalanceJob, RebalanceOptions,
+    Cluster, ClusterConfig, CostModel, DatasetSpec, RebalanceJob, RebalanceOptions,
     SecondaryIndexDef,
 };
 use dynahash::core::{MovePolicy, NodeId, PartitionId, RebalanceOutcome, Scheme};
@@ -53,7 +53,11 @@ fn cluster_with(nodes: u32, scheme: Scheme, n: u64) -> (Cluster, u32) {
         },
     );
     let ds = cluster.create_dataset(spec(scheme)).unwrap();
-    cluster.ingest(ds, (0..n).map(record)).unwrap();
+    cluster
+        .session(ds)
+        .unwrap()
+        .ingest(&mut cluster, (0..n).map(record))
+        .unwrap();
     (cluster, ds)
 }
 
@@ -67,10 +71,11 @@ struct Observation {
 }
 
 fn observe(cluster: &mut Cluster, ds: u32) -> Observation {
-    let (contents, raw) = QueryExecutor::new(cluster).collect_records(ds).unwrap();
+    let (contents, raw) = cluster.query().collect_records(ds).unwrap();
     assert_eq!(raw, contents.len(), "a record is visible on two partitions");
     let distribution = cluster.dataset_distribution(ds).unwrap();
-    let index_hits = QueryExecutor::new(cluster)
+    let index_hits = cluster
+        .query()
         .index_scan(ds, "idx_tag", None, None)
         .unwrap();
     Observation {
@@ -190,12 +195,19 @@ fn destinations_serve_the_shipped_components_directly() {
         .unwrap();
     assert_eq!(report.outcome, RebalanceOutcome::Committed);
 
-    let shipped = cluster.controller.metadata_log.shipped_moves(1);
+    let shipped: Vec<dynahash::lsm::wal::ShippedMove> = cluster
+        .controller
+        .metadata_log
+        .shipped_moves(1)
+        .into_iter()
+        .cloned()
+        .collect();
     assert!(!shipped.is_empty(), "waves must force ship records");
     let mut found_shipped_component = false;
     for m in &shipped {
         let bucket = dynahash::lsm::BucketId::new(m.bucket_bits, m.bucket_depth);
-        let part = cluster.partition(PartitionId(m.to)).unwrap();
+        let admin = cluster.admin();
+        let part = admin.partition(PartitionId(m.to)).unwrap();
         let tree = part
             .dataset(ds)
             .unwrap()
@@ -264,9 +276,7 @@ fn destination_crash_between_ship_and_install_is_reshipped() {
         .unwrap();
 
     // nothing was lost: the base records and every feed record are readable
-    let (contents, raw) = QueryExecutor::new(&mut cluster)
-        .collect_records(ds)
-        .unwrap();
+    let (contents, raw) = cluster.query().collect_records(ds).unwrap();
     assert_eq!(raw, contents.len());
     assert_eq!(contents.len() as u64, 2400 + (next_key - 700_000));
     for k in (0..2400u64).chain(700_000..next_key) {

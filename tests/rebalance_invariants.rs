@@ -79,8 +79,9 @@ fn run_steps(scheme: Scheme, steps: &[Step]) {
         match step {
             Step::Ingest(n) => {
                 let n = *n as u64;
-                cluster
-                    .ingest(ds, (next_key..next_key + n).map(record))
+                let mut session = cluster.session(ds).unwrap();
+                session
+                    .ingest(&mut cluster, (next_key..next_key + n).map(record))
                     .unwrap();
                 next_key += n;
                 expected += n as usize;
@@ -123,21 +124,21 @@ fn run_steps(scheme: Scheme, steps: &[Step]) {
         );
     }
 
-    // Spot-check a sample of keys for readability at the end.
+    // Spot-check a sample of keys for readability at the end, through a
+    // fresh client session (the sanctioned read path).
+    let mut session = cluster.session(ds).unwrap();
     for k in (0..next_key).step_by(97) {
         let key = Key::from_u64(k);
-        let p = cluster.route_key(ds, &key).unwrap();
         assert!(
-            cluster
-                .partition(p)
-                .unwrap()
-                .dataset(ds)
-                .unwrap()
-                .get(&key)
-                .is_some(),
+            session.get(&cluster, &key).unwrap().is_some(),
             "key {k} unreachable after the step sequence"
         );
     }
+    assert_eq!(
+        session.metrics().redirects,
+        0,
+        "a fresh session never redirects"
+    );
 }
 
 #[test]
@@ -157,7 +158,10 @@ fn repeated_scale_out_keeps_load_balanced() {
     let ds = cluster
         .create_dataset(DatasetSpec::new("events", scheme))
         .unwrap();
-    cluster.ingest(ds, (0..12_000u64).map(record)).unwrap();
+    let mut session = cluster.session(ds).unwrap();
+    session
+        .ingest(&mut cluster, (0..12_000u64).map(record))
+        .unwrap();
 
     for _ in 0..3 {
         cluster.add_node().unwrap();
@@ -196,7 +200,11 @@ fn aborted_rebalance_leaves_everything_untouched() {
             Scheme::StaticHash { num_buckets: 32 },
         ))
         .unwrap();
-    cluster.ingest(ds, (0..4_000u64).map(record)).unwrap();
+    cluster
+        .session(ds)
+        .unwrap()
+        .ingest(&mut cluster, (0..4_000u64).map(record))
+        .unwrap();
     let distribution_before = cluster.dataset_distribution(ds).unwrap();
 
     cluster.add_node().unwrap();

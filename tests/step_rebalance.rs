@@ -13,7 +13,7 @@
 use std::collections::BTreeSet;
 
 use dynahash::cluster::{
-    Cluster, ClusterConfig, CostModel, DatasetSpec, QueryExecutor, RebalanceJob, RebalanceOptions,
+    Cluster, ClusterConfig, CostModel, DatasetSpec, RebalanceJob, RebalanceOptions,
 };
 use dynahash::core::{NodeId, RebalanceOutcome, Scheme};
 use dynahash::lsm::entry::Key;
@@ -35,7 +35,11 @@ fn cluster_with(nodes: u32, scheme: Scheme, n: u64) -> (Cluster, u32) {
     let ds = cluster
         .create_dataset(DatasetSpec::new("events", scheme))
         .unwrap();
-    cluster.ingest(ds, (0..n).map(record)).unwrap();
+    cluster
+        .session(ds)
+        .unwrap()
+        .ingest(&mut cluster, (0..n).map(record))
+        .unwrap();
     (cluster, ds)
 }
 
@@ -43,7 +47,7 @@ fn cluster_with(nodes: u32, scheme: Scheme, n: u64) -> (Cluster, u32) {
 /// no key visible twice (the online-query guarantee: pending buckets stay
 /// invisible, source buckets stay visible until the commit).
 fn assert_committed_set(cluster: &mut Cluster, ds: u32, expected: &BTreeSet<u64>, when: &str) {
-    let mut q = QueryExecutor::new(cluster);
+    let mut q = cluster.query();
     let (map, raw) = q.collect_records(ds).unwrap();
     assert_eq!(
         raw,
@@ -122,21 +126,17 @@ fn step_driven_job_survives_queries_feeds_and_crashes_between_waves() {
     cluster
         .check_rebalance_integrity(ds, report.rebalance_id)
         .unwrap();
-    // every feed record is readable through the *new* routing
+    // every feed record is readable through the *new* routing, via a fresh
+    // session (which therefore never sees a redirect)
+    let mut session = cluster.session(ds).unwrap();
     for k in (100_000..next_feed_key).step_by(7) {
         let key = Key::from_u64(k);
-        let p = cluster.route_key(ds, &key).unwrap();
         assert!(
-            cluster
-                .partition(p)
-                .unwrap()
-                .dataset(ds)
-                .unwrap()
-                .get(&key)
-                .is_some(),
+            session.get(&cluster, &key).unwrap().is_some(),
             "feed key {k} unreachable after the rebalance"
         );
     }
+    assert_eq!(session.metrics().redirects, 0);
 }
 
 /// The online-query guarantee in isolation: with fully serial waves (the
@@ -208,7 +208,7 @@ fn controller_restart_between_waves_aborts_cleanly() {
 }
 
 /// The *normal* public ingestion path stays online during data movement:
-/// `Cluster::ingest` between waves replicates writes to already-shipped
+/// `Session::ingest` between waves replicates writes to already-shipped
 /// buckets, so nothing is lost when the commit drops the source buckets.
 /// Once the prepare phase flushes the pending components, writes are
 /// briefly blocked (Section V-C) instead of being silently dropped.
@@ -219,24 +219,32 @@ fn normal_ingest_between_waves_loses_nothing() {
     cluster.add_node().unwrap();
     let target = cluster.topology().clone();
 
+    // the session predates the job: it stays usable across every step
+    let mut session = cluster.session(ds).unwrap();
     let mut job = RebalanceJob::plan(&mut cluster, ds, &target, 1).unwrap();
     job.init(&mut cluster).unwrap();
 
     let mut next_key = 200_000u64;
     while job.has_remaining_waves() {
         job.run_wave(&mut cluster).unwrap();
-        // plain Cluster::ingest — NOT job.apply_feed_batch
-        cluster
-            .ingest(ds, (next_key..next_key + 60).map(record))
+        // plain Session::ingest — NOT job.apply_feed_batch
+        session
+            .ingest(&mut cluster, (next_key..next_key + 60).map(record))
             .unwrap();
         expected.extend(next_key..next_key + 60);
         next_key += 60;
         assert_committed_set(&mut cluster, ds, &expected, "after plain ingest");
     }
+    assert_eq!(
+        session.metrics().redirects,
+        0,
+        "sources serve their buckets until the commit: no redirects mid-flight"
+    );
 
     job.prepare(&mut cluster).unwrap();
     // writes are briefly blocked between prepare and the decision
-    let blocked = cluster.ingest(ds, vec![record(999_999)]);
+    let (k, v) = record(999_999);
+    let blocked = session.put(&mut cluster, k, v);
     assert!(
         matches!(
             blocked,
@@ -254,8 +262,10 @@ fn normal_ingest_between_waves_loses_nothing() {
     cluster
         .check_rebalance_integrity(ds, report.rebalance_id)
         .unwrap();
-    // ingestion works again after the commit, through the new directory
-    cluster.ingest(ds, vec![record(999_999)]).unwrap();
+    // writes work again after the commit: the stale session redirects to
+    // the new owner, refreshes, and retries transparently
+    let (k, v) = record(999_999);
+    session.put(&mut cluster, k, v).unwrap();
     assert_eq!(cluster.dataset_len(ds).unwrap(), expected.len() + 1);
     cluster.check_dataset_consistency(ds).unwrap();
 }
@@ -342,7 +352,9 @@ fn run_steps(scheme: Scheme, seed: u64, steps: &[Step]) {
     let ingest =
         |cluster: &mut Cluster, expected: &mut BTreeSet<u64>, next_key: &mut u64, n: u64| {
             cluster
-                .ingest(ds, (*next_key..*next_key + n).map(record))
+                .session(ds)
+                .unwrap()
+                .ingest(cluster, (*next_key..*next_key + n).map(record))
                 .unwrap();
             expected.extend(*next_key..*next_key + n);
             *next_key += n;
