@@ -1,0 +1,32 @@
+//! The `directory_lookup` group: routing cost of the slot-array global
+//! directory vs the pre-PR 5 linear bucket scan, at 16 / 256 / 4096
+//! buckets. Extendible hashing promises O(1) routing; the scan was O(n) in
+//! the bucket count, so its per-lookup cost grows with every split while
+//! the slot array stays flat — the assertion at the end pins that down.
+
+use dynahash_bench::timing::{bench_case, bench_group, DEFAULT_ITERS};
+use dynahash_bench::{directory_lookup_study, format_lookup};
+
+fn main() {
+    bench_group("directory_lookup");
+    for buckets in [16usize, 256, 4096] {
+        bench_case(
+            &format!("slots_vs_scan/{buckets}_buckets"),
+            DEFAULT_ITERS,
+            || directory_lookup_study(&[buckets]),
+        );
+    }
+
+    let rows = directory_lookup_study(&[16, 256, 4096]);
+    println!("per-lookup cost (best of interleaved reps):");
+    print!("{}", format_lookup(&rows));
+    for r in rows.iter().filter(|r| r.buckets >= 256) {
+        assert!(
+            r.slot_ns_per_lookup < r.scan_ns_per_lookup,
+            "slot-array lookup must beat the linear scan at {} buckets: {:.1} !< {:.1}",
+            r.buckets,
+            r.slot_ns_per_lookup,
+            r.scan_ns_per_lookup
+        );
+    }
+}

@@ -10,9 +10,10 @@
 //! experiments --json results.json # also emit machine-readable results
 //! ```
 //!
-//! Figures: 6, 7a, 7b, 7c, waves, move_policy, routing, 8, 9, ablations.
+//! Figures: 6, 7a, 7b, 7c, waves, move_policy, routing, lookup, 8, 9,
+//! ablations.
 //!
-//! Two figures double as regression gates (the run exits 1 on violation):
+//! Three figures double as regression gates (the run exits 1 on violation):
 //!
 //! * `move_policy` — component shipping must be strictly faster than
 //!   record-level movement while leaving byte-identical contents (the
@@ -20,7 +21,11 @@
 //! * `routing` — sessions left stale across a rebalance must converge via
 //!   the stale-directory redirect protocol with zero integrity violations,
 //!   redirect counts bounded by buckets-moved, and steady-state session
-//!   overhead within 10% of direct access.
+//!   overhead within 10% of direct access;
+//! * `lookup` — the slot-array directory must be strictly faster than the
+//!   old linear scan at ≥ 256 buckets, and deferring the destination-side
+//!   secondary rebuild must strictly shrink the rebalance wave makespan
+//!   while `index_scan` answers stay byte-identical to the eager baseline.
 
 use dynahash_bench::json::Json;
 use dynahash_bench::*;
@@ -52,7 +57,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--quick] [--json <path>] \
-                     [--figure 6|7a|7b|7c|waves|move_policy|routing|8|9|ablations]"
+                     [--figure 6|7a|7b|7c|waves|move_policy|routing|lookup|8|9|ablations]"
                 );
                 std::process::exit(0);
             }
@@ -175,6 +180,43 @@ fn routing_json(rows: &[RoutingRow]) -> Json {
                     ("session_ns_per_op", Json::Num(r.session_ns_per_op)),
                     ("direct_ns_per_op", Json::Num(r.direct_ns_per_op)),
                     ("overhead_ratio", Json::Num(r.overhead_ratio)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn lookup_json(rows: &[LookupRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("buckets", Json::Int(r.buckets as u64)),
+                    ("slot_ns_per_lookup", Json::Num(r.slot_ns_per_lookup)),
+                    ("scan_ns_per_lookup", Json::Num(r.scan_ns_per_lookup)),
+                    ("speedup", Json::Num(r.speedup)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn deferred_install_json(rows: &[DeferredInstallRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("rebuild", Json::str(r.mode)),
+                    ("movement_sim_seconds", Json::Num(r.movement_minutes * 60.0)),
+                    ("total_sim_seconds", Json::Num(r.minutes * 60.0)),
+                    ("records_moved", Json::Int(r.records_moved)),
+                    ("buckets_moved", Json::Int(r.buckets_moved as u64)),
+                    ("warmed_records", Json::Int(r.warmed_records)),
+                    (
+                        "index_checksum",
+                        Json::str(format!("{:016x}", r.index_checksum)),
+                    ),
+                    ("integrity_violations", Json::Int(r.integrity_violations)),
                 ])
             })
             .collect(),
@@ -330,6 +372,48 @@ fn main() {
             println!(
                 "(gate: stale sessions converged, redirects bounded by buckets moved, \
                  overhead within {ROUTING_OVERHEAD_GATE:.2}x of direct access)"
+            );
+            println!();
+        } else {
+            for v in &violations {
+                eprintln!("GATE FAILED: {v}");
+            }
+            gate_failed = true;
+        }
+    }
+
+    if wants(&args.figure, "lookup") {
+        println!("## Directory lookup — slot array vs linear scan");
+        println!();
+        let counts: &[usize] = &[16, 256, 4096];
+        let mut lookup_rows = directory_lookup_study(counts);
+        println!("## Deferred secondary rebuild — install cost off the commit path (DynaHash, 4 -> 3 nodes)");
+        println!();
+        let deferred_rows = deferred_install_study(&cfg);
+        let mut violations = lookup_gate_violations(&lookup_rows, &deferred_rows);
+        // The lookup arm is wall-clock; like the routing overhead gate it is
+        // re-measured (up to twice) when it alone trips on a loaded runner.
+        // The deferred-install conditions are simulated-time and therefore
+        // deterministic: they fail immediately.
+        let mut remeasures = 0;
+        while !violations.is_empty()
+            && violations.iter().all(|v| v.contains("lookup overhead"))
+            && remeasures < 2
+        {
+            eprintln!("lookup measurement over the gate; re-measuring: {violations:?}");
+            remeasures += 1;
+            lookup_rows = directory_lookup_study(counts);
+            violations = lookup_gate_violations(&lookup_rows, &deferred_rows);
+        }
+        println!("{}", format_lookup(&lookup_rows));
+        println!("{}", format_deferred_install(&deferred_rows));
+        figures.push_field("lookup", lookup_json(&lookup_rows));
+        figures.push_field("deferred_install", deferred_install_json(&deferred_rows));
+        if violations.is_empty() {
+            println!(
+                "(gate: slot-array lookups strictly faster than the scan at >= 256 buckets, \
+                 deferred install strictly faster than eager on wave makespan, index answers \
+                 byte-identical)"
             );
             println!();
         } else {

@@ -789,6 +789,312 @@ pub fn routing_gate_violations(rows: &[RoutingRow]) -> Vec<String> {
     bad
 }
 
+// --------------------------------------------- directory lookup study (PR 5)
+
+/// One row of the directory-lookup study: per-lookup wall-clock cost of the
+/// slot-array directory vs the pre-PR 5 linear scan, at one bucket count.
+#[derive(Debug, Clone)]
+pub struct LookupRow {
+    /// Number of buckets in the directory.
+    pub buckets: usize,
+    /// Nanoseconds per `lookup_hash` through the slot array (best rep).
+    pub slot_ns_per_lookup: f64,
+    /// Nanoseconds per lookup through a linear scan over the bucket list
+    /// (the old implementation, kept here as the timing oracle; best rep).
+    pub scan_ns_per_lookup: f64,
+    /// `scan / slot` — how much routing got cheaper.
+    pub speedup: f64,
+}
+
+/// Measures slot-array vs linear-scan lookup cost at the given bucket
+/// counts (each rounded up to a power of two). Both arms resolve the same
+/// pseudo-random hash sequence and are interleaved per repetition, best rep
+/// kept, so scheduler noise cannot flip the comparison.
+pub fn directory_lookup_study(bucket_counts: &[usize]) -> Vec<LookupRow> {
+    use dynahash_core::{BucketId, GlobalDirectory, PartitionId};
+    use dynahash_lsm::rng::SplitMix64;
+
+    const REPS: usize = 5;
+    let parts: Vec<PartitionId> = (0..8).map(PartitionId).collect();
+    bucket_counts
+        .iter()
+        .map(|&n| {
+            let depth = n.next_power_of_two().trailing_zeros() as u8;
+            let dir = GlobalDirectory::initial(depth, &parts).expect("initial directory");
+            let buckets: Vec<(BucketId, PartitionId)> = dir.iter().collect();
+            let mut rng = SplitMix64::seed_from_u64(0x100c_0000 + n as u64);
+            // Scale the scan arm's batch down with the bucket count so one
+            // rep stays fast; per-lookup costs are what the row reports.
+            let slot_lookups: usize = 200_000;
+            let scan_lookups: usize = (4_000_000 / n.max(1)).clamp(2_000, 200_000);
+            let slot_hashes: Vec<u64> = (0..slot_lookups).map(|_| rng.next_u64()).collect();
+            let scan_hashes: Vec<u64> = (0..scan_lookups).map(|_| rng.next_u64()).collect();
+            let (mut best_slot, mut best_scan) = (f64::INFINITY, f64::INFINITY);
+            for _ in 0..REPS {
+                let start = std::time::Instant::now();
+                for &h in &slot_hashes {
+                    std::hint::black_box(dir.lookup_hash(h));
+                }
+                best_slot = best_slot.min(start.elapsed().as_nanos() as f64 / slot_lookups as f64);
+                let start = std::time::Instant::now();
+                for &h in &scan_hashes {
+                    std::hint::black_box(buckets.iter().find(|(b, _)| b.contains_hash(h)));
+                }
+                best_scan = best_scan.min(start.elapsed().as_nanos() as f64 / scan_lookups as f64);
+            }
+            LookupRow {
+                buckets: 1usize << depth,
+                slot_ns_per_lookup: best_slot,
+                scan_ns_per_lookup: best_scan,
+                speedup: if best_slot > 0.0 {
+                    best_scan / best_slot
+                } else {
+                    f64::INFINITY
+                },
+            }
+        })
+        .collect()
+}
+
+/// Renders lookup rows as a markdown table.
+pub fn format_lookup(rows: &[LookupRow]) -> String {
+    let mut s = String::from(
+        "| buckets | slot array (ns/lookup) | linear scan (ns/lookup) | speedup |\n|---|---|---|---|\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "| {} | {:.1} | {:.1} | {:.1}x |\n",
+            r.buckets, r.slot_ns_per_lookup, r.scan_ns_per_lookup, r.speedup
+        ));
+    }
+    s
+}
+
+// --------------------------------------- deferred secondary rebuild (PR 5)
+
+/// One row of the deferred-install study: the same DynaHash scale-in
+/// rebalance executed once per [`SecondaryRebuild`] mode.
+#[derive(Debug, Clone)]
+pub struct DeferredInstallRow {
+    /// Rebuild-mode label ("Eager" / "Deferred").
+    pub mode: &'static str,
+    /// Total simulated rebalance makespan in minutes.
+    pub minutes: f64,
+    /// Simulated makespan of the data-movement phase alone, in minutes —
+    /// the quantity the deferral shrinks.
+    pub movement_minutes: f64,
+    /// Records moved.
+    pub records_moved: u64,
+    /// Buckets moved.
+    pub buckets_moved: usize,
+    /// Records whose secondary entries `warm_indexes` had to materialize
+    /// after the commit (0 for the eager baseline).
+    pub warmed_records: u64,
+    /// Order-independent checksum over every secondary-index answer after
+    /// warming; both modes must produce the same value.
+    pub index_checksum: u64,
+    /// Content/index/integrity violations vs the eager oracle (must be 0).
+    pub integrity_violations: u64,
+}
+
+/// Order-independent FNV-style checksum over index-scan answers.
+fn index_checksum(
+    hits: &[(
+        dynahash_core::PartitionId,
+        Vec<dynahash_lsm::SecondaryEntry>,
+    )],
+) -> u64 {
+    let mut acc = 0u64;
+    let mut n = 0u64;
+    for (p, entries) in hits {
+        for se in entries {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ p.0 as u64;
+            for &b in se.secondary.as_slice().iter().chain(se.primary.as_slice()) {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            acc = acc.wrapping_add(h);
+            n += 1;
+        }
+    }
+    acc ^ n
+}
+
+/// Deferred-install study: an events dataset with a secondary index is
+/// rebalanced from 4 to 3 nodes under each [`SecondaryRebuild`] mode, with
+/// a mid-flight feed. Deferring the secondary rebuild must strictly shrink
+/// the data-movement makespan (the rebuild CPU leaves the commit path)
+/// while `index_scan` — which warms deferred buckets on first touch —
+/// returns byte-identical answers and identical dataset contents.
+pub fn deferred_install_study(cfg: &ExperimentConfig) -> Vec<DeferredInstallRow> {
+    use dynahash_cluster::{DatasetSpec, SecondaryIndexDef};
+    use dynahash_core::SecondaryRebuild;
+    use dynahash_lsm::entry::Key;
+    use dynahash_lsm::Bytes;
+
+    let nodes = 4u32;
+    let n = cfg.orders_per_node as u64 * 40;
+    let record = |i: u64| {
+        let mut v = (i % 53).to_be_bytes().to_vec();
+        v.extend_from_slice(&[(i % 251) as u8; 48]);
+        (Key::from_u64(i), Bytes::from(v))
+    };
+    let mut oracle: Option<(std::collections::BTreeMap<Key, Bytes>, u64)> = None;
+    [SecondaryRebuild::Eager, SecondaryRebuild::Deferred]
+        .into_iter()
+        .map(|mode| {
+            let mut cluster = cfg.cluster(nodes);
+            let scheme = cfg.dynahash_scheme(nodes);
+            let spec = DatasetSpec::new("events", scheme).with_secondary_index(
+                SecondaryIndexDef::new("idx_tag", |p: &[u8]| {
+                    if p.len() >= 8 {
+                        let mut b = [0u8; 8];
+                        b.copy_from_slice(&p[..8]);
+                        Some(Key::from_u64(u64::from_be_bytes(b)))
+                    } else {
+                        None
+                    }
+                }),
+            );
+            let ds = cluster.create_dataset(spec).expect("create dataset");
+            cluster
+                .session(ds)
+                .expect("session")
+                .ingest(&mut cluster, (0..n).map(record))
+                .expect("load");
+            let target = cluster.topology_without(NodeId(nodes - 1));
+            let writes: Vec<_> = (500_000..500_000 + n / 10).map(record).collect();
+            let report = cluster
+                .rebalance(
+                    ds,
+                    &target,
+                    RebalanceOptions::none()
+                        .with_max_concurrent_moves(FIGURE_MOVES_PER_WAVE)
+                        .with_secondary_rebuild(mode)
+                        .with_concurrent_writes(writes),
+                )
+                .expect("rebalance");
+            let mut violations = 0u64;
+            if cluster
+                .check_rebalance_integrity(ds, report.rebalance_id)
+                .is_err()
+            {
+                violations += 1;
+            }
+            // Deferred mode must actually defer: some destination still
+            // holds unwarmed buckets until warm_indexes materializes them.
+            let warmed = cluster.admin().warm_indexes(ds).expect("warm");
+            if mode == SecondaryRebuild::Deferred && warmed == 0 {
+                violations += 1;
+            }
+            if mode == SecondaryRebuild::Eager && warmed != 0 {
+                violations += 1;
+            }
+            let hits = cluster
+                .query()
+                .index_scan(ds, "idx_tag", None, None)
+                .expect("index scan");
+            let checksum = index_checksum(&hits);
+            let (contents, raw) = cluster
+                .query()
+                .collect_records(ds)
+                .expect("collect records");
+            if raw != contents.len() {
+                violations += 1;
+            }
+            match &oracle {
+                None => oracle = Some((contents, checksum)),
+                Some((expected, expected_checksum)) => {
+                    if &contents != expected {
+                        violations += 1;
+                    }
+                    if checksum != *expected_checksum {
+                        violations += 1;
+                    }
+                }
+            }
+            DeferredInstallRow {
+                mode: mode.name(),
+                minutes: report.elapsed.as_minutes_f64(),
+                movement_minutes: report.phases.data_movement.as_minutes_f64(),
+                records_moved: report.records_moved,
+                buckets_moved: report.buckets_moved,
+                warmed_records: warmed,
+                index_checksum: checksum,
+                integrity_violations: violations,
+            }
+        })
+        .collect()
+}
+
+/// Renders deferred-install rows as a markdown table.
+pub fn format_deferred_install(rows: &[DeferredInstallRow]) -> String {
+    let mut s = String::from(
+        "| rebuild | buckets | records | movement (sim s) | total (sim s) | warmed | index checksum |\n|---|---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "| {} | {} | {} | {:.3} | {:.3} | {} | {:016x} |\n",
+            r.mode,
+            r.buckets_moved,
+            r.records_moved,
+            r.movement_minutes * 60.0,
+            r.minutes * 60.0,
+            r.warmed_records,
+            r.index_checksum
+        ));
+    }
+    s
+}
+
+/// Checks the PR 5 `lookup` figure's gate. Returns the violations (empty =
+/// gate passes): the slot array must be strictly faster than the linear
+/// scan at every count of ≥ 256 buckets, and the deferred install must
+/// strictly beat the eager install on wave makespan with byte-identical
+/// index answers and zero integrity violations.
+pub fn lookup_gate_violations(
+    lookup: &[LookupRow],
+    deferred: &[DeferredInstallRow],
+) -> Vec<String> {
+    let mut bad = Vec::new();
+    for r in lookup {
+        if r.buckets >= 256 && r.slot_ns_per_lookup >= r.scan_ns_per_lookup {
+            bad.push(format!(
+                "lookup overhead: slot array ({:.1} ns) not strictly faster than the scan \
+                 ({:.1} ns) at {} buckets",
+                r.slot_ns_per_lookup, r.scan_ns_per_lookup, r.buckets
+            ));
+        }
+    }
+    let eager = deferred.iter().find(|r| r.mode == "Eager");
+    let lazy = deferred.iter().find(|r| r.mode == "Deferred");
+    match (eager, lazy) {
+        (Some(eager), Some(lazy)) => {
+            for r in [eager, lazy] {
+                if r.integrity_violations > 0 {
+                    bad.push(format!(
+                        "{}: {} integrity violations",
+                        r.mode, r.integrity_violations
+                    ));
+                }
+            }
+            if lazy.index_checksum != eager.index_checksum {
+                bad.push("deferred install answered index scans differently".to_string());
+            }
+            if lazy.movement_minutes >= eager.movement_minutes {
+                bad.push(format!(
+                    "deferred install ({:.6} sim s) did not beat the eager install \
+                     ({:.6} sim s) on wave makespan",
+                    lazy.movement_minutes * 60.0,
+                    eager.movement_minutes * 60.0
+                ));
+            }
+        }
+        _ => bad.push("deferred-install rows missing".to_string()),
+    }
+    bad
+}
+
 /// Renders routing rows as a markdown table.
 pub fn format_routing(rows: &[RoutingRow]) -> String {
     let mut s = String::from(
@@ -1268,6 +1574,46 @@ mod tests {
             "commits should fit the delta log"
         );
         assert!(format_routing(&rows).contains("redirects"));
+    }
+
+    #[test]
+    fn directory_lookup_slot_array_beats_the_scan_at_scale() {
+        let rows = directory_lookup_study(&[16, 256]);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.slot_ns_per_lookup > 0.0);
+            assert!(r.scan_ns_per_lookup > 0.0);
+        }
+        let big = rows.iter().find(|r| r.buckets == 256).unwrap();
+        assert!(
+            big.slot_ns_per_lookup < big.scan_ns_per_lookup,
+            "slot array must beat the scan at 256 buckets: {:.1} !< {:.1}",
+            big.slot_ns_per_lookup,
+            big.scan_ns_per_lookup
+        );
+        assert!(format_lookup(&rows).contains("speedup"));
+    }
+
+    #[test]
+    fn deferred_install_study_passes_its_gate() {
+        let deferred = deferred_install_study(&tiny());
+        assert_eq!(deferred.len(), 2);
+        let eager = deferred.iter().find(|r| r.mode == "Eager").unwrap();
+        let lazy = deferred.iter().find(|r| r.mode == "Deferred").unwrap();
+        assert_eq!(eager.records_moved, lazy.records_moved);
+        assert_eq!(eager.index_checksum, lazy.index_checksum);
+        assert!(lazy.warmed_records > 0, "nothing was actually deferred");
+        assert_eq!(eager.warmed_records, 0);
+        assert!(
+            lazy.movement_minutes < eager.movement_minutes,
+            "deferred install must beat eager on wave makespan: {} !< {}",
+            lazy.movement_minutes,
+            eager.movement_minutes
+        );
+        // the full gate (timing arm excluded) holds on the tiny config
+        let violations = lookup_gate_violations(&[], &deferred);
+        assert!(violations.is_empty(), "gate violations: {violations:?}");
+        assert!(format_deferred_install(&deferred).contains("Deferred"));
     }
 
     #[test]

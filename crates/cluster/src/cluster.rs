@@ -706,6 +706,22 @@ impl Admin<'_> {
     ) -> Result<IngestReport, ClusterError> {
         self.cluster.ingest(dataset, records)
     }
+
+    /// Materializes every deferred secondary rebuild of a dataset across the
+    /// cluster — the operator's way to pre-pay the lazy rebuild (e.g. before
+    /// a query burst) instead of letting the first `index_scan` do it.
+    /// Returns the number of records whose secondary entries were rebuilt.
+    pub fn warm_indexes(&mut self, dataset: DatasetId) -> Result<u64, ClusterError> {
+        let mut records = 0u64;
+        for p in self.cluster.topology().partitions() {
+            let part = self.cluster.partition_mut(p)?;
+            if !part.dataset_ids().contains(&dataset) {
+                continue;
+            }
+            records += part.dataset_mut(dataset)?.warm_secondary_indexes();
+        }
+        Ok(records)
+    }
 }
 
 #[cfg(test)]

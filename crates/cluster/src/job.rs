@@ -31,7 +31,7 @@ use std::collections::BTreeMap;
 
 use dynahash_core::{
     BucketMove, ClusterTopology, GlobalDirectory, MovePolicy, NodeId, NodeVote,
-    RebalanceCoordinator, RebalanceOutcome, RebalancePlan,
+    RebalanceCoordinator, RebalanceOutcome, RebalancePlan, SecondaryRebuild,
 };
 use dynahash_lsm::entry::{Key, Value};
 use dynahash_lsm::wal::{LogRecordBody, RebalanceId, ShippedMove};
@@ -138,6 +138,7 @@ pub struct RebalanceJob {
     participants: Vec<NodeId>,
     coordinator: RebalanceCoordinator,
     move_policy: MovePolicy,
+    secondary_rebuild: SecondaryRebuild,
     state: JobState,
     init_tl: NodeTimeline,
     move_tl: NodeTimeline,
@@ -235,6 +236,7 @@ impl RebalanceJob {
             participants,
             coordinator,
             move_policy: MovePolicy::default(),
+            secondary_rebuild: SecondaryRebuild::default(),
             state: JobState::Planned,
             init_tl: NodeTimeline::new(),
             move_tl: NodeTimeline::new(),
@@ -413,6 +415,13 @@ impl RebalanceJob {
             .target
             .node_of(m.to)
             .ok_or(ClusterError::UnknownPartition(m.to))?;
+        // An index rebuild is only charged when there is something to
+        // rebuild: a dataset without secondary indexes pays none under
+        // either policy or rebuild mode.
+        let dst_has_indexes = cluster
+            .partition(m.to)?
+            .dataset(self.dataset)?
+            .has_secondary_indexes();
         match self.move_policy {
             MovePolicy::Records => {
                 let entries = cluster
@@ -431,12 +440,11 @@ impl RebalanceJob {
                         cost.disk_read(bytes) + cost.rematerialize_cpu(records),
                     );
                     tl.charge(dst_node, cost.network(bytes));
-                    tl.charge(
-                        dst_node,
-                        cost.disk_write(bytes)
-                            + cost.rematerialize_cpu(records)
-                            + cost.index_rebuild_cpu(records),
-                    );
+                    let mut dst_cost = cost.disk_write(bytes) + cost.rematerialize_cpu(records);
+                    if dst_has_indexes {
+                        dst_cost += cost.index_rebuild_cpu(records);
+                    }
+                    tl.charge(dst_node, dst_cost);
                 }
                 let dst = cluster.partition_mut(m.to)?.dataset_mut(self.dataset)?;
                 dst.ensure_pending_bucket(m.bucket)?;
@@ -456,11 +464,14 @@ impl RebalanceJob {
                 let component_ids: Vec<u64> = comps.iter().map(|c| c.id()).collect();
                 let dst = cluster.partition_mut(m.to)?.dataset_mut(self.dataset)?;
                 dst.ensure_pending_bucket(m.bucket)?;
-                let records = dst.install_shipped_components(m.bucket, comps)?;
+                let records =
+                    dst.install_shipped_components(m.bucket, comps, self.secondary_rebuild)?;
                 // Sealed components travel as whole files: one sequential
                 // read, one transfer, one sequential write. Bloom filters and
-                // sorted runs arrive ready to serve, so the only CPU charged
-                // at the destination is the secondary-index rebuild.
+                // sorted runs arrive ready to serve; an eager secondary
+                // rebuild is the only CPU left on the destination's commit
+                // path, and the default deferred mode moves even that to the
+                // first index query (charged by the query executor instead).
                 if bytes > 0 {
                     tl.charge(src_node, cost.disk_read(bytes));
                     tl.charge(
@@ -468,10 +479,11 @@ impl RebalanceJob {
                         cost.network(bytes)
                             + cost.component_ship_overhead(component_ids.len() as u64),
                     );
-                    tl.charge(
-                        dst_node,
-                        cost.disk_write(bytes) + cost.index_rebuild_cpu(records),
-                    );
+                    let mut dst_cost = cost.disk_write(bytes);
+                    if dst_has_indexes && self.secondary_rebuild == SecondaryRebuild::Eager {
+                        dst_cost += cost.index_rebuild_cpu(records);
+                    }
+                    tl.charge(dst_node, dst_cost);
                 }
                 Ok(ShipStats {
                     bytes,
@@ -723,6 +735,19 @@ impl RebalanceJob {
         self.move_policy = policy;
     }
 
+    /// When destinations rebuild secondary entries for received buckets
+    /// (default: [`SecondaryRebuild::Deferred`]). Only meaningful under
+    /// [`MovePolicy::Components`]; the Records baseline always rebuilds
+    /// eagerly while re-materialising.
+    pub fn secondary_rebuild(&self) -> SecondaryRebuild {
+        self.secondary_rebuild
+    }
+
+    /// Sets the secondary-rebuild mode. Call before the first wave runs.
+    pub fn set_secondary_rebuild(&mut self, rebuild: SecondaryRebuild) {
+        self.secondary_rebuild = rebuild;
+    }
+
     /// Total number of scheduled waves.
     pub fn num_waves(&self) -> usize {
         self.waves.len()
@@ -845,10 +870,17 @@ impl RebalanceJob {
             }
             if let Some(src_node) = cluster.topology().node_of(m.from) {
                 if cluster.node_is_alive(src_node) {
-                    cluster
+                    let warmed = cluster
                         .partition_mut(m.from)?
                         .dataset_mut(self.dataset)?
                         .cleanup_moved_bucket(m.bucket)?;
+                    // A stash partially covered by the moved bucket had to
+                    // materialize before the lazy-cleanup mark: that rebuild
+                    // runs here, so it is charged here (finalization), not
+                    // hidden.
+                    if warmed > 0 {
+                        self.fin_tl.charge(src_node, cost.index_rebuild_cpu(warmed));
+                    }
                 }
             }
         }

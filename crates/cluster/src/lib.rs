@@ -46,14 +46,14 @@ pub use dataset::{DatasetId, DatasetMeta, DatasetSpec, SecondaryIndexDef};
 pub use feed::{split_into_batches, ControlledRateFeed, IngestReport};
 pub use job::{JobState, RebalanceJob, StepPoint, WaveReport};
 pub use node::NodeController;
-pub use partition::{Partition, PartitionDataset};
+pub use partition::{Partition, PartitionDataset, SecondaryState};
 pub use query::{QueryExecutor, QueryReport};
 pub use rebalance::{PhaseTimes, RebalanceOptions, RebalanceReport, StepHook};
 pub use recovery::RecoveryReport;
 pub use session::{RouteError, Session, SessionMetrics};
 pub use sim::{CostModel, NodeTimeline, SimDuration, WaveClock};
 
-pub use dynahash_core::MovePolicy;
+pub use dynahash_core::{MovePolicy, SecondaryRebuild};
 
 use dynahash_core::{CoreError, NodeId, PartitionId};
 use dynahash_lsm::StorageError;

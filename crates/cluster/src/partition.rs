@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use dynahash_core::PartitionId;
+use dynahash_core::{PartitionId, SecondaryRebuild};
 use dynahash_lsm::{
     BucketId, BucketedConfig, BucketedLsmTree, Component, Entry, Key, LazyMergeIter, LsmConfig,
     LsmTree, RefSource, ScanOrder, SecondaryEntry, SecondaryIndex, StorageMetrics, Value,
@@ -38,6 +38,19 @@ fn collect_secondary_entries(
     }
 }
 
+/// Whether a received bucket's secondary-index entries have been
+/// materialized at this partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecondaryState {
+    /// The bucket's secondary entries are fully materialized (eager install,
+    /// record-level load, or an already-warmed deferred install).
+    Ready,
+    /// The bucket was installed from shipped components without rebuilding
+    /// its secondary entries; the rebuild runs on the first `index_scan`
+    /// touching the dataset or an explicit `warm_indexes` call.
+    Deferred,
+}
+
 /// Per-dataset storage inside one partition.
 pub struct PartitionDataset {
     /// The bucketed primary index (Option 3 storage).
@@ -47,6 +60,15 @@ pub struct PartitionDataset {
     /// Local secondary indexes (Option 1 storage, lazy cleanup).
     pub secondaries: Vec<SecondaryIndex>,
     defs: Vec<SecondaryIndexDef>,
+    /// Shipped-component handles of *pending* buckets installed under
+    /// [`SecondaryRebuild::Deferred`]: the base secondary entries of these
+    /// buckets have not been built. Dropped with the pending bucket on
+    /// abort/crash; promoted to `deferred_installed` at commit.
+    deferred_pending: BTreeMap<BucketId, Vec<Component>>,
+    /// Committed buckets still awaiting their deferred secondary rebuild.
+    /// The stashed handles are `Arc` clones of the shipped components, so
+    /// later primary merges cannot disturb the base data the rebuild reads.
+    deferred_installed: BTreeMap<BucketId, Vec<Component>>,
 }
 
 impl std::fmt::Debug for PartitionDataset {
@@ -80,6 +102,8 @@ impl PartitionDataset {
             primary_key_index: LsmTree::new(lsm, metrics),
             secondaries,
             defs: spec.secondary_indexes.clone(),
+            deferred_pending: BTreeMap::new(),
+            deferred_installed: BTreeMap::new(),
         }
     }
 
@@ -138,6 +162,18 @@ impl PartitionDataset {
     /// Finds a secondary index by name.
     pub fn secondary_mut(&mut self, name: &str) -> Option<&mut SecondaryIndex> {
         self.secondaries.iter_mut().find(|s| s.name == name)
+    }
+
+    /// True if a secondary index with this name exists (cheap existence
+    /// check callers use before paying for a deferred warm).
+    pub fn has_secondary_index(&self, name: &str) -> bool {
+        self.secondaries.iter().any(|s| s.name == name)
+    }
+
+    /// True if the dataset has any secondary indexes at all (cost accounting
+    /// charges an index rebuild only when there is something to rebuild).
+    pub fn has_secondary_indexes(&self) -> bool {
+        !self.defs.is_empty()
     }
 
     /// Logical bytes of the primary index (what a rebalance would move).
@@ -212,7 +248,40 @@ impl PartitionDataset {
     /// After a committed rebalance: drops the moved bucket from the primary
     /// index, removes its keys from the primary-key index, and marks the
     /// bucket for lazy cleanup in every secondary index.
-    pub fn cleanup_moved_bucket(&mut self, bucket: BucketId) -> Result<(), ClusterError> {
+    ///
+    /// Deferred stashes are reconciled first: a stash the moved bucket fully
+    /// covers is simply dropped (all of its entries would be hidden by the
+    /// lazy-cleanup mark anyway), while a stash that covers *more* than the
+    /// moved bucket (the received bucket split locally and only one child
+    /// moves away) is materialized now — its component lands in the tree
+    /// before the mark, so the mark's per-component filter hides exactly the
+    /// moved child's entries and keeps the sibling's, just as an eager
+    /// install would have. Only the covering stash is materialized;
+    /// unrelated deferred buckets keep waiting for their first query.
+    ///
+    /// Returns the number of records whose deferred entries had to be
+    /// materialized here, so callers can charge the rebuild they triggered.
+    pub fn cleanup_moved_bucket(&mut self, bucket: BucketId) -> Result<u64, ClusterError> {
+        let covered: Vec<BucketId> = self
+            .deferred_installed
+            .keys()
+            .filter(|b| bucket.covers(b))
+            .copied()
+            .collect();
+        for b in covered {
+            self.deferred_installed.remove(&b);
+        }
+        let covering: Vec<BucketId> = self
+            .deferred_installed
+            .keys()
+            .filter(|b| b.covers(&bucket))
+            .copied()
+            .collect();
+        let stashes: Vec<Vec<Component>> = covering
+            .iter()
+            .filter_map(|b| self.deferred_installed.remove(b))
+            .collect();
+        let warmed = self.materialize_deferred(stashes);
         self.primary
             .drop_bucket(bucket)
             .map_err(ClusterError::Storage)?;
@@ -220,7 +289,7 @@ impl PartitionDataset {
         for s in self.secondaries.iter_mut() {
             s.mark_bucket_moved(bucket);
         }
-        Ok(())
+        Ok(warmed)
     }
 
     // ---------------------------------------------- rebalance destination side
@@ -275,16 +344,33 @@ impl PartitionDataset {
     }
 
     /// Installs components shipped whole from a source partition into the
-    /// pending bucket. Only the secondary-index entries are rebuilt (from a
-    /// lazy reconciling merge over the shipped components); the primary data
-    /// — sorted runs and Bloom filters included — arrives ready to serve.
-    /// Returns the number of live records covered, for cost accounting.
+    /// pending bucket; the primary data — sorted runs and Bloom filters
+    /// included — arrives ready to serve. Secondary-index entries never
+    /// travel with a bucket; how they are derived depends on `rebuild`:
+    ///
+    /// * [`SecondaryRebuild::Eager`] runs a lazy reconciling merge over the
+    ///   shipped components and bulk-loads the extracted entries into the
+    ///   pending secondary lists right here, on the commit path.
+    /// * [`SecondaryRebuild::Deferred`] (the default) only stashes `Arc`
+    ///   clones of the shipped handles: the bucket is recorded as
+    ///   [`SecondaryState::Deferred`] and the extraction runs on the first
+    ///   `index_scan` touching the dataset (or `warm_indexes`).
+    ///
+    /// Returns the number of records covered (identical under both modes),
+    /// for cost accounting and the ship log. Producing that count is one
+    /// merge pass over the shipped components and stays on the install path
+    /// even under `Deferred` — it is metadata the ship log and wave report
+    /// need either way; what the deferral removes is the per-record
+    /// extractor work and index loading (and, in the cost model, the
+    /// `index_rebuild` CPU charge).
     pub fn install_shipped_components(
         &mut self,
         bucket: BucketId,
         comps: Vec<Component>,
+        rebuild: SecondaryRebuild,
     ) -> Result<u64, ClusterError> {
         let mut live_records = 0u64;
+        let eager = rebuild == SecondaryRebuild::Eager || self.defs.is_empty();
         let mut rebuilt: Vec<Vec<SecondaryEntry>> = self.defs.iter().map(|_| Vec::new()).collect();
         {
             let sources: Vec<RefSource<'_>> = comps
@@ -293,20 +379,90 @@ impl PartitionDataset {
                 .collect();
             for e in LazyMergeIter::new(sources, false) {
                 live_records += 1;
+                if eager {
+                    if let Some(v) = e.op.value() {
+                        collect_secondary_entries(&self.defs, &e.key, v, &mut rebuilt);
+                    }
+                }
+            }
+        }
+        if eager {
+            for (idx, rebuilt) in self.secondaries.iter_mut().zip(rebuilt) {
+                if !rebuilt.is_empty() {
+                    idx.load_into_pending(rebuilt);
+                }
+            }
+        } else {
+            // Cheap Arc clones: the stash pins the shipped base data so the
+            // deferred extraction reads exactly what an eager install would
+            // have read, whatever merges run on the primary in between.
+            self.deferred_pending.insert(bucket, comps.clone());
+        }
+        self.primary
+            .install_shipped(bucket, comps)
+            .map_err(ClusterError::Storage)?;
+        Ok(live_records)
+    }
+
+    /// Whether a received bucket's secondary entries are materialized.
+    pub fn secondary_state(&self, bucket: &BucketId) -> SecondaryState {
+        if self.deferred_pending.contains_key(bucket)
+            || self.deferred_installed.contains_key(bucket)
+        {
+            SecondaryState::Deferred
+        } else {
+            SecondaryState::Ready
+        }
+    }
+
+    /// True if any committed bucket still awaits its deferred secondary
+    /// rebuild.
+    pub fn has_deferred_secondary(&self) -> bool {
+        !self.deferred_installed.is_empty()
+    }
+
+    /// Materializes the secondary entries of every committed
+    /// [`SecondaryState::Deferred`] bucket: the stashed shipped components
+    /// are merge-iterated once and the extracted entries land as the oldest
+    /// data of each visible secondary index, so replicated writes installed
+    /// at commit time keep superseding them. Returns the number of records
+    /// processed (0 when nothing was deferred), which callers charge as the
+    /// off-commit-path rebuild cost.
+    pub fn warm_secondary_indexes(&mut self) -> u64 {
+        if self.deferred_installed.is_empty() {
+            return 0;
+        }
+        let stashes: Vec<Vec<Component>> = std::mem::take(&mut self.deferred_installed)
+            .into_values()
+            .collect();
+        self.materialize_deferred(stashes)
+    }
+
+    /// Merge-iterates the given stashes once and loads the extracted entries
+    /// as the oldest data of every visible secondary index. Returns the
+    /// number of records processed.
+    fn materialize_deferred(&mut self, stashes: Vec<Vec<Component>>) -> u64 {
+        if stashes.is_empty() {
+            return 0;
+        }
+        let mut records = 0u64;
+        let mut rebuilt: Vec<Vec<SecondaryEntry>> = self.defs.iter().map(|_| Vec::new()).collect();
+        for comps in &stashes {
+            let sources: Vec<RefSource<'_>> = comps
+                .iter()
+                .map(|c| Box::new(c.iter().map(|e| (&e.key, &e.op))) as RefSource<'_>)
+                .collect();
+            for e in LazyMergeIter::new(sources, false) {
+                records += 1;
                 if let Some(v) = e.op.value() {
                     collect_secondary_entries(&self.defs, &e.key, v, &mut rebuilt);
                 }
             }
         }
         for (idx, rebuilt) in self.secondaries.iter_mut().zip(rebuilt) {
-            if !rebuilt.is_empty() {
-                idx.load_into_pending(rebuilt);
-            }
+            idx.load_deferred_base(rebuilt);
         }
-        self.primary
-            .install_shipped(bucket, comps)
-            .map_err(ClusterError::Storage)?;
-        Ok(live_records)
+        records
     }
 
     /// Applies a replicated concurrent delete to the pending bucket: the
@@ -355,11 +511,16 @@ impl PartitionDataset {
     }
 
     /// Installs a received bucket (commit phase), making it visible, and adds
-    /// its keys to the primary-key index.
+    /// its keys to the primary-key index. A deferred secondary stash travels
+    /// with the bucket: it is promoted from pending to installed state and
+    /// the rebuild keeps waiting for the first index query.
     pub fn install_pending(&mut self, bucket: BucketId) -> Result<(), ClusterError> {
         self.primary
             .install_pending(bucket)
             .map_err(ClusterError::Storage)?;
+        if let Some(comps) = self.deferred_pending.remove(&bucket) {
+            self.deferred_installed.insert(bucket, comps);
+        }
         for s in self.secondaries.iter_mut() {
             s.install_pending();
         }
@@ -376,6 +537,7 @@ impl PartitionDataset {
     /// Discards all pending state for this dataset (abort path). Idempotent.
     pub fn drop_pending(&mut self, bucket: BucketId) {
         self.primary.drop_pending(bucket);
+        self.deferred_pending.remove(&bucket);
         for s in self.secondaries.iter_mut() {
             s.drop_pending();
         }
@@ -383,10 +545,11 @@ impl PartitionDataset {
 
     /// Discards every pending bucket and pending secondary list (crash
     /// recovery: the metadata registering an uncommitted transfer was never
-    /// forced, so orphan received components are dropped on restart and the
-    /// rebalance recovery path re-ships them).
+    /// forced, so orphan received components — deferred stashes included —
+    /// are dropped on restart and the rebalance recovery path re-ships them).
     pub fn drop_all_pending(&mut self) {
         self.primary.drop_all_pending();
+        self.deferred_pending.clear();
         for s in self.secondaries.iter_mut() {
             s.drop_pending();
         }
@@ -591,6 +754,164 @@ mod tests {
         assert!(stale
             .iter()
             .all(|se| !moved_bucket.contains_key(&se.primary)));
+    }
+
+    /// Ships bucket `moved` from `src` into `dst` under the given rebuild
+    /// mode and returns the number of records installed.
+    fn ship_into(
+        src: &mut Partition,
+        dst: &mut Partition,
+        moved: BucketId,
+        rebuild: SecondaryRebuild,
+    ) -> u64 {
+        let comps = src
+            .dataset_mut(1)
+            .unwrap()
+            .ship_bucket_components(moved)
+            .unwrap();
+        let dst_ds = dst.dataset_mut(1).unwrap();
+        dst_ds.ensure_pending_bucket(moved).unwrap();
+        dst_ds
+            .install_shipped_components(moved, comps, rebuild)
+            .unwrap()
+    }
+
+    #[test]
+    fn deferred_install_answers_index_scans_like_eager() {
+        let spec = spec_with_index();
+        let moved = BucketId::new(0, 1);
+        let mut results = Vec::new();
+        for rebuild in [SecondaryRebuild::Eager, SecondaryRebuild::Deferred] {
+            let mut src = Partition::new(PartitionId(0));
+            let mut dst = Partition::new(PartitionId(1));
+            src.create_dataset(1, &spec, all_buckets(1));
+            dst.create_dataset(1, &spec, vec![]);
+            for i in 0..400u64 {
+                src.dataset_mut(1)
+                    .unwrap()
+                    .ingest(Key::from_u64(i), payload(i % 7))
+                    .unwrap();
+            }
+            let records = ship_into(&mut src, &mut dst, moved, rebuild);
+            assert!(records > 0);
+            let dst_ds = dst.dataset_mut(1).unwrap();
+            // a replicated concurrent delete must supersede the deferred base
+            let victim = src
+                .dataset(1)
+                .unwrap()
+                .primary
+                .bucket_entries(&moved)
+                .unwrap()[0]
+                .key
+                .clone();
+            let old = src.dataset(1).unwrap().get(&victim);
+            dst_ds
+                .apply_replicated_delete(moved, victim.clone(), old.as_ref())
+                .unwrap();
+            dst_ds.flush_pending();
+            dst_ds.install_pending(moved).unwrap();
+            if rebuild == SecondaryRebuild::Deferred {
+                assert_eq!(dst_ds.secondary_state(&moved), SecondaryState::Deferred);
+                assert!(dst_ds.has_deferred_secondary());
+            } else {
+                assert_eq!(dst_ds.secondary_state(&moved), SecondaryState::Ready);
+            }
+            // warming is what an index scan does on first touch; afterwards
+            // the bucket is Ready and a second warm is free
+            let warmed = dst_ds.warm_secondary_indexes();
+            if rebuild == SecondaryRebuild::Deferred {
+                assert_eq!(warmed, records);
+            } else {
+                assert_eq!(warmed, 0);
+            }
+            assert_eq!(dst_ds.secondary_state(&moved), SecondaryState::Ready);
+            assert_eq!(dst_ds.warm_secondary_indexes(), 0);
+            let mut hits = dst_ds
+                .secondary_mut("idx_first8")
+                .unwrap()
+                .all_valid_entries();
+            hits.sort();
+            assert!(
+                hits.iter().all(|se| se.primary != victim),
+                "replicated delete must hide the victim's index entry"
+            );
+            results.push(hits);
+        }
+        assert_eq!(
+            results[0], results[1],
+            "deferred rebuild must answer index scans exactly like eager"
+        );
+    }
+
+    #[test]
+    fn dropping_pending_discards_the_deferred_stash() {
+        let spec = spec_with_index();
+        let moved = BucketId::new(0, 1);
+        let mut src = Partition::new(PartitionId(0));
+        let mut dst = Partition::new(PartitionId(1));
+        src.create_dataset(1, &spec, all_buckets(1));
+        dst.create_dataset(1, &spec, vec![]);
+        for i in 0..200u64 {
+            src.dataset_mut(1)
+                .unwrap()
+                .ingest(Key::from_u64(i), payload(i % 5))
+                .unwrap();
+        }
+        ship_into(&mut src, &mut dst, moved, SecondaryRebuild::Deferred);
+        let dst_ds = dst.dataset_mut(1).unwrap();
+        assert_eq!(dst_ds.secondary_state(&moved), SecondaryState::Deferred);
+        // crash/abort wipes the pending bucket AND its stash: nothing to warm
+        dst_ds.drop_all_pending();
+        assert_eq!(dst_ds.secondary_state(&moved), SecondaryState::Ready);
+        assert_eq!(dst_ds.warm_secondary_indexes(), 0);
+        assert!(dst_ds
+            .secondary_mut("idx_first8")
+            .unwrap()
+            .all_valid_entries()
+            .is_empty());
+    }
+
+    #[test]
+    fn cleanup_of_a_split_child_materializes_the_sibling_entries() {
+        // A bucket installed with a deferred stash splits locally; one child
+        // then moves away. The cleanup must materialize the stash before the
+        // lazy-cleanup mark so the remaining sibling's entries survive.
+        let spec = spec_with_index();
+        let moved = BucketId::new(0, 1);
+        let mut src = Partition::new(PartitionId(0));
+        let mut dst = Partition::new(PartitionId(1));
+        src.create_dataset(1, &spec, all_buckets(1));
+        dst.create_dataset(1, &spec, vec![]);
+        for i in 0..300u64 {
+            src.dataset_mut(1)
+                .unwrap()
+                .ingest(Key::from_u64(i), payload(i))
+                .unwrap();
+        }
+        ship_into(&mut src, &mut dst, moved, SecondaryRebuild::Deferred);
+        let dst_ds = dst.dataset_mut(1).unwrap();
+        dst_ds.install_pending(moved).unwrap();
+        let (lo, hi) = dst_ds.primary.split_bucket(moved).unwrap();
+        let keep = dst_ds.primary.bucket_entries(&lo).unwrap().len();
+        assert!(keep > 0);
+        // `hi` moves away before any index scan warmed the stash
+        dst_ds.cleanup_moved_bucket(hi).unwrap();
+        assert!(!dst_ds.has_deferred_secondary());
+        let hits = dst_ds
+            .secondary_mut("idx_first8")
+            .unwrap()
+            .all_valid_entries();
+        assert_eq!(hits.len(), keep, "sibling entries must survive");
+        assert!(hits.iter().all(|se| lo.contains_key(&se.primary)));
+        // ...and cleaning up a bucket that covers the whole stash drops it
+        let mut dst2 = Partition::new(PartitionId(2));
+        dst2.create_dataset(1, &spec, vec![]);
+        ship_into(&mut src, &mut dst2, moved, SecondaryRebuild::Deferred);
+        let ds2 = dst2.dataset_mut(1).unwrap();
+        ds2.install_pending(moved).unwrap();
+        ds2.cleanup_moved_bucket(moved).unwrap();
+        assert!(!ds2.has_deferred_secondary());
+        assert_eq!(ds2.warm_secondary_indexes(), 0);
     }
 
     #[test]

@@ -162,6 +162,11 @@ impl<'a> QueryExecutor<'a> {
     /// Searches a secondary index on every partition in parallel, returning
     /// the matching (secondary, primary) pairs. Obsolete entries of moved
     /// buckets are validated away (lazy cleanup) but still cost read time.
+    ///
+    /// Buckets installed with a deferred secondary rebuild are warmed first:
+    /// the first index scan after a rebalance pays the rebuild CPU the
+    /// commit path skipped (charged to the partition's node), and every scan
+    /// after that runs at full speed.
     pub fn index_scan(
         &mut self,
         dataset: DatasetId,
@@ -178,9 +183,19 @@ impl<'a> QueryExecutor<'a> {
                 continue;
             }
             let ds = part.dataset_mut(dataset)?;
+            // Validate the index name before paying for a warm: a typo'd
+            // query must not consume the one-shot deferred stashes.
+            if !ds.has_secondary_index(index) {
+                return Err(ClusterError::UnknownIndex(index.to_string()));
+            }
+            let warmed = ds.warm_secondary_indexes();
+            if warmed > 0 {
+                self.timeline
+                    .charge(node, cost_model.index_rebuild_cpu(warmed));
+            }
             let idx = ds
                 .secondary_mut(index)
-                .ok_or_else(|| ClusterError::UnknownIndex(index.to_string()))?;
+                .expect("index existence checked above");
             let skipped_before = idx.obsolete_entries_skipped();
             let hits = idx.search_range(lo, hi);
             let skipped = idx.obsolete_entries_skipped() - skipped_before;

@@ -13,7 +13,9 @@
 
 use std::collections::BTreeMap;
 
-use dynahash_core::{ClusterTopology, FailurePoint, MovePolicy, NodeId, RebalanceOutcome};
+use dynahash_core::{
+    ClusterTopology, FailurePoint, MovePolicy, NodeId, RebalanceOutcome, SecondaryRebuild,
+};
 use dynahash_lsm::entry::{Key, Value};
 use dynahash_lsm::wal::{LogRecordBody, RebalanceId, RebalanceLogStatus};
 
@@ -63,6 +65,13 @@ pub struct RebalanceOptions {
     /// kept as a correctness oracle and benchmark reference. Ignored by the
     /// Hashing scheme, which has no buckets to ship.
     pub move_policy: MovePolicy,
+    /// When destinations rebuild secondary-index entries for received
+    /// buckets under [`MovePolicy::Components`]. The default,
+    /// [`SecondaryRebuild::Deferred`], keeps the rebuild off the wave
+    /// makespan and runs it on the first index query instead;
+    /// [`SecondaryRebuild::Eager`] is the PR 3 behaviour, kept as the
+    /// makespan baseline.
+    pub secondary_rebuild: SecondaryRebuild,
 }
 
 impl std::fmt::Debug for RebalanceOptions {
@@ -73,6 +82,7 @@ impl std::fmt::Debug for RebalanceOptions {
             .field("max_concurrent_moves", &self.max_concurrent_moves.max(1))
             .field("hooks", &self.hooks.len())
             .field("move_policy", &self.move_policy)
+            .field("secondary_rebuild", &self.secondary_rebuild)
             .finish()
     }
 }
@@ -104,6 +114,12 @@ impl RebalanceOptions {
     /// Sets how buckets move (component shipping vs record re-materialisation).
     pub fn with_move_policy(mut self, policy: MovePolicy) -> Self {
         self.move_policy = policy;
+        self
+    }
+
+    /// Sets when destinations rebuild secondary entries for received buckets.
+    pub fn with_secondary_rebuild(mut self, rebuild: SecondaryRebuild) -> Self {
+        self.secondary_rebuild = rebuild;
         self
     }
 
@@ -206,9 +222,11 @@ impl Cluster {
             max_concurrent_moves,
             mut hooks,
             move_policy,
+            secondary_rebuild,
         } = options;
         let mut job = RebalanceJob::plan(self, dataset, target, max_concurrent_moves)?;
         job.set_move_policy(move_policy);
+        job.set_secondary_rebuild(secondary_rebuild);
         match self.drive_job(&mut job, concurrent_writes, failure, &mut hooks) {
             Ok(report) => Ok(report),
             Err(e) => {

@@ -418,7 +418,8 @@ impl Session {
     }
 
     /// Searches a secondary index on every cached partition, returning the
-    /// matching (secondary, primary) pairs.
+    /// matching (secondary, primary) pairs. Buckets whose secondary entries
+    /// were deferred at rebalance-install time are warmed on first touch.
     pub fn index_scan(
         &mut self,
         cluster: &mut Cluster,
@@ -435,9 +436,15 @@ impl Session {
                 continue;
             }
             let ds = part.dataset_mut(self.dataset)?;
+            // Validate the name first so a typo'd scan does not consume the
+            // one-shot deferred stashes.
+            if !ds.has_secondary_index(index) {
+                return Err(ClusterError::UnknownIndex(index.to_string()));
+            }
+            ds.warm_secondary_indexes();
             let idx = ds
                 .secondary_mut(index)
-                .ok_or_else(|| ClusterError::UnknownIndex(index.to_string()))?;
+                .expect("index existence checked above");
             out.push((p, idx.search_range(lo, hi)));
         }
         Ok(out)

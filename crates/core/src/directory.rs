@@ -17,11 +17,22 @@
 //! a partition rejects a stale-routed request, the client catches up either
 //! with a cheap [`DirectoryDelta`] ([`GlobalDirectory::delta_since`]) or — if
 //! the log no longer reaches back far enough — a full snapshot.
+//!
+//! Lookups are **O(1)**: alongside the assignment map the directory
+//! materializes the textbook extendible-hashing slot array — `2^D` entries
+//! indexed by the `D` low-order bits of a key's hash, each pointing at the
+//! bucket covering that slot. A bucket of depth `d` owns the `2^(D-d)` slots
+//! of its lattice (`bits + k·2^d`). The array is maintained incrementally:
+//! it doubles when a mutation raises the global depth, halves when the last
+//! deepest bucket disappears, and split/merge/reassign rewrite only the
+//! affected slot lattices — delta catch-up never rebuilds the whole table.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
 
 use dynahash_lsm::bucket::{hash_key, BucketId};
 use dynahash_lsm::entry::Key;
+use dynahash_lsm::slots::SlotArray;
 
 use crate::topology::PartitionId;
 use crate::{CoreError, Result};
@@ -61,9 +72,15 @@ impl DirectoryDelta {
 /// bucket-to-partition mapping are equal even if they reached it at
 /// different versions (integrity checks rebuild a fresh directory from the
 /// partitions' local views and compare it against the CC's copy).
-#[derive(Debug, Clone, Eq)]
+#[derive(Clone)]
 pub struct GlobalDirectory {
     assignment: BTreeMap<BucketId, PartitionId>,
+    /// The extendible-hashing slot array (shared implementation with the
+    /// partitions' `LocalDirectory`): `2^D` entries indexed by the low-order
+    /// `D` bits of a key's hash, `D` being the cached global depth. `None`
+    /// marks a hash range no bucket currently covers (transient mid-delta
+    /// state).
+    slots: SlotArray<(BucketId, PartitionId)>,
     /// Monotonic version, bumped by every mutation.
     version: u64,
     /// Bounded log of recent changes, each tagged with the version it
@@ -81,10 +98,23 @@ impl PartialEq for GlobalDirectory {
     }
 }
 
+impl Eq for GlobalDirectory {}
+
+impl fmt::Debug for GlobalDirectory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GlobalDirectory")
+            .field("assignment", &self.assignment)
+            .field("global_depth", &self.slots.depth())
+            .field("version", &self.version)
+            .finish()
+    }
+}
+
 impl Default for GlobalDirectory {
     fn default() -> Self {
         GlobalDirectory {
             assignment: BTreeMap::new(),
+            slots: SlotArray::new(),
             version: 1,
             log: VecDeque::new(),
             oldest_delta_base: 1,
@@ -99,9 +129,59 @@ impl GlobalDirectory {
     }
 
     fn with_assignment(assignment: BTreeMap<BucketId, PartitionId>) -> Self {
-        GlobalDirectory {
+        let mut dir = GlobalDirectory {
             assignment,
             ..Self::default()
+        };
+        dir.rebuild_slots();
+        dir
+    }
+
+    // ------------------------------------------------ slot-array maintenance
+
+    /// Rebuilds the slot array from the assignment. Only construction paths
+    /// use this; incremental mutations go through
+    /// [`GlobalDirectory::insert_bucket`] /
+    /// [`GlobalDirectory::remove_bucket`].
+    fn rebuild_slots(&mut self) {
+        let entries: Vec<(BucketId, (BucketId, PartitionId))> = self
+            .assignment
+            .iter()
+            .map(|(b, p)| (*b, (*b, *p)))
+            .collect();
+        self.slots.rebuild(&entries);
+    }
+
+    /// Assigns (or re-assigns) a bucket, keeping the slot array in sync.
+    /// Returns the previous owner.
+    fn insert_bucket(&mut self, bucket: BucketId, to: PartitionId) -> Option<PartitionId> {
+        let prev = self.assignment.insert(bucket, to);
+        if prev.is_none() {
+            self.slots.insert(bucket, (bucket, to));
+        } else {
+            self.slots.update(bucket, (bucket, to));
+        }
+        self.debug_validate_caches();
+        prev
+    }
+
+    /// Removes a bucket, clearing its slots and shrinking the array if it
+    /// was the last bucket at the global depth.
+    fn remove_bucket(&mut self, bucket: &BucketId) -> Option<PartitionId> {
+        let removed = self.assignment.remove(bucket)?;
+        self.slots.remove(*bucket, |(b, _)| b == bucket);
+        self.debug_validate_caches();
+        Some(removed)
+    }
+
+    /// Debug-build check that the cached depth (and thus `num_slots`) agrees
+    /// with a recomputation over the assignment keys.
+    #[inline]
+    fn debug_validate_caches(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let recomputed = self.assignment.keys().map(|b| b.depth).max().unwrap_or(0);
+            self.slots.debug_validate(recomputed);
         }
     }
 
@@ -143,14 +223,15 @@ impl GlobalDirectory {
         Ok(())
     }
 
-    /// The global depth `D`: the maximum bucket depth.
+    /// The global depth `D`: the maximum bucket depth. Cached by the slot
+    /// array and maintained incrementally (no key scan).
     pub fn global_depth(&self) -> u8 {
-        self.assignment.keys().map(|b| b.depth).max().unwrap_or(0)
+        self.slots.depth()
     }
 
     /// Number of directory slots, `2^D`.
     pub fn num_slots(&self) -> u64 {
-        1u64 << self.global_depth()
+        self.slots.num_slots() as u64
     }
 
     /// Number of distinct buckets.
@@ -158,12 +239,11 @@ impl GlobalDirectory {
         self.assignment.len()
     }
 
-    /// Looks up the bucket and partition for a hash value.
+    /// Looks up the bucket and partition for a hash value: one slot-array
+    /// probe on the hash's low-order `D` bits, independent of the number of
+    /// buckets.
     pub fn lookup_hash(&self, hash: u64) -> Option<(BucketId, PartitionId)> {
-        self.assignment
-            .iter()
-            .find(|(b, _)| b.contains_hash(hash))
-            .map(|(b, p)| (*b, *p))
+        self.slots.lookup(hash)
     }
 
     /// Looks up the bucket and partition for a key.
@@ -180,16 +260,20 @@ impl GlobalDirectory {
     }
 
     /// The partition a bucket is assigned to.
+    ///
+    /// Exact match first; otherwise the covering ancestor is resolved through
+    /// the slot array (the CC may still hold the unsplit parent of a locally
+    /// split bucket): any of the bucket's slots points either at that
+    /// ancestor or at an unrelated bucket, so one probe plus one `covers`
+    /// check replaces the old O(#buckets) ancestor scan.
     pub fn partition_of_bucket(&self, bucket: &BucketId) -> Option<PartitionId> {
-        // Exact match first; otherwise find an ancestor that covers it (the
-        // CC may still hold the unsplit parent of a locally split bucket).
         if let Some(p) = self.assignment.get(bucket) {
             return Some(*p);
         }
-        self.assignment
-            .iter()
-            .find(|(b, _)| b.covers(bucket))
-            .map(|(_, p)| *p)
+        match self.slots.probe_bits(bucket.bits) {
+            Some((owner, p)) if owner.covers(bucket) => Some(p),
+            _ => None,
+        }
     }
 
     /// All buckets assigned to a partition.
@@ -292,7 +376,7 @@ impl GlobalDirectory {
         if self.assignment.get(&bucket) == Some(&to) {
             return;
         }
-        self.assignment.insert(bucket, to);
+        self.insert_bucket(bucket, to);
         self.version += 1;
         self.push_change(bucket, Some(to));
     }
@@ -305,7 +389,7 @@ impl GlobalDirectory {
     /// looked like the same routing state, so cached clients had no way to
     /// notice (see the `removal_bumps_version_*` regression test).
     pub fn remove(&mut self, bucket: &BucketId) -> Option<PartitionId> {
-        let removed = self.assignment.remove(bucket);
+        let removed = self.remove_bucket(bucket);
         if removed.is_some() {
             self.version += 1;
             self.push_change(*bucket, None);
@@ -318,24 +402,36 @@ impl GlobalDirectory {
     /// Used by the rebalance commit (installing the planned directory) and by
     /// the initialization-phase refresh (absorbing local bucket splits).
     /// Leaves the version untouched when nothing changed.
+    ///
+    /// Only the differing buckets' slot lattices are rewritten: removals are
+    /// applied first (a split's parent vanishes before its children land, a
+    /// merge's children before the parent), so the slot array transitions
+    /// through disjoint intermediate states and never needs a full rebuild.
     pub fn install(&mut self, new: &GlobalDirectory) {
         let mut changes: Vec<(BucketId, Option<PartitionId>)> = Vec::new();
-        for (bucket, partition) in &new.assignment {
-            if self.assignment.get(bucket) != Some(partition) {
-                changes.push((*bucket, Some(*partition)));
-            }
-        }
         for bucket in self.assignment.keys() {
             if !new.assignment.contains_key(bucket) {
                 changes.push((*bucket, None));
             }
         }
+        for (bucket, partition) in &new.assignment {
+            if self.assignment.get(bucket) != Some(partition) {
+                changes.push((*bucket, Some(*partition)));
+            }
+        }
         if changes.is_empty() {
             return;
         }
-        self.assignment = new.assignment.clone();
         self.version += 1;
         for (bucket, to) in changes {
+            match to {
+                Some(p) => {
+                    self.insert_bucket(bucket, p);
+                }
+                None => {
+                    self.remove_bucket(&bucket);
+                }
+            }
             self.push_change(bucket, to);
         }
     }
@@ -377,6 +473,10 @@ impl GlobalDirectory {
     /// Applies a delta produced by [`GlobalDirectory::delta_since`] to this
     /// (cached) directory, bringing it to the delta's target version. Errors
     /// if the delta does not start at this directory's version.
+    ///
+    /// Like [`GlobalDirectory::install`], catch-up is incremental: removals
+    /// first, then assignments, each rewriting only its own slot lattice —
+    /// a stale cache never rebuilds its whole slot array.
     pub fn apply_delta(&mut self, delta: &DirectoryDelta) -> Result<()> {
         if delta.from_version != self.version {
             return Err(CoreError::InconsistentDirectory(format!(
@@ -385,13 +485,13 @@ impl GlobalDirectory {
             )));
         }
         for (bucket, to) in &delta.changes {
-            match to {
-                Some(p) => {
-                    self.assignment.insert(*bucket, *p);
-                }
-                None => {
-                    self.assignment.remove(bucket);
-                }
+            if to.is_none() {
+                self.remove_bucket(bucket);
+            }
+        }
+        for (bucket, to) in &delta.changes {
+            if let Some(p) = to {
+                self.insert_bucket(*bucket, *p);
             }
         }
         self.version = delta.to_version;

@@ -36,6 +36,7 @@ pub use dynahash_lsm::{hash_key, BucketId};
 pub use plan::{BucketMove, RebalancePlan};
 pub use protocol::{
     FailurePoint, MovePolicy, NodeVote, RebalanceCoordinator, RebalanceOutcome, RebalancePhase,
+    SecondaryRebuild,
 };
 pub use scheme::Scheme;
 pub use topology::{ClusterTopology, NodeId, PartitionId};

@@ -77,6 +77,39 @@ impl MovePolicy {
     }
 }
 
+/// When the destination of a component-level bucket move rebuilds its
+/// secondary-index entries for the received records.
+///
+/// Secondary indexes never travel with a moved bucket (they store all
+/// buckets together, Section IV); the destination derives their entries from
+/// the shipped primary data. Doing that on the commit path puts an
+/// O(records) CPU charge into every wave's makespan even though the workload
+/// may never query those indexes — the same pay-lazily argument the dynamic
+/// hybrid hash join work (Jahangiri et al., arXiv:2112.02480) makes for
+/// partition builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SecondaryRebuild {
+    /// Rebuild secondary entries while installing the shipped components
+    /// (the PR 3/PR 4 behaviour; kept as the makespan baseline).
+    Eager,
+    /// Record the received bucket as `SecondaryState::Deferred` and build
+    /// its secondary entries on the first `index_scan` touching the dataset
+    /// (or an explicit `warm_indexes` admin call). The default: the rebuild
+    /// cost moves off the wave-commit path.
+    #[default]
+    Deferred,
+}
+
+impl SecondaryRebuild {
+    /// Stable label used by reports and benchmarks.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SecondaryRebuild::Eager => "Eager",
+            SecondaryRebuild::Deferred => "Deferred",
+        }
+    }
+}
+
 /// The final outcome of a rebalance operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RebalanceOutcome {

@@ -5,19 +5,53 @@
 //! the Cluster Controller; the global directory is only refreshed when a
 //! rebalance starts. The local directory therefore is the source of truth
 //! for which buckets exist at a partition and which bucket a key belongs to.
+//!
+//! Like the CC's global directory, lookups go through a [`SlotArray`]
+//! indexed by the `D` low-order hash bits (`D` = the partition's local
+//! depth), so routing a write or validating a session route is one probe
+//! instead of a scan over the bucket set. A partition owns only part of the
+//! hash space, so slots outside its buckets are simply empty.
 
 use std::collections::BTreeSet;
+use std::fmt;
 
 use crate::bucket::{hash_key, BucketId};
 use crate::entry::Key;
+use crate::slots::SlotArray;
 
 /// The set of buckets owned by one partition.
 ///
 /// Invariant: no bucket in the directory covers another (buckets are
 /// disjoint regions of the hash space).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct LocalDirectory {
     buckets: BTreeSet<BucketId>,
+    /// Slot array over the low-order `local_depth` hash bits; `None` marks
+    /// hash ranges this partition does not own.
+    slots: SlotArray<BucketId>,
+}
+
+impl PartialEq for LocalDirectory {
+    fn eq(&self, other: &Self) -> bool {
+        self.buckets == other.buckets
+    }
+}
+
+impl Eq for LocalDirectory {}
+
+impl fmt::Debug for LocalDirectory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocalDirectory")
+            .field("buckets", &self.buckets)
+            .field("local_depth", &self.slots.depth())
+            .finish()
+    }
+}
+
+impl Default for LocalDirectory {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl LocalDirectory {
@@ -25,6 +59,7 @@ impl LocalDirectory {
     pub fn new() -> Self {
         LocalDirectory {
             buckets: BTreeSet::new(),
+            slots: SlotArray::new(),
         }
     }
 
@@ -41,21 +76,28 @@ impl LocalDirectory {
     }
 
     /// Adds a bucket, rejecting overlaps with existing buckets.
+    ///
+    /// The overlap check probes the new bucket's slot lattice instead of
+    /// scanning the bucket set: two buckets overlap exactly when one covers
+    /// the other, which surfaces as an occupied slot in the lattice.
     pub fn add(&mut self, bucket: BucketId) -> crate::Result<()> {
-        if self
-            .buckets
-            .iter()
-            .any(|b| b.covers(&bucket) || bucket.covers(b))
-        {
+        if self.slots.lattice_occupied(&bucket) {
             return Err(crate::StorageError::BucketExists(bucket));
         }
         self.buckets.insert(bucket);
+        self.slots.insert(bucket, bucket);
+        self.debug_validate_caches();
         Ok(())
     }
 
     /// Removes a bucket. Returns `true` if it was present.
     pub fn remove(&mut self, bucket: &BucketId) -> bool {
-        self.buckets.remove(bucket)
+        if !self.buckets.remove(bucket) {
+            return false;
+        }
+        self.slots.remove(*bucket, |b| b == bucket);
+        self.debug_validate_caches();
+        true
     }
 
     /// True if the exact bucket is present.
@@ -66,19 +108,19 @@ impl LocalDirectory {
     /// Replaces `bucket` with its two split children. Errors if the bucket is
     /// not present.
     pub fn split(&mut self, bucket: &BucketId) -> crate::Result<(BucketId, BucketId)> {
-        if !self.buckets.remove(bucket) {
+        if !self.remove(bucket) {
             return Err(crate::StorageError::UnknownBucket(*bucket));
         }
         let (lo, hi) = bucket.split();
-        self.buckets.insert(lo);
-        self.buckets.insert(hi);
+        self.add(lo).expect("split children cannot overlap");
+        self.add(hi).expect("split children cannot overlap");
         Ok((lo, hi))
     }
 
     /// The bucket (if any) owned by this partition that a hash value falls
-    /// into.
+    /// into: one slot probe.
     pub fn lookup_hash(&self, hash: u64) -> Option<BucketId> {
-        self.buckets.iter().copied().find(|b| b.contains_hash(hash))
+        self.slots.lookup(hash)
     }
 
     /// The bucket (if any) that a key falls into.
@@ -102,12 +144,13 @@ impl LocalDirectory {
     }
 
     /// The maximum depth among the buckets (the partition's local depth).
+    /// Cached by the slot array and maintained incrementally.
     pub fn local_depth(&self) -> u8 {
-        self.buckets.iter().map(|b| b.depth).max().unwrap_or(0)
+        self.slots.depth()
     }
 
-    /// Checks the no-overlap invariant (used by property tests and debug
-    /// assertions).
+    /// Checks the no-overlap invariant plus slot/bucket agreement (used by
+    /// property tests and debug assertions).
     pub fn is_consistent(&self) -> bool {
         let v: Vec<BucketId> = self.buckets.iter().copied().collect();
         for (i, a) in v.iter().enumerate() {
@@ -117,7 +160,24 @@ impl LocalDirectory {
                 }
             }
         }
-        true
+        if self.slots.num_slots() != 1usize << self.slots.depth() {
+            return false;
+        }
+        // Every slot must agree with the bucket set: an owned slot points at
+        // the unique bucket containing its hashes, an empty slot at nothing.
+        self.slots.slots().iter().enumerate().all(|(idx, slot)| {
+            let expect = v.iter().find(|b| b.contains_hash(idx as u64)).copied();
+            *slot == expect
+        })
+    }
+
+    #[inline]
+    fn debug_validate_caches(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let recomputed = self.buckets.iter().map(|b| b.depth).max().unwrap_or(0);
+            self.slots.debug_validate(recomputed);
+        }
     }
 }
 
@@ -173,6 +233,26 @@ mod tests {
     }
 
     #[test]
+    fn remove_shrinks_the_slot_array_and_depth_cache() {
+        let mut d = LocalDirectory::new();
+        d.add(BucketId::new(0, 1)).unwrap();
+        d.add(BucketId::new(0b01, 2)).unwrap();
+        d.add(BucketId::new(0b11, 2)).unwrap();
+        assert_eq!(d.local_depth(), 2);
+        assert!(d.remove(&BucketId::new(0b01, 2)));
+        assert_eq!(d.local_depth(), 2, "a depth-2 bucket remains");
+        assert!(d.remove(&BucketId::new(0b11, 2)));
+        assert_eq!(d.local_depth(), 1, "depth cache must shrink");
+        assert!(d.is_consistent());
+        assert!(
+            !d.remove(&BucketId::new(0b11, 2)),
+            "double remove is a no-op"
+        );
+        assert_eq!(d.lookup_hash(0b11), None);
+        assert_eq!(d.lookup_hash(0b10), Some(BucketId::new(0, 1)));
+    }
+
+    #[test]
     fn prop_splits_preserve_consistency_and_coverage() {
         // Start with the root bucket and repeatedly split the bucket
         // containing an arbitrary hash; the directory must stay
@@ -196,6 +276,46 @@ mod tests {
                     d.lookup_hash(h).is_some(),
                     "seed {seed}: hash {h:#x} uncovered"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn prop_slot_lookup_matches_linear_scan() {
+        // Random add/remove/split sequences over a partial hash space: the
+        // slot-array lookup must agree with a linear scan over the bucket
+        // set for every probed hash.
+        for case in 0..16u64 {
+            let seed = 0xd1c1_0000 + case;
+            let mut rng = SplitMix64::seed_from_u64(seed);
+            let mut d = LocalDirectory::new();
+            d.add(BucketId::new(0, 2)).unwrap();
+            d.add(BucketId::new(2, 2)).unwrap();
+            for _ in 0..rng.gen_range(5..60) {
+                let buckets: Vec<BucketId> = d.buckets().collect();
+                match rng.gen_range(0..3) {
+                    0 if !buckets.is_empty() => {
+                        let b = buckets[rng.gen_range(0..buckets.len() as u64) as usize];
+                        if b.depth < 12 {
+                            d.split(&b).unwrap();
+                        }
+                    }
+                    1 if buckets.len() > 1 => {
+                        let b = buckets[rng.gen_range(0..buckets.len() as u64) as usize];
+                        d.remove(&b);
+                    }
+                    _ => {
+                        let bits = rng.next_u64() as u32;
+                        let depth = rng.gen_range(1..8) as u8;
+                        let _ = d.add(BucketId::new(bits, depth));
+                    }
+                }
+                for _ in 0..16 {
+                    let h = rng.next_u64();
+                    let scan = d.buckets().find(|b| b.contains_hash(h));
+                    assert_eq!(d.lookup_hash(h), scan, "seed {seed}: hash {h:#x}");
+                }
+                assert!(d.is_consistent(), "seed {seed}");
             }
         }
     }

@@ -37,6 +37,7 @@ pub mod merge_policy;
 pub mod metrics;
 pub mod rng;
 pub mod secondary;
+pub mod slots;
 pub mod tree;
 pub mod wal;
 
@@ -53,6 +54,7 @@ pub use merge_policy::{MergePolicy, SizeTieredPolicy};
 pub use metrics::StorageMetrics;
 pub use rng::SplitMix64;
 pub use secondary::{SecondaryEntry, SecondaryIndex};
+pub use slots::SlotArray;
 pub use tree::{LsmConfig, LsmTree};
 pub use wal::{LogRecord, LogRecordBody, ShippedMove, TransactionLog};
 

@@ -215,6 +215,29 @@ impl SecondaryIndex {
         self.pending_tree().append_oldest_components(vec![comp]);
     }
 
+    /// Bulk-loads lazily rebuilt base entries of a received bucket as the
+    /// **oldest** data of the visible tree (deferred secondary rebuild: the
+    /// bucket was installed without its base entries, which are derived from
+    /// the shipped primary components on first query). Appending oldest
+    /// keeps replicated writes — installed at commit time, and therefore
+    /// already in the tree — newer than the base data they supersede,
+    /// exactly as the eager path orders its bulk-loaded pending component.
+    pub fn load_deferred_base(&mut self, entries: Vec<SecondaryEntry>) {
+        if entries.is_empty() {
+            return;
+        }
+        let raw: Vec<Entry> = entries
+            .into_iter()
+            .map(|se| Entry::put(se.encode(), crate::Bytes::new()))
+            .collect();
+        let comp = Component::from_unsorted(raw, ComponentSource::Loaded);
+        StorageMetrics::add(
+            &self.metrics.bytes_rebalance_loaded,
+            comp.size_bytes() as u64,
+        );
+        self.tree.append_oldest_components(vec![comp]);
+    }
+
     /// Applies a replicated concurrent write to the pending list.
     pub fn apply_replicated(&mut self, secondary: Key, primary: Key, op_is_delete: bool) {
         let composite = SecondaryEntry { secondary, primary }.encode();

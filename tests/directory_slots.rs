@@ -1,0 +1,454 @@
+//! PR 5 gates: the slot-array directory and the deferred secondary rebuild.
+//!
+//! Two seeded property harnesses (same style as `rebalance_invariants.rs`:
+//! the failing seed is printed on panic):
+//!
+//! * the slot-array `GlobalDirectory` lookups must agree with the old
+//!   O(#buckets) linear scan — kept here as a `#[cfg(test)]` oracle — over
+//!   arbitrary valid split/merge/reassign sequences, including delta
+//!   catch-up of a stale snapshot;
+//! * a rebalance whose destinations defer their secondary-index rebuild
+//!   must answer `index_scan` byte-identically to the eager baseline,
+//!   across mid-flight feeds and a destination crash between the ship and
+//!   the install.
+
+use std::collections::BTreeMap;
+
+use dynahash::cluster::{
+    Cluster, ClusterConfig, CostModel, DatasetSpec, RebalanceJob, RebalanceOptions,
+    SecondaryIndexDef,
+};
+use dynahash::core::{
+    BucketId, GlobalDirectory, NodeId, PartitionId, RebalanceOutcome, Scheme, SecondaryRebuild,
+};
+use dynahash::lsm::entry::{Key, Value};
+use dynahash::lsm::rng::SplitMix64;
+use dynahash::lsm::{Bytes, SecondaryEntry};
+
+// ===================================================== slot-array directory
+
+/// The pre-PR 5 lookup: a linear scan over the assignment. The slot array
+/// must never disagree with it on a valid (disjoint, covering) directory.
+fn scan_lookup(dir: &GlobalDirectory, hash: u64) -> Option<(BucketId, PartitionId)> {
+    dir.iter().find(|(b, _)| b.contains_hash(hash))
+}
+
+/// The pre-PR 5 `partition_of_bucket`: exact match, then an ancestor scan.
+fn scan_partition_of_bucket(dir: &GlobalDirectory, bucket: &BucketId) -> Option<PartitionId> {
+    dir.iter()
+        .find(|(b, _)| b == bucket)
+        .or_else(|| dir.iter().find(|(b, _)| b.covers(bucket)))
+        .map(|(_, p)| p)
+}
+
+fn check_against_oracle(dir: &GlobalDirectory, rng: &mut SplitMix64, seed: u64) {
+    for _ in 0..32 {
+        let h = rng.next_u64();
+        assert_eq!(
+            dir.lookup_hash(h),
+            scan_lookup(dir, h),
+            "seed {seed}: slot lookup diverged from the scan oracle on {h:#x}"
+        );
+    }
+    // partition_of_bucket: probe existing buckets, their children (the
+    // locally-split case), their parents, and random unrelated buckets.
+    let buckets: Vec<BucketId> = dir.iter().map(|(b, _)| b).collect();
+    for b in &buckets {
+        assert_eq!(
+            dir.partition_of_bucket(b),
+            scan_partition_of_bucket(dir, b),
+            "seed {seed}: exact bucket {b}"
+        );
+        if b.depth < 30 {
+            let (lo, hi) = b.split();
+            for child in [lo, hi] {
+                assert_eq!(
+                    dir.partition_of_bucket(&child),
+                    scan_partition_of_bucket(dir, &child),
+                    "seed {seed}: split child {child} of {b}"
+                );
+            }
+        }
+        if let Some(parent) = b.parent() {
+            assert_eq!(
+                dir.partition_of_bucket(&parent),
+                scan_partition_of_bucket(dir, &parent),
+                "seed {seed}: parent {parent} of {b}"
+            );
+        }
+    }
+    let probe = BucketId::new(rng.next_u64() as u32, (rng.gen_range(0..12)) as u8);
+    assert_eq!(
+        dir.partition_of_bucket(&probe),
+        scan_partition_of_bucket(dir, &probe),
+        "seed {seed}: random bucket {probe}"
+    );
+    // cached depth and slot count vs recomputation
+    let depth = dir.iter().map(|(b, _)| b.depth).max().unwrap_or(0);
+    assert_eq!(dir.global_depth(), depth, "seed {seed}: depth cache");
+    assert_eq!(dir.num_slots(), 1u64 << depth, "seed {seed}: slot count");
+    assert!(dir.covers_full_space(), "seed {seed}: coverage lost");
+}
+
+/// One random mutation keeping the directory valid (disjoint + covering):
+/// reassign an existing bucket, split one (remove parent, assign children),
+/// or merge a sibling pair back into its parent.
+fn mutate(dir: &mut GlobalDirectory, rng: &mut SplitMix64, nparts: u32) {
+    let buckets: Vec<BucketId> = dir.iter().map(|(b, _)| b).collect();
+    let pick = buckets[rng.gen_range(0..buckets.len() as u64) as usize];
+    match rng.gen_range(0..3) {
+        0 => {
+            dir.reassign(pick, PartitionId(rng.gen_range(0..nparts as u64) as u32));
+        }
+        1 if pick.depth < 10 => {
+            let to = dir.partition_of_bucket(&pick).unwrap();
+            let (lo, hi) = pick.split();
+            dir.remove(&pick);
+            dir.reassign(lo, to);
+            dir.reassign(hi, PartitionId(rng.gen_range(0..nparts as u64) as u32));
+        }
+        _ => {
+            let Some(parent) = pick.parent() else { return };
+            let (lo, hi) = parent.split();
+            let (Some(plo), Some(phi)) = (
+                dir.iter().find(|(b, _)| *b == lo).map(|(_, p)| p),
+                dir.iter().find(|(b, _)| *b == hi).map(|(_, p)| p),
+            ) else {
+                return;
+            };
+            let _ = phi;
+            dir.remove(&lo);
+            dir.remove(&hi);
+            dir.reassign(parent, plo);
+        }
+    }
+}
+
+#[test]
+fn prop_slot_lookups_match_the_linear_scan_oracle() {
+    for case in 0..12u64 {
+        let seed = 0x5107_0000 + case;
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let depth = rng.gen_range(0..5) as u8;
+        let nparts = rng.gen_range(1..8) as u32;
+        let parts: Vec<PartitionId> = (0..nparts).map(PartitionId).collect();
+        let mut dir = GlobalDirectory::initial(depth, &parts).unwrap();
+        let snapshot = dir.clone();
+        let ops = rng.gen_range(10..50);
+        for _ in 0..ops {
+            mutate(&mut dir, &mut rng, nparts);
+            check_against_oracle(&dir, &mut rng, seed);
+        }
+        // Delta catch-up: a snapshot taken before all mutations converges to
+        // the same assignment AND the same slot array behaviour.
+        let delta = dir
+            .delta_since(snapshot.version())
+            .expect("change log long enough for this harness");
+        let mut cached = snapshot;
+        cached.apply_delta(&delta).unwrap();
+        assert_eq!(cached, dir, "seed {seed}: delta catch-up diverged");
+        check_against_oracle(&cached, &mut rng, seed);
+    }
+}
+
+/// Regression for the `partition_of_bucket` ancestor fallback: a bucket that
+/// split *locally* (so the CC still holds the unsplit parent) must resolve
+/// to the parent's partition through the slot array — at any extra depth —
+/// while a bucket in an unassigned hash range resolves to nothing.
+#[test]
+fn locally_split_buckets_resolve_through_their_cc_owned_ancestor() {
+    let parts: Vec<PartitionId> = (0..3).map(PartitionId).collect();
+    let mut dir = GlobalDirectory::initial(2, &parts).unwrap();
+    let parent = BucketId::new(0b01, 2);
+    let owner = dir.partition_of_bucket(&parent).unwrap();
+    // grandchildren and deeper descendants of a CC-owned bucket
+    for extra in 1..=6u8 {
+        let child = BucketId::new(0b01, 2 + extra);
+        assert_eq!(
+            dir.partition_of_bucket(&child),
+            Some(owner),
+            "descendant at depth {} must resolve to the parent's partition",
+            2 + extra
+        );
+    }
+    // a descendant of a *different* bucket resolves to that bucket's owner
+    let other = BucketId::new(0b10, 2);
+    let other_owner = dir.partition_of_bucket(&other).unwrap();
+    assert_eq!(
+        dir.partition_of_bucket(&BucketId::new(0b1110, 4)),
+        Some(other_owner)
+    );
+    // remove a bucket: its descendants no longer resolve, siblings still do
+    dir.remove(&parent);
+    assert_eq!(dir.partition_of_bucket(&BucketId::new(0b01, 3)), None);
+    assert_eq!(dir.partition_of_bucket(&BucketId::new(0b101, 3)), None);
+    assert_eq!(dir.partition_of_bucket(&other), Some(other_owner));
+    // an ancestor of existing buckets is NOT resolved (children do not
+    // cover their parent) — same answer the old scan gave
+    assert_eq!(dir.partition_of_bucket(&BucketId::new(0, 1)), None);
+}
+
+// ================================================= deferred secondary rebuild
+
+fn payload(i: u64) -> Bytes {
+    let mut v = (i % 37).to_be_bytes().to_vec();
+    v.extend_from_slice(&[(i % 251) as u8; 48]);
+    Bytes::from(v)
+}
+
+fn record(i: u64) -> (Key, Value) {
+    (Key::from_u64(i), payload(i))
+}
+
+fn spec(scheme: Scheme) -> DatasetSpec {
+    DatasetSpec::new("events", scheme).with_secondary_index(SecondaryIndexDef::new(
+        "idx_tag",
+        |p: &[u8]| {
+            if p.len() >= 8 {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&p[..8]);
+                Some(Key::from_u64(u64::from_be_bytes(b)))
+            } else {
+                None
+            }
+        },
+    ))
+}
+
+fn cluster_with(nodes: u32, scheme: Scheme, n: u64) -> (Cluster, u32) {
+    let mut cluster = Cluster::with_config(
+        nodes,
+        ClusterConfig {
+            partitions_per_node: 2,
+            cost_model: CostModel::default(),
+        },
+    );
+    let ds = cluster.create_dataset(spec(scheme)).unwrap();
+    cluster
+        .session(ds)
+        .unwrap()
+        .ingest(&mut cluster, (0..n).map(record))
+        .unwrap();
+    (cluster, ds)
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Observation {
+    contents: BTreeMap<Key, Value>,
+    distribution: BTreeMap<PartitionId, usize>,
+    index_hits: Vec<(PartitionId, Vec<SecondaryEntry>)>,
+}
+
+fn observe(cluster: &mut Cluster, ds: u32) -> Observation {
+    let (contents, raw) = cluster.query().collect_records(ds).unwrap();
+    assert_eq!(raw, contents.len(), "a record is visible on two partitions");
+    let distribution = cluster.dataset_distribution(ds).unwrap();
+    let index_hits = cluster
+        .query()
+        .index_scan(ds, "idx_tag", None, None)
+        .unwrap();
+    Observation {
+        contents,
+        distribution,
+        index_hits,
+    }
+}
+
+/// One scenario: load, scale out or in, rebalance under `rebuild` with a
+/// mid-flight feed, and return what the cluster then looks like.
+fn run_scenario(
+    rebuild: SecondaryRebuild,
+    scheme: Scheme,
+    grow: bool,
+    n_records: u64,
+    n_writes: u64,
+    max_moves: usize,
+) -> Observation {
+    let (mut cluster, ds) = cluster_with(3, scheme, n_records);
+    let target = if grow {
+        cluster.add_node().unwrap();
+        cluster.topology().clone()
+    } else {
+        cluster.topology_without(NodeId(2))
+    };
+    let writes: Vec<(Key, Value)> = (500_000..500_000 + n_writes).map(record).collect();
+    let report = cluster
+        .rebalance(
+            ds,
+            &target,
+            RebalanceOptions::none()
+                .with_max_concurrent_moves(max_moves)
+                .with_secondary_rebuild(rebuild)
+                .with_concurrent_writes(writes),
+        )
+        .unwrap();
+    assert_eq!(report.outcome, RebalanceOutcome::Committed);
+    cluster
+        .check_rebalance_integrity(ds, report.rebalance_id)
+        .unwrap();
+    observe(&mut cluster, ds)
+}
+
+#[test]
+fn prop_deferred_and_eager_secondary_rebuilds_are_byte_identical() {
+    for case in 0..8u64 {
+        let seed = 0x5107_1000 + case;
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let scheme = match rng.gen_range(0..3) {
+            0 => Scheme::StaticHash { num_buckets: 16 },
+            1 => Scheme::StaticHash { num_buckets: 32 },
+            _ => Scheme::dynahash(16 * 1024, 8),
+        };
+        let grow = rng.gen_range(0..2) == 0;
+        let n_records = rng.gen_range(400..1000);
+        let n_writes = rng.gen_range(0..250);
+        let max_moves = rng.gen_range(1..5) as usize;
+        let result = std::panic::catch_unwind(|| {
+            let eager = run_scenario(
+                SecondaryRebuild::Eager,
+                scheme,
+                grow,
+                n_records,
+                n_writes,
+                max_moves,
+            );
+            let deferred = run_scenario(
+                SecondaryRebuild::Deferred,
+                scheme,
+                grow,
+                n_records,
+                n_writes,
+                max_moves,
+            );
+            assert_eq!(
+                eager.contents, deferred.contents,
+                "post-rebalance contents differ between rebuild modes"
+            );
+            assert_eq!(
+                eager.distribution, deferred.distribution,
+                "record placement differs between rebuild modes"
+            );
+            assert_eq!(
+                eager.index_hits, deferred.index_hits,
+                "secondary-index answers differ between rebuild modes"
+            );
+        });
+        if let Err(panic) = result {
+            let msg = panic
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| panic.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!(
+                "rebuild equivalence failed\n  seed: {seed}\n  scheme: {scheme:?} grow: {grow} \
+                 records: {n_records} writes: {n_writes} max_moves: {max_moves}\n  cause: {msg}"
+            );
+        }
+    }
+}
+
+/// The deferral is real: after a committed Components rebalance no index
+/// scan has run, so some destination still holds `SecondaryState::Deferred`
+/// buckets; an explicit `warm_indexes` materializes them all, and the wave
+/// makespan is strictly smaller than the eager baseline's.
+#[test]
+fn deferred_install_defers_and_warm_indexes_materializes() {
+    let run = |rebuild: SecondaryRebuild| {
+        let (mut cluster, ds) = cluster_with(3, Scheme::StaticHash { num_buckets: 32 }, 2500);
+        let target = cluster.topology_without(NodeId(2));
+        let report = cluster
+            .rebalance(
+                ds,
+                &target,
+                RebalanceOptions::none()
+                    .with_max_concurrent_moves(4)
+                    .with_secondary_rebuild(rebuild),
+            )
+            .unwrap();
+        assert_eq!(report.outcome, RebalanceOutcome::Committed);
+        (cluster, ds, report)
+    };
+
+    let (mut eager_cluster, eager_ds, eager_report) = run(SecondaryRebuild::Eager);
+    let (mut cluster, ds, report) = run(SecondaryRebuild::Deferred);
+    assert!(
+        report.phases.data_movement < eager_report.phases.data_movement,
+        "deferred rebuild must shrink the wave makespan: {:?} !< {:?}",
+        report.phases.data_movement,
+        eager_report.phases.data_movement
+    );
+
+    // the rebuild really was deferred...
+    let partitions = cluster.topology().partitions();
+    let deferred: usize = {
+        let admin = cluster.admin();
+        partitions
+            .iter()
+            .filter(|p| {
+                admin
+                    .partition(**p)
+                    .ok()
+                    .and_then(|part| part.dataset(ds).ok())
+                    .map(|d| d.has_deferred_secondary())
+                    .unwrap_or(false)
+            })
+            .count()
+    };
+    assert!(deferred > 0, "no partition holds deferred secondary state");
+
+    // ...until the admin warms it, after which a second warm is a no-op
+    let warmed = cluster.admin().warm_indexes(ds).unwrap();
+    assert!(warmed > 0, "warm_indexes must materialize deferred entries");
+    assert_eq!(cluster.admin().warm_indexes(ds).unwrap(), 0);
+
+    // and the answers match the eager cluster's, byte for byte
+    assert_eq!(
+        observe(&mut cluster, ds),
+        observe(&mut eager_cluster, eager_ds)
+    );
+}
+
+/// Crash/recovery: a destination crash between the ship and the install
+/// wipes the pending buckets *and* their deferred stashes; the commit
+/// re-ships from the metadata log and the deferred rebuild still answers
+/// index scans exactly like the eager baseline.
+#[test]
+fn deferred_rebuild_survives_a_destination_crash_between_ship_and_install() {
+    let run = |rebuild: SecondaryRebuild| {
+        let (mut cluster, ds) = cluster_with(3, Scheme::StaticHash { num_buckets: 32 }, 2400);
+        let new_node = cluster.add_node().unwrap();
+        let target = cluster.topology().clone();
+        let mut job = RebalanceJob::plan(&mut cluster, ds, &target, 2).unwrap();
+        job.set_secondary_rebuild(rebuild);
+        assert_eq!(job.secondary_rebuild(), rebuild);
+        job.init(&mut cluster).unwrap();
+        let mut next_key = 700_000u64;
+        let mut crashed = false;
+        while job.has_remaining_waves() {
+            let wave = job.run_wave(&mut cluster).unwrap();
+            if !crashed && wave.components > 0 {
+                crashed = true;
+                cluster.crash_node(new_node).unwrap();
+                cluster.recover_node(new_node).unwrap();
+            }
+            let batch: Vec<_> = (next_key..next_key + 40).map(record).collect();
+            job.apply_feed_batch(&mut cluster, batch).unwrap();
+            next_key += 40;
+        }
+        assert!(crashed, "scenario requires a post-ship crash");
+        job.prepare(&mut cluster).unwrap();
+        assert_eq!(
+            job.decide(&mut cluster).unwrap(),
+            RebalanceOutcome::Committed
+        );
+        job.commit(&mut cluster).unwrap();
+        let report = job.finalize(&mut cluster).unwrap();
+        cluster
+            .check_rebalance_integrity(ds, report.rebalance_id)
+            .unwrap();
+        observe(&mut cluster, ds)
+    };
+    let eager = run(SecondaryRebuild::Eager);
+    let deferred = run(SecondaryRebuild::Deferred);
+    assert_eq!(eager, deferred, "crash recovery broke rebuild equivalence");
+}
