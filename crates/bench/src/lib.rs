@@ -18,9 +18,6 @@
 //! Absolute numbers are simulated time produced by the cost model of
 //! `dynahash-cluster`; only the relative comparisons are meaningful.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod json;
 pub mod timing;
 
@@ -30,6 +27,8 @@ use dynahash_cluster::{
 use dynahash_core::{MovePolicy, NodeId, Scheme};
 use dynahash_tpch::loader::lineitem_records;
 use dynahash_tpch::{generator, load_tpch, query_traits, run_query, TpchScale, NUM_QUERIES};
+
+use crate::timing::ns_per_op;
 
 /// Scale and layout knobs shared by all experiments.
 #[derive(Debug, Clone, Copy)]
@@ -499,13 +498,6 @@ pub struct RoutingRow {
     pub overhead_ratio: f64,
 }
 
-/// Times one execution of `f` in nanoseconds per operation.
-fn ns_per_op(ops: u64, f: &mut impl FnMut()) -> f64 {
-    let start = std::time::Instant::now();
-    f();
-    start.elapsed().as_nanos() as f64 / ops.max(1) as f64
-}
-
 /// Interleaves `reps` (session, direct) measurement pairs — `run(false)` is
 /// the session arm, `run(true)` the direct arm — and returns the per-op
 /// minima of each arm plus the minimum paired ratio.
@@ -831,16 +823,16 @@ pub fn directory_lookup_study(bucket_counts: &[usize]) -> Vec<LookupRow> {
             let scan_hashes: Vec<u64> = (0..scan_lookups).map(|_| rng.next_u64()).collect();
             let (mut best_slot, mut best_scan) = (f64::INFINITY, f64::INFINITY);
             for _ in 0..REPS {
-                let start = std::time::Instant::now();
-                for &h in &slot_hashes {
-                    std::hint::black_box(dir.lookup_hash(h));
-                }
-                best_slot = best_slot.min(start.elapsed().as_nanos() as f64 / slot_lookups as f64);
-                let start = std::time::Instant::now();
-                for &h in &scan_hashes {
-                    std::hint::black_box(buckets.iter().find(|(b, _)| b.contains_hash(h)));
-                }
-                best_scan = best_scan.min(start.elapsed().as_nanos() as f64 / scan_lookups as f64);
+                best_slot = best_slot.min(timing::ns_per_op(slot_lookups as u64, &mut || {
+                    for &h in &slot_hashes {
+                        std::hint::black_box(dir.lookup_hash(h));
+                    }
+                }));
+                best_scan = best_scan.min(timing::ns_per_op(scan_lookups as u64, &mut || {
+                    for &h in &scan_hashes {
+                        std::hint::black_box(buckets.iter().find(|(b, _)| b.contains_hash(h)));
+                    }
+                }));
             }
             LookupRow {
                 buckets: 1usize << depth,

@@ -32,6 +32,18 @@ pub fn bench_case<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) -> f64 {
     mean
 }
 
+/// Times one execution of `f` and returns nanoseconds per operation,
+/// dividing the elapsed wall-clock time by `ops`.
+///
+/// All wall-clock reads in the workspace are confined to this module so the
+/// determinism lint can scope its `Instant`/`SystemTime` ban; measurement
+/// loops elsewhere must call through here.
+pub fn ns_per_op(ops: u64, f: &mut impl FnMut()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_nanos() as f64 / ops.max(1) as f64
+}
+
 /// Prints the standard header for a bench group.
 pub fn bench_group(title: &str) {
     println!("=== {title} ===");

@@ -433,6 +433,7 @@ impl Cluster {
         let new_topology = self
             .topology
             .with_added_node(self.config.partitions_per_node);
+        // dhlint: allow(panic) — with_added_node always appends exactly one node
         let new_node_id = *new_topology.nodes().last().expect("node added");
         let new_partitions = new_topology.partitions_of_node(new_node_id);
         let mut node = NodeController::new(new_node_id, new_partitions.clone());

@@ -254,7 +254,7 @@ impl RebalanceJob {
     /// rebalance start time for the concurrency-control split), and moves the
     /// coordinator into the data-movement phase.
     pub fn init(&mut self, cluster: &mut Cluster) -> Result<()> {
-        self.expect(matches!(self.state, JobState::Planned), "init")?;
+        self.require(matches!(self.state, JobState::Planned), "init")?;
         let cost = cluster.cost_model();
         cluster.set_splits_enabled(self.dataset, false)?;
 
@@ -508,7 +508,7 @@ impl RebalanceJob {
         cluster: &mut Cluster,
         records: impl IntoIterator<Item = (Key, Value)>,
     ) -> Result<u64> {
-        self.expect(
+        self.require(
             matches!(self.state, JobState::Moving { .. }),
             "apply_feed_batch",
         )?;
@@ -528,7 +528,7 @@ impl RebalanceJob {
     /// components holding replicated writes, and every alive participant
     /// votes "prepared". Requires all waves to have run.
     pub fn prepare(&mut self, cluster: &mut Cluster) -> Result<()> {
-        self.expect(
+        self.require(
             matches!(self.state, JobState::Moving { completed_waves } if completed_waves == self.waves.len()),
             "prepare",
         )?;
@@ -581,7 +581,7 @@ impl RebalanceJob {
     /// and any missing vote aborts (forcing the ABORT record and discarding
     /// all pending buckets).
     pub fn decide(&mut self, cluster: &mut Cluster) -> Result<RebalanceOutcome> {
-        self.expect(matches!(self.state, JobState::Prepared), "decide")?;
+        self.require(matches!(self.state, JobState::Prepared), "decide")?;
         if self.coordinator.unanimous_yes() {
             // The outcome is determined by forcing the COMMIT record.
             cluster
@@ -621,7 +621,7 @@ impl RebalanceJob {
     /// its received buckets and cleans up its moved buckets, and the CC
     /// installs the new directory and partition list.
     pub fn commit(&mut self, cluster: &mut Cluster) -> Result<()> {
-        self.expect(
+        self.require(
             matches!(self.state, JobState::Decided(RebalanceOutcome::Committed)),
             "commit",
         )?;
@@ -788,7 +788,7 @@ impl RebalanceJob {
 
     // ------------------------------------------------------------- internals
 
-    fn expect(&self, ok: bool, action: &'static str) -> Result<()> {
+    fn require(&self, ok: bool, action: &'static str) -> Result<()> {
         if ok {
             Ok(())
         } else {

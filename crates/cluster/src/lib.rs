@@ -24,9 +24,6 @@
 //! * fault injection and recovery for the six failure cases ([`recovery`]);
 //! * the hardware cost model and simulated-time accounting ([`sim`]).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod cluster;
 pub mod controller;
 pub mod dataset;

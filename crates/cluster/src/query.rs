@@ -195,7 +195,7 @@ impl<'a> QueryExecutor<'a> {
             }
             let idx = ds
                 .secondary_mut(index)
-                .expect("index existence checked above");
+                .ok_or_else(|| ClusterError::UnknownIndex(index.to_string()))?;
             let skipped_before = idx.obsolete_entries_skipped();
             let hits = idx.search_range(lo, hi);
             let skipped = idx.obsolete_entries_skipped() - skipped_before;

@@ -417,10 +417,7 @@ impl Cluster {
                 if dst_node != src_node {
                     *inbound_bytes.entry(dst_node).or_default() += record_bytes;
                 }
-                routed
-                    .get_mut(&dst)
-                    .expect("destination exists")
-                    .push((e.key, value));
+                routed.entry(dst).or_default().push((e.key, value));
             }
         }
         for (node, bytes) in &inbound_bytes {

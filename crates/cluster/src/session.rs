@@ -261,18 +261,18 @@ impl Session {
     /// full snapshot copy otherwise. Idempotent when already current.
     pub fn refresh(&mut self, cluster: &Cluster) -> Result<()> {
         let meta = cluster.controller.dataset(self.dataset)?;
-        let delta = match (&self.cache.directory, &meta.directory) {
-            (Some(cached), Some(server)) => server.delta_since(cached.version()),
+        // Pairing the mutable cached directory with the delta up front keeps
+        // the "delta implies a cached directory" invariant structural: the
+        // delta can only exist alongside the directory it applies to.
+        let delta = match (self.cache.directory.as_mut(), &meta.directory) {
+            (Some(cached), Some(server)) => {
+                server.delta_since(cached.version()).map(|d| (cached, d))
+            }
             _ => None,
         };
         match delta {
-            Some(delta) => {
-                self.cache
-                    .directory
-                    .as_mut()
-                    .expect("delta implies a cached directory")
-                    .apply_delta(&delta)
-                    .map_err(ClusterError::Core)?;
+            Some((cached, delta)) => {
+                cached.apply_delta(&delta).map_err(ClusterError::Core)?;
                 // The partition list and its version travel with every
                 // refresh reply.
                 self.cache.partitions = meta.partitions.clone();
@@ -444,7 +444,7 @@ impl Session {
             ds.warm_secondary_indexes();
             let idx = ds
                 .secondary_mut(index)
-                .expect("index existence checked above");
+                .ok_or_else(|| ClusterError::UnknownIndex(index.to_string()))?;
             out.push((p, idx.search_range(lo, hi)));
         }
         Ok(out)

@@ -43,72 +43,85 @@ pub struct BalanceInput {
     pub target: ClusterTopology,
 }
 
+/// Per-partition balancing state: the hosting node is resolved once at
+/// construction, so the hot add/remove/ordering paths cannot encounter an
+/// unknown partition and need no panic paths.
 #[derive(Debug)]
-struct Loads<'a> {
-    partition_load: BTreeMap<PartitionId, u64>,
-    node_load: BTreeMap<NodeId, u64>,
-    topology: &'a ClusterTopology,
+struct PartitionState {
+    node: NodeId,
+    load: u64,
 }
 
-impl<'a> Loads<'a> {
-    fn new(topology: &'a ClusterTopology) -> Self {
-        let mut partition_load = BTreeMap::new();
+#[derive(Debug)]
+struct Loads {
+    partitions: BTreeMap<PartitionId, PartitionState>,
+    node_load: BTreeMap<NodeId, u64>,
+}
+
+impl Loads {
+    /// Builds the load tracker, resolving every partition's node up front.
+    /// A partition the topology cannot place is a malformed input and is
+    /// reported as an error instead of a panic.
+    fn new(topology: &ClusterTopology) -> Result<Self> {
+        let mut partitions = BTreeMap::new();
         let mut node_load = BTreeMap::new();
         for p in topology.partitions() {
-            partition_load.insert(p, 0u64);
-            let n = topology.node_of(p).expect("partition has a node");
-            node_load.entry(n).or_insert(0u64);
+            let node = topology.node_of(p).ok_or(CoreError::UnknownPartition(p))?;
+            partitions.insert(p, PartitionState { node, load: 0 });
+            node_load.entry(node).or_insert(0u64);
         }
-        Loads {
-            partition_load,
+        Ok(Loads {
+            partitions,
             node_load,
-            topology,
-        }
+        })
     }
 
-    fn add(&mut self, partition: PartitionId, size: u64) {
-        *self
-            .partition_load
+    fn add(&mut self, partition: PartitionId, size: u64) -> Result<()> {
+        let state = self
+            .partitions
             .get_mut(&partition)
-            .expect("known partition") += size;
-        let node = self.topology.node_of(partition).expect("node");
-        *self.node_load.get_mut(&node).expect("known node") += size;
+            .ok_or(CoreError::UnknownPartition(partition))?;
+        state.load += size;
+        *self.node_load.entry(state.node).or_insert(0) += size;
+        Ok(())
     }
 
-    fn remove(&mut self, partition: PartitionId, size: u64) {
-        *self
-            .partition_load
+    fn remove(&mut self, partition: PartitionId, size: u64) -> Result<()> {
+        let state = self
+            .partitions
             .get_mut(&partition)
-            .expect("known partition") -= size;
-        let node = self.topology.node_of(partition).expect("node");
-        *self.node_load.get_mut(&node).expect("known node") -= size;
+            .ok_or(CoreError::UnknownPartition(partition))?;
+        state.load = state.load.saturating_sub(size);
+        let node = self.node_load.entry(state.node).or_insert(0);
+        *node = node.saturating_sub(size);
+        Ok(())
     }
 
     fn load(&self, partition: PartitionId) -> u64 {
-        self.partition_load[&partition]
+        self.partitions.get(&partition).map_or(0, |s| s.load)
     }
 
     /// Ordering key used by "more loaded than": partition load first, node
-    /// load second, partition id last (for determinism).
-    fn order_key(&self, partition: PartitionId) -> (u64, u64, u32) {
-        let node = self.topology.node_of(partition).expect("node");
-        (self.load(partition), self.node_load[&node], partition.0)
+    /// load second, partition id last (for determinism). Every node was
+    /// seeded into `node_load` at construction, so the fallback load of 0
+    /// is unreachable in practice and merely avoids a panic path.
+    fn order_key(&self, partition: PartitionId, state: &PartitionState) -> (u64, u64, u32) {
+        let node_load = self.node_load.get(&state.node).copied().unwrap_or(0);
+        (state.load, node_load, partition.0)
     }
 
-    fn most_loaded(&self) -> PartitionId {
-        *self
-            .partition_load
-            .keys()
-            .max_by_key(|p| self.order_key(**p))
-            .expect("non-empty topology")
+    fn most_loaded(&self) -> Option<PartitionId> {
+        self.partitions
+            .iter()
+            .max_by_key(|(p, s)| self.order_key(**p, s))
+            .map(|(p, _)| *p)
     }
 
-    fn least_loaded(&self) -> PartitionId {
-        *self
-            .partition_load
-            .keys()
-            .min_by_key(|p| self.order_key(**p))
-            .expect("non-empty topology")
+    fn least_loaded(&self) -> Option<PartitionId> {
+        self.partitions
+            .iter()
+            .min_by_key(|(p, s)| self.order_key(**p, s))
+            .map(|(p, _)| *p)
     }
 }
 
@@ -117,12 +130,7 @@ pub fn balance_assignment(input: &BalanceInput) -> Result<BTreeMap<BucketId, Par
     if input.target.is_empty() {
         return Err(CoreError::EmptyTopology);
     }
-    let valid = |p: &Option<PartitionId>| match p {
-        Some(p) => input.target.node_of(*p).is_some(),
-        None => false,
-    };
-
-    let mut loads = Loads::new(&input.target);
+    let mut loads = Loads::new(&input.target)?;
     let mut assignment: BTreeMap<BucketId, PartitionId> = BTreeMap::new();
     // Per-partition bucket lists, kept to find "the smallest bucket of the
     // most loaded partition".
@@ -131,15 +139,19 @@ pub fn balance_assignment(input: &BalanceInput) -> Result<BTreeMap<BucketId, Par
         per_partition.insert(p, Vec::new());
     }
 
+    // A bucket keeps its current partition only when that partition is
+    // still part of the target topology.
+    let current_valid = |b: &BucketLoad| b.current.filter(|p| input.target.node_of(*p).is_some());
+
     // Buckets that keep their current partition.
-    for b in input.buckets.iter().filter(|b| valid(&b.current)) {
-        let p = b.current.expect("validated");
+    for (b, p) in input
+        .buckets
+        .iter()
+        .filter_map(|b| current_valid(b).map(|p| (b, p)))
+    {
         assignment.insert(b.bucket, p);
-        loads.add(p, b.size);
-        per_partition
-            .get_mut(&p)
-            .expect("known")
-            .push((b.bucket, b.size));
+        loads.add(p, b.size)?;
+        per_partition.entry(p).or_default().push((b.bucket, b.size));
     }
 
     // Lines 2-3: assign displaced/new buckets to the least loaded partition,
@@ -147,28 +159,25 @@ pub fn balance_assignment(input: &BalanceInput) -> Result<BTreeMap<BucketId, Par
     let mut unassigned: Vec<&BucketLoad> = input
         .buckets
         .iter()
-        .filter(|b| !valid(&b.current))
+        .filter(|b| current_valid(b).is_none())
         .collect();
     unassigned.sort_by(|a, b| b.size.cmp(&a.size).then(a.bucket.cmp(&b.bucket)));
     for b in unassigned {
-        let p = loads.least_loaded();
+        let p = loads.least_loaded().ok_or(CoreError::EmptyTopology)?;
         assignment.insert(b.bucket, p);
-        loads.add(p, b.size);
-        per_partition
-            .get_mut(&p)
-            .expect("known")
-            .push((b.bucket, b.size));
+        loads.add(p, b.size)?;
+        per_partition.entry(p).or_default().push((b.bucket, b.size));
     }
 
     // Lines 4-11: iteratively move the smallest bucket from the most loaded
     // partition to the least loaded one while it narrows the gap.
-    loop {
-        let pmax = loads.most_loaded();
-        let pmin = loads.least_loaded();
+    while let (Some(pmax), Some(pmin)) = (loads.most_loaded(), loads.least_loaded()) {
         if pmax == pmin {
             break;
         }
-        let Some(&(bucket, size)) = per_partition[&pmax].iter().min_by_key(|(b, s)| (*s, *b))
+        let Some(&(bucket, size)) = per_partition
+            .get(&pmax)
+            .and_then(|list| list.iter().min_by_key(|(b, s)| (*s, *b)))
         else {
             break;
         };
@@ -179,18 +188,12 @@ pub fn balance_assignment(input: &BalanceInput) -> Result<BTreeMap<BucketId, Par
         let old_diff = max_load - min_load;
         if new_diff < old_diff {
             // perform the move
-            loads.remove(pmax, size);
-            loads.add(pmin, size);
-            let list = per_partition.get_mut(&pmax).expect("known");
-            let idx = list
-                .iter()
-                .position(|(b, _)| *b == bucket)
-                .expect("present");
-            list.swap_remove(idx);
-            per_partition
-                .get_mut(&pmin)
-                .expect("known")
-                .push((bucket, size));
+            loads.remove(pmax, size)?;
+            loads.add(pmin, size)?;
+            if let Some(list) = per_partition.get_mut(&pmax) {
+                list.retain(|(b, _)| *b != bucket);
+            }
+            per_partition.entry(pmin).or_default().push((bucket, size));
             assignment.insert(bucket, pmin);
         } else {
             break;

@@ -20,9 +20,6 @@
 //! `dynahash-cluster`; everything here is deterministic, pure logic that can
 //! be unit- and property-tested in isolation.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod balance;
 pub mod directory;
 pub mod plan;

@@ -14,7 +14,7 @@ use dynahash_lsm::BucketId;
 use crate::balance::{balance_assignment, BalanceInput, BucketLoad};
 use crate::directory::GlobalDirectory;
 use crate::topology::{ClusterTopology, NodeId, PartitionId};
-use crate::Result;
+use crate::{CoreError, Result};
 
 /// One bucket move from a source partition to a destination partition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,7 +93,7 @@ impl RebalancePlan {
         for (bucket, to) in &assignment {
             let from = old_directory
                 .partition_of_bucket(bucket)
-                .expect("bucket came from the old directory");
+                .ok_or(CoreError::UnassignedBucket(*bucket))?;
             if from != *to {
                 moves.push(BucketMove {
                     bucket: *bucket,

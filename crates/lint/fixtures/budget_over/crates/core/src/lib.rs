@@ -1,0 +1,7 @@
+pub fn f(v: Option<u32>, w: Option<u32>) -> u32 {
+    // dhlint: allow(panic) — fixture invariant one
+    let a = v.unwrap();
+    // dhlint: allow(panic) — fixture invariant two
+    let b = w.unwrap();
+    a + b
+}

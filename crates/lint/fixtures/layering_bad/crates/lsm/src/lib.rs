@@ -1,0 +1,5 @@
+use dynahash_core::topology::NodeId;
+
+pub fn f() -> NodeId {
+    NodeId(0)
+}

@@ -1,0 +1,5 @@
+use std::sync::Mutex;
+
+pub struct S {
+    inner: Mutex<u32>,
+}

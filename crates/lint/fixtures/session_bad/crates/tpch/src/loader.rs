@@ -1,0 +1,4 @@
+pub fn load(cluster: &mut Cluster, p: PartitionId) {
+    let part = cluster.partition(p);
+    part.touch();
+}

@@ -79,6 +79,7 @@ impl BucketedLsmTree {
         let mut directory = LocalDirectory::new();
         let mut buckets = BTreeMap::new();
         for b in initial_buckets {
+            // dhlint: allow(panic) — constructor contract: initial buckets are disjoint
             directory.add(b).expect("initial buckets must not overlap");
             buckets.insert(b, LsmTree::new(config.lsm.clone(), Arc::clone(&metrics)));
         }
@@ -144,7 +145,7 @@ impl BucketedLsmTree {
             .ok_or_else(|| StorageError::UnknownBucket(BucketId::of_key(&entry.key, 0)))?;
         self.buckets
             .get_mut(&bucket)
-            .expect("directory and bucket map in sync")
+            .ok_or(StorageError::UnknownBucket(bucket))?
             .apply(entry);
         self.maybe_split(bucket)?;
         Ok(())
@@ -601,8 +602,15 @@ impl BucketedLsmTree {
         if !self.directory.contains(&lo) || !self.directory.contains(&hi) {
             return Err(StorageError::UnknownBucket(parent));
         }
-        let mut lo_tree = self.buckets.remove(&lo).expect("directory in sync");
-        let mut hi_tree = self.buckets.remove(&hi).expect("directory in sync");
+        let mut lo_tree = self
+            .buckets
+            .remove(&lo)
+            .ok_or(StorageError::UnknownBucket(lo))?;
+        let Some(mut hi_tree) = self.buckets.remove(&hi) else {
+            // Undo the lo removal so a malformed call leaves state intact.
+            self.buckets.insert(lo, lo_tree);
+            return Err(StorageError::UnknownBucket(hi));
+        };
         lo_tree.flush();
         hi_tree.flush();
         let mut merged = LsmTree::new(self.config.lsm.clone(), Arc::clone(&self.metrics));

@@ -70,6 +70,7 @@ impl LocalDirectory {
     pub fn with_buckets(buckets: impl IntoIterator<Item = BucketId>) -> Self {
         let mut dir = LocalDirectory::new();
         for b in buckets {
+            // dhlint: allow(panic) — documented constructor contract: input buckets are disjoint
             dir.add(b).expect("overlapping buckets in local directory");
         }
         dir
@@ -112,8 +113,11 @@ impl LocalDirectory {
             return Err(crate::StorageError::UnknownBucket(*bucket));
         }
         let (lo, hi) = bucket.split();
-        self.add(lo).expect("split children cannot overlap");
-        self.add(hi).expect("split children cannot overlap");
+        // The parent covered both children's hash ranges, so after its
+        // removal the children cannot overlap anything; propagate rather
+        // than panic if that invariant is ever broken.
+        self.add(lo)?;
+        self.add(hi)?;
         Ok((lo, hi))
     }
 

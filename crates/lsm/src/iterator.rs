@@ -97,13 +97,9 @@ impl Iterator for MergingIter {
             let winner = self.sources[top.source][top.pos].clone();
             self.advance(top.source, top.pos);
             // Drop all other occurrences of the same key (they are older).
-            while let Some(peek) = self.heap.peek() {
-                if peek.key == winner.key {
-                    let dup = self.heap.pop().expect("peeked");
-                    self.advance(dup.source, dup.pos);
-                } else {
-                    break;
-                }
+            while self.heap.peek().is_some_and(|peek| peek.key == winner.key) {
+                let Some(dup) = self.heap.pop() else { break };
+                self.advance(dup.source, dup.pos);
             }
             if winner.op.is_delete() && !self.include_tombstones {
                 continue;
@@ -209,17 +205,14 @@ impl Iterator for LazyMergeIter<'_> {
     fn next(&mut self) -> Option<Entry> {
         loop {
             let top = self.heap.pop()?;
+            // dhlint: allow(panic) — heap invariant: a popped entry always has a live head
             let (key, op) = self.heads[top.source].take().expect("head in heap");
             self.pull(top.source);
             // Drop all other occurrences of the same key (they are older).
-            while let Some(peek) = self.heap.peek() {
-                if peek.key == key {
-                    let dup = self.heap.pop().expect("peeked");
-                    self.heads[dup.source].take();
-                    self.pull(dup.source);
-                } else {
-                    break;
-                }
+            while self.heap.peek().is_some_and(|peek| peek.key == key) {
+                let Some(dup) = self.heap.pop() else { break };
+                self.heads[dup.source].take();
+                self.pull(dup.source);
             }
             if op.is_delete() && !self.include_tombstones {
                 continue;

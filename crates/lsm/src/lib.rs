@@ -21,9 +21,6 @@
 //! that the cost model of the `dynahash-cluster` crate can charge realistic
 //! I/O costs.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod bloom;
 pub mod bucket;
 pub mod bucketed;

@@ -192,13 +192,8 @@ impl SecondaryIndex {
     /// many buckets are being received (the paper's optimization to limit
     /// the number of components).
     fn pending_tree(&mut self) -> &mut LsmTree {
-        if self.pending.is_none() {
-            self.pending = Some(LsmTree::new(
-                self.lsm_config.clone(),
-                Arc::clone(&self.metrics),
-            ));
-        }
-        self.pending.as_mut().expect("just created")
+        self.pending
+            .get_or_insert_with(|| LsmTree::new(self.lsm_config.clone(), Arc::clone(&self.metrics)))
     }
 
     /// Bulk-loads received secondary entries into the invisible pending list.

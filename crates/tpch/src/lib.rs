@@ -15,9 +15,6 @@
 //!   query-execution API, preserving each query's access pattern (full scans,
 //!   index-only plans, primary-key-ordered scans, join structure).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod generator;
 pub mod loader;
 pub mod queries;

@@ -45,8 +45,6 @@
 //! cluster.check_dataset_consistency(ds).unwrap();
 //! ```
 
-#![forbid(unsafe_code)]
-
 pub use dynahash_cluster as cluster;
 pub use dynahash_core as core;
 pub use dynahash_lsm as lsm;

@@ -1,0 +1,16 @@
+//! The tree must pass its own static analysis: `dhlint --check .` at HEAD
+//! has zero unwaived findings, and every waiver is accounted for by the
+//! committed `LINT_BUDGET.toml`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_passes_dhlint() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = dynahash_lint::check_root(root).expect("workspace readable");
+    assert!(
+        report.is_clean(),
+        "dhlint found unwaived findings:\n{}",
+        report.render_text()
+    );
+}
