@@ -10,10 +10,10 @@
 //! experiments --json results.json # also emit machine-readable results
 //! ```
 //!
-//! Figures: 6, 7a, 7b, 7c, waves, move_policy, routing, lookup, 8, 9,
-//! ablations.
+//! Figures: 6, 7a, 7b, 7c, waves, move_policy, routing, lookup, scale, 8,
+//! 9, ablations.
 //!
-//! Three figures double as regression gates (the run exits 1 on violation):
+//! Four figures double as regression gates (the run exits 1 on violation):
 //!
 //! * `move_policy` — component shipping must be strictly faster than
 //!   record-level movement while leaving byte-identical contents (the
@@ -25,7 +25,10 @@
 //! * `lookup` — the slot-array directory must be strictly faster than the
 //!   old linear scan at ≥ 256 buckets, and deferring the destination-side
 //!   secondary rebuild must strictly shrink the rebalance wave makespan
-//!   while `index_scan` answers stay byte-identical to the eager baseline.
+//!   while `index_scan` answers stay byte-identical to the eager baseline;
+//! * `scale` — resident bytes per record must stay at or below the legacy
+//!   all-heap-key baseline, with every production 8-byte key stored inline
+//!   (deterministic accounting, no wall clock: violations fail immediately).
 
 use dynahash_bench::json::Json;
 use dynahash_bench::*;
@@ -57,7 +60,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--quick] [--json <path>] \
-                     [--figure 6|7a|7b|7c|waves|move_policy|routing|lookup|8|9|ablations]"
+                     [--figure 6|7a|7b|7c|waves|move_policy|routing|lookup|scale|8|9|ablations]"
                 );
                 std::process::exit(0);
             }
@@ -217,6 +220,27 @@ fn deferred_install_json(rows: &[DeferredInstallRow]) -> Json {
                         Json::str(format!("{:016x}", r.index_checksum)),
                     ),
                     ("integrity_violations", Json::Int(r.integrity_violations)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn scale_json(rows: &[ScaleRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("keys", Json::str(r.label)),
+                    ("records", Json::Int(r.records)),
+                    ("resident_bytes", Json::Int(r.resident_bytes)),
+                    ("legacy_bytes", Json::Int(r.legacy_bytes)),
+                    ("bytes_per_record", Json::Num(r.bytes_per_record)),
+                    (
+                        "legacy_bytes_per_record",
+                        Json::Num(r.legacy_bytes_per_record),
+                    ),
+                    ("inline_fraction", Json::Num(r.inline_fraction)),
                 ])
             })
             .collect(),
@@ -414,6 +438,29 @@ fn main() {
                 "(gate: slot-array lookups strictly faster than the scan at >= 256 buckets, \
                  deferred install strictly faster than eager on wave makespan, index answers \
                  byte-identical)"
+            );
+            println!();
+        } else {
+            for v in &violations {
+                eprintln!("GATE FAILED: {v}");
+            }
+            gate_failed = true;
+        }
+    }
+
+    if wants(&args.figure, "scale") {
+        println!("## Memory scale — inline-key Entry layout vs the legacy heap-key layout");
+        println!();
+        let rows = scale_study(&cfg);
+        println!("{}", format_scale(&rows));
+        figures.push_field("scale", scale_json(&rows));
+        // Pure byte accounting — deterministic, so violations fail
+        // immediately (no wall-clock re-measure loop).
+        let violations = scale_gate_violations(&rows);
+        if violations.is_empty() {
+            println!(
+                "(gate: resident bytes/record at or below the legacy baseline, \
+                 8-byte keys fully inline)"
             );
             println!();
         } else {

@@ -1,0 +1,189 @@
+//! Seeded soak driver: a long-running scenario fleet interleaving every
+//! cluster operation — Zipfian ingest, point/range/index queries, churn
+//! storms with concurrent per-dataset rebalances, crash/recovery — with
+//! invariants checked continuously between steps.
+//!
+//! Usage:
+//!
+//! ```text
+//! soak --quick                 # the CI profile: >= 1M records, 12 nodes,
+//!                              # Zipfian s = 1.1, >= 3 churn events
+//! soak --full                  # the nightly profile: 16 nodes, 4M records
+//! soak --seed 0xdead           # replay a failing run exactly
+//! soak --json soak.json        # machine-readable report
+//! ```
+//!
+//! Exits 0 on a clean run. On any invariant violation it prints the seed
+//! and the executed-op trace (replay by rerunning with `--seed`) and
+//! exits 1.
+
+use dynahash_bench::json::Json;
+use dynahash_bench::scenario::{run_soak, SoakConfig, SoakReport};
+
+struct Args {
+    quick: bool,
+    full: bool,
+    seed: u64,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        full: false,
+        seed: 0x50a6_2026,
+        json: None,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--full" => args.full = true,
+            "--seed" => {
+                let raw = iter.next().unwrap_or_default();
+                let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16)
+                } else {
+                    raw.parse()
+                };
+                match parsed {
+                    Ok(s) => args.seed = s,
+                    Err(_) => {
+                        eprintln!("--seed requires a u64 (decimal or 0x-hex)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--json" => {
+                args.json = iter.next();
+                if args.json.is_none() {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: soak [--quick | --full] [--seed <u64>] [--json <path>]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn report_json(cfg: &SoakConfig, report: &SoakReport) -> Json {
+    Json::obj([
+        (
+            "config",
+            Json::obj([
+                ("seed", Json::str(format!("{:#x}", cfg.seed))),
+                ("nodes", Json::Int(cfg.nodes as u64)),
+                ("datasets", Json::Int(cfg.datasets as u64)),
+                ("key_universe", Json::Int(cfg.key_universe)),
+                ("target_ingest", Json::Int(cfg.target_ingest)),
+                ("zipf_s", Json::Num(cfg.zipf_s)),
+                ("steps", Json::Int(cfg.steps as u64)),
+                ("churn_events", Json::Int(cfg.churn_events as u64)),
+            ]),
+        ),
+        ("passed", Json::Bool(report.passed())),
+        ("steps_run", Json::Int(report.steps_run as u64)),
+        ("records_ingested", Json::Int(report.records_ingested)),
+        ("live_records", Json::Int(report.live_records)),
+        ("queries_run", Json::Int(report.queries_run)),
+        ("deletes", Json::Int(report.deletes)),
+        ("churn_events", Json::Int(report.churn_events as u64)),
+        ("rebalances", Json::Int(report.rebalances as u64)),
+        ("crashes", Json::Int(report.crashes as u64)),
+        ("redirects", Json::Int(report.redirects)),
+        ("final_nodes", Json::Int(report.final_nodes as u64)),
+        (
+            "footprint",
+            Json::obj([
+                ("records", Json::Int(report.footprint.records)),
+                (
+                    "resident_bytes",
+                    Json::Int(report.footprint.resident_bytes()),
+                ),
+                (
+                    "legacy_resident_bytes",
+                    Json::Int(report.footprint.legacy_resident_bytes()),
+                ),
+                ("inline_keys", Json::Int(report.footprint.inline_keys)),
+            ]),
+        ),
+        (
+            "violations",
+            Json::Arr(report.violations.iter().map(Json::str).collect()),
+        ),
+    ])
+}
+
+fn main() {
+    let args = parse_args();
+    if args.quick && args.full {
+        eprintln!("--quick and --full are mutually exclusive");
+        std::process::exit(2);
+    }
+    let cfg = if args.full {
+        SoakConfig::full(args.seed)
+    } else {
+        // --quick is also the default profile
+        SoakConfig::quick(args.seed)
+    };
+
+    println!(
+        "soak: seed {:#x}, {} nodes, {} datasets, {} target records, \
+         Zipfian s={}, {} steps, {} churn events",
+        cfg.seed,
+        cfg.nodes,
+        cfg.datasets,
+        cfg.target_ingest,
+        cfg.zipf_s,
+        cfg.steps,
+        cfg.churn_events
+    );
+    let report = run_soak(&cfg);
+    println!(
+        "ran {} steps: {} records ingested ({} live), {} queries, {} deletes, \
+         {} churn events, {} rebalances, {} crashes, {} session redirects, \
+         {} nodes at the end",
+        report.steps_run,
+        report.records_ingested,
+        report.live_records,
+        report.queries_run,
+        report.deletes,
+        report.churn_events,
+        report.rebalances,
+        report.crashes,
+        report.redirects,
+        report.final_nodes
+    );
+    println!(
+        "footprint: {} records resident in {} bytes ({:.1} B/record; legacy \
+         layout would hold {} bytes), {} keys inline",
+        report.footprint.records,
+        report.footprint.resident_bytes(),
+        report.footprint.bytes_per_record(),
+        report.footprint.legacy_resident_bytes(),
+        report.footprint.inline_keys
+    );
+
+    if let Some(path) = &args.json {
+        let doc = report_json(&cfg, &report);
+        if let Err(e) = std::fs::write(path, doc.render() + "\n") {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("machine-readable report written to {path}");
+    }
+
+    if !report.passed() {
+        eprintln!("{}", report.failure_banner());
+        std::process::exit(1);
+    }
+    println!("soak passed: zero invariant violations");
+}

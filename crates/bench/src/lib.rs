@@ -19,6 +19,7 @@
 //! `dynahash-cluster`; only the relative comparisons are meaningful.
 
 pub mod json;
+pub mod scenario;
 pub mod timing;
 
 use dynahash_cluster::{
@@ -1460,6 +1461,144 @@ pub fn answer_mismatches(rows: &[QueryRow]) -> Vec<usize> {
     bad
 }
 
+// ------------------------------------------------------ scale study (PR 7)
+
+/// One row of the memory-scale study: resident bytes per record of the
+/// inline-key `Entry` layout vs the legacy layout that kept every key on
+/// the heap, measured with [`StorageFootprint`] accounting on a loaded
+/// cluster (deterministic — no wall clock involved).
+///
+/// [`StorageFootprint`]: dynahash_lsm::entry::StorageFootprint
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Key shape of this row.
+    pub label: &'static str,
+    /// Live records measured.
+    pub records: u64,
+    /// Resident bytes of the current layout (struct + key heap + values).
+    pub resident_bytes: u64,
+    /// Resident bytes the legacy layout (every key heap-allocated) would
+    /// hold for the same data.
+    pub legacy_bytes: u64,
+    /// `resident_bytes / records`.
+    pub bytes_per_record: f64,
+    /// `legacy_bytes / records` — the pre-PR baseline the gate compares
+    /// against.
+    pub legacy_bytes_per_record: f64,
+    /// Fraction of keys stored inline (no heap allocation).
+    pub inline_fraction: f64,
+}
+
+/// Loads one DynaHash dataset per key shape — 8-byte production-style keys
+/// (inline) and 40-byte keys (heap spill) — through sessions, then reads
+/// the cluster-wide [`Admin::storage_stats`] footprint for each.
+///
+/// [`Admin::storage_stats`]: dynahash_cluster::Admin::storage_stats
+pub fn scale_study(cfg: &ExperimentConfig) -> Vec<ScaleRow> {
+    use dynahash_cluster::DatasetSpec;
+    use dynahash_lsm::entry::Key;
+    use dynahash_lsm::Bytes;
+
+    let records = (cfg.orders_per_node as u64) * 50;
+    let nodes = 4;
+    let mut cluster = cfg.cluster(nodes);
+    let value = |i: u64| Bytes::from(vec![(i % 249) as u8; 24]);
+    type KeyShape = (&'static str, fn(u64) -> Key);
+    let shapes: [KeyShape; 2] = [
+        ("short keys (8 B, inline)", Key::from_u64),
+        ("long keys (40 B, heap)", |i| {
+            let mut k = i.to_be_bytes().to_vec();
+            k.resize(40, 0xab);
+            Key::from_bytes(k)
+        }),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, make_key) in shapes {
+        let ds = cluster
+            .create_dataset(DatasetSpec::new(
+                format!("scale_{}", rows.len()),
+                cfg.dynahash_scheme(nodes),
+            ))
+            .expect("create scale dataset");
+        cluster
+            .session(ds)
+            .expect("scale session")
+            .ingest(&mut cluster, (0..records).map(|i| (make_key(i), value(i))))
+            .expect("scale ingest");
+        let fp = cluster.admin().storage_stats(ds).expect("storage stats");
+        rows.push(ScaleRow {
+            label,
+            records: fp.records,
+            resident_bytes: fp.resident_bytes(),
+            legacy_bytes: fp.legacy_resident_bytes(),
+            bytes_per_record: fp.resident_bytes() as f64 / fp.records.max(1) as f64,
+            legacy_bytes_per_record: fp.legacy_resident_bytes() as f64 / fp.records.max(1) as f64,
+            inline_fraction: fp.inline_keys as f64 / fp.records.max(1) as f64,
+        });
+    }
+    rows
+}
+
+/// Renders scale rows as a markdown table.
+pub fn format_scale(rows: &[ScaleRow]) -> String {
+    let mut s = String::from(
+        "| keys | records | bytes/record | legacy bytes/record | inline keys |\n|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "| {} | {} | {:.1} | {:.1} | {:.0}% |\n",
+            r.label,
+            r.records,
+            r.bytes_per_record,
+            r.legacy_bytes_per_record,
+            r.inline_fraction * 100.0
+        ));
+    }
+    s
+}
+
+/// Checks the PR 7 `scale` figure's gate. Returns the violations (empty =
+/// gate passes). The accounting is deterministic, so the gate is exact: no
+/// row may exceed the legacy (pre-PR) bytes-per-record baseline, and the
+/// production 8-byte key shape must store every key inline and beat the
+/// baseline strictly.
+pub fn scale_gate_violations(rows: &[ScaleRow]) -> Vec<String> {
+    let mut bad = Vec::new();
+    if rows.is_empty() {
+        bad.push("scale rows missing".to_string());
+    }
+    for r in rows {
+        if r.records == 0 {
+            bad.push(format!("{}: zero records measured", r.label));
+        }
+        if r.resident_bytes > r.legacy_bytes {
+            bad.push(format!(
+                "{}: resident {} bytes exceeds the legacy baseline {}",
+                r.label, r.resident_bytes, r.legacy_bytes
+            ));
+        }
+    }
+    if let Some(short) = rows.iter().find(|r| r.label.starts_with("short")) {
+        if short.inline_fraction < 1.0 {
+            bad.push(format!(
+                "short keys: only {:.1}% stored inline",
+                short.inline_fraction * 100.0
+            ));
+        }
+        if short.resident_bytes >= short.legacy_bytes {
+            bad.push(format!(
+                "short keys: resident {} bytes did not strictly beat the legacy \
+                 baseline {}",
+                short.resident_bytes, short.legacy_bytes
+            ));
+        }
+    } else {
+        bad.push("short-key scale row missing".to_string());
+    }
+    bad
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1621,5 +1760,16 @@ mod tests {
         for r in &rows {
             assert!(r.algorithm2 <= r.round_robin + 1e-9, "skew {}", r.skew);
         }
+    }
+
+    #[test]
+    fn scale_study_gate_passes_and_inline_keys_save_memory() {
+        let rows = scale_study(&tiny());
+        let violations = scale_gate_violations(&rows);
+        assert!(violations.is_empty(), "gate violations: {violations:?}");
+        let short = &rows[0];
+        // inline keys save exactly the key heap bytes: 8 per record
+        assert_eq!(short.legacy_bytes - short.resident_bytes, short.records * 8);
+        assert!(format_scale(&rows).contains("inline"));
     }
 }

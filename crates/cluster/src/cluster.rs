@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 use dynahash_core::{ClusterTopology, GlobalDirectory, NodeId, PartitionId, Scheme};
 use dynahash_lsm::bucket::BucketId;
-use dynahash_lsm::entry::{Key, Value};
+use dynahash_lsm::entry::{Key, StorageFootprint, Value};
 use dynahash_lsm::metrics::MetricsSnapshot;
 use dynahash_lsm::wal::{LogRecordBody, RebalanceId, RebalanceLogStatus};
 
@@ -706,6 +706,39 @@ impl Admin<'_> {
         records: impl IntoIterator<Item = (Key, Value)>,
     ) -> Result<IngestReport, ClusterError> {
         self.cluster.ingest(dataset, records)
+    }
+
+    /// Memory accounting over every resident primary-index entry of a
+    /// dataset across the cluster: records, logical bytes, and the
+    /// inline/heap key split. Shared disk runs (reference components from
+    /// splits) are deduplicated per partition, so the totals reflect actual
+    /// residency. The `scale` experiments figure derives bytes-per-record
+    /// from this.
+    pub fn storage_stats(&self, dataset: DatasetId) -> Result<StorageFootprint, ClusterError> {
+        let mut acc = StorageFootprint::default();
+        for p in self.cluster.topology().partitions() {
+            let part = self.cluster.partition(p)?;
+            if part.dataset_ids().contains(&dataset) {
+                acc.absorb(&part.dataset(dataset)?.primary.storage_footprint());
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Cheap structural directory probe for continuous soak invariants:
+    /// checks the CC's global directory covers the full hash space and its
+    /// O(1) slot array agrees with the bucket assignment
+    /// ([`GlobalDirectory::check_invariants`]). `O(2^D)` — no record scans —
+    /// so harnesses can call it between *every* step; the full
+    /// route-every-record [`Cluster::check_rebalance_integrity`] stays
+    /// reserved for rebalance boundaries.
+    pub fn check_directory_invariants(&self, dataset: DatasetId) -> Result<(), ClusterError> {
+        let meta = self.cluster.controller.dataset(dataset)?;
+        if let Some(dir) = &meta.directory {
+            dir.check_invariants()
+                .map_err(|e| ClusterError::Inconsistent(e.to_string()))?;
+        }
+        Ok(())
     }
 
     /// Materializes every deferred secondary rebuild of a dataset across the

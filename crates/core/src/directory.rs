@@ -509,6 +509,43 @@ impl GlobalDirectory {
     pub fn covers_full_space(&self) -> bool {
         !self.assignment.is_empty() && self.covered_slots() == self.num_slots()
     }
+
+    /// Cheap structural self-check: full hash-space coverage plus agreement
+    /// between the O(1) slot array and the assignment map — every slot must
+    /// resolve to a bucket that covers it and is assigned to the partition
+    /// the slot reports. `O(2^D + #buckets)`, no record scans, so soak
+    /// harnesses can run it *continuously between steps* (the full
+    /// route-every-record integrity check stays reserved for rebalance
+    /// boundaries).
+    pub fn check_invariants(&self) -> Result<()> {
+        if !self.covers_full_space() {
+            return Err(CoreError::InconsistentDirectory(format!(
+                "directory covers {}/{} slots",
+                self.covered_slots(),
+                self.num_slots()
+            )));
+        }
+        for slot in 0..self.num_slots() {
+            let Some((bucket, partition)) = self.lookup_hash(slot) else {
+                return Err(CoreError::InconsistentDirectory(format!(
+                    "slot {slot:#x} resolves to no bucket"
+                )));
+            };
+            let mask = (1u64 << bucket.depth) - 1;
+            if u64::from(bucket.bits) != slot & mask {
+                return Err(CoreError::InconsistentDirectory(format!(
+                    "slot {slot:#x} resolves to non-covering bucket {bucket}"
+                )));
+            }
+            if self.assignment.get(&bucket) != Some(&partition) {
+                return Err(CoreError::InconsistentDirectory(format!(
+                    "slot {slot:#x} maps {bucket} to {partition:?} but the \
+                     assignment disagrees"
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -769,6 +806,18 @@ mod tests {
         assert_eq!(dir.version(), v0 + 1);
         assert!(dir.covers_full_space());
         assert_eq!(dir.global_depth(), 3);
+    }
+
+    #[test]
+    fn check_invariants_accepts_healthy_and_rejects_gaps() {
+        let mut dir = GlobalDirectory::initial(3, &parts(3)).unwrap();
+        dir.check_invariants().unwrap();
+        // Splits and moves keep the invariants.
+        dir.remove(&BucketId::new(0b000, 3));
+        assert!(dir.check_invariants().is_err(), "uncovered slot accepted");
+        dir.reassign(BucketId::new(0b0000, 4), PartitionId(0));
+        dir.reassign(BucketId::new(0b1000, 4), PartitionId(2));
+        dir.check_invariants().unwrap();
     }
 
     #[test]

@@ -238,6 +238,25 @@ impl BucketedLsmTree {
         self.buckets.values_mut().map(|t| t.run_merges()).sum()
     }
 
+    /// Memory accounting over every resident entry: all memtables plus each
+    /// distinct underlying disk run. Reference components created by bucket
+    /// splits share their parent's allocation, so runs are deduplicated on
+    /// [`Component::data_token`] — the totals reflect what is actually held
+    /// in memory, not the sum over handles.
+    pub fn storage_footprint(&self) -> crate::entry::StorageFootprint {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut acc = crate::entry::StorageFootprint::default();
+        for tree in self.buckets.values() {
+            acc.absorb(&tree.memtable().footprint());
+            for c in tree.components() {
+                if seen.insert(c.data_token()) {
+                    acc.absorb(&c.raw_footprint());
+                }
+            }
+        }
+        acc
+    }
+
     /// Enables or disables dynamic bucket splits (splits are disabled for the
     /// duration of a rebalance, Section V-A).
     pub fn set_splits_enabled(&mut self, enabled: bool) {

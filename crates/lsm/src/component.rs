@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use crate::bloom::BloomFilter;
 use crate::bucket::BucketId;
-use crate::entry::{Entry, Key, Op};
+use crate::entry::{Entry, Key, Op, StorageFootprint};
 
 /// Monotonically increasing identifier for disk components.
 pub type ComponentId = u64;
@@ -373,6 +373,25 @@ impl Component {
         } else {
             self.data.size_bytes
         }
+    }
+
+    /// Stable identity of the underlying immutable run. Reference components
+    /// produced by splits and shipped clones share their parent's data, so
+    /// resident-memory accounting must dedupe handles on this token before
+    /// summing [`Component::raw_footprint`].
+    pub fn data_token(&self) -> usize {
+        Arc::as_ptr(&self.data) as usize
+    }
+
+    /// Memory accounting over *all* entries of the underlying run, ignoring
+    /// bucket filters — reference handles report the full shared allocation
+    /// (dedupe on [`Component::data_token`] when aggregating).
+    pub fn raw_footprint(&self) -> StorageFootprint {
+        let mut fp = StorageFootprint::default();
+        for e in &self.data.entries {
+            fp.add_entry(e);
+        }
+        fp
     }
 }
 

@@ -7,53 +7,97 @@
 use crate::bytes::Bytes;
 use std::fmt;
 
+/// How many key bytes fit inline in a [`Key`] without a heap allocation.
+///
+/// 22 bytes keeps `size_of::<Key>()` at 24 — the same as the `Vec<u8>` it
+/// replaced — while covering every key the system produces today (8-byte
+/// `u64` keys, 16-byte composite keys, and the secondary-index keys derived
+/// from them). Million-record soak runs allocate zero key heap.
+pub const KEY_INLINE_CAP: usize = 22;
+
+/// The two storage shapes of a [`Key`]: short keys live inline in the
+/// 24-byte struct, longer keys spill to an exact-sized heap allocation
+/// (`Box<[u8]>`, not `Vec`, so there is no spare capacity to account for).
+#[derive(Clone)]
+enum KeyRepr {
+    /// Up to [`KEY_INLINE_CAP`] bytes stored inline; `len` is the used prefix.
+    Inline { len: u8, buf: [u8; KEY_INLINE_CAP] },
+    /// Keys longer than the inline cap, heap-allocated exactly.
+    Heap(Box<[u8]>),
+}
+
 /// An order-preserving binary key.
 ///
 /// Primary keys in the TPC-H workload are integers or pairs of integers; the
 /// constructors [`Key::from_u64`] and [`Key::from_pair`] encode them
 /// big-endian so that byte-wise ordering equals numeric ordering.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct Key(pub Vec<u8>);
+///
+/// Keys of up to [`KEY_INLINE_CAP`] bytes are stored inline (no heap
+/// allocation); all comparison, hashing and ordering go through
+/// [`Key::as_slice`], so the representation is invisible to routing and the
+/// merge iterators.
+#[derive(Clone)]
+pub struct Key(KeyRepr);
 
 impl Key {
+    fn from_slice(bytes: &[u8]) -> Self {
+        if bytes.len() <= KEY_INLINE_CAP {
+            let mut buf = [0u8; KEY_INLINE_CAP];
+            buf[..bytes.len()].copy_from_slice(bytes);
+            Key(KeyRepr::Inline {
+                len: bytes.len() as u8,
+                buf,
+            })
+        } else {
+            Key(KeyRepr::Heap(bytes.into()))
+        }
+    }
+
     /// Builds a key from raw bytes.
     pub fn from_bytes(bytes: impl Into<Vec<u8>>) -> Self {
-        Key(bytes.into())
+        let v = bytes.into();
+        if v.len() <= KEY_INLINE_CAP {
+            Key::from_slice(&v)
+        } else {
+            Key(KeyRepr::Heap(v.into_boxed_slice()))
+        }
     }
 
     /// Encodes a single `u64` as an 8-byte big-endian key.
     pub fn from_u64(v: u64) -> Self {
-        Key(v.to_be_bytes().to_vec())
+        Key::from_slice(&v.to_be_bytes())
     }
 
     /// Encodes a pair of `u64`s (e.g. `(orderkey, linenumber)`) as a 16-byte
     /// big-endian composite key ordered lexicographically.
     pub fn from_pair(a: u64, b: u64) -> Self {
-        let mut v = Vec::with_capacity(16);
-        v.extend_from_slice(&a.to_be_bytes());
-        v.extend_from_slice(&b.to_be_bytes());
-        Key(v)
+        let mut buf = [0u8; 16];
+        buf[..8].copy_from_slice(&a.to_be_bytes());
+        buf[8..].copy_from_slice(&b.to_be_bytes());
+        Key::from_slice(&buf)
     }
 
     /// Decodes the first 8 bytes as a big-endian `u64`. Returns 0 for shorter keys.
     pub fn as_u64(&self) -> u64 {
-        if self.0.len() >= 8 {
+        let s = self.as_slice();
+        if s.len() >= 8 {
             let mut buf = [0u8; 8];
-            buf.copy_from_slice(&self.0[..8]);
+            buf.copy_from_slice(&s[..8]);
             u64::from_be_bytes(buf)
         } else {
             let mut buf = [0u8; 8];
-            buf[8 - self.0.len()..].copy_from_slice(&self.0);
+            buf[8 - s.len()..].copy_from_slice(s);
             u64::from_be_bytes(buf)
         }
     }
 
     /// Decodes the key as a pair of big-endian `u64`s.
     pub fn as_pair(&self) -> (u64, u64) {
+        let s = self.as_slice();
         let a = self.as_u64();
-        let b = if self.0.len() >= 16 {
+        let b = if s.len() >= 16 {
             let mut buf = [0u8; 8];
-            buf.copy_from_slice(&self.0[8..16]);
+            buf.copy_from_slice(&s[8..16]);
             u64::from_be_bytes(buf)
         } else {
             0
@@ -63,29 +107,90 @@ impl Key {
 
     /// Length of the encoded key in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            KeyRepr::Inline { len, .. } => *len as usize,
+            KeyRepr::Heap(b) => b.len(),
+        }
     }
 
     /// True if the key is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len() == 0
     }
 
     /// Raw byte view.
     pub fn as_slice(&self) -> &[u8] {
-        &self.0
+        match &self.0 {
+            KeyRepr::Inline { len, buf } => &buf[..*len as usize],
+            KeyRepr::Heap(b) => b,
+        }
+    }
+
+    /// True if the key is stored inline (no heap allocation).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.0, KeyRepr::Inline { .. })
+    }
+
+    /// Heap bytes owned by this key: 0 for inline keys, the key length for
+    /// spilled ones. The `scale` experiments figure sums this over every
+    /// resident entry to report true bytes-per-record.
+    pub fn heap_bytes(&self) -> usize {
+        match &self.0 {
+            KeyRepr::Inline { .. } => 0,
+            KeyRepr::Heap(b) => b.len(),
+        }
+    }
+
+    /// Copies the key out as an owned byte vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        match self.0 {
+            KeyRepr::Inline { len, buf } => buf[..len as usize].to_vec(),
+            KeyRepr::Heap(b) => b.into_vec(),
+        }
+    }
+}
+
+impl Default for Key {
+    fn default() -> Self {
+        Key::from_slice(&[])
+    }
+}
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl std::hash::Hash for Key {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
     }
 }
 
 impl fmt::Debug for Key {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.0.len() == 8 {
+        if self.len() == 8 {
             write!(f, "Key({})", self.as_u64())
-        } else if self.0.len() == 16 {
+        } else if self.len() == 16 {
             let (a, b) = self.as_pair();
             write!(f, "Key({a},{b})")
         } else {
-            write!(f, "Key({:?})", self.0)
+            write!(f, "Key({:?})", self.as_slice())
         }
     }
 }
@@ -165,8 +270,107 @@ impl Entry {
     }
 
     /// Approximate on-disk size of the entry in bytes.
+    ///
+    /// Every size, budget and cost-model charge in the system must use this
+    /// (or [`Entry::size_of_parts`]) — component totals, memtable budgets and
+    /// query-read metrics are cross-checked against each other in tests, so a
+    /// call site hand-rolling `key + value` silently under-charges by the op
+    /// tag.
     pub fn size_bytes(&self) -> usize {
-        self.key.len() + self.op.value_len() + 1
+        Entry::size_of_parts(&self.key, &self.op)
+    }
+
+    /// The size an entry with this key and op would occupy, without building
+    /// the entry. The single source of truth for the `key + value + op tag`
+    /// formula; use it wherever an `Entry` is not at hand (memtable
+    /// replacement accounting, query-read charging).
+    pub fn size_of_parts(key: &Key, op: &Op) -> usize {
+        key.len() + op.value_len() + OP_TAG_BYTES
+    }
+}
+
+/// Bytes charged for the put/delete discriminant of an [`Entry`]. Tombstones
+/// occupy `key.len() + OP_TAG_BYTES`, never zero — a bucket full of deletes
+/// still has weight for splitting, budgets and movement costs.
+pub const OP_TAG_BYTES: usize = 1;
+
+/// Aggregate memory accounting over a set of entries.
+///
+/// Components, memtables and trees fold their resident entries into one of
+/// these; the `scale` experiments figure turns the totals into true
+/// bytes-per-record and compares them against what the pre-inline `Vec<u8>`
+/// key layout would have held, gating the memory-lean pass that makes
+/// million-record soak runs fit CI.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageFootprint {
+    /// Entries counted (raw: includes tombstones and shadowed versions).
+    pub records: u64,
+    /// Sum of [`Entry::size_bytes`] — the logical/cost-model size.
+    pub logical_bytes: u64,
+    /// Total encoded key bytes (inline or heap).
+    pub key_bytes: u64,
+    /// Key bytes that actually live on the heap (spilled keys only).
+    pub key_heap_bytes: u64,
+    /// Total value payload bytes.
+    pub value_bytes: u64,
+    /// Keys stored inline in the 24-byte `Key` struct.
+    pub inline_keys: u64,
+}
+
+impl StorageFootprint {
+    /// Folds one key/op pair into the totals.
+    pub fn add_key_op(&mut self, key: &Key, op: &Op) {
+        self.records += 1;
+        self.logical_bytes += Entry::size_of_parts(key, op) as u64;
+        self.key_bytes += key.len() as u64;
+        self.key_heap_bytes += key.heap_bytes() as u64;
+        self.value_bytes += op.value_len() as u64;
+        if key.is_inline() {
+            self.inline_keys += 1;
+        }
+    }
+
+    /// Folds one entry into the totals.
+    pub fn add_entry(&mut self, entry: &Entry) {
+        self.add_key_op(&entry.key, &entry.op);
+    }
+
+    /// Merges another footprint into this one.
+    pub fn absorb(&mut self, other: &StorageFootprint) {
+        self.records += other.records;
+        self.logical_bytes += other.logical_bytes;
+        self.key_bytes += other.key_bytes;
+        self.key_heap_bytes += other.key_heap_bytes;
+        self.value_bytes += other.value_bytes;
+        self.inline_keys += other.inline_keys;
+    }
+
+    /// Bytes held by the `Entry` structs themselves (`records × size_of`).
+    pub fn entry_struct_bytes(&self) -> u64 {
+        self.records * std::mem::size_of::<Entry>() as u64
+    }
+
+    /// Resident bytes under the current layout: entry structs plus the heap
+    /// allocations hanging off them (spilled keys and value payloads).
+    pub fn resident_bytes(&self) -> u64 {
+        self.entry_struct_bytes() + self.key_heap_bytes + self.value_bytes
+    }
+
+    /// Resident bytes the pre-inline `Key(Vec<u8>)` layout would have held
+    /// for the same entries: every key byte on the heap, same struct size
+    /// (the inline `Key` is deliberately no larger than a `Vec`). The
+    /// deterministic baseline the `scale` gate compares against.
+    pub fn legacy_resident_bytes(&self) -> u64 {
+        self.entry_struct_bytes() + self.key_bytes + self.value_bytes
+    }
+
+    /// Resident bytes per record; 0.0 when empty.
+    pub fn bytes_per_record(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.resident_bytes() as f64 / self.records as f64
+        }
     }
 }
 
@@ -202,9 +406,58 @@ mod tests {
     #[test]
     fn entry_size_accounts_for_key_and_value() {
         let e = Entry::put(Key::from_u64(1), Bytes::from(vec![0u8; 100]));
-        assert_eq!(e.size_bytes(), 8 + 100 + 1);
+        assert_eq!(e.size_bytes(), 8 + 100 + OP_TAG_BYTES);
         let d = Entry::delete(Key::from_u64(1));
-        assert_eq!(d.size_bytes(), 9);
+        assert_eq!(d.size_bytes(), 8 + OP_TAG_BYTES);
+        assert_eq!(Entry::size_of_parts(&e.key, &e.op), e.size_bytes());
+        assert_eq!(Entry::size_of_parts(&d.key, &d.op), d.size_bytes());
+    }
+
+    #[test]
+    fn short_keys_are_inline_and_long_keys_spill() {
+        assert!(Key::from_u64(7).is_inline());
+        assert_eq!(Key::from_u64(7).heap_bytes(), 0);
+        assert!(Key::from_pair(1, 2).is_inline());
+        assert!(Key::from_bytes(vec![9u8; KEY_INLINE_CAP]).is_inline());
+        let long = Key::from_bytes(vec![9u8; KEY_INLINE_CAP + 1]);
+        assert!(!long.is_inline());
+        assert_eq!(long.heap_bytes(), KEY_INLINE_CAP + 1);
+        assert_eq!(long.len(), KEY_INLINE_CAP + 1);
+    }
+
+    #[test]
+    fn key_struct_is_no_larger_than_a_vec() {
+        assert!(std::mem::size_of::<Key>() <= std::mem::size_of::<Vec<u8>>());
+    }
+
+    #[test]
+    fn inline_and_heap_keys_compare_hash_and_order_identically() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // Same bytes through different constructors must be one key.
+        let a = Key::from_u64(0xDEAD_BEEF);
+        let b = Key::from_bytes(0xDEAD_BEEFu64.to_be_bytes().to_vec());
+        assert_eq!(a, b);
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+        // Ordering across the inline/heap boundary stays byte-lexicographic.
+        let short = Key::from_bytes(vec![5u8; KEY_INLINE_CAP]);
+        let long = Key::from_bytes(vec![5u8; KEY_INLINE_CAP + 4]);
+        assert!(short < long, "prefix orders before its extension");
+        let bigger = Key::from_bytes(vec![6u8; 4]);
+        assert!(long < bigger);
+    }
+
+    #[test]
+    fn key_roundtrips_through_into_vec() {
+        for bytes in [vec![], vec![1, 2, 3], vec![7u8; KEY_INLINE_CAP + 10]] {
+            let k = Key::from_bytes(bytes.clone());
+            assert_eq!(k.as_slice(), &bytes[..]);
+            assert_eq!(k.into_vec(), bytes);
+        }
     }
 
     #[test]

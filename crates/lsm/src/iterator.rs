@@ -398,6 +398,91 @@ mod tests {
         assert!(kmerge_disjoint(Vec::<std::vec::IntoIter<Entry>>::new()).is_empty());
     }
 
+    /// A merge whose every surviving entry is a tombstone — the shape of an
+    /// all-deleted bucket mid-rebalance. Live mode must produce nothing;
+    /// partial-merge mode must keep every tombstone exactly once.
+    #[test]
+    fn all_tombstone_sources_reconcile_to_nothing_live() {
+        let newer = vec![del(1), del(3)];
+        let older = vec![del(1), del(2), del(3)];
+        let live: Vec<Entry> =
+            LazyMergeIter::new(ref_sources(&[newer.clone(), older.clone()]), false).collect();
+        assert!(live.is_empty(), "all-tombstone merge leaked {live:?}");
+        let kept: Vec<Entry> = LazyMergeIter::new(ref_sources(&[newer, older]), true).collect();
+        assert_eq!(
+            values(&kept),
+            vec![
+                (1, "<del>".into()),
+                (2, "<del>".into()),
+                (3, "<del>".into())
+            ]
+        );
+    }
+
+    /// A single source must pass through unchanged in both modes (the
+    /// degenerate merge after a bucket compacts to one component).
+    #[test]
+    fn lazy_merge_single_source_passes_through() {
+        let only = vec![put(1, "a"), del(2), put(3, "c")];
+        let live: Vec<Entry> =
+            LazyMergeIter::new(ref_sources(std::slice::from_ref(&only)), false).collect();
+        assert_eq!(values(&live), vec![(1, "a".into()), (3, "c".into())]);
+        let kept: Vec<Entry> = LazyMergeIter::new(ref_sources(&[only]), true).collect();
+        assert_eq!(
+            values(&kept),
+            vec![(1, "a".into()), (2, "<del>".into()), (3, "c".into())]
+        );
+    }
+
+    /// The same key in *every* source at once: only the newest op survives
+    /// and each older head is consumed (no duplicate emission, no stall).
+    #[test]
+    fn lazy_merge_key_present_in_all_sources() {
+        let s0 = vec![put(5, "v0")];
+        let s1 = vec![del(5)];
+        let s2 = vec![put(5, "v2")];
+        let merged: Vec<Entry> = LazyMergeIter::new(ref_sources(&[s0, s1, s2]), true).collect();
+        assert_eq!(values(&merged), vec![(5, "v0".into())]);
+    }
+
+    #[test]
+    fn kmerge_disjoint_single_and_empty_runs() {
+        // Single run passes through verbatim (tombstones included — inputs
+        // are already reconciled).
+        let only = vec![put(1, "a"), del(2), put(3, "c")];
+        let merged = kmerge_disjoint(vec![only.clone().into_iter()]);
+        assert_eq!(values(&merged), values(&only));
+        // Empty runs interleaved with live ones contribute nothing.
+        let a = vec![put(4, "a")];
+        let merged = kmerge_disjoint(vec![
+            Vec::new().into_iter(),
+            a.into_iter(),
+            Vec::new().into_iter(),
+        ]);
+        assert_eq!(values(&merged), vec![(4, "a".into())]);
+        // All-empty input produces an empty output.
+        let empty: Vec<std::vec::IntoIter<Entry>> = vec![Vec::new().into_iter(); 3];
+        assert!(kmerge_disjoint(empty).is_empty());
+    }
+
+    /// All-tombstone disjoint runs: kmerge is reconciliation-free, so the
+    /// tombstones must come through sorted and complete (a merge of fully
+    /// deleted buckets still has to ship its tombstones).
+    #[test]
+    fn kmerge_disjoint_all_tombstone_runs() {
+        let a = vec![del(1), del(4)];
+        let b = vec![del(2)];
+        let merged = kmerge_disjoint(vec![a.into_iter(), b.into_iter()]);
+        assert_eq!(
+            values(&merged),
+            vec![
+                (1, "<del>".into()),
+                (2, "<del>".into()),
+                (4, "<del>".into())
+            ]
+        );
+    }
+
     #[test]
     fn reconcile_point_takes_first_hit() {
         let newer = Op::Delete;

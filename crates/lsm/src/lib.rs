@@ -44,12 +44,12 @@ pub use bucket::{hash_key, BucketId};
 pub use bucketed::{BucketedConfig, BucketedLsmTree, ScanOrder};
 pub use component::{Component, ComponentId, ComponentSource};
 pub use directory::LocalDirectory;
-pub use entry::{Entry, Key, Op, Value};
+pub use entry::{Entry, Key, Op, StorageFootprint, Value, KEY_INLINE_CAP, OP_TAG_BYTES};
 pub use iterator::{kmerge_disjoint, LazyMergeIter, RefSource};
 pub use memtable::MemTable;
 pub use merge_policy::{MergePolicy, SizeTieredPolicy};
 pub use metrics::StorageMetrics;
-pub use rng::SplitMix64;
+pub use rng::{scramble, SplitMix64, Zipfian};
 pub use secondary::{SecondaryEntry, SecondaryIndex};
 pub use slots::SlotArray;
 pub use tree::{LsmConfig, LsmTree};

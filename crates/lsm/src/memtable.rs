@@ -47,7 +47,7 @@ impl MemTable {
     pub fn apply(&mut self, entry: Entry) {
         let new_size = entry.size_bytes();
         if let Some(old) = self.map.insert(entry.key.clone(), entry.op) {
-            let old_size = entry.key.len() + old.value_len() + 1;
+            let old_size = Entry::size_of_parts(&entry.key, &old);
             self.size_bytes = self.size_bytes - old_size + new_size;
         } else {
             self.size_bytes += new_size;
@@ -67,6 +67,16 @@ impl MemTable {
     /// True if nothing is buffered.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Full memory accounting over the buffered entries (records, logical
+    /// bytes, inline/heap key split) for the `scale` experiments figure.
+    pub fn footprint(&self) -> crate::entry::StorageFootprint {
+        let mut fp = crate::entry::StorageFootprint::default();
+        for (k, op) in &self.map {
+            fp.add_key_op(k, op);
+        }
+        fp
     }
 
     /// Approximate memory footprint in bytes.

@@ -243,6 +243,89 @@ mod tests {
         assert!(!t.lattice_occupied(&BucketId::new(0b110, 3)));
     }
 
+    /// Halving cascades: removing the last deepest bucket must shrink the
+    /// table through *multiple* depths in one step when the remaining
+    /// buckets are much shallower.
+    #[test]
+    fn removal_cascades_halving_to_the_shallowest_survivor() {
+        let mut t: SlotArray<u32> = SlotArray::new();
+        t.insert(BucketId::new(0, 1), 1); // depth 1
+        t.insert(BucketId::new(0b01, 2), 2); // depth 2
+        t.insert(BucketId::new(0b011, 3), 3); // depth 3
+        t.insert(BucketId::new(0b111, 3), 4); // depth 3
+        assert_eq!(t.num_slots(), 8);
+        // Dropping one depth-3 bucket keeps the table at depth 3.
+        t.remove(BucketId::new(0b111, 3), |v| *v == 4);
+        assert_eq!(t.depth(), 3);
+        // Dropping the other cascades 8 -> 4 slots...
+        t.remove(BucketId::new(0b011, 3), |v| *v == 3);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.lookup(0b00), Some(1));
+        assert_eq!(t.lookup(0b01), Some(2));
+        // ...and dropping the depth-2 bucket cascades straight to depth 1.
+        t.remove(BucketId::new(0b01, 2), |v| *v == 2);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.num_slots(), 2);
+        assert_eq!(t.lookup(0), Some(1));
+        t.debug_validate(1);
+    }
+
+    /// Shrinking all the way back to the empty table: depth 0, one
+    /// uncovered slot — the state a directory passes through mid-delta.
+    #[test]
+    fn removing_every_bucket_returns_to_the_empty_table() {
+        let mut t: SlotArray<u32> = SlotArray::new();
+        t.insert(BucketId::new(0, 2), 1);
+        t.insert(BucketId::new(1, 2), 2);
+        t.insert(BucketId::new(2, 2), 3);
+        t.insert(BucketId::new(3, 2), 4);
+        for (bits, v) in [(0u32, 1u32), (1, 2), (2, 3), (3, 4)] {
+            t.remove(BucketId::new(bits, 2), |x| *x == v);
+        }
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.num_slots(), 1);
+        assert_eq!(t.lookup(0), None);
+        t.debug_validate(0);
+        // The empty table accepts fresh inserts (re-grows cleanly).
+        t.insert(BucketId::new(0, 1), 9);
+        t.insert(BucketId::new(1, 1), 10);
+        assert_eq!(t.lookup(2), Some(9));
+        assert_eq!(t.lookup(3), Some(10));
+    }
+
+    /// `maybe_shrink` must NOT halve while a deepest bucket survives, even
+    /// when a sibling removal leaves half the lattice empty — and repeated
+    /// grow/shrink cycles must keep lookups exact.
+    #[test]
+    fn repeated_split_merge_cycles_keep_lookups_exact() {
+        let mut t: SlotArray<u32> = SlotArray::new();
+        t.insert(BucketId::new(0, 0), 100);
+        for round in 0..4u32 {
+            // "Split" the root: replace the depth-round bucket at bits 0 by
+            // its two children, as a directory split would.
+            let parent = BucketId::new(0, round as u8);
+            t.remove(parent, |v| *v == 100 + round);
+            let d = round as u8 + 1;
+            t.insert(BucketId::new(0, d), 100 + round + 1);
+            t.insert(BucketId::new(1 << round, d), 900 + round);
+            assert_eq!(t.depth(), d);
+            // Every hash routes somewhere after each reshape.
+            for h in 0..t.num_slots() as u64 {
+                assert!(t.lookup(h).is_some(), "hash {h} unrouted at depth {d}");
+            }
+        }
+        // Merge everything back down, one level at a time.
+        for round in (0..4u32).rev() {
+            let d = round as u8 + 1;
+            t.remove(BucketId::new(1 << round, d), |v| *v == 900 + round);
+            t.remove(BucketId::new(0, d), |v| *v == 100 + round + 1);
+            t.insert(BucketId::new(0, round as u8), 100 + round);
+            assert_eq!(t.depth(), round as u8);
+        }
+        assert_eq!(t.num_slots(), 1);
+        assert_eq!(t.lookup(7), Some(100));
+    }
+
     #[test]
     fn rebuild_matches_incremental_construction() {
         let entries = [

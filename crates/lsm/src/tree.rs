@@ -137,7 +137,7 @@ impl LsmTree {
         let op = reconcile_point(std::iter::once(mem).chain(disk))?;
         StorageMetrics::add(
             &self.metrics.bytes_query_read,
-            (key.len() + op.value_len()) as u64,
+            Entry::size_of_parts(key, op) as u64,
         );
         op.value().cloned()
     }
@@ -394,6 +394,69 @@ mod tests {
         t.flush();
         assert_eq!(t.get(&Key::from_u64(1)), None);
         assert!(t.scan_all().is_empty());
+    }
+
+    /// Regression for the op-tag accounting: the memtable's running size,
+    /// the flushed component's byte total, and the query-read metric must
+    /// all agree with `Entry::size_bytes` (key + value + op tag) — including
+    /// after overwrites and for tombstones, which the old hand-rolled
+    /// `key + value` formulas silently under-charged.
+    #[test]
+    fn size_accounting_matches_component_totals() {
+        let mut t = small_tree(1 << 20);
+        for i in 0..50u64 {
+            t.put(i, Bytes::from(vec![1u8; 10]));
+        }
+        // Overwrites with a different value length exercise the memtable's
+        // replacement accounting; deletes leave op-tag-only tombstones.
+        for i in 0..20u64 {
+            t.put(i, Bytes::from(vec![2u8; 33]));
+        }
+        for i in 40..50u64 {
+            t.delete(i);
+        }
+        let expected: usize = t
+            .memtable()
+            .range(None, None)
+            .map(|(k, op)| Entry::size_of_parts(k, op))
+            .sum();
+        assert_eq!(t.memtable().size_bytes(), expected);
+        let comp = t.flush().expect("non-empty memtable flushes");
+        let from_entries: usize = comp.iter().map(|e| e.size_bytes()).sum();
+        assert_eq!(comp.size_bytes(), from_entries);
+        assert_eq!(comp.size_bytes(), expected);
+        // A tombstone weighs key + op tag, never zero.
+        let tomb = Entry::delete(Key::from_u64(40));
+        assert_eq!(tomb.size_bytes(), 8 + crate::entry::OP_TAG_BYTES);
+        // Point reads charge exactly size_of_parts: key + value + op tag.
+        let before = t.metrics().snapshot().bytes_query_read;
+        assert!(t.get(&Key::from_u64(3)).is_some());
+        let after = t.metrics().snapshot().bytes_query_read;
+        assert_eq!(after - before, (8 + 33 + crate::entry::OP_TAG_BYTES) as u64);
+    }
+
+    #[test]
+    fn footprint_agrees_with_size_accounting() {
+        let mut t = small_tree(1 << 20);
+        for i in 0..100u64 {
+            t.put(i, Bytes::from(vec![7u8; 24]));
+        }
+        t.delete(5u64);
+        let mem_fp = t.memtable().footprint();
+        assert_eq!(mem_fp.records, 100);
+        assert_eq!(mem_fp.logical_bytes as usize, t.memtable().size_bytes());
+        assert_eq!(mem_fp.inline_keys, 100, "u64 keys must stay inline");
+        assert_eq!(mem_fp.key_heap_bytes, 0);
+        let comp = t.flush().unwrap();
+        let fp = comp.raw_footprint();
+        assert_eq!(fp.records, 100);
+        assert_eq!(fp.logical_bytes as usize, comp.size_bytes());
+        assert!(fp.resident_bytes() < fp.legacy_resident_bytes());
+        assert_eq!(
+            fp.legacy_resident_bytes() - fp.resident_bytes(),
+            fp.key_bytes,
+            "inline keys save exactly their heap allocation"
+        );
     }
 
     #[test]

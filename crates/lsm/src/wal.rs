@@ -388,7 +388,7 @@ mod tests {
         for i in 0..20u64 {
             log.append(LogRecordBody::Insert {
                 dataset: if i % 2 == 0 { 1 } else { 2 },
-                key: Key::from_u64(i).0,
+                key: Key::from_u64(i).into_vec(),
                 value: vec![0u8; 4],
             });
         }
@@ -439,7 +439,7 @@ mod tests {
             lsn: 0,
             body: LogRecordBody::Insert {
                 dataset: 1,
-                key: Key::from_u64(7).0,
+                key: Key::from_u64(7).into_vec(),
                 value: b"abc".to_vec(),
             },
             durable: true,
@@ -451,7 +451,7 @@ mod tests {
             lsn: 1,
             body: LogRecordBody::Delete {
                 dataset: 1,
-                key: Key::from_u64(7).0,
+                key: Key::from_u64(7).into_vec(),
             },
             durable: true,
         };

@@ -11,7 +11,10 @@
 //! * [`cluster`] — the simulated shared-nothing cluster (Cluster Controller,
 //!   Node Controllers, partitions, feeds, queries, the step-driven
 //!   [`cluster::RebalanceJob`] executor, fault injection);
-//! * [`tpch`] — the TPC-H-like workload used by the paper's evaluation.
+//! * [`tpch`] — the TPC-H-like workload used by the paper's evaluation;
+//! * [`bench`] — the experiment harness (paper figures, regression gates)
+//!   and the scenario fleet: declarative workload scripts plus the seeded
+//!   soak driver ([`bench::scenario`]).
 //!
 //! ## Quick start
 //!
@@ -45,6 +48,7 @@
 //! cluster.check_dataset_consistency(ds).unwrap();
 //! ```
 
+pub use dynahash_bench as bench;
 pub use dynahash_cluster as cluster;
 pub use dynahash_core as core;
 pub use dynahash_lsm as lsm;

@@ -1,0 +1,119 @@
+//! Shared scaffolding for the seeded property-test harnesses.
+//!
+//! Every property-style integration test follows the same recipe: derive a
+//! case from `seed_base + case`, generate parameters from a seeded RNG, run
+//! the case under `catch_unwind`, and — on failure — re-panic with the seed
+//! and the generated parameters so the case can be replayed exactly. That
+//! loop, the cluster builders and the record generator used to be duplicated
+//! in `rebalance_invariants.rs`, `step_rebalance.rs` and
+//! `session_routing.rs`; they live here once now.
+//!
+//! To replay a failing case: take the printed seed, find the harness named
+//! in the message, and run its test with the same binary — the generation is
+//! fully deterministic, so the same seed reproduces the same parameters and
+//! the same step trace.
+
+// Each integration-test binary compiles this module independently and uses
+// only a subset of it.
+#![allow(dead_code)]
+
+use std::collections::BTreeSet;
+
+use dynahash::cluster::{Cluster, ClusterConfig, CostModel, DatasetSpec};
+use dynahash::core::Scheme;
+use dynahash::lsm::entry::Key;
+use dynahash::lsm::rng::SplitMix64;
+use dynahash::lsm::Bytes;
+
+/// Number of randomized cases per property.
+pub const CASES: u64 = 12;
+
+/// The standard test record: an 8-byte key and a small deterministic
+/// payload derived from it.
+pub fn record(i: u64) -> (Key, Bytes) {
+    (Key::from_u64(i), Bytes::from(vec![(i % 233) as u8; 40]))
+}
+
+/// A cluster with the property-test shape: `nodes` nodes, 2 partitions per
+/// node, the default cost model.
+pub fn test_cluster(nodes: u32) -> Cluster {
+    Cluster::with_config(
+        nodes,
+        ClusterConfig {
+            partitions_per_node: 2,
+            cost_model: CostModel::default(),
+        },
+    )
+}
+
+/// A test cluster with one dataset pre-loaded with `n` records (ingested
+/// through a session, the sanctioned path).
+pub fn cluster_with_dataset(nodes: u32, scheme: Scheme, n: u64) -> (Cluster, u32) {
+    let mut cluster = test_cluster(nodes);
+    let ds = cluster
+        .create_dataset(DatasetSpec::new("events", scheme))
+        .unwrap();
+    cluster
+        .session(ds)
+        .unwrap()
+        .ingest(&mut cluster, (0..n).map(record))
+        .unwrap();
+    (cluster, ds)
+}
+
+/// Scans the dataset and asserts it contains exactly `expected` keys, with
+/// no key visible twice (the online-query guarantee: pending buckets stay
+/// invisible, source buckets stay visible until the commit).
+pub fn assert_committed_set(cluster: &mut Cluster, ds: u32, expected: &BTreeSet<u64>, when: &str) {
+    let mut q = cluster.query();
+    let (map, raw) = q.collect_records(ds).unwrap();
+    assert_eq!(
+        raw,
+        map.len(),
+        "{when}: a record is visible on two partitions"
+    );
+    let seen: BTreeSet<u64> = map.keys().map(Key::as_u64).collect();
+    assert_eq!(
+        &seen, expected,
+        "{when}: scan disagrees with the committed record set"
+    );
+}
+
+/// Extracts the human-readable message from a caught panic payload.
+pub fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    panic
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| panic.downcast_ref::<&str>().copied())
+        .unwrap_or("<non-string panic>")
+}
+
+/// The seeded-case loop every property harness shares.
+///
+/// For each case, `generate` derives the case parameters from a fresh RNG
+/// seeded with `seed_base + case`, and `run` executes the case. A panic
+/// inside `run` is caught and re-raised with `label`, the seed and the
+/// `Debug`-printed parameters, so any failure is replayable from its log
+/// line alone.
+pub fn check_seeded_cases<P: std::fmt::Debug>(
+    label: &str,
+    seed_base: u64,
+    cases: u64,
+    mut generate: impl FnMut(u64, &mut SplitMix64) -> P,
+    mut run: impl FnMut(u64, &P),
+) {
+    for case in 0..cases {
+        let seed = seed_base + case;
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let params = generate(seed, &mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run(seed, &params);
+        }));
+        if let Err(panic) = result {
+            panic!(
+                "{label} failed\n  seed: {seed}\n  params: {params:?}\n  cause: {}",
+                panic_message(panic.as_ref())
+            );
+        }
+    }
+}

@@ -2,11 +2,13 @@
 //! sequence of scale-out / scale-in / ingest steps is applied, no record is
 //! ever lost or misrouted, and the load balance stays bounded.
 
-use dynahash::cluster::{Cluster, ClusterConfig, CostModel, DatasetSpec, RebalanceOptions};
+mod common;
+
+use common::{check_seeded_cases, record, test_cluster, CASES};
+use dynahash::cluster::{Cluster, DatasetSpec, RebalanceOptions};
 use dynahash::core::{NodeId, RebalanceOutcome, Scheme};
 use dynahash::lsm::entry::Key;
 use dynahash::lsm::rng::SplitMix64;
-use dynahash::lsm::Bytes;
 
 #[derive(Debug, Clone)]
 enum Step {
@@ -30,45 +32,21 @@ fn random_steps(rng: &mut SplitMix64) -> Vec<Step> {
     (0..n).map(|_| random_step(rng)).collect()
 }
 
-/// Number of randomized cases per property.
-const CASES: u64 = 12;
-
-/// Runs `CASES` seeded random step sequences against `scheme`. On failure the
-/// panic message names the failing seed and the exact step sequence so the
-/// case can be replayed deterministically.
+/// Runs [`CASES`] seeded random step sequences against `scheme`. On failure
+/// the panic message names the failing seed and the exact step sequence so
+/// the case can be replayed deterministically.
 fn check_never_loses_records(scheme: Scheme, seed_base: u64) {
-    for case in 0..CASES {
-        let seed = seed_base + case;
-        let mut rng = SplitMix64::seed_from_u64(seed);
-        let steps = random_steps(&mut rng);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_steps(scheme, &steps);
-        }));
-        if let Err(panic) = result {
-            let msg = panic
-                .downcast_ref::<String>()
-                .map(String::as_str)
-                .or_else(|| panic.downcast_ref::<&str>().copied())
-                .unwrap_or("<non-string panic>");
-            panic!(
-                "property failed for scheme {scheme:?}\n  seed: {seed}\n  steps: {steps:?}\n  cause: {msg}"
-            );
-        }
-    }
-}
-
-fn record(i: u64) -> (Key, Bytes) {
-    (Key::from_u64(i), Bytes::from(vec![(i % 233) as u8; 40]))
+    check_seeded_cases(
+        &format!("rebalance property for scheme {scheme:?}"),
+        seed_base,
+        CASES,
+        |_seed, rng| random_steps(rng),
+        |_seed, steps| run_steps(scheme, steps),
+    );
 }
 
 fn run_steps(scheme: Scheme, steps: &[Step]) {
-    let mut cluster = Cluster::with_config(
-        2,
-        ClusterConfig {
-            partitions_per_node: 2,
-            cost_model: CostModel::default(),
-        },
-    );
+    let mut cluster = test_cluster(2);
     let ds = cluster
         .create_dataset(DatasetSpec::new("events", scheme))
         .unwrap();

@@ -15,16 +15,17 @@
 //! * **byte-identical contents** — each session's final scan equals the
 //!   model and equals an *oracle session* that refreshed at every step.
 
+mod common;
+
 use std::collections::BTreeMap;
 
-use dynahash::cluster::{Cluster, ClusterConfig, CostModel, DatasetSpec, RebalanceJob, Session};
+use common::{check_seeded_cases, test_cluster, CASES};
+use dynahash::cluster::{DatasetSpec, RebalanceJob, Session};
 use dynahash::core::{RebalanceOutcome, Scheme};
 use dynahash::lsm::entry::Key;
 use dynahash::lsm::rng::SplitMix64;
 use dynahash::lsm::Bytes;
 
-/// Number of randomized cases per property.
-const CASES: u64 = 12;
 /// Client sessions with independently stale caches.
 const NUM_SESSIONS: usize = 3;
 
@@ -45,6 +46,7 @@ fn model_as_contents(model: &Model) -> BTreeMap<Key, Bytes> {
         .collect()
 }
 
+#[derive(Debug)]
 struct CaseParams {
     scheme: Scheme,
     grow: bool,
@@ -55,13 +57,7 @@ struct CaseParams {
 fn run_case(seed: u64, params: &CaseParams) {
     let mut rng = SplitMix64::seed_from_u64(seed ^ 0x5e55_10f1);
     let nodes = if params.grow { 2 } else { 3 };
-    let mut cluster = Cluster::with_config(
-        nodes,
-        ClusterConfig {
-            partitions_per_node: 2,
-            cost_model: CostModel::default(),
-        },
-    );
+    let mut cluster = test_cluster(nodes);
     let ds = cluster
         .create_dataset(DatasetSpec::new("events", params.scheme))
         .unwrap();
@@ -239,31 +235,18 @@ fn run_case(seed: u64, params: &CaseParams) {
 }
 
 fn check_sessions_converge(scheme: Scheme, grow: bool, seed_base: u64) {
-    for case in 0..CASES {
-        let seed = seed_base + case;
-        let mut rng = SplitMix64::seed_from_u64(seed);
-        let params = CaseParams {
+    check_seeded_cases(
+        "session-routing property",
+        seed_base,
+        CASES,
+        |_seed, rng| CaseParams {
             scheme,
             grow,
             base_records: rng.gen_range(300..800),
             max_moves: rng.gen_range(1..5) as usize,
-        };
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_case(seed, &params);
-        }));
-        if let Err(panic) = result {
-            let msg = panic
-                .downcast_ref::<String>()
-                .map(String::as_str)
-                .or_else(|| panic.downcast_ref::<&str>().copied())
-                .unwrap_or("<non-string panic>");
-            panic!(
-                "session-routing property failed\n  seed: {seed}\n  scheme: {scheme:?} \
-                 grow: {grow} records: {} max_moves: {}\n  cause: {msg}",
-                params.base_records, params.max_moves
-            );
-        }
-    }
+        },
+        run_case,
+    );
 }
 
 #[test]

@@ -10,56 +10,17 @@
 //! grow/shrink jobs with feed ingestion and asserts the directory and
 //! record-set invariants after every single job step.
 
+mod common;
+
 use std::collections::BTreeSet;
 
-use dynahash::cluster::{
-    Cluster, ClusterConfig, CostModel, DatasetSpec, RebalanceJob, RebalanceOptions,
+use common::{
+    assert_committed_set, check_seeded_cases, cluster_with_dataset, record, test_cluster, CASES,
 };
+use dynahash::cluster::{Cluster, DatasetSpec, RebalanceJob, RebalanceOptions};
 use dynahash::core::{NodeId, RebalanceOutcome, Scheme};
 use dynahash::lsm::entry::Key;
 use dynahash::lsm::rng::SplitMix64;
-use dynahash::lsm::Bytes;
-
-fn record(i: u64) -> (Key, Bytes) {
-    (Key::from_u64(i), Bytes::from(vec![(i % 241) as u8; 40]))
-}
-
-fn cluster_with(nodes: u32, scheme: Scheme, n: u64) -> (Cluster, u32) {
-    let mut cluster = Cluster::with_config(
-        nodes,
-        ClusterConfig {
-            partitions_per_node: 2,
-            cost_model: CostModel::default(),
-        },
-    );
-    let ds = cluster
-        .create_dataset(DatasetSpec::new("events", scheme))
-        .unwrap();
-    cluster
-        .session(ds)
-        .unwrap()
-        .ingest(&mut cluster, (0..n).map(record))
-        .unwrap();
-    (cluster, ds)
-}
-
-/// Scans the dataset and asserts it contains exactly `expected` keys, with
-/// no key visible twice (the online-query guarantee: pending buckets stay
-/// invisible, source buckets stay visible until the commit).
-fn assert_committed_set(cluster: &mut Cluster, ds: u32, expected: &BTreeSet<u64>, when: &str) {
-    let mut q = cluster.query();
-    let (map, raw) = q.collect_records(ds).unwrap();
-    assert_eq!(
-        raw,
-        map.len(),
-        "{when}: a record is visible on two partitions"
-    );
-    let seen: BTreeSet<u64> = map.keys().map(Key::as_u64).collect();
-    assert_eq!(
-        &seen, expected,
-        "{when}: scan disagrees with the committed record set"
-    );
-}
 
 /// The acceptance scenario: a rebalance driven step-by-step with a scan
 /// query and a feed batch applied between every pair of waves and a node
@@ -67,7 +28,7 @@ fn assert_committed_set(cluster: &mut Cluster, ds: u32, expected: &BTreeSet<u64>
 /// integrity invariant intact.
 #[test]
 fn step_driven_job_survives_queries_feeds_and_crashes_between_waves() {
-    let (mut cluster, ds) = cluster_with(3, Scheme::StaticHash { num_buckets: 32 }, 3000);
+    let (mut cluster, ds) = cluster_with_dataset(3, Scheme::StaticHash { num_buckets: 32 }, 3000);
     let mut expected: BTreeSet<u64> = (0..3000).collect();
     cluster.add_node().unwrap();
     let target = cluster.topology().clone();
@@ -144,7 +105,7 @@ fn step_driven_job_survives_queries_feeds_and_crashes_between_waves() {
 /// returns exactly the committed record set.
 #[test]
 fn scan_between_every_pair_of_waves_sees_the_committed_set() {
-    let (mut cluster, ds) = cluster_with(2, Scheme::StaticHash { num_buckets: 16 }, 2000);
+    let (mut cluster, ds) = cluster_with_dataset(2, Scheme::StaticHash { num_buckets: 16 }, 2000);
     let expected: BTreeSet<u64> = (0..2000).collect();
     cluster.add_node().unwrap();
     let target = cluster.topology().clone();
@@ -176,7 +137,7 @@ fn scan_between_every_pair_of_waves_sees_the_committed_set() {
 /// it was.
 #[test]
 fn controller_restart_between_waves_aborts_cleanly() {
-    let (mut cluster, ds) = cluster_with(2, Scheme::StaticHash { num_buckets: 16 }, 1200);
+    let (mut cluster, ds) = cluster_with_dataset(2, Scheme::StaticHash { num_buckets: 16 }, 1200);
     let expected: BTreeSet<u64> = (0..1200).collect();
     cluster.add_node().unwrap();
     let target = cluster.topology().clone();
@@ -214,7 +175,7 @@ fn controller_restart_between_waves_aborts_cleanly() {
 /// briefly blocked (Section V-C) instead of being silently dropped.
 #[test]
 fn normal_ingest_between_waves_loses_nothing() {
-    let (mut cluster, ds) = cluster_with(2, Scheme::StaticHash { num_buckets: 16 }, 1200);
+    let (mut cluster, ds) = cluster_with_dataset(2, Scheme::StaticHash { num_buckets: 16 }, 1200);
     let mut expected: BTreeSet<u64> = (0..1200).collect();
     cluster.add_node().unwrap();
     let target = cluster.topology().clone();
@@ -291,29 +252,17 @@ fn random_step(rng: &mut SplitMix64) -> Step {
     }
 }
 
-/// Number of randomized cases per property.
-const CASES: u64 = 12;
-
 fn check_stepped_rebalances_never_lose_records(scheme: Scheme, seed_base: u64) {
-    for case in 0..CASES {
-        let seed = seed_base + case;
-        let mut rng = SplitMix64::seed_from_u64(seed);
-        let n = rng.gen_range(2..6) as usize;
-        let steps: Vec<Step> = (0..n).map(|_| random_step(&mut rng)).collect();
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_steps(scheme, seed, &steps);
-        }));
-        if let Err(panic) = result {
-            let msg = panic
-                .downcast_ref::<String>()
-                .map(String::as_str)
-                .or_else(|| panic.downcast_ref::<&str>().copied())
-                .unwrap_or("<non-string panic>");
-            panic!(
-                "property failed for scheme {scheme:?}\n  seed: {seed}\n  steps: {steps:?}\n  cause: {msg}"
-            );
-        }
-    }
+    check_seeded_cases(
+        &format!("stepped-rebalance property for scheme {scheme:?}"),
+        seed_base,
+        CASES,
+        |_seed, rng| {
+            let n = rng.gen_range(2..6) as usize;
+            (0..n).map(|_| random_step(rng)).collect::<Vec<Step>>()
+        },
+        |seed, steps| run_steps(scheme, seed, steps),
+    );
 }
 
 /// Invariants that must hold after *every* job step: the CC's directory
@@ -337,13 +286,7 @@ fn assert_step_invariants(cluster: &mut Cluster, ds: u32, expected: &BTreeSet<u6
 
 fn run_steps(scheme: Scheme, seed: u64, steps: &[Step]) {
     let mut rng = SplitMix64::seed_from_u64(seed ^ 0x5eed_f00d);
-    let mut cluster = Cluster::with_config(
-        2,
-        ClusterConfig {
-            partitions_per_node: 2,
-            cost_model: CostModel::default(),
-        },
-    );
+    let mut cluster = test_cluster(2);
     let ds = cluster
         .create_dataset(DatasetSpec::new("events", scheme))
         .unwrap();
