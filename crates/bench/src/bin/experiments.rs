@@ -10,10 +10,10 @@
 //! experiments --json results.json # also emit machine-readable results
 //! ```
 //!
-//! Figures: 6, 7a, 7b, 7c, waves, move_policy, routing, lookup, scale, 8,
-//! 9, ablations.
+//! Figures: 6, 7a, 7b, 7c, waves, move_policy, routing, lookup, scale,
+//! faults, 8, 9, ablations.
 //!
-//! Four figures double as regression gates (the run exits 1 on violation):
+//! Five figures double as regression gates (the run exits 1 on violation):
 //!
 //! * `move_policy` — component shipping must be strictly faster than
 //!   record-level movement while leaving byte-identical contents (the
@@ -28,7 +28,11 @@
 //!   while `index_scan` answers stay byte-identical to the eager baseline;
 //! * `scale` — resident bytes per record must stay at or below the legacy
 //!   all-heap-key baseline, with every production 8-byte key stored inline
-//!   (deterministic accounting, no wall clock: violations fail immediately).
+//!   (deterministic accounting, no wall clock: violations fail immediately);
+//! * `faults` — an installed-but-empty fault schedule must be byte-identical
+//!   to the fault-free oracle, injected transients must be absorbed by
+//!   retry (never an abort), and a mid-movement node loss must commit via
+//!   re-planning — both with record contents identical to the oracle.
 
 use dynahash_bench::json::Json;
 use dynahash_bench::*;
@@ -60,7 +64,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--quick] [--json <path>] \
-                     [--figure 6|7a|7b|7c|waves|move_policy|routing|lookup|scale|8|9|ablations]"
+                     [--figure 6|7a|7b|7c|waves|move_policy|routing|lookup|scale|faults|8|9|\
+                     ablations]"
                 );
                 std::process::exit(0);
             }
@@ -241,6 +246,24 @@ fn scale_json(rows: &[ScaleRow]) -> Json {
                         Json::Num(r.legacy_bytes_per_record),
                     ),
                     ("inline_fraction", Json::Num(r.inline_fraction)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn faults_json(rows: &[FaultRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("regime", Json::str(r.label)),
+                    ("committed", Json::Bool(r.committed)),
+                    ("makespan_ns", Json::Int(r.makespan.as_nanos())),
+                    ("retries", Json::Int(r.retries)),
+                    ("reroutes", Json::Int(r.reroutes)),
+                    ("records", Json::Int(r.records)),
+                    ("checksum", Json::str(format!("{:016x}", r.checksum))),
                 ])
             })
             .collect(),
@@ -461,6 +484,29 @@ fn main() {
             println!(
                 "(gate: resident bytes/record at or below the legacy baseline, \
                  8-byte keys fully inline)"
+            );
+            println!();
+        } else {
+            for v in &violations {
+                eprintln!("GATE FAILED: {v}");
+            }
+            gate_failed = true;
+        }
+    }
+
+    if wants(&args.figure, "faults") {
+        println!("## Fault plane — retry, re-planning, and the fault-free oracle (DynaHash, 4 -> 5 nodes)");
+        println!();
+        let rows = fault_study(&cfg);
+        println!("{}", format_faults(&rows));
+        figures.push_field("faults", faults_json(&rows));
+        // Simulated time and byte accounting only — deterministic, so
+        // violations fail immediately.
+        let violations = fault_gate_violations(&rows);
+        if violations.is_empty() {
+            println!(
+                "(gate: empty schedule byte-identical to the oracle, transients absorbed \
+                 by retry, node loss re-planned and committed, contents identical)"
             );
             println!();
         } else {

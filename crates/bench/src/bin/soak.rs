@@ -9,6 +9,10 @@
 //! soak --quick                 # the CI profile: >= 1M records, 12 nodes,
 //!                              # Zipfian s = 1.1, >= 3 churn events
 //! soak --full                  # the nightly profile: 16 nodes, 4M records
+//! soak --chaos                 # layer the seeded fault plane on top:
+//!                              # transient ship failures absorbed by retry,
+//!                              # plus a permanent node loss per grow event,
+//!                              # re-planned onto the survivors
 //! soak --seed 0xdead           # replay a failing run exactly
 //! soak --json soak.json        # machine-readable report
 //! ```
@@ -23,6 +27,7 @@ use dynahash_bench::scenario::{run_soak, SoakConfig, SoakReport};
 struct Args {
     quick: bool,
     full: bool,
+    chaos: bool,
     seed: u64,
     json: Option<String>,
 }
@@ -31,6 +36,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         quick: false,
         full: false,
+        chaos: false,
         seed: 0x50a6_2026,
         json: None,
     };
@@ -39,6 +45,7 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--quick" => args.quick = true,
             "--full" => args.full = true,
+            "--chaos" => args.chaos = true,
             "--seed" => {
                 let raw = iter.next().unwrap_or_default();
                 let parsed = if let Some(hex) = raw.strip_prefix("0x") {
@@ -62,7 +69,9 @@ fn parse_args() -> Args {
                 }
             }
             "--help" | "-h" => {
-                eprintln!("usage: soak [--quick | --full] [--seed <u64>] [--json <path>]");
+                eprintln!(
+                    "usage: soak [--quick | --full] [--chaos] [--seed <u64>] [--json <path>]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -98,6 +107,12 @@ fn report_json(cfg: &SoakConfig, report: &SoakReport) -> Json {
         ("churn_events", Json::Int(report.churn_events as u64)),
         ("rebalances", Json::Int(report.rebalances as u64)),
         ("crashes", Json::Int(report.crashes as u64)),
+        ("chaos", Json::Bool(cfg.chaos)),
+        ("transient_faults", Json::Int(report.transient_faults)),
+        ("fault_retries", Json::Int(report.fault_retries)),
+        ("reroutes", Json::Int(report.reroutes)),
+        ("reshipped", Json::Int(report.reshipped)),
+        ("lost_nodes", Json::Int(report.lost_nodes as u64)),
         ("redirects", Json::Int(report.redirects)),
         ("final_nodes", Json::Int(report.final_nodes as u64)),
         (
@@ -128,12 +143,13 @@ fn main() {
         eprintln!("--quick and --full are mutually exclusive");
         std::process::exit(2);
     }
-    let cfg = if args.full {
+    let mut cfg = if args.full {
         SoakConfig::full(args.seed)
     } else {
         // --quick is also the default profile
         SoakConfig::quick(args.seed)
     };
+    cfg.chaos = args.chaos;
 
     println!(
         "soak: seed {:#x}, {} nodes, {} datasets, {} target records, \
@@ -162,6 +178,17 @@ fn main() {
         report.redirects,
         report.final_nodes
     );
+    if cfg.chaos {
+        println!(
+            "fault plane: {} transients injected ({} retries absorbed them), \
+             {} nodes lost, {} moves rerouted/canceled, {} buckets re-shipped",
+            report.transient_faults,
+            report.fault_retries,
+            report.lost_nodes,
+            report.reroutes,
+            report.reshipped
+        );
+    }
     println!(
         "footprint: {} records resident in {} bytes ({:.1} B/record; legacy \
          layout would hold {} bytes), {} keys inline",
@@ -184,6 +211,31 @@ fn main() {
     if !report.passed() {
         eprintln!("{}", report.failure_banner());
         std::process::exit(1);
+    }
+    if cfg.chaos {
+        // The chaos gates: faults must actually have been injected, every
+        // transient absorbed by a retry (never an abort — an abort would
+        // have failed the run above), and every loss re-planned.
+        if report.transient_faults == 0 || report.lost_nodes == 0 {
+            eprintln!(
+                "chaos soak injected nothing (transients {}, losses {}) — \
+                 the profile is too small to exercise the fault plane",
+                report.transient_faults, report.lost_nodes
+            );
+            std::process::exit(1);
+        }
+        if report.transient_faults != report.fault_retries {
+            eprintln!(
+                "chaos soak: {} transients but {} retries — a transient \
+                 escaped the retry budget",
+                report.transient_faults, report.fault_retries
+            );
+            std::process::exit(1);
+        }
+        if report.reroutes == 0 {
+            eprintln!("chaos soak: a node was lost but nothing was re-planned");
+            std::process::exit(1);
+        }
     }
     println!("soak passed: zero invariant violations");
 }

@@ -1599,6 +1599,200 @@ pub fn scale_gate_violations(rows: &[ScaleRow]) -> Vec<String> {
     bad
 }
 
+// ------------------------------------------------------ fault study (PR 8)
+
+/// One row of the `faults` figure: the same seeded rebalance (same data,
+/// same topology change) driven under one fault regime, compared against
+/// the fault-free oracle row.
+#[derive(Debug, Clone)]
+pub struct FaultRow {
+    /// Fault regime of this row.
+    pub label: &'static str,
+    /// True when the job committed (the fault plane must never abort it).
+    pub committed: bool,
+    /// Simulated makespan of the rebalance.
+    pub makespan: SimDuration,
+    /// Transfer attempts retried after an injected transient failure.
+    pub retries: u64,
+    /// Moves rerouted or canceled by re-planning around a lost node.
+    pub reroutes: u64,
+    /// Live records after the rebalance.
+    pub records: u64,
+    /// FNV-1a checksum over the sorted (key, value) contents — placement
+    /// may legally differ after a re-plan, record contents may not.
+    pub checksum: u64,
+}
+
+/// FNV-1a over the dataset's sorted (key, value) pairs, via a fresh
+/// session scan.
+fn dataset_contents_checksum(cluster: &Cluster, ds: dynahash_cluster::DatasetId) -> (u64, u64) {
+    let mut session = cluster.session(ds).expect("fault checksum session");
+    let (contents, _) = session
+        .collect_records(cluster)
+        .expect("fault checksum scan");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut absorb = |bytes: &[u8]| {
+        for b in bytes {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for (k, v) in &contents {
+        absorb(k.as_slice());
+        absorb(v.as_ref());
+    }
+    (contents.len() as u64, h)
+}
+
+/// Runs the identical seeded rebalance (grow by one node) under four fault
+/// regimes: no schedule installed (the oracle), an installed-but-empty
+/// schedule (must be byte-identical to the oracle — the fault-free gate),
+/// transient ship failures capped below the retry budget (absorbed, same
+/// contents, makespan pays the backoff), and the permanent loss of the new
+/// node after the first wave (re-planned, committed, same contents).
+pub fn fault_study(cfg: &ExperimentConfig) -> Vec<FaultRow> {
+    use dynahash_cluster::{DatasetSpec, FaultSchedule, WaveFault};
+    use dynahash_lsm::entry::Key;
+    use dynahash_lsm::Bytes;
+
+    let nodes = 4;
+    let records = (cfg.orders_per_node as u64) * 40;
+    let value = |i: u64| Bytes::from(vec![(i % 249) as u8; 24]);
+    let regimes: [(&'static str, u8); 4] = [
+        ("fault-free oracle", 0),
+        ("empty schedule", 1),
+        ("transient faults", 2),
+        ("node loss", 3),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, regime) in regimes {
+        let mut cluster = cfg.cluster(nodes);
+        let ds = cluster
+            .create_dataset(DatasetSpec::new("faults", cfg.dynahash_scheme(nodes)))
+            .expect("create faults dataset");
+        cluster
+            .session(ds)
+            .expect("faults session")
+            .ingest(
+                &mut cluster,
+                (0..records).map(|i| (Key::from_u64(i), value(i))),
+            )
+            .expect("faults ingest");
+        let new_node = cluster.add_node().expect("faults add_node");
+        match regime {
+            1 => cluster.set_fault_plane(FaultSchedule::none()),
+            2 => cluster.set_fault_plane(FaultSchedule::seeded(0xfa_2026).with_transient(600, 2)),
+            3 => cluster.set_fault_plane(
+                FaultSchedule::seeded(0xfa_2026).with_wave_fault(0, WaveFault::Lose(new_node)),
+            ),
+            _ => {}
+        }
+        let target = cluster.topology().clone();
+        let report = cluster
+            .rebalance(
+                ds,
+                &target,
+                RebalanceOptions::none().with_max_concurrent_moves(2),
+            )
+            .expect("the fault plane must never abort the rebalance");
+        if regime == 3 {
+            cluster
+                .remove_lost_node(new_node)
+                .expect("remove the lost node");
+        }
+        let (live, checksum) = dataset_contents_checksum(&cluster, ds);
+        rows.push(FaultRow {
+            label,
+            committed: report.outcome == dynahash_core::RebalanceOutcome::Committed,
+            makespan: report.elapsed,
+            retries: report.retries,
+            reroutes: report.reroutes,
+            records: live,
+            checksum,
+        });
+    }
+    rows
+}
+
+/// Renders fault rows as a markdown table.
+pub fn format_faults(rows: &[FaultRow]) -> String {
+    let mut s = String::from(
+        "| regime | committed | makespan (ms) | retries | reroutes | records | checksum |\n\
+         |---|---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "| {} | {} | {:.3} | {} | {} | {} | {:#018x} |\n",
+            r.label,
+            r.committed,
+            r.makespan.as_nanos() as f64 / 1e6,
+            r.retries,
+            r.reroutes,
+            r.records,
+            r.checksum
+        ));
+    }
+    s
+}
+
+/// Checks the `faults` figure's gate. The comparisons are against the
+/// oracle row and exact (the executor is deterministic): an empty schedule
+/// must be byte-identical to no schedule, transients must be absorbed by
+/// retry with identical final contents, and a node loss must commit via
+/// re-planning — again with identical record contents.
+pub fn fault_gate_violations(rows: &[FaultRow]) -> Vec<String> {
+    let mut bad = Vec::new();
+    let Some(oracle) = rows.iter().find(|r| r.label.starts_with("fault-free")) else {
+        bad.push("fault-free oracle row missing".to_string());
+        return bad;
+    };
+    for r in rows {
+        if !r.committed {
+            bad.push(format!("{}: the rebalance did not commit", r.label));
+        }
+        if r.records != oracle.records || r.checksum != oracle.checksum {
+            bad.push(format!(
+                "{}: contents diverged from the oracle ({} records, checksum \
+                 {:#x}; oracle has {} and {:#x})",
+                r.label, r.records, r.checksum, oracle.records, oracle.checksum
+            ));
+        }
+    }
+    if let Some(empty) = rows.iter().find(|r| r.label.starts_with("empty")) {
+        if empty.makespan != oracle.makespan || empty.retries != 0 || empty.reroutes != 0 {
+            bad.push(format!(
+                "empty schedule is not byte-identical to the oracle \
+                 (makespan {} vs {}, {} retries, {} reroutes)",
+                empty.makespan.as_nanos(),
+                oracle.makespan.as_nanos(),
+                empty.retries,
+                empty.reroutes
+            ));
+        }
+    } else {
+        bad.push("empty-schedule row missing".to_string());
+    }
+    if let Some(transient) = rows.iter().find(|r| r.label.starts_with("transient")) {
+        if transient.retries == 0 {
+            bad.push("transient regime injected no faults".to_string());
+        }
+        if transient.makespan < oracle.makespan {
+            bad.push("transient regime was faster than the oracle".to_string());
+        }
+    } else {
+        bad.push("transient row missing".to_string());
+    }
+    if let Some(loss) = rows.iter().find(|r| r.label.starts_with("node loss")) {
+        if loss.reroutes == 0 {
+            bad.push("node-loss regime re-planned nothing".to_string());
+        }
+    } else {
+        bad.push("node-loss row missing".to_string());
+    }
+    bad
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,9 +28,10 @@
 use std::collections::BTreeMap;
 
 use dynahash_cluster::{
-    Cluster, ClusterConfig, CostModel, DatasetSpec, RebalanceJob, SecondaryIndexDef, Session,
+    Cluster, ClusterConfig, CostModel, DatasetSpec, FaultSchedule, RebalanceJob, SecondaryIndexDef,
+    Session, WaveFault,
 };
-use dynahash_core::{RebalanceOutcome, Scheme};
+use dynahash_core::{NodeId, RebalanceOutcome, Scheme};
 use dynahash_lsm::entry::{Key, StorageFootprint};
 use dynahash_lsm::rng::{scramble, SplitMix64, Zipfian};
 use dynahash_lsm::Bytes;
@@ -114,8 +115,10 @@ pub enum ScenarioOp {
     /// One churn event: grow when at/below the configured base size, shrink
     /// otherwise. Every dataset is rebalanced by its own concurrent
     /// [`RebalanceJob`], waves interleaved round-robin, with session-driven
-    /// feeds of `feed` records per dataset between waves and a coin-flip
-    /// node crash (+ `recover_all_nodes`) injected mid-movement.
+    /// feeds of `feed` records per dataset between waves and a seeded
+    /// [`FaultSchedule`] injected mid-movement (a crash + recovery, or — in
+    /// chaos mode on grow events — the permanent loss of the node just
+    /// added, re-planned onto the survivors).
     Churn {
         /// Max concurrent bucket moves per rebalance wave.
         max_moves: usize,
@@ -209,6 +212,12 @@ pub struct SoakConfig {
     pub max_moves: usize,
     /// DynaHash max bucket size in bytes.
     pub max_bucket_bytes: u64,
+    /// Chaos mode: every churn event additionally injects seeded transient
+    /// ship failures (absorbed by retry) and, on grow events, permanently
+    /// loses the node just added mid-movement, forcing a re-plan onto the
+    /// survivors. Fault decisions come from the scenario rng, so `seed`
+    /// replays them exactly.
+    pub chaos: bool,
 }
 
 impl SoakConfig {
@@ -231,6 +240,7 @@ impl SoakConfig {
             sample_reads: 16,
             max_moves: 8,
             max_bucket_bytes: 64 * 1024,
+            chaos: false,
         }
     }
 
@@ -252,6 +262,7 @@ impl SoakConfig {
             sample_reads: 8,
             max_moves: 4,
             max_bucket_bytes: 32 * 1024,
+            chaos: false,
         }
     }
 
@@ -275,6 +286,7 @@ impl SoakConfig {
             sample_reads: 32,
             max_moves: 12,
             max_bucket_bytes: 256 * 1024,
+            chaos: false,
         }
     }
 
@@ -306,6 +318,18 @@ pub struct SoakReport {
     pub rebalances: usize,
     /// Node crashes injected (all recovered).
     pub crashes: usize,
+    /// Transient ship failures injected by the fault plane (chaos mode).
+    pub transient_faults: u64,
+    /// Transfer attempts retried after a transient failure (every injected
+    /// transient must be absorbed by a retry, never an abort).
+    pub fault_retries: u64,
+    /// Bucket moves rerouted or canceled by `replan_wave` after a loss.
+    pub reroutes: u64,
+    /// Buckets re-shipped from live sources after losing their first
+    /// destination.
+    pub reshipped: u64,
+    /// Nodes permanently lost (and re-planned around) during the run.
+    pub lost_nodes: usize,
     /// Total redirects absorbed by the long-lived sessions.
     pub redirects: u64,
     /// Node count at the end of the run.
@@ -692,16 +716,17 @@ impl<'a> Runner<'a> {
 
     /// One churn event: grow or shrink (deciding by current size when
     /// `direction` is None), rebalancing every dataset with its own
-    /// concurrent job, waves interleaved, feeds and crash injection
+    /// concurrent job, waves interleaved, feeds and a seeded fault schedule
     /// mid-movement, then the full invariant battery.
     fn churn_event(&mut self, direction: Option<bool>, max_moves: usize, feed: u64) -> StepResult {
         let grow = direction
             .unwrap_or_else(|| self.cluster.topology().num_nodes() <= self.cfg.nodes as usize);
-        let (target, victim) = if grow {
-            self.cluster
+        let (target, victim, new_node) = if grow {
+            let n = self
+                .cluster
                 .add_node()
                 .map_err(|e| format!("add_node: {e}"))?;
-            (self.cluster.topology().clone(), None)
+            (self.cluster.topology().clone(), None, Some(n))
         } else {
             let victim = *self
                 .cluster
@@ -709,7 +734,7 @@ impl<'a> Runner<'a> {
                 .nodes()
                 .last()
                 .ok_or("empty topology")?;
-            (self.cluster.topology_without(victim), Some(victim))
+            (self.cluster.topology_without(victim), Some(victim), None)
         };
 
         // One concurrent job per dataset.
@@ -722,9 +747,40 @@ impl<'a> Runner<'a> {
             jobs.push(job);
         }
 
-        // Interleave the jobs' waves round-robin; between waves, keep the
-        // session-driven feeds flowing and flip a coin to crash a node.
-        let mut crashed = false;
+        // The fault schedule for this event. Every decision is drawn from
+        // the scenario rng, so the same seed replays the same faults at the
+        // same wave boundaries. Chaos mode layers transient ship failures
+        // (capped below the retry budget, so always absorbed) on top and
+        // turns the grow-side crash into a permanent loss of the node just
+        // added — a pure destination, which re-planning cancels back to the
+        // live sources with zero data loss.
+        let mut schedule = FaultSchedule::seeded(self.rng.next_u64());
+        let mut lost: Option<NodeId> = None;
+        if self.cfg.chaos {
+            schedule = schedule.with_transient(150, 2);
+        }
+        match new_node {
+            Some(n) if self.cfg.chaos => {
+                // Always after the first round: every rebalance with moves
+                // runs at least one, so the loss is guaranteed to fire.
+                schedule = schedule.with_wave_fault(0, WaveFault::Lose(n));
+            }
+            _ => {
+                if self.rng.gen_range(0..2) == 0 {
+                    let nodes = self.cluster.topology().nodes();
+                    let n = nodes[self.rng.gen_range(0..nodes.len() as u64) as usize];
+                    schedule =
+                        schedule.with_wave_fault(self.rng.gen_range(0..2), WaveFault::Crash(n));
+                }
+            }
+        }
+        self.cluster.set_fault_plane(schedule);
+
+        // Interleave the jobs' waves round-robin; after each round, consume
+        // the fault scheduled for it (re-planning every job immediately on a
+        // loss, before any feed can replicate into the dead node), then keep
+        // the session-driven feeds flowing.
+        let mut round = 0u64;
         loop {
             let mut progressed = false;
             for (i, job) in jobs.iter_mut().enumerate() {
@@ -738,24 +794,39 @@ impl<'a> Runner<'a> {
             if !progressed {
                 break;
             }
+            if let Some(fault) = self.cluster.take_wave_fault(round) {
+                match fault {
+                    WaveFault::Crash(n) => {
+                        self.cluster
+                            .crash_node(n)
+                            .map_err(|e| format!("mid-rebalance crash {n}: {e}"))?;
+                        self.cluster.recover_all_nodes();
+                        self.crashes += 1;
+                    }
+                    WaveFault::Lose(n) => {
+                        self.cluster
+                            .lose_node(n)
+                            .map_err(|e| format!("mid-rebalance loss of {n}: {e}"))?;
+                        for job in jobs.iter_mut() {
+                            let ds = job.dataset();
+                            job.replan_wave(&mut self.cluster)
+                                .map_err(|e| format!("replan dataset {ds} after {n}: {e}"))?;
+                        }
+                        lost = Some(n);
+                    }
+                }
+            }
             if feed > 0 {
                 for d in 0..self.datasets.len() {
                     self.op_ingest(d, feed)?;
                 }
             }
-            if !crashed && self.rng.gen_range(0..2) == 0 {
-                crashed = true;
-                let nodes = self.cluster.topology().nodes();
-                let n = nodes[self.rng.gen_range(0..nodes.len() as u64) as usize];
-                self.cluster
-                    .crash_node(n)
-                    .map_err(|e| format!("mid-rebalance crash {n}: {e}"))?;
-                self.cluster.recover_all_nodes();
-                self.crashes += 1;
-            }
+            round += 1;
         }
+        self.cluster.clear_fault_plane();
 
         let mut buckets_moved = 0usize;
+        let mut finished = Vec::new();
         for mut job in jobs {
             let ds = job.dataset();
             job.prepare(&mut self.cluster)
@@ -773,11 +844,22 @@ impl<'a> Runner<'a> {
             let report = job
                 .finalize(&mut self.cluster)
                 .map_err(|e| format!("finalize dataset {ds}: {e}"))?;
-            self.cluster
-                .check_rebalance_integrity(ds, report.rebalance_id)
-                .map_err(|e| format!("integrity after rebalance of dataset {ds}: {e}"))?;
             buckets_moved += report.buckets_moved;
+            finished.push((ds, report.rebalance_id));
             self.rebalances += 1;
+        }
+        // A lost node must leave the topology before the integrity battery
+        // runs: its orphaned partitions would otherwise double-count the
+        // buckets the re-plan moved to survivors.
+        if let Some(n) = lost {
+            self.cluster
+                .remove_lost_node(n)
+                .map_err(|e| format!("remove lost {n}: {e}"))?;
+        }
+        for (ds, rebalance_id) in finished {
+            self.cluster
+                .check_rebalance_integrity(ds, rebalance_id)
+                .map_err(|e| format!("integrity after rebalance of dataset {ds}: {e}"))?;
         }
         if let Some(victim) = victim {
             self.cluster
@@ -950,6 +1032,11 @@ pub fn run_scenario(cfg: &SoakConfig, scenario: &Scenario) -> SoakReport {
                 churn_events: 0,
                 rebalances: 0,
                 crashes: 0,
+                transient_faults: 0,
+                fault_retries: 0,
+                reroutes: 0,
+                reshipped: 0,
+                lost_nodes: 0,
                 redirects: 0,
                 final_nodes: 0,
                 footprint: StorageFootprint::default(),
@@ -996,6 +1083,7 @@ pub fn run_scenario(cfg: &SoakConfig, scenario: &Scenario) -> SoakReport {
 
     let live = runner.datasets.iter().map(|d| d.model.len() as u64).sum();
     let redirects = runner.sessions.iter().map(|s| s.metrics().redirects).sum();
+    let faults = runner.cluster.fault_stats().clone();
     SoakReport {
         seed: cfg.seed,
         steps_run,
@@ -1006,6 +1094,11 @@ pub fn run_scenario(cfg: &SoakConfig, scenario: &Scenario) -> SoakReport {
         churn_events: runner.churn,
         rebalances: runner.rebalances,
         crashes: runner.crashes,
+        transient_faults: faults.transient_faults,
+        fault_retries: faults.retries,
+        reroutes: faults.reroutes,
+        reshipped: faults.reshipped,
+        lost_nodes: faults.lost_nodes.len(),
         redirects,
         final_nodes: runner.cluster.topology().num_nodes() as u32,
         footprint: runner.footprint(),
@@ -1064,6 +1157,31 @@ mod tests {
         // the script is a pure function of the config
         let again = generate_scenario(&cfg);
         assert_eq!(format!("{:?}", s.ops), format!("{:?}", again.ops));
+    }
+
+    #[test]
+    fn chaos_smoke_soak_replans_losses_and_stays_clean() {
+        let mut cfg = SoakConfig::smoke(0x50a6_0002);
+        cfg.chaos = true;
+        // The stock smoke profile is too small to split buckets, so churn
+        // plans no moves and the mid-movement faults have nothing to hit;
+        // shrink the bucket cap until rebalances actually transfer data.
+        cfg.max_bucket_bytes = 4 * 1024;
+        let report = run_soak(&cfg);
+        assert!(report.passed(), "{}", report.failure_banner());
+        assert!(report.lost_nodes >= 1, "chaos run must lose a node");
+        assert!(report.reroutes >= 1, "a loss must be re-planned");
+        assert_eq!(
+            report.transient_faults, report.fault_retries,
+            "every injected transient must be absorbed by a retry"
+        );
+        // identical seed without chaos: the fault counters stay zero
+        let mut quiet = cfg;
+        quiet.chaos = false;
+        let baseline = run_soak(&quiet);
+        assert!(baseline.passed(), "{}", baseline.failure_banner());
+        assert_eq!(baseline.transient_faults, 0);
+        assert_eq!(baseline.lost_nodes, 0);
     }
 
     #[test]

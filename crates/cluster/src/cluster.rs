@@ -16,6 +16,7 @@ use dynahash_lsm::wal::{LogRecordBody, RebalanceId, RebalanceLogStatus};
 
 use crate::controller::ClusterController;
 use crate::dataset::{DatasetId, DatasetSpec};
+use crate::fault::{ClusterHealth, FaultSchedule, FaultStats, WaveFault};
 use crate::feed::IngestReport;
 use crate::node::NodeController;
 use crate::partition::Partition;
@@ -57,6 +58,17 @@ pub(crate) struct ActiveRebalance {
     pub write_blocked: bool,
 }
 
+/// The cluster's fault-plane state: the (optional) installed schedule and
+/// the counters accumulated while consuming it.
+#[derive(Default)]
+pub(crate) struct FaultState {
+    /// The installed schedule; `None` (or an empty schedule) means the
+    /// fault-free path, byte-identical to pre-fault-plane behaviour.
+    pub(crate) plane: Option<FaultSchedule>,
+    /// Accumulated counters (retries, reroutes, lost nodes/buckets).
+    pub(crate) stats: FaultStats,
+}
+
 /// The simulated cluster.
 pub struct Cluster {
     config: ClusterConfig,
@@ -66,6 +78,8 @@ pub struct Cluster {
     pub controller: ClusterController,
     /// In-flight step-driven rebalances, by dataset (see [`ActiveRebalance`]).
     pub(crate) active_rebalances: BTreeMap<DatasetId, ActiveRebalance>,
+    /// The deterministic fault plane (see [`crate::fault`]).
+    pub(crate) faults: FaultState,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -97,7 +111,39 @@ impl Cluster {
             nodes,
             controller: ClusterController::new(),
             active_rebalances: BTreeMap::new(),
+            faults: FaultState::default(),
         }
+    }
+
+    // ---------------------------------------------------------- fault plane
+
+    /// Installs a seeded fault schedule. Transfers consult it per attempt;
+    /// drivers consume its wave faults between waves. Replaces any schedule
+    /// already installed (counters are kept).
+    pub fn set_fault_plane(&mut self, schedule: FaultSchedule) {
+        self.faults.plane = Some(schedule);
+    }
+
+    /// Removes the installed fault schedule (counters are kept).
+    pub fn clear_fault_plane(&mut self) {
+        self.faults.plane = None;
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_plane(&self) -> Option<&FaultSchedule> {
+        self.faults.plane.as_ref()
+    }
+
+    /// The fault-plane counters accumulated so far.
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.faults.stats
+    }
+
+    /// Removes and returns the fault scheduled after wave `wave` (one-shot;
+    /// `None` with no schedule installed or nothing scheduled there).
+    /// Drivers call this between rebalance waves.
+    pub fn take_wave_fault(&mut self, wave: u64) -> Option<WaveFault> {
+        self.faults.plane.as_mut()?.take_wave_fault(wave)
     }
 
     /// The cluster configuration.
@@ -483,6 +529,45 @@ impl Cluster {
         Ok(())
     }
 
+    /// Removes a permanently lost node from the topology. Unlike
+    /// [`Cluster::decommission_node`] this does not require the node to be
+    /// empty — its data is unreachable either way — but it does require
+    /// that no dataset's global directory still routes to its partitions
+    /// (i.e. every in-flight rebalance has re-planned around the loss and
+    /// committed).
+    pub fn remove_lost_node(&mut self, node: NodeId) -> Result<(), ClusterError> {
+        if !self.node(node)?.is_lost() {
+            return Err(ClusterError::Inconsistent(format!(
+                "node {node} is not lost; use decommission_node"
+            )));
+        }
+        let partitions = self.topology.partitions_of_node(node);
+        for dataset in self.controller.dataset_ids() {
+            let meta = self.controller.dataset(dataset)?;
+            if let Some(dir) = &meta.directory {
+                for p in &partitions {
+                    if !dir.buckets_of_partition(*p).is_empty() {
+                        return Err(ClusterError::Inconsistent(format!(
+                            "dataset {dataset} still routes buckets to lost partition {p}"
+                        )));
+                    }
+                }
+            }
+        }
+        self.nodes.remove(&node);
+        self.topology = self.topology.without_node(node);
+        for dataset in self.controller.dataset_ids() {
+            let topo = self.topology.clone();
+            let meta = self.controller.dataset_mut(dataset)?;
+            let before = meta.partitions.len();
+            meta.partitions.retain(|p| topo.node_of(*p).is_some());
+            if meta.partitions.len() != before {
+                meta.bump_partitions_version();
+            }
+        }
+        Ok(())
+    }
+
     /// The topology that would result from removing a node (used to plan a
     /// scale-in rebalance before actually decommissioning the node).
     pub fn topology_without(&self, node: NodeId) -> ClusterTopology {
@@ -739,6 +824,25 @@ impl Admin<'_> {
                 .map_err(|e| ClusterError::Inconsistent(e.to_string()))?;
         }
         Ok(())
+    }
+
+    /// The cluster health surface: every node with its liveness state
+    /// (alive / crashed / permanently lost) plus the fault-plane counters —
+    /// transient faults absorbed, retries, reroutes, and the datasets
+    /// serving in degraded mode because a bucket's only copy died with a
+    /// lost node. This is how operators (and the chaos gates) observe
+    /// degraded serving without scraping partitions.
+    pub fn health(&self) -> ClusterHealth {
+        ClusterHealth {
+            nodes: self
+                .cluster
+                .topology()
+                .nodes()
+                .into_iter()
+                .filter_map(|n| Some((n, self.cluster.node(n).ok()?.state())))
+                .collect(),
+            stats: self.cluster.fault_stats().clone(),
+        }
     }
 
     /// Materializes every deferred secondary rebuild of a dataset across the

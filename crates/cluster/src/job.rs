@@ -27,17 +27,18 @@
 //! (via commit or abort) — abandoning one mid-flight leaves bucket splits
 //! disabled and the dataset's write-replication state registered.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use dynahash_core::{
-    BucketMove, ClusterTopology, GlobalDirectory, MovePolicy, NodeId, NodeVote,
-    RebalanceCoordinator, RebalanceOutcome, RebalancePlan, SecondaryRebuild,
+    BucketId, BucketMove, ClusterTopology, GlobalDirectory, MovePolicy, NodeId, NodeVote,
+    PartitionId, RebalanceCoordinator, RebalanceOutcome, RebalancePlan, SecondaryRebuild,
 };
 use dynahash_lsm::entry::{Key, Value};
 use dynahash_lsm::wal::{LogRecordBody, RebalanceId, ShippedMove};
 
 use crate::cluster::Cluster;
 use crate::dataset::DatasetId;
+use crate::fault::RetryPolicy;
 use crate::rebalance::{PhaseTimes, RebalanceReport};
 use crate::sim::{NodeTimeline, SimDuration, WaveClock};
 use crate::{ClusterError, Result};
@@ -125,6 +126,31 @@ struct ShipStats {
     component_ids: Vec<u64>,
 }
 
+/// What [`RebalanceJob::replan_wave`] did to route a rebalance around one or
+/// more permanently lost nodes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplanReport {
+    /// The lost participants the job re-planned around.
+    pub lost_nodes: Vec<NodeId>,
+    /// Moves whose destination died and were redirected to a survivor.
+    pub rerouted: u64,
+    /// Of the rerouted moves, those already shipped whose transfer will be
+    /// repeated from the (still live) source.
+    pub reshipped: u64,
+    /// Buckets whose only copy died with a lost node: the commit installs
+    /// them empty on a survivor and the dataset serves degraded.
+    pub lost_buckets: u64,
+    /// Waves appended to carry the rerouted and re-shipped moves.
+    pub waves_appended: usize,
+}
+
+impl ReplanReport {
+    /// True when no lost participant was found and nothing changed.
+    pub fn is_noop(&self) -> bool {
+        self.lost_nodes.is_empty()
+    }
+}
+
 /// A resumable, step-driven rebalance of one bucketed dataset.
 pub struct RebalanceJob {
     dataset: DatasetId,
@@ -139,6 +165,7 @@ pub struct RebalanceJob {
     coordinator: RebalanceCoordinator,
     move_policy: MovePolicy,
     secondary_rebuild: SecondaryRebuild,
+    retry: RetryPolicy,
     state: JobState,
     init_tl: NodeTimeline,
     move_tl: NodeTimeline,
@@ -148,6 +175,8 @@ pub struct RebalanceJob {
     bytes_moved: u64,
     records_moved: u64,
     writes_applied: u64,
+    retries: u64,
+    reroutes: u64,
 }
 
 impl std::fmt::Debug for RebalanceJob {
@@ -237,6 +266,7 @@ impl RebalanceJob {
             coordinator,
             move_policy: MovePolicy::default(),
             secondary_rebuild: SecondaryRebuild::default(),
+            retry: RetryPolicy::default(),
             state: JobState::Planned,
             init_tl: NodeTimeline::new(),
             move_tl: NodeTimeline::new(),
@@ -246,6 +276,8 @@ impl RebalanceJob {
             bytes_moved: 0,
             records_moved: 0,
             writes_applied: 0,
+            retries: 0,
+            reroutes: 0,
         })
     }
 
@@ -316,7 +348,15 @@ impl RebalanceJob {
     /// `RebalanceShip` metadata record after the wave so crash recovery can
     /// replay the component-level moves. Both ends of every move must be
     /// alive; crash a node mid-movement and the operator must either recover
-    /// it or [`RebalanceJob::abort`].
+    /// it or [`RebalanceJob::abort`], while a *permanently lost* endpoint
+    /// reports [`ClusterError::NodeLost`] and the driver re-plans around it
+    /// with [`RebalanceJob::replan_wave`] instead of aborting.
+    ///
+    /// With a [`FaultSchedule`](crate::fault::FaultSchedule) installed on
+    /// the cluster, each transfer consults it per attempt and retries
+    /// transient failures under the job's [`RetryPolicy`], charging capped
+    /// exponential backoff into the wave's makespan; slow nodes scale their
+    /// charged durations.
     pub fn run_wave(&mut self, cluster: &mut Cluster) -> Result<WaveReport> {
         let wave_index = match self.state {
             JobState::Moving { completed_waves } if completed_waves < self.waves.len() => {
@@ -334,6 +374,9 @@ impl RebalanceJob {
                 .node_of(m.to)
                 .ok_or(ClusterError::UnknownPartition(m.to))?;
             for node in [src_node, dst_node] {
+                if cluster.node_is_lost(node) {
+                    return Err(ClusterError::NodeLost(node));
+                }
                 if !cluster.node_is_alive(node) {
                     return Err(ClusterError::NodeDown(node));
                 }
@@ -403,8 +446,15 @@ impl RebalanceJob {
     /// participating nodes on `tl`. Empty buckets only need a directory
     /// update, which travels with the commit message, so they incur no
     /// per-move transfer cost.
+    ///
+    /// When a fault schedule is installed, transient failures burn attempts
+    /// under the job's [`RetryPolicy`] first — each failed attempt charges
+    /// a round-trip plus capped exponential backoff to both endpoints — and
+    /// slow nodes scale every duration charged to them. With no schedule
+    /// (or an empty one) the charges below are byte-identical to the
+    /// fault-free path.
     fn ship_move(
-        &self,
+        &mut self,
         cluster: &mut Cluster,
         m: &BucketMove,
         tl: &mut NodeTimeline,
@@ -415,6 +465,35 @@ impl RebalanceJob {
             .target
             .node_of(m.to)
             .ok_or(ClusterError::UnknownPartition(m.to))?;
+        let plane = cluster.fault_plane().filter(|s| !s.is_empty()).cloned();
+        if let Some(plane) = &plane {
+            let mut attempt = 0u32;
+            while plane.transient_failure(m.bucket, m.from, m.to, attempt) {
+                if attempt >= self.retry.max_retries {
+                    return Err(ClusterError::RebalanceAborted(format!(
+                        "transfer of bucket {} from {} to {} failed transiently {} times, \
+                         exhausting its retry budget",
+                        m.bucket,
+                        m.from,
+                        m.to,
+                        attempt + 1
+                    )));
+                }
+                let backoff = self.retry.backoff(attempt);
+                let round_trip = SimDuration::from_nanos(cost.network_latency_ns);
+                tl.charge(src_node, plane.scaled(src_node, round_trip) + backoff);
+                tl.charge(dst_node, plane.scaled(dst_node, round_trip) + backoff);
+                cluster.faults.stats.transient_faults += 1;
+                cluster.faults.stats.retries += 1;
+                cluster.faults.stats.backoff += backoff;
+                self.retries += 1;
+                attempt += 1;
+            }
+        }
+        let scaled = |node: NodeId, d: SimDuration| match &plane {
+            Some(p) => p.scaled(node, d),
+            None => d,
+        };
         // An index rebuild is only charged when there is something to
         // rebuild: a dataset without secondary indexes pays none under
         // either policy or rebuild mode.
@@ -437,14 +516,17 @@ impl RebalanceJob {
                 if bytes > 0 {
                     tl.charge(
                         src_node,
-                        cost.disk_read(bytes) + cost.rematerialize_cpu(records),
+                        scaled(
+                            src_node,
+                            cost.disk_read(bytes) + cost.rematerialize_cpu(records),
+                        ),
                     );
-                    tl.charge(dst_node, cost.network(bytes));
+                    tl.charge(dst_node, scaled(dst_node, cost.network(bytes)));
                     let mut dst_cost = cost.disk_write(bytes) + cost.rematerialize_cpu(records);
                     if dst_has_indexes {
                         dst_cost += cost.index_rebuild_cpu(records);
                     }
-                    tl.charge(dst_node, dst_cost);
+                    tl.charge(dst_node, scaled(dst_node, dst_cost));
                 }
                 let dst = cluster.partition_mut(m.to)?.dataset_mut(self.dataset)?;
                 dst.ensure_pending_bucket(m.bucket)?;
@@ -473,17 +555,20 @@ impl RebalanceJob {
                 // path, and the default deferred mode moves even that to the
                 // first index query (charged by the query executor instead).
                 if bytes > 0 {
-                    tl.charge(src_node, cost.disk_read(bytes));
+                    tl.charge(src_node, scaled(src_node, cost.disk_read(bytes)));
                     tl.charge(
                         dst_node,
-                        cost.network(bytes)
-                            + cost.component_ship_overhead(component_ids.len() as u64),
+                        scaled(
+                            dst_node,
+                            cost.network(bytes)
+                                + cost.component_ship_overhead(component_ids.len() as u64),
+                        ),
                     );
                     let mut dst_cost = cost.disk_write(bytes);
                     if dst_has_indexes && self.secondary_rebuild == SecondaryRebuild::Eager {
                         dst_cost += cost.index_rebuild_cpu(records);
                     }
-                    tl.charge(dst_node, dst_cost);
+                    tl.charge(dst_node, scaled(dst_node, dst_cost));
                 }
                 Ok(ShipStats {
                     bytes,
@@ -492,6 +577,239 @@ impl RebalanceJob {
                 })
             }
         }
+    }
+
+    /// Re-plans the in-flight rebalance around permanently lost participants
+    /// instead of aborting. Allowed whenever the job is in data movement
+    /// (between any two waves, including before the first and after the
+    /// last). For each lost node the job:
+    ///
+    /// * redirects every move *to* one of its partitions onto the surviving
+    ///   destination partition with the least planned inbound bytes (lowest
+    ///   partition id breaks ties), amending both the plan and the planned
+    ///   directory;
+    /// * schedules already-shipped redirected moves for a fresh transfer
+    ///   from their (still live) sources — the WAL's `ShippedMove` records
+    ///   and the sources' kept copies make this safe — and unregisters their
+    ///   write replication to the dead destination;
+    /// * declares buckets whose *only* copy died with the node (an unshipped
+    ///   move's source, or a non-moving bucket resident on the node) lost:
+    ///   the commit installs them empty on a survivor so the directory keeps
+    ///   covering the hash space, and the dataset serves every other bucket
+    ///   (degraded mode, surfaced by [`Admin::health`]);
+    /// * drops the node from the participant set, the 2PC coordinator, and
+    ///   the target topology, then reschedules the still-pending moves into
+    ///   fresh waves.
+    ///
+    /// Sessions keep serving reads from still-live sources throughout: the
+    /// routing directory only changes at commit.
+    ///
+    /// [`Admin::health`]: crate::cluster::Admin::health
+    pub fn replan_wave(&mut self, cluster: &mut Cluster) -> Result<ReplanReport> {
+        let completed = match self.state {
+            JobState::Moving { completed_waves } => completed_waves,
+            _ => return Err(self.invalid_step("replan_wave")),
+        };
+        let lost: Vec<NodeId> = self
+            .participants
+            .iter()
+            .copied()
+            .filter(|n| cluster.node_is_lost(*n))
+            .collect();
+        if lost.is_empty() {
+            return Ok(ReplanReport::default());
+        }
+        let cost = cluster.cost_model();
+
+        let mut new_target = self.target.clone();
+        for n in &lost {
+            new_target = new_target.without_node(*n);
+        }
+        if new_target.is_empty() {
+            return Err(ClusterError::RebalanceAborted(
+                "every target node was permanently lost; nothing to re-plan onto".to_string(),
+            ));
+        }
+
+        // Endpoint liveness per move, resolved before any mutation.
+        let node_is_lost = |n: Option<NodeId>| n.is_some_and(|n| cluster.node_is_lost(n));
+        let src_lost: Vec<bool> = self
+            .plan
+            .moves
+            .iter()
+            .map(|m| node_is_lost(cluster.topology().node_of(m.from)))
+            .collect();
+        let dst_lost: Vec<bool> = self
+            .plan
+            .moves
+            .iter()
+            .map(|m| node_is_lost(self.target.node_of(m.to)))
+            .collect();
+        let shipped_buckets: BTreeSet<BucketId> = self.waves[..completed]
+            .iter()
+            .flat_map(|w| w.iter().map(|m| m.bucket))
+            .collect();
+
+        // Surviving destinations, ranked by planned inbound bytes so the
+        // reroutes spread instead of piling onto one partition.
+        let mut inbound: BTreeMap<PartitionId, u64> = new_target
+            .partitions()
+            .into_iter()
+            .map(|p| (p, 0))
+            .collect();
+        for (i, m) in self.plan.moves.iter().enumerate() {
+            if !dst_lost[i] {
+                *inbound.entry(m.to).or_default() += m.bytes;
+            }
+        }
+
+        let mut report = ReplanReport {
+            lost_nodes: lost.clone(),
+            ..ReplanReport::default()
+        };
+        let mut lost_buckets: Vec<BucketId> = Vec::new();
+        // Buckets whose already-shipped transfer must repeat onto the new
+        // destination (their re-ship joins the rescheduled waves below).
+        let mut reship: BTreeSet<BucketId> = BTreeSet::new();
+        // Moves canceled outright (the bucket stays on its live source).
+        let mut canceled: Vec<usize> = Vec::new();
+        for i in 0..self.plan.moves.len() {
+            let m = self.plan.moves[i];
+            let already_shipped = shipped_buckets.contains(&m.bucket);
+            if dst_lost[i] {
+                // A dead destination orphans whatever was shipped to it; stop
+                // replicating writes there either way.
+                if already_shipped {
+                    if let Some(active) = cluster.active_rebalances.get_mut(&self.dataset) {
+                        active.shipped.remove(&m.bucket);
+                    }
+                }
+                let src_in_target = !src_lost[i] && new_target.node_of(m.from).is_some();
+                if src_in_target {
+                    // The cheapest reroute: cancel the move and let the
+                    // bucket stay on its live source (which keeps its copy
+                    // until commit). Shipping a bucket back to itself would
+                    // confuse the commit-time install/cleanup passes.
+                    self.plan.new_directory.reassign(m.bucket, m.from);
+                    canceled.push(i);
+                } else {
+                    let new_to = pick_least_loaded(&mut inbound, m.bytes).ok_or_else(|| {
+                        ClusterError::RebalanceAborted(
+                            "no surviving destination partition to re-plan onto".to_string(),
+                        )
+                    })?;
+                    self.plan.moves[i].to = new_to;
+                    self.plan.new_directory.reassign(m.bucket, new_to);
+                    if already_shipped && !src_lost[i] {
+                        reship.insert(m.bucket);
+                        report.reshipped += 1;
+                    }
+                }
+                report.rerouted += 1;
+            }
+            // The data survives if the destination holds a shipped copy or
+            // the source still lives; otherwise the bucket is lost.
+            let survives = if already_shipped && !dst_lost[i] {
+                true
+            } else {
+                !src_lost[i]
+            };
+            if !survives {
+                lost_buckets.push(m.bucket);
+            }
+        }
+        for i in canceled.into_iter().rev() {
+            self.plan.moves.remove(i);
+        }
+
+        // Non-moving buckets resident on a lost node lose their only copy
+        // too: reassign each to a survivor as a synthetic zero-byte move, so
+        // the commit installs an empty bucket there and the directory keeps
+        // covering the full hash space.
+        for n in &lost {
+            for p in cluster.topology().partitions_of_node(*n) {
+                for bucket in self.plan.new_directory.buckets_of_partition(p) {
+                    let new_to = pick_least_loaded(&mut inbound, 0).ok_or_else(|| {
+                        ClusterError::RebalanceAborted(
+                            "no surviving destination partition to re-plan onto".to_string(),
+                        )
+                    })?;
+                    self.plan.new_directory.reassign(bucket, new_to);
+                    self.plan.moves.push(BucketMove {
+                        bucket,
+                        from: p,
+                        to: new_to,
+                        bytes: 0,
+                    });
+                    report.rerouted += 1;
+                    lost_buckets.push(bucket);
+                }
+            }
+        }
+
+        // Shrink the 2PC to the survivors and adopt the amended target.
+        for n in &lost {
+            self.coordinator.remove_participant(*n);
+        }
+        self.participants.retain(|n| !lost.contains(n));
+        self.target = new_target;
+        self.plan.target = self.target.clone();
+        if let Some(active) = cluster.active_rebalances.get_mut(&self.dataset) {
+            active.target = self.target.clone();
+        }
+
+        // Reschedule what still has to move: unshipped moves with a live
+        // source, plus the re-ships. Lost buckets are deliberately absent —
+        // their empty install travels with the commit.
+        let max_concurrent = self.waves.iter().map(Vec::len).max().unwrap_or(1);
+        self.waves.truncate(completed);
+        let topology = cluster.topology().clone();
+        let pending: Vec<BucketMove> = self
+            .plan
+            .moves
+            .iter()
+            .copied()
+            .filter(|m| {
+                let src_live = topology
+                    .node_of(m.from)
+                    .is_some_and(|n| !cluster.node_is_lost(n));
+                let needs_ship = !shipped_buckets.contains(&m.bucket) || reship.contains(&m.bucket);
+                src_live && needs_ship
+            })
+            .collect();
+        let new_waves =
+            RebalancePlan::schedule_moves(&pending, &self.target, max_concurrent, |p| {
+                topology.node_of(p)
+            });
+        report.waves_appended = new_waves.len();
+        self.waves.extend(new_waves);
+
+        // Re-planning is CC work and costs makespan like any wave.
+        let mut tl = NodeTimeline::new();
+        tl.charge_coordinator(SimDuration::from_nanos(
+            cost.job_overhead_ns * lost.len() as u64,
+        ));
+        self.clock.record_wave(&tl);
+        self.move_tl.extend(&tl);
+
+        report.lost_buckets = lost_buckets.len() as u64;
+        self.reroutes += report.rerouted;
+        cluster.faults.stats.reroutes += report.rerouted;
+        cluster.faults.stats.reshipped += report.reshipped;
+        if !lost_buckets.is_empty() {
+            let entry = cluster
+                .faults
+                .stats
+                .lost_buckets
+                .entry(self.dataset)
+                .or_default();
+            for b in lost_buckets {
+                if !entry.contains(&b) {
+                    entry.push(b);
+                }
+            }
+        }
+        Ok(report)
     }
 
     /// Applies a batch of concurrent writes while data movement is in
@@ -735,6 +1053,27 @@ impl RebalanceJob {
         self.move_policy = policy;
     }
 
+    /// The retry policy bucket transfers run under when a fault schedule is
+    /// installed (default: [`RetryPolicy::default`]).
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Sets the transfer retry policy. Call before the first wave runs.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Transfer attempts retried after a transient fault, so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Moves rerouted to survivors by [`RebalanceJob::replan_wave`], so far.
+    pub fn reroutes(&self) -> u64 {
+        self.reroutes
+    }
+
     /// When destinations rebuild secondary entries for received buckets
     /// (default: [`SecondaryRebuild::Deferred`]). Only meaningful under
     /// [`MovePolicy::Components`]; the Records baseline always rebuilds
@@ -891,7 +1230,9 @@ impl RebalanceJob {
     /// re-shipping it from the source when an uncommitted transfer was lost
     /// to a crash. Returns false if the move cannot be completed yet (the
     /// source is down); [`RebalanceJob::finalize`] recovers every node and
-    /// retries.
+    /// retries. A *permanently lost* source cannot re-ship: whatever reached
+    /// the destination (possibly nothing) is installed as the degraded copy
+    /// and the bucket is recorded as lost.
     fn ensure_shipped(&mut self, cluster: &mut Cluster, m: &BucketMove) -> Result<bool> {
         {
             let ds = cluster.partition(m.to)?.dataset(self.dataset)?;
@@ -900,6 +1241,28 @@ impl RebalanceJob {
             {
                 return Ok(true);
             }
+        }
+        let src_node = cluster.node_of_partition(m.from)?;
+        if cluster.node_is_lost(src_node) {
+            // The source died for good and the destination holds no base
+            // data. Install what little survived — replicated writes that
+            // landed after the wipe, or nothing at all — so the committed
+            // directory keeps covering the hash space, and record the
+            // bucket as degraded.
+            cluster
+                .partition_mut(m.to)?
+                .dataset_mut(self.dataset)?
+                .ensure_pending_bucket(m.bucket)?;
+            let entry = cluster
+                .faults
+                .stats
+                .lost_buckets
+                .entry(self.dataset)
+                .or_default();
+            if !entry.contains(&m.bucket) {
+                entry.push(m.bucket);
+            }
+            return Ok(true);
         }
         // The transfer must have been recorded durable before it can be
         // replayed (run_wave forces one ship record per wave).
@@ -917,7 +1280,6 @@ impl RebalanceJob {
         if !was_shipped {
             return Ok(false);
         }
-        let src_node = cluster.node_of_partition(m.from)?;
         let src_owns = cluster
             .partition(m.from)?
             .dataset(self.dataset)?
@@ -957,8 +1319,24 @@ impl RebalanceJob {
             },
             per_node: total_tl.breakdown(),
             concurrent_writes_applied: self.writes_applied,
+            retries: self.retries,
+            reroutes: self.reroutes,
         }
     }
+}
+
+/// Picks the surviving destination partition with the least planned inbound
+/// bytes (lowest partition id breaks ties) and charges `bytes` to it, so
+/// successive reroutes spread across the survivors deterministically.
+fn pick_least_loaded(inbound: &mut BTreeMap<PartitionId, u64>, bytes: u64) -> Option<PartitionId> {
+    let p = inbound
+        .iter()
+        .min_by_key(|&(p, b)| (*b, *p))
+        .map(|(p, _)| *p)?;
+    if let Some(b) = inbound.get_mut(&p) {
+        *b += bytes;
+    }
+    Some(p)
 }
 
 #[cfg(test)]
@@ -1150,6 +1528,186 @@ mod tests {
             })
             .sum();
         assert!(on_new > 0, "lost transfers must be re-shipped");
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_absorbed() {
+        let (mut cluster, ds) = loaded(2, 2000);
+        cluster.add_node().unwrap();
+        // Fail often (60 %), but cap the injections per transfer below the
+        // default retry budget so every fault is absorbed.
+        cluster.set_fault_plane(crate::fault::FaultSchedule::seeded(7).with_transient(600, 2));
+        let target = cluster.topology().clone();
+        let mut job = RebalanceJob::plan(&mut cluster, ds, &target, 4).unwrap();
+        job.init(&mut cluster).unwrap();
+        while job.has_remaining_waves() {
+            job.run_wave(&mut cluster).unwrap();
+        }
+        job.prepare(&mut cluster).unwrap();
+        assert_eq!(
+            job.decide(&mut cluster).unwrap(),
+            RebalanceOutcome::Committed
+        );
+        job.commit(&mut cluster).unwrap();
+        let report = job.finalize(&mut cluster).unwrap();
+        assert_eq!(report.outcome, RebalanceOutcome::Committed);
+        assert!(report.retries > 0, "60 % per-mille must trip some retries");
+        let stats = cluster.fault_stats();
+        assert_eq!(stats.transient_faults, report.retries);
+        assert!(stats.backoff > SimDuration::from_nanos(0));
+        assert_eq!(cluster.dataset_len(ds).unwrap(), 2000);
+        cluster
+            .check_rebalance_integrity(ds, report.rebalance_id)
+            .unwrap();
+    }
+
+    #[test]
+    fn losing_a_pure_destination_cancels_its_moves_and_commits() {
+        let (mut cluster, ds) = loaded(3, 3000);
+        let new_node = cluster.add_node().unwrap();
+        let target = cluster.topology().clone();
+        let mut job = RebalanceJob::plan(&mut cluster, ds, &target, 2).unwrap();
+        job.init(&mut cluster).unwrap();
+        job.run_wave(&mut cluster).unwrap();
+        cluster.lose_node(new_node).unwrap();
+        // the next wave reports the loss as permanent, not as recoverable
+        assert!(matches!(
+            job.run_wave(&mut cluster),
+            Err(ClusterError::NodeLost(n)) if n == new_node
+        ));
+        let replan = job.replan_wave(&mut cluster).unwrap();
+        assert_eq!(replan.lost_nodes, vec![new_node]);
+        assert!(replan.rerouted > 0);
+        assert_eq!(
+            replan.lost_buckets, 0,
+            "a pure destination holds no sole copies"
+        );
+        // every source survives inside the target, so every move cancels:
+        // nothing is left to ship
+        assert_eq!(replan.waves_appended, 0);
+        assert!(!job.has_remaining_waves());
+        job.prepare(&mut cluster).unwrap();
+        assert_eq!(
+            job.decide(&mut cluster).unwrap(),
+            RebalanceOutcome::Committed
+        );
+        job.commit(&mut cluster).unwrap();
+        let report = job.finalize(&mut cluster).unwrap();
+        assert_eq!(report.outcome, RebalanceOutcome::Committed);
+        assert!(report.reroutes > 0);
+        assert_eq!(cluster.dataset_len(ds).unwrap(), 3000);
+        cluster.remove_lost_node(new_node).unwrap();
+        cluster
+            .check_rebalance_integrity(ds, report.rebalance_id)
+            .unwrap();
+        assert!(
+            cluster.fault_stats().lost_nodes.contains(&new_node),
+            "the loss is recorded in the fault stats"
+        );
+    }
+
+    #[test]
+    fn losing_a_destination_mid_scale_in_reships_to_survivors() {
+        // Evacuate node 3; some of its buckets land on node 2, which dies
+        // for good after every wave shipped. The evacuation must still
+        // complete by re-shipping node 2's share to nodes 0 and 1 — node 2's
+        // own resident buckets die with it (their only copy), so the dataset
+        // ends degraded but every evacuated record survives.
+        let (mut cluster, ds) = loaded(4, 4000);
+        let evacuee = NodeId(3);
+        let victim = NodeId(2);
+        let target = cluster.topology_without(evacuee);
+        let mut job = RebalanceJob::plan(&mut cluster, ds, &target, 2).unwrap();
+        assert!(job
+            .plan_ref()
+            .moves
+            .iter()
+            .any(|m| target.node_of(m.to) == Some(victim)));
+        job.init(&mut cluster).unwrap();
+        while job.has_remaining_waves() {
+            job.run_wave(&mut cluster).unwrap();
+        }
+        cluster.lose_node(victim).unwrap();
+        let replan = job.replan_wave(&mut cluster).unwrap();
+        assert_eq!(replan.lost_nodes, vec![victim]);
+        assert!(replan.rerouted > 0);
+        assert!(
+            replan.reshipped > 0,
+            "shipped moves to the dead node must transfer again"
+        );
+        assert!(
+            replan.lost_buckets > 0,
+            "the victim's resident buckets die with it"
+        );
+        assert!(replan.waves_appended > 0);
+        while job.has_remaining_waves() {
+            job.run_wave(&mut cluster).unwrap();
+        }
+        job.prepare(&mut cluster).unwrap();
+        assert_eq!(
+            job.decide(&mut cluster).unwrap(),
+            RebalanceOutcome::Committed
+        );
+        job.commit(&mut cluster).unwrap();
+        let report = job.finalize(&mut cluster).unwrap();
+        assert_eq!(report.outcome, RebalanceOutcome::Committed);
+        // the evacuee is empty and decommissionable; the victim is removable
+        cluster.decommission_node(evacuee).unwrap();
+        cluster.remove_lost_node(victim).unwrap();
+        cluster
+            .check_rebalance_integrity(ds, report.rebalance_id)
+            .unwrap();
+        // every evacuated record survived; only the victim's residents died
+        let after = cluster.dataset_len(ds).unwrap();
+        assert!(after > 0 && after < 4000, "degraded but serving: {after}");
+        for (_, state) in cluster.admin().health().nodes {
+            assert_eq!(state, crate::fault::NodeState::Alive);
+        }
+    }
+
+    #[test]
+    fn losing_a_source_mid_movement_serves_degraded() {
+        // Node 2 is being evacuated and dies for good before all of its
+        // buckets ship: the shipped ones survive at their destinations, the
+        // unshipped ones are declared lost, and the dataset keeps serving
+        // everything else.
+        let (mut cluster, ds) = loaded(3, 3000);
+        let before = cluster.dataset_len(ds).unwrap();
+        let victim = NodeId(2);
+        let target = cluster.topology_without(victim);
+        let mut job = RebalanceJob::plan(&mut cluster, ds, &target, 1).unwrap();
+        let total_moves = job.plan_ref().num_moves();
+        assert!(total_moves > 2);
+        job.init(&mut cluster).unwrap();
+        job.run_wave(&mut cluster).unwrap();
+        cluster.lose_node(victim).unwrap();
+        let replan = job.replan_wave(&mut cluster).unwrap();
+        assert_eq!(replan.lost_nodes, vec![victim]);
+        assert!(
+            replan.lost_buckets > 0,
+            "unshipped buckets die with their source"
+        );
+        while job.has_remaining_waves() {
+            job.run_wave(&mut cluster).unwrap();
+        }
+        job.prepare(&mut cluster).unwrap();
+        assert_eq!(
+            job.decide(&mut cluster).unwrap(),
+            RebalanceOutcome::Committed
+        );
+        job.commit(&mut cluster).unwrap();
+        let report = job.finalize(&mut cluster).unwrap();
+        assert_eq!(report.outcome, RebalanceOutcome::Committed);
+        cluster.remove_lost_node(victim).unwrap();
+        // the shipped buckets survived, the unshipped ones are gone
+        let after = cluster.dataset_len(ds).unwrap();
+        assert!(after > 0 && after < before, "degraded but serving: {after}");
+        cluster
+            .check_rebalance_integrity(ds, report.rebalance_id)
+            .unwrap();
+        let health = cluster.admin().health();
+        assert!(!health.all_healthy());
+        assert_eq!(health.degraded_datasets(), vec![ds]);
     }
 
     #[test]

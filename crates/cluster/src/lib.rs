@@ -21,12 +21,18 @@
 //!   three-phase, two-phase-commit protocol wave by wave ([`job`]) — plus
 //!   the one-shot driver loop over it and the global rebalancing baseline
 //!   ([`rebalance`]);
-//! * fault injection and recovery for the six failure cases ([`recovery`]);
+//! * fault injection and recovery for the six failure cases ([`recovery`]),
+//!   plus the deterministic fault plane — seeded, replayable
+//!   [`fault::FaultSchedule`]s of transient ship failures, slow nodes, and
+//!   crash/permanent-loss wave faults that
+//!   [`job::RebalanceJob::replan_wave`] survives by rerouting the dead
+//!   node's moves to survivors ([`fault`]);
 //! * the hardware cost model and simulated-time accounting ([`sim`]).
 
 pub mod cluster;
 pub mod controller;
 pub mod dataset;
+pub mod fault;
 pub mod feed;
 pub mod job;
 pub mod node;
@@ -40,8 +46,9 @@ pub mod sim;
 pub use cluster::{Admin, Cluster, ClusterConfig};
 pub use controller::ClusterController;
 pub use dataset::{DatasetId, DatasetMeta, DatasetSpec, SecondaryIndexDef};
+pub use fault::{ClusterHealth, FaultSchedule, FaultStats, NodeState, RetryPolicy, WaveFault};
 pub use feed::{split_into_batches, ControlledRateFeed, IngestReport};
-pub use job::{JobState, RebalanceJob, StepPoint, WaveReport};
+pub use job::{JobState, RebalanceJob, ReplanReport, StepPoint, WaveReport};
 pub use node::NodeController;
 pub use partition::{Partition, PartitionDataset, SecondaryState};
 pub use query::{QueryExecutor, QueryReport};
@@ -68,6 +75,9 @@ pub enum ClusterError {
     UnknownNode(NodeId),
     /// The node is down.
     NodeDown(NodeId),
+    /// The node is permanently lost: it will never recover, and a rebalance
+    /// job touching it must re-plan around it instead of waiting.
+    NodeLost(NodeId),
     /// Writes to the dataset are briefly blocked while a rebalance runs its
     /// prepare/commit window (Section V-C).
     DatasetWriteBlocked(DsId),
@@ -104,6 +114,7 @@ impl std::fmt::Display for ClusterError {
             ClusterError::UnknownPartition(p) => write!(f, "unknown partition {p}"),
             ClusterError::UnknownNode(n) => write!(f, "unknown node {n}"),
             ClusterError::NodeDown(n) => write!(f, "node {n} is down"),
+            ClusterError::NodeLost(n) => write!(f, "node {n} is permanently lost"),
             ClusterError::DatasetWriteBlocked(d) => write!(
                 f,
                 "dataset {d} writes are briefly blocked by a rebalance prepare phase"

@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use dynahash_core::{NodeId, PartitionId};
 use dynahash_lsm::wal::TransactionLog;
 
+use crate::fault::NodeState;
 use crate::partition::Partition;
 use crate::ClusterError;
 
@@ -22,6 +23,7 @@ pub struct NodeController {
     /// The node's transaction log (data log records + replication source).
     pub log: TransactionLog,
     alive: bool,
+    lost: bool,
 }
 
 impl std::fmt::Debug for NodeController {
@@ -30,6 +32,7 @@ impl std::fmt::Debug for NodeController {
             .field("id", &self.id)
             .field("partitions", &self.partitions.len())
             .field("alive", &self.alive)
+            .field("lost", &self.lost)
             .finish()
     }
 }
@@ -45,6 +48,7 @@ impl NodeController {
                 .collect(),
             log: TransactionLog::new(),
             alive: true,
+            lost: false,
         }
     }
 
@@ -82,6 +86,22 @@ impl NodeController {
         self.alive
     }
 
+    /// True if the node is permanently lost (never recoverable).
+    pub fn is_lost(&self) -> bool {
+        self.lost
+    }
+
+    /// The node's liveness state for the health surface.
+    pub fn state(&self) -> NodeState {
+        if self.lost {
+            NodeState::Lost
+        } else if self.alive {
+            NodeState::Alive
+        } else {
+            NodeState::Crashed
+        }
+    }
+
     /// Simulates a crash: the node stops responding and its non-durable log
     /// records are lost. Data in "disk" components survives (it is durable by
     /// construction); in-memory components survive too because AsterixDB
@@ -99,11 +119,22 @@ impl NodeController {
         }
     }
 
+    /// Permanently loses the node: same immediate effect as a crash, but
+    /// the node never recovers. Its durable data is gone with it — any
+    /// bucket whose only copy lived here must be rerouted (if already
+    /// shipped elsewhere) or declared lost (degraded mode).
+    pub fn mark_lost(&mut self) {
+        self.crash();
+        self.lost = true;
+    }
+
     /// Recovers a crashed node. The caller (the CC) is responsible for
     /// telling the node how to finish any in-flight rebalance, as described
-    /// by failure Cases 1-5.
+    /// by failure Cases 1-5. A permanently lost node stays down.
     pub fn recover(&mut self) {
-        self.alive = true;
+        if !self.lost {
+            self.alive = true;
+        }
     }
 
     /// Total storage bytes over all partitions.

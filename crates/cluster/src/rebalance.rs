@@ -170,6 +170,11 @@ pub struct RebalanceReport {
     pub per_node: Vec<(NodeId, SimDuration)>,
     /// Concurrent writes applied during the rebalance.
     pub concurrent_writes_applied: u64,
+    /// Transfer attempts retried after a transient fault (0 without an
+    /// installed fault schedule).
+    pub retries: u64,
+    /// Moves rerouted to survivors by re-planning around lost nodes.
+    pub reroutes: u64,
 }
 
 fn fire_hooks(
@@ -266,10 +271,38 @@ impl Cluster {
         let mut batches = split_into_batches(concurrent_writes, job.num_waves().max(1)).into_iter();
         while job.has_remaining_waves() {
             let wave = job.completed_waves();
-            job.run_wave(self)?;
+            match job.run_wave(self) {
+                Ok(_) => {}
+                Err(ClusterError::NodeLost(_)) => {
+                    // A permanent loss surfaced mid-movement (injected by a
+                    // hook or a prior wave fault): reroute the dead node's
+                    // moves to survivors and retry from the same wave index.
+                    let replan = job.replan_wave(self)?;
+                    if replan.is_noop() {
+                        // Nothing to re-plan around — the loss hit a node
+                        // outside the participant set; surface it.
+                        job.run_wave(self)?;
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
             if let Some(batch) = batches.next() {
                 if !batch.is_empty() {
                     job.apply_feed_batch(self, batch)?;
+                }
+            }
+            // Consume the fault scheduled to fire after this wave, if any.
+            if let Some(fault) = self.take_wave_fault(wave as u64) {
+                match fault {
+                    crate::fault::WaveFault::Crash(n) => {
+                        let _ = self.crash_node(n);
+                        self.recover_all_nodes();
+                    }
+                    crate::fault::WaveFault::Lose(n) => {
+                        self.lose_node(n)?;
+                        job.replan_wave(self)?;
+                    }
                 }
             }
             fire_hooks(hooks, StepPoint::AfterWave(wave), self, job)?;
@@ -451,6 +484,8 @@ impl Cluster {
                 moved_fraction: 0.0,
                 per_node: tl.breakdown(),
                 concurrent_writes_applied: 0,
+                retries: 0,
+                reroutes: 0,
             });
         }
 
@@ -525,6 +560,8 @@ impl Cluster {
             },
             per_node: tl.breakdown(),
             concurrent_writes_applied: 0,
+            retries: 0,
+            reroutes: 0,
         })
     }
 }

@@ -34,8 +34,23 @@ impl Cluster {
 
     /// Recovers a node. Upon recovery the NC registers with the CC; any
     /// pending rebalance instructions are handled by the rebalance executor.
+    /// A permanently lost node is not recoverable.
     pub fn recover_node(&mut self, node: NodeId) -> Result<()> {
-        self.node_mut(node)?.recover();
+        let nc = self.node_mut(node)?;
+        if nc.is_lost() {
+            return Err(ClusterError::NodeLost(node));
+        }
+        nc.recover();
+        Ok(())
+    }
+
+    /// Permanently loses a node: it crashes and never comes back. In-flight
+    /// rebalance jobs must [`replan_wave`](crate::job::RebalanceJob::replan_wave)
+    /// around it; once no dataset's directory references its partitions it
+    /// can be removed with [`Cluster::remove_lost_node`].
+    pub fn lose_node(&mut self, node: NodeId) -> Result<()> {
+        self.node_mut(node)?.mark_lost();
+        self.faults.stats.lost_nodes.push(node);
         Ok(())
     }
 
@@ -44,14 +59,20 @@ impl Cluster {
         self.node(node).map(|n| n.is_alive()).unwrap_or(false)
     }
 
-    /// Recovers every crashed node. Used by the rebalance finalization step
-    /// (recovered NCs re-run their idempotent commit or cleanup tasks) and
-    /// available to scenarios driving a job step-by-step.
+    /// True if the node is permanently lost.
+    pub fn node_is_lost(&self, node: NodeId) -> bool {
+        self.node(node).map(|n| n.is_lost()).unwrap_or(false)
+    }
+
+    /// Recovers every crashed node (permanently lost nodes stay down). Used
+    /// by the rebalance finalization step (recovered NCs re-run their
+    /// idempotent commit or cleanup tasks) and available to scenarios
+    /// driving a job step-by-step.
     pub fn recover_all_nodes(&mut self) {
         let nodes: Vec<NodeId> = self.topology().nodes();
         for n in nodes {
             if let Ok(nc) = self.node_mut(n) {
-                if !nc.is_alive() {
+                if !nc.is_alive() && !nc.is_lost() {
                     nc.recover();
                 }
             }
@@ -80,7 +101,7 @@ impl Cluster {
             .topology()
             .nodes()
             .into_iter()
-            .filter(|n| !self.node_is_alive(*n))
+            .filter(|n| !self.node_is_alive(*n) && !self.node_is_lost(*n))
             .collect();
         for n in &recovered {
             let _ = self.recover_node(*n);

@@ -1,0 +1,188 @@
+//! Repeated-crash storms over the step-driven rebalance executor.
+//!
+//! The recovery unit tests walk the paper's six failure cases one at a
+//! time; this harness is the blunt version: at *every* step boundary of the
+//! driver loop it crashes a seeded-randomly chosen node **twice in a row**
+//! (crash, recover, crash, recover), and separately injects a permanent
+//! node loss after every wave boundary, asserting that
+//!
+//! * the job always reaches a terminal outcome (commit or abort — never a
+//!   wedged state),
+//! * commit/abort and `replan_wave` are idempotent under repetition, and
+//! * `check_rebalance_integrity` finds zero violations afterwards.
+//!
+//! Everything is seeded: a failure replays exactly from the printed seed.
+
+use dynahash_cluster::{
+    Cluster, ClusterConfig, CostModel, DatasetId, DatasetSpec, FaultSchedule, RebalanceJob,
+    RebalanceOptions, StepPoint, WaveFault,
+};
+use dynahash_core::{NodeId, RebalanceOutcome, Scheme};
+use dynahash_lsm::entry::Key;
+use dynahash_lsm::rng::SplitMix64;
+use dynahash_lsm::Bytes;
+
+const SEED: u64 = 0xfa57_2026;
+
+fn loaded(nodes: u32, n: u64) -> (Cluster, DatasetId) {
+    let mut cluster = Cluster::with_config(
+        nodes,
+        ClusterConfig {
+            partitions_per_node: 2,
+            cost_model: CostModel::default(),
+        },
+    );
+    let ds = cluster
+        .create_dataset(DatasetSpec::new(
+            "storm",
+            Scheme::StaticHash { num_buckets: 32 },
+        ))
+        .unwrap();
+    let records: Vec<(Key, Bytes)> = (0..n)
+        .map(|i| (Key::from_u64(i), Bytes::from(vec![(i % 249) as u8; 40])))
+        .collect();
+    let mut session = cluster.session(ds).unwrap();
+    session.ingest(&mut cluster, records).unwrap();
+    (cluster, ds)
+}
+
+const POINTS: &[StepPoint] = &[
+    StepPoint::AfterPlan,
+    StepPoint::AfterInit,
+    StepPoint::AfterEveryWave,
+    StepPoint::BeforePrepare,
+    StepPoint::AfterPrepare,
+    StepPoint::AfterCommitLog,
+    StepPoint::BeforeFinalize,
+];
+
+#[test]
+fn double_crash_storm_at_every_step_point_commits_with_integrity() {
+    let mut rng = SplitMix64::seed_from_u64(SEED);
+    for &point in POINTS {
+        for trial in 0..2u32 {
+            let (mut cluster, ds) = loaded(3, 1500);
+            cluster.add_node().unwrap();
+            let target = cluster.topology().clone();
+            let victim = NodeId(rng.gen_range(0..4) as u32);
+            let ctx = format!("point {point:?}, trial {trial}, victim {victim}");
+            let report = cluster
+                .rebalance(
+                    ds,
+                    &target,
+                    RebalanceOptions::none()
+                        .with_max_concurrent_moves(2)
+                        .with_hook(point, move |cluster, _job| {
+                            // The same node dies twice in a row; the driver
+                            // must absorb both (commit tasks and cleanups
+                            // are idempotent; lost transfers re-ship from
+                            // the metadata log).
+                            for _ in 0..2 {
+                                let _ = cluster.crash_node(victim);
+                                cluster.recover_all_nodes();
+                            }
+                            Ok(())
+                        }),
+                )
+                .unwrap_or_else(|e| panic!("storm must not wedge the job ({ctx}): {e}"));
+            assert_eq!(report.outcome, RebalanceOutcome::Committed, "{ctx}");
+            assert_eq!(cluster.dataset_len(ds).unwrap(), 1500, "{ctx}");
+            cluster
+                .check_rebalance_integrity(ds, report.rebalance_id)
+                .unwrap_or_else(|e| panic!("integrity violation ({ctx}): {e}"));
+        }
+    }
+}
+
+#[test]
+fn losing_the_new_node_after_every_wave_boundary_commits_without_abort() {
+    // Serial waves so every wave boundary exists for every trial; the loss
+    // hits the newly added node (a pure destination), so re-planning cancels
+    // its moves and the job commits with zero data loss.
+    for wave in 0..3u64 {
+        let (mut cluster, ds) = loaded(3, 1500);
+        let new_node = cluster.add_node().unwrap();
+        cluster.set_fault_plane(
+            FaultSchedule::seeded(SEED ^ wave).with_wave_fault(wave, WaveFault::Lose(new_node)),
+        );
+        let target = cluster.topology().clone();
+        let report = cluster
+            .rebalance(ds, &target, RebalanceOptions::none())
+            .unwrap_or_else(|e| panic!("loss after wave {wave} must re-plan, not abort: {e}"));
+        assert_eq!(report.outcome, RebalanceOutcome::Committed, "wave {wave}");
+        assert!(report.reroutes > 0, "wave {wave}: loss must cause reroutes");
+        assert!(
+            cluster.fault_stats().lost_buckets.is_empty(),
+            "wave {wave}: a pure destination holds no sole copies"
+        );
+        assert_eq!(cluster.dataset_len(ds).unwrap(), 1500, "wave {wave}");
+        cluster.remove_lost_node(new_node).unwrap();
+        cluster
+            .check_rebalance_integrity(ds, report.rebalance_id)
+            .unwrap_or_else(|e| panic!("integrity violation (wave {wave}): {e}"));
+        assert!(cluster.admin().health().all_healthy(), "wave {wave}");
+    }
+}
+
+#[test]
+fn replanning_twice_in_a_row_is_idempotent() {
+    let (mut cluster, ds) = loaded(3, 2000);
+    let new_node = cluster.add_node().unwrap();
+    let target = cluster.topology().clone();
+    let mut job = RebalanceJob::plan(&mut cluster, ds, &target, 2).unwrap();
+    job.init(&mut cluster).unwrap();
+    job.run_wave(&mut cluster).unwrap();
+    cluster.lose_node(new_node).unwrap();
+    let first = job.replan_wave(&mut cluster).unwrap();
+    assert_eq!(first.lost_nodes, vec![new_node]);
+    assert!(first.rerouted > 0);
+    // The lost node left the participant set: a second re-plan (and a
+    // third) finds nothing to do.
+    let second = job.replan_wave(&mut cluster).unwrap();
+    assert!(second.is_noop(), "second replan must be a noop: {second:?}");
+    let third = job.replan_wave(&mut cluster).unwrap();
+    assert!(third.is_noop());
+    while job.has_remaining_waves() {
+        job.run_wave(&mut cluster).unwrap();
+    }
+    job.prepare(&mut cluster).unwrap();
+    assert_eq!(
+        job.decide(&mut cluster).unwrap(),
+        RebalanceOutcome::Committed
+    );
+    job.commit(&mut cluster).unwrap();
+    let report = job.finalize(&mut cluster).unwrap();
+    assert_eq!(report.outcome, RebalanceOutcome::Committed);
+    assert_eq!(cluster.dataset_len(ds).unwrap(), 2000);
+    cluster.remove_lost_node(new_node).unwrap();
+    cluster
+        .check_rebalance_integrity(ds, report.rebalance_id)
+        .unwrap();
+}
+
+#[test]
+fn double_loss_of_two_destinations_still_commits() {
+    // Scale from 2 to 4 nodes, then lose *both* new nodes at different wave
+    // boundaries. Every move cancels back to its live source and the job
+    // commits as a (near-)noop instead of aborting.
+    let (mut cluster, ds) = loaded(2, 1500);
+    let n2 = cluster.add_node().unwrap();
+    let n3 = cluster.add_node().unwrap();
+    cluster.set_fault_plane(
+        FaultSchedule::seeded(SEED)
+            .with_wave_fault(0, WaveFault::Lose(n2))
+            .with_wave_fault(1, WaveFault::Lose(n3)),
+    );
+    let target = cluster.topology().clone();
+    let report = cluster
+        .rebalance(ds, &target, RebalanceOptions::none())
+        .expect("double loss must re-plan, not abort");
+    assert_eq!(report.outcome, RebalanceOutcome::Committed);
+    assert_eq!(cluster.dataset_len(ds).unwrap(), 1500);
+    cluster.remove_lost_node(n2).unwrap();
+    cluster.remove_lost_node(n3).unwrap();
+    cluster
+        .check_rebalance_integrity(ds, report.rebalance_id)
+        .unwrap();
+    assert_eq!(cluster.fault_stats().lost_nodes, vec![n2, n3]);
+}

@@ -169,14 +169,35 @@ impl RebalancePlan {
     where
         F: Fn(PartitionId) -> Option<NodeId>,
     {
+        Self::schedule_moves(
+            &self.moves,
+            &self.target,
+            max_concurrent_moves,
+            source_node_of,
+        )
+    }
+
+    /// [`RebalancePlan::schedule_waves`] over an arbitrary subset of moves:
+    /// the rebalance executor's `replan_wave` reschedules the still-pending
+    /// moves (reroutes and re-ships included) after amending the plan around
+    /// a permanently lost node. Destinations resolve against `target`.
+    pub fn schedule_moves<F>(
+        moves: &[BucketMove],
+        target: &ClusterTopology,
+        max_concurrent_moves: usize,
+        source_node_of: F,
+    ) -> Vec<Vec<BucketMove>>
+    where
+        F: Fn(PartitionId) -> Option<NodeId>,
+    {
         let cap = max_concurrent_moves.max(1);
         type PairKey = (Option<NodeId>, Option<NodeId>);
         let mut groups: BTreeMap<PairKey, VecDeque<BucketMove>> = BTreeMap::new();
-        for m in &self.moves {
-            let key = (self.target.node_of(m.to), source_node_of(m.from));
+        for m in moves {
+            let key = (target.node_of(m.to), source_node_of(m.from));
             groups.entry(key).or_default().push_back(*m);
         }
-        let mut interleaved = Vec::with_capacity(self.moves.len());
+        let mut interleaved = Vec::with_capacity(moves.len());
         while !groups.is_empty() {
             let keys: Vec<PairKey> = groups.keys().copied().collect();
             for key in keys {

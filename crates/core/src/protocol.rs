@@ -177,6 +177,17 @@ impl RebalanceCoordinator {
         self.outcome
     }
 
+    /// Removes a participant that was permanently lost mid-rebalance: its
+    /// vote and ack (if any) are discarded, and it no longer counts toward
+    /// `all_voted` / `unanimous_yes` / `all_committed`. Only meaningful
+    /// before the decision — re-planning around a loss happens during data
+    /// movement; after the commit decision the outcome already stands.
+    pub fn remove_participant(&mut self, node: NodeId) {
+        self.participants.retain(|n| *n != node);
+        self.votes.remove(&node);
+        self.committed_acks.remove(&node);
+    }
+
     fn expect_phase(&self, expected: RebalancePhase, action: &'static str) -> Result<()> {
         if self.phase == expected {
             Ok(())
