@@ -11,9 +11,9 @@
 //! ```
 //!
 //! Figures: 6, 7a, 7b, 7c, waves, move_policy, routing, lookup, scale,
-//! faults, 8, 9, ablations.
+//! faults, control, 8, 9, ablations.
 //!
-//! Five figures double as regression gates (the run exits 1 on violation):
+//! Six figures double as regression gates (the run exits 1 on violation):
 //!
 //! * `move_policy` — component shipping must be strictly faster than
 //!   record-level movement while leaving byte-identical contents (the
@@ -32,7 +32,13 @@
 //! * `faults` — an installed-but-empty fault schedule must be byte-identical
 //!   to the fault-free oracle, injected transients must be absorbed by
 //!   retry (never an abort), and a mid-movement node loss must commit via
-//!   re-planning — both with record contents identical to the oracle.
+//!   re-planning — both with record contents identical to the oracle;
+//! * `control` — an armed-then-disarmed control plane must be byte-identical
+//!   to the never-armed baseline, and the armed decision loop must split the
+//!   query hotspot, auto-trigger through hysteresis, converge below the
+//!   imbalance threshold within the tick budget, and never exceed the
+//!   per-window migration budget — with record contents identical to the
+//!   baseline.
 
 use dynahash_bench::json::Json;
 use dynahash_bench::*;
@@ -64,8 +70,8 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--quick] [--json <path>] \
-                     [--figure 6|7a|7b|7c|waves|move_policy|routing|lookup|scale|faults|8|9|\
-                     ablations]"
+                     [--figure 6|7a|7b|7c|waves|move_policy|routing|lookup|scale|faults|\
+                     control|8|9|ablations]"
                 );
                 std::process::exit(0);
             }
@@ -262,6 +268,30 @@ fn faults_json(rows: &[FaultRow]) -> Json {
                     ("makespan_ns", Json::Int(r.makespan.as_nanos())),
                     ("retries", Json::Int(r.retries)),
                     ("reroutes", Json::Int(r.reroutes)),
+                    ("records", Json::Int(r.records)),
+                    ("checksum", Json::str(format!("{:016x}", r.checksum))),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn control_json(rows: &[ControlRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj([
+                    ("regime", Json::str(r.label)),
+                    ("ticks", Json::Int(r.ticks)),
+                    ("triggers", Json::Int(r.triggers)),
+                    ("suppressed", Json::Int(r.suppressed)),
+                    ("committed", Json::Int(r.committed)),
+                    ("hot_splits", Json::Int(r.hot_splits)),
+                    ("imbalance_start", Json::Num(r.imbalance_start)),
+                    ("imbalance_end", Json::Num(r.imbalance_end)),
+                    ("threshold", Json::Num(r.threshold)),
+                    ("max_window_buckets", Json::Int(r.max_window_buckets as u64)),
+                    ("max_window_bytes", Json::Int(r.max_window_bytes)),
                     ("records", Json::Int(r.records)),
                     ("checksum", Json::str(format!("{:016x}", r.checksum))),
                 ])
@@ -507,6 +537,30 @@ fn main() {
             println!(
                 "(gate: empty schedule byte-identical to the oracle, transients absorbed \
                  by retry, node loss re-planned and committed, contents identical)"
+            );
+            println!();
+        } else {
+            for v in &violations {
+                eprintln!("GATE FAILED: {v}");
+            }
+            gate_failed = true;
+        }
+    }
+
+    if wants(&args.figure, "control") {
+        println!("## Control plane — load-aware auto-rebalancing under a query hotspot (DynaHash, 4 -> 6 nodes)");
+        println!();
+        let rows = control_study(&cfg);
+        println!("{}", format_control(&rows));
+        figures.push_field("control", control_json(&rows));
+        // Simulated ticks and byte accounting only — deterministic, so
+        // violations fail immediately.
+        let violations = control_gate_violations(&rows);
+        if violations.is_empty() {
+            println!(
+                "(gate: disarmed run byte-identical to the baseline, armed loop split the \
+                 hotspot and converged below the threshold within {CONTROL_CONVERGENCE_TICKS} \
+                 ticks inside the migration budget, contents identical)"
             );
             println!();
         } else {

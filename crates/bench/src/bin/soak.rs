@@ -115,6 +115,11 @@ fn report_json(cfg: &SoakConfig, report: &SoakReport) -> Json {
         ("lost_nodes", Json::Int(report.lost_nodes as u64)),
         ("redirects", Json::Int(report.redirects)),
         ("final_nodes", Json::Int(report.final_nodes as u64)),
+        ("control", Json::Bool(cfg.control)),
+        ("auto_triggers", Json::Int(report.auto_triggers)),
+        ("auto_commits", Json::Int(report.auto_commits)),
+        ("hot_splits", Json::Int(report.hot_splits)),
+        ("suppressed", Json::Int(report.suppressed)),
         (
             "footprint",
             Json::obj([
@@ -189,6 +194,13 @@ fn main() {
             report.reshipped
         );
     }
+    if cfg.control {
+        println!(
+            "control plane: {} auto-triggers ({} committed), {} hot-bucket \
+             splits, {} decisions suppressed by hysteresis/cooldown",
+            report.auto_triggers, report.auto_commits, report.hot_splits, report.suppressed
+        );
+    }
     println!(
         "footprint: {} records resident in {} bytes ({:.1} B/record; legacy \
          layout would hold {} bytes), {} keys inline",
@@ -234,6 +246,18 @@ fn main() {
         }
         if report.reroutes == 0 {
             eprintln!("chaos soak: a node was lost but nothing was re-planned");
+            std::process::exit(1);
+        }
+    }
+    if cfg.control {
+        // The control gate: the spliced query hotspots must have pushed the
+        // armed plane through at least one full decision cycle.
+        if report.auto_triggers == 0 || report.auto_commits == 0 {
+            eprintln!(
+                "control soak: the hotspot never drove the plane through a \
+                 decision cycle (triggers {}, commits {})",
+                report.auto_triggers, report.auto_commits
+            );
             std::process::exit(1);
         }
     }

@@ -1793,6 +1793,291 @@ pub fn fault_gate_violations(rows: &[FaultRow]) -> Vec<String> {
     bad
 }
 
+// ---------------------------------------------------- control study (PR 9)
+
+/// Tick budget the armed control plane gets to converge in [`control_study`].
+/// The loop typically needs two trigger cycles: the first auto-job balances
+/// the heat-weighted load as of its trigger tick, and once the query heat
+/// decays the residual byte imbalance resurfaces and a second cycle (after
+/// the cooldown and hysteresis windows) settles it.
+pub const CONTROL_CONVERGENCE_TICKS: u64 = 120;
+
+/// One row of the `control` figure: the identical seeded workload — skewed
+/// ingest, a two-key query hotspot, then two empty nodes joining — observed
+/// under one control-plane regime.
+#[derive(Debug, Clone)]
+pub struct ControlRow {
+    /// Control-plane regime of this row.
+    pub label: &'static str,
+    /// Control ticks executed (0 for the disarmed rows).
+    pub ticks: u64,
+    /// Rebalances auto-triggered.
+    pub triggers: u64,
+    /// Decisions suppressed by hysteresis or cooldown.
+    pub suppressed: u64,
+    /// Auto-triggered rebalances that committed.
+    pub committed: u64,
+    /// Hot buckets split over the heat budget.
+    pub hot_splits: u64,
+    /// Heat-weighted max-deviation imbalance right after the empty nodes
+    /// joined (what the plane faces).
+    pub imbalance_start: f64,
+    /// Imbalance at the end of the row.
+    pub imbalance_end: f64,
+    /// The armed plane's imbalance threshold (copied into every row so the
+    /// gate needs no out-of-band constant).
+    pub threshold: f64,
+    /// Most buckets any migration window shipped.
+    pub max_window_buckets: usize,
+    /// Most bytes any migration window shipped.
+    pub max_window_bytes: u64,
+    /// The budget's per-window bucket cap.
+    pub budget_buckets: usize,
+    /// The budget's per-window byte cap.
+    pub budget_bytes: u64,
+    /// Live records at the end.
+    pub records: u64,
+    /// FNV-1a checksum over the sorted (key, value) contents.
+    pub checksum: u64,
+    /// Resident storage bytes at the end.
+    pub resident_bytes: u64,
+}
+
+/// Runs the identical seeded workload under three control regimes: heat
+/// tracking never armed (the baseline), armed-then-disarmed before any work
+/// (must be byte-identical to the baseline — the disarmed gate), and armed
+/// with the decision loop ticking (must auto-split the hot buckets,
+/// auto-trigger a migration onto the empty nodes after the hysteresis
+/// window, respect the per-window budget, and converge below the threshold
+/// within [`CONTROL_CONVERGENCE_TICKS`]).
+pub fn control_study(cfg: &ExperimentConfig) -> Vec<ControlRow> {
+    use dynahash_cluster::{ControlConfig, ControlPlane, DatasetSpec};
+    use dynahash_lsm::entry::Key;
+    use dynahash_lsm::Bytes;
+
+    let nodes = 4;
+    // Enough records that buckets are fine-grained relative to partitions —
+    // the achievable post-rebalance imbalance is roughly one bucket's share
+    // of a partition, and the gate needs that well below the threshold.
+    let records = (cfg.orders_per_node as u64) * 160;
+    let value = |i: u64| Bytes::from(vec![(i % 249) as u8; 24]);
+    let control_config = ControlConfig::default();
+    let regimes: [(&'static str, u8); 3] = [
+        ("never armed", 0),
+        ("armed then disarmed", 1),
+        ("armed + decision loop", 2),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, regime) in regimes {
+        let mut cluster = cfg.cluster(nodes);
+        match regime {
+            1 => {
+                // Arm/disarm must leave no trace on anything measured below.
+                cluster.set_heat_tracking(true);
+                cluster.set_heat_tracking(false);
+            }
+            2 => cluster.set_heat_tracking(true),
+            _ => {}
+        }
+        let ds = cluster
+            .create_dataset(DatasetSpec::new("control", cfg.dynahash_scheme(nodes)))
+            .expect("create control dataset");
+        let mut session = cluster.session(ds).expect("control session");
+        session
+            .ingest(
+                &mut cluster,
+                (0..records).map(|i| (Key::from_u64(i), value(i))),
+            )
+            .expect("control ingest");
+        // The query hotspot: two keys hammered hard enough that their
+        // buckets cross the hot-bucket op budget when heat is armed.
+        for _ in 0..2_000 {
+            for key in [3u64, 11] {
+                session.get(&cluster, &Key::from_u64(key)).expect("hot get");
+            }
+        }
+        // Two empty nodes join; nobody moves data onto them except the
+        // armed control plane.
+        cluster.add_node().expect("control add_node");
+        cluster.add_node().expect("control add_node");
+
+        let imbalance_of = |cluster: &mut Cluster| {
+            cluster
+                .admin()
+                .heat(ds)
+                .expect("control heat report")
+                .imbalance(control_config.op_weight_bytes)
+        };
+        let imbalance_start = imbalance_of(&mut cluster);
+
+        let mut ticks = 0;
+        let mut plane = (regime == 2).then(|| ControlPlane::new(control_config));
+        if let Some(plane) = plane.as_mut() {
+            while ticks < CONTROL_CONVERGENCE_TICKS {
+                let report = plane.tick(&mut cluster).expect("control tick");
+                ticks += 1;
+                if !report.job_in_flight
+                    && imbalance_of(&mut cluster) <= control_config.imbalance_threshold
+                {
+                    break;
+                }
+            }
+        }
+
+        let imbalance_end = imbalance_of(&mut cluster);
+        let status = plane.as_ref().map(|p| p.status());
+        let peak = status
+            .as_ref()
+            .map(|s| s.max_window_usage())
+            .unwrap_or_default();
+        let (live, checksum) = dataset_contents_checksum(&cluster, ds);
+        let resident = cluster
+            .admin()
+            .storage_stats(ds)
+            .map(|fp| fp.logical_bytes)
+            .unwrap_or(0);
+        rows.push(ControlRow {
+            label,
+            ticks,
+            triggers: status.as_ref().map_or(0, |s| s.triggers),
+            suppressed: status
+                .as_ref()
+                .map_or(0, |s| s.suppressed_hysteresis + s.suppressed_cooldown),
+            committed: status.as_ref().map_or(0, |s| s.committed_jobs),
+            hot_splits: status.as_ref().map_or(0, |s| s.hot_splits),
+            imbalance_start,
+            imbalance_end,
+            threshold: control_config.imbalance_threshold,
+            max_window_buckets: peak.buckets,
+            max_window_bytes: peak.bytes,
+            budget_buckets: control_config.budget.max_buckets_per_window,
+            budget_bytes: control_config.budget.max_bytes_per_window,
+            records: live,
+            checksum,
+            resident_bytes: resident,
+        });
+    }
+    rows
+}
+
+/// Renders control rows as a markdown table.
+pub fn format_control(rows: &[ControlRow]) -> String {
+    let mut s = String::from(
+        "| regime | ticks | triggers | suppressed | committed | hot splits | \
+         imbalance start → end | peak window (buckets / bytes) | records | checksum |\n\
+         |---|---|---|---|---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {:.3} → {:.3} | {} / {} | {} | {:#018x} |\n",
+            r.label,
+            r.ticks,
+            r.triggers,
+            r.suppressed,
+            r.committed,
+            r.hot_splits,
+            r.imbalance_start,
+            r.imbalance_end,
+            r.max_window_buckets,
+            r.max_window_bytes,
+            r.records,
+            r.checksum
+        ));
+    }
+    s
+}
+
+/// Checks the `control` figure's gate. Everything here is simulated time
+/// and byte accounting — deterministic, so violations fail immediately:
+/// the two disarmed rows must be identical in every measured dimension
+/// (the disarmed data path is byte-identical to a build without the control
+/// plane), and the armed row must converge below the threshold within the
+/// tick budget, via at least one hysteresis-suppressed decision and one
+/// committed auto-rebalance, never exceeding the per-window migration
+/// budget — all while leaving record contents identical to the baseline.
+pub fn control_gate_violations(rows: &[ControlRow]) -> Vec<String> {
+    let mut bad = Vec::new();
+    let Some(base) = rows.iter().find(|r| r.label.starts_with("never")) else {
+        bad.push("never-armed baseline row missing".to_string());
+        return bad;
+    };
+    if base.imbalance_start <= base.threshold {
+        bad.push(format!(
+            "baseline imbalance {:.3} does not exceed the threshold {:.3} — \
+             the workload gives the plane nothing to do",
+            base.imbalance_start, base.threshold
+        ));
+    }
+    match rows.iter().find(|r| r.label.starts_with("armed then")) {
+        Some(disarmed) => {
+            let identical = disarmed.records == base.records
+                && disarmed.checksum == base.checksum
+                && disarmed.resident_bytes == base.resident_bytes
+                && disarmed.imbalance_start == base.imbalance_start
+                && disarmed.imbalance_end == base.imbalance_end
+                && disarmed.triggers == 0
+                && disarmed.hot_splits == 0;
+            if !identical {
+                bad.push(format!(
+                    "arm/disarm left a trace: {disarmed:?} differs from the \
+                     never-armed baseline {base:?}"
+                ));
+            }
+        }
+        None => bad.push("armed-then-disarmed row missing".to_string()),
+    }
+    match rows.iter().find(|r| r.label.starts_with("armed +")) {
+        Some(armed) => {
+            if armed.triggers == 0 {
+                bad.push("armed plane never auto-triggered".to_string());
+            }
+            if armed.suppressed == 0 {
+                bad.push("hysteresis never suppressed a decision".to_string());
+            }
+            if armed.committed == 0 {
+                bad.push("no auto-triggered rebalance committed".to_string());
+            }
+            if armed.hot_splits == 0 {
+                bad.push("the query hotspot split no buckets".to_string());
+            }
+            if armed.ticks > CONTROL_CONVERGENCE_TICKS {
+                bad.push(format!(
+                    "armed plane used {} ticks (budget {})",
+                    armed.ticks, CONTROL_CONVERGENCE_TICKS
+                ));
+            }
+            if armed.imbalance_end > armed.threshold {
+                bad.push(format!(
+                    "armed plane left imbalance {:.3} above the threshold {:.3}",
+                    armed.imbalance_end, armed.threshold
+                ));
+            }
+            if armed.max_window_buckets > armed.budget_buckets
+                || armed.max_window_bytes > armed.budget_bytes
+            {
+                bad.push(format!(
+                    "migration budget exceeded: window shipped {} buckets / {} \
+                     bytes (budget {} / {})",
+                    armed.max_window_buckets,
+                    armed.max_window_bytes,
+                    armed.budget_buckets,
+                    armed.budget_bytes
+                ));
+            }
+            if armed.records != base.records || armed.checksum != base.checksum {
+                bad.push(format!(
+                    "auto-rebalancing changed record contents ({} records, \
+                     checksum {:#x}; baseline has {} and {:#x})",
+                    armed.records, armed.checksum, base.records, base.checksum
+                ));
+            }
+        }
+        None => bad.push("armed row missing".to_string()),
+    }
+    bad
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1965,5 +2250,19 @@ mod tests {
         // inline keys save exactly the key heap bytes: 8 per record
         assert_eq!(short.legacy_bytes - short.resident_bytes, short.records * 8);
         assert!(format_scale(&rows).contains("inline"));
+    }
+
+    #[test]
+    fn control_study_passes_its_gate() {
+        let rows = control_study(&tiny());
+        assert_eq!(rows.len(), 3);
+        let violations = control_gate_violations(&rows);
+        assert!(violations.is_empty(), "gate violations: {violations:?}");
+        let armed = rows
+            .iter()
+            .find(|r| r.label.starts_with("armed +"))
+            .unwrap();
+        assert!(armed.ticks < CONTROL_CONVERGENCE_TICKS, "no headroom left");
+        assert!(format_control(&rows).contains("decision loop"));
     }
 }

@@ -28,8 +28,8 @@
 use std::collections::BTreeMap;
 
 use dynahash_cluster::{
-    Cluster, ClusterConfig, CostModel, DatasetSpec, FaultSchedule, RebalanceJob, SecondaryIndexDef,
-    Session, WaveFault,
+    Cluster, ClusterConfig, ControlConfig, ControlDecision, ControlPlane, CostModel, DatasetSpec,
+    FaultSchedule, RebalanceJob, SecondaryIndexDef, Session, WaveFault,
 };
 use dynahash_core::{NodeId, RebalanceOutcome, Scheme};
 use dynahash_lsm::entry::{Key, StorageFootprint};
@@ -151,6 +151,20 @@ pub enum ScenarioOp {
     /// Crash a seeded-random node, verify it is down, then
     /// `recover_all_nodes` and check reads still match the model.
     CrashRecover,
+    /// A sustained hotspot: `rounds` rounds of `ops` Zipfian-hot point
+    /// queries against a tiny fixed key set (so the heat lands on a few
+    /// buckets), each round followed by one armed-[`ControlPlane`] tick.
+    /// The plane is then ticked until it goes idle, so every auto-triggered
+    /// split and migration finishes — and is integrity-checked — before the
+    /// script moves on. A no-op when [`SoakConfig::control`] is off.
+    Hotspot {
+        /// Index into the runner's dataset list.
+        dataset: usize,
+        /// Hot queries per round.
+        ops: u64,
+        /// Query rounds (each followed by a control tick).
+        rounds: u64,
+    },
 }
 
 /// A named, declarative scenario script.
@@ -218,6 +232,11 @@ pub struct SoakConfig {
     /// survivors. Fault decisions come from the scenario rng, so `seed`
     /// replays them exactly.
     pub chaos: bool,
+    /// Arms heat tracking and a [`ControlPlane`], and places
+    /// [`ScenarioOp::Hotspot`] events in the script: Zipfian query heat on
+    /// a few buckets must auto-trigger splits and migrations that converge
+    /// before the script moves on.
+    pub control: bool,
 }
 
 impl SoakConfig {
@@ -241,6 +260,7 @@ impl SoakConfig {
             max_moves: 8,
             max_bucket_bytes: 64 * 1024,
             chaos: false,
+            control: true,
         }
     }
 
@@ -263,6 +283,7 @@ impl SoakConfig {
             max_moves: 4,
             max_bucket_bytes: 32 * 1024,
             chaos: false,
+            control: false,
         }
     }
 
@@ -287,6 +308,7 @@ impl SoakConfig {
             max_moves: 12,
             max_bucket_bytes: 256 * 1024,
             chaos: false,
+            control: true,
         }
     }
 
@@ -336,6 +358,20 @@ pub struct SoakReport {
     pub final_nodes: u32,
     /// Combined storage footprint of every dataset at the end of the run.
     pub footprint: StorageFootprint,
+    /// Rebalances auto-triggered by the armed control plane.
+    pub auto_triggers: u64,
+    /// Auto-triggered rebalances that committed.
+    pub auto_commits: u64,
+    /// Hot buckets split by the control plane's heat budget.
+    pub hot_splits: u64,
+    /// Control-plane decisions suppressed by hysteresis or cooldown.
+    pub suppressed: u64,
+    /// Recent control-plane decisions (empty when the plane is disarmed).
+    pub control_decisions: Vec<String>,
+    /// Per-job progress still registered at the end of the run (a clean run
+    /// drives every job to finalize, so this is normally empty; on failure
+    /// it shows exactly how far the interrupted job got).
+    pub jobs: Vec<String>,
     /// Executed-op trace (one line per op), for failure replay.
     pub trace: Vec<String>,
     /// Invariant violations; empty on a clean run. The first entry carries
@@ -355,6 +391,16 @@ impl SoakReport {
         for line in &self.trace {
             out.push_str("  ");
             out.push_str(line);
+            out.push('\n');
+        }
+        for j in &self.jobs {
+            out.push_str("job in flight: ");
+            out.push_str(j);
+            out.push('\n');
+        }
+        for d in &self.control_decisions {
+            out.push_str("control: ");
+            out.push_str(d);
             out.push('\n');
         }
         for v in &self.violations {
@@ -459,6 +505,27 @@ pub fn generate_scenario(cfg: &SoakConfig) -> Scenario {
         }
     }
 
+    // Hotspot events are spliced in at fixed fractions of the finished
+    // script *after* the rng-driven body is generated, so flipping
+    // `cfg.control` never perturbs which ops the seed draws — the control
+    // run is the base run plus hotspots, nothing reshuffled.
+    if cfg.control {
+        let rounds = 8;
+        let per_round = (cfg.queries_per_step * 8).max(256);
+        for (i, frac) in [(1usize, 3usize), (2, 3)].iter().enumerate() {
+            let at = (ops.len() * frac.0 / frac.1).max(cfg.datasets + 1) + i;
+            let at = at.min(ops.len());
+            ops.insert(
+                at,
+                ScenarioOp::Hotspot {
+                    dataset: 0,
+                    ops: per_round,
+                    rounds,
+                },
+            );
+        }
+    }
+
     Scenario::new(format!("soak-{:#x}", cfg.seed), ops)
 }
 
@@ -487,6 +554,10 @@ struct Runner<'a> {
     churn: usize,
     rebalances: usize,
     crashes: usize,
+    /// The armed control plane (None when `cfg.control` is off). Only
+    /// ticked inside [`ScenarioOp::Hotspot`], so auto-triggered jobs never
+    /// overlap the churn events' hand-driven ones.
+    plane: Option<ControlPlane>,
 }
 
 /// The secondary index of dataset 0: record version, big-endian, taken from
@@ -542,6 +613,19 @@ impl<'a> Runner<'a> {
                 model: BTreeMap::new(),
             });
         }
+        let plane = if cfg.control {
+            cluster.set_heat_tracking(true);
+            // Reads weigh heavily so a query hotspot trips the threshold
+            // even on partitions already carrying real data.
+            Some(ControlPlane::new(ControlConfig {
+                imbalance_threshold: 0.10,
+                op_weight_bytes: 4096,
+                hot_bucket_ops: 256,
+                ..ControlConfig::default()
+            }))
+        } else {
+            None
+        };
         Ok(Runner {
             keygen: KeyGen::new(cfg.key_universe, KeyDist::Zipfian { s: cfg.zipf_s }, true),
             rng: SplitMix64::seed_from_u64(cfg.seed ^ 0x50a4_0001),
@@ -556,6 +640,7 @@ impl<'a> Runner<'a> {
             churn: 0,
             rebalances: 0,
             crashes: 0,
+            plane,
         })
     }
 
@@ -597,6 +682,11 @@ impl<'a> Runner<'a> {
                     .map_err(|e| format!("warm_indexes: {e}"))
             }
             ScenarioOp::CrashRecover => self.op_crash_recover(),
+            ScenarioOp::Hotspot {
+                dataset,
+                ops,
+                rounds,
+            } => self.op_hotspot(*dataset, *ops, *rounds),
         }
     }
 
@@ -710,6 +800,102 @@ impl<'a> Runner<'a> {
         self.cluster.recover_all_nodes();
         self.crashes += 1;
         self.sampled_session_reads("after crash/recover")
+    }
+
+    /// A sustained query hotspot with the control plane watching: each round
+    /// hammers a tiny fixed key set (concentrating read heat on a few
+    /// buckets) and then ticks the plane once, so the imbalance is sustained
+    /// across the hysteresis window and the plane auto-triggers splits and a
+    /// heat-aware migration. Afterwards the plane is ticked until idle and
+    /// every auto-committed rebalance is integrity-checked.
+    fn op_hotspot(&mut self, d: usize, ops: u64, rounds: u64) -> StepResult {
+        let Some(mut plane) = self.plane.take() else {
+            return Ok(());
+        };
+        let committed_before = plane.status().committed_jobs;
+        let decisions_before = plane.status().decisions.len();
+        let result = self.drive_hotspot(&mut plane, d, ops, rounds);
+        let status = plane.status();
+        self.plane = Some(plane);
+        result?;
+
+        // Every rebalance the plane committed during this event must pass
+        // the same integrity battery the churn events' hand-driven jobs do.
+        if status.committed_jobs > committed_before {
+            for dec in status.decisions.iter().skip(decisions_before) {
+                if let ControlDecision::Committed {
+                    dataset, rebalance, ..
+                } = dec
+                {
+                    self.cluster
+                        .check_rebalance_integrity(*dataset, *rebalance)
+                        .map_err(|e| format!("integrity of auto rebalance: {e}"))?;
+                }
+            }
+        }
+        self.sampled_reads_on(d, "after hotspot")?;
+        self.deep_checks("after hotspot event")
+    }
+
+    fn drive_hotspot(
+        &mut self,
+        plane: &mut ControlPlane,
+        d: usize,
+        ops: u64,
+        rounds: u64,
+    ) -> StepResult {
+        let len = self.cfg.value_len();
+        // Three fixed keys: hot enough to stand out, few enough that the
+        // heat lands on at most three buckets.
+        let hot: Vec<u64> = (0..3).map(|_| self.keygen.draw(&mut self.rng)).collect();
+        for round in 0..rounds {
+            for i in 0..ops {
+                self.queries += 1;
+                let key = hot[(i % hot.len() as u64) as usize];
+                let got = self.sessions[d]
+                    .get(&self.cluster, &Key::from_u64(key))
+                    .map_err(|e| format!("hot get {key} on dataset {d}: {e}"))?;
+                let want = self.datasets[d]
+                    .model
+                    .get(&key)
+                    .map(|v| value_for(key, *v, len));
+                if got != want {
+                    return Err(format!(
+                        "hotspot round {round}: dataset {d} key {key}: read {got:?}, \
+                         model says {want:?}"
+                    ));
+                }
+            }
+            plane
+                .tick(&mut self.cluster)
+                .map_err(|e| format!("control tick in hotspot round {round}: {e}"))?;
+        }
+        // The queries stop; the plane must finish what it started within a
+        // bounded tail. "Settled" means no job in flight and nothing
+        // *actionable* this tick — suppression chatter about a residual
+        // byte imbalance the planner already found unimprovable may continue
+        // indefinitely by design, and does not block the script.
+        for _ in 0..100 {
+            let report = plane
+                .tick(&mut self.cluster)
+                .map_err(|e| format!("control tick draining hotspot: {e}"))?;
+            let busy = report.job_in_flight
+                || report.decisions.iter().any(|dec| {
+                    matches!(
+                        dec,
+                        ControlDecision::Triggered { .. }
+                            | ControlDecision::DeferredByBudget { .. }
+                            | ControlDecision::HotSplit { .. }
+                            | ControlDecision::Replanned { .. }
+                            | ControlDecision::Committed { .. }
+                            | ControlDecision::Aborted { .. }
+                    )
+                });
+            if !busy {
+                return Ok(());
+            }
+        }
+        Err("control plane failed to settle within 100 ticks after a hotspot".into())
     }
 
     // ----------------------------------------------------------- churn
@@ -1040,6 +1226,12 @@ pub fn run_scenario(cfg: &SoakConfig, scenario: &Scenario) -> SoakReport {
                 redirects: 0,
                 final_nodes: 0,
                 footprint: StorageFootprint::default(),
+                auto_triggers: 0,
+                auto_commits: 0,
+                hot_splits: 0,
+                suppressed: 0,
+                control_decisions: Vec::new(),
+                jobs: Vec::new(),
                 trace,
                 violations: vec![v],
             };
@@ -1084,6 +1276,15 @@ pub fn run_scenario(cfg: &SoakConfig, scenario: &Scenario) -> SoakReport {
     let live = runner.datasets.iter().map(|d| d.model.len() as u64).sum();
     let redirects = runner.sessions.iter().map(|s| s.metrics().redirects).sum();
     let faults = runner.cluster.fault_stats().clone();
+    let control = runner.plane.as_ref().map(|p| p.status());
+    let jobs: Vec<String> = runner
+        .cluster
+        .admin()
+        .health()
+        .jobs
+        .iter()
+        .map(|j| j.to_string())
+        .collect();
     SoakReport {
         seed: cfg.seed,
         steps_run,
@@ -1102,6 +1303,16 @@ pub fn run_scenario(cfg: &SoakConfig, scenario: &Scenario) -> SoakReport {
         redirects,
         final_nodes: runner.cluster.topology().num_nodes() as u32,
         footprint: runner.footprint(),
+        auto_triggers: control.as_ref().map_or(0, |s| s.triggers),
+        auto_commits: control.as_ref().map_or(0, |s| s.committed_jobs),
+        hot_splits: control.as_ref().map_or(0, |s| s.hot_splits),
+        suppressed: control
+            .as_ref()
+            .map_or(0, |s| s.suppressed_hysteresis + s.suppressed_cooldown),
+        control_decisions: control.as_ref().map_or_else(Vec::new, |s| {
+            s.decisions.iter().map(|d| d.to_string()).collect()
+        }),
+        jobs,
         trace,
         violations,
     }
@@ -1182,6 +1393,33 @@ mod tests {
         assert!(baseline.passed(), "{}", baseline.failure_banner());
         assert_eq!(baseline.transient_faults, 0);
         assert_eq!(baseline.lost_nodes, 0);
+    }
+
+    #[test]
+    fn hotspot_soak_auto_triggers_and_converges() {
+        let mut cfg = SoakConfig::smoke(0x50a6_0003);
+        cfg.control = true;
+        // Small buckets so the auto-planned migration has real moves to make.
+        cfg.max_bucket_bytes = 4 * 1024;
+        let report = run_soak(&cfg);
+        assert!(report.passed(), "{}", report.failure_banner());
+        assert!(
+            report.auto_triggers >= 1,
+            "the sustained hotspot must auto-trigger a rebalance\n{}",
+            report.failure_banner()
+        );
+        assert!(
+            report.auto_commits >= 1,
+            "an auto-triggered rebalance must commit\n{}",
+            report.failure_banner()
+        );
+        assert!(
+            report.suppressed >= 1,
+            "hysteresis must hold the first imbalanced ticks back\n{}",
+            report.failure_banner()
+        );
+        // a clean run leaves no job half-done
+        assert!(report.jobs.is_empty(), "{:?}", report.jobs);
     }
 
     #[test]

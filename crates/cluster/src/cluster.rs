@@ -8,12 +8,13 @@
 
 use std::collections::BTreeMap;
 
-use dynahash_core::{ClusterTopology, GlobalDirectory, NodeId, PartitionId, Scheme};
+use dynahash_core::{BucketHeat, ClusterTopology, GlobalDirectory, NodeId, PartitionId, Scheme};
 use dynahash_lsm::bucket::BucketId;
 use dynahash_lsm::entry::{Key, StorageFootprint, Value};
 use dynahash_lsm::metrics::MetricsSnapshot;
 use dynahash_lsm::wal::{LogRecordBody, RebalanceId, RebalanceLogStatus};
 
+use crate::control::{HeatCell, HeatReport, JobProgress, PushedUpdate, SessionRegistry};
 use crate::controller::ClusterController;
 use crate::dataset::{DatasetId, DatasetSpec};
 use crate::fault::{ClusterHealth, FaultSchedule, FaultStats, WaveFault};
@@ -80,6 +81,15 @@ pub struct Cluster {
     pub(crate) active_rebalances: BTreeMap<DatasetId, ActiveRebalance>,
     /// The deterministic fault plane (see [`crate::fault`]).
     pub(crate) faults: FaultState,
+    /// The (optional) armed per-bucket heat counters (see [`crate::control`]).
+    /// Disarmed (`None` inside), every data path takes its pre-control-plane
+    /// code path — the same arming shape as the fault plane.
+    pub(crate) heat: HeatCell,
+    /// Sessions subscribed to commit-time directory pushes.
+    pub(crate) subscribers: SessionRegistry,
+    /// Progress of in-flight rebalance jobs, published by the job steps and
+    /// surfaced through [`Admin::health`].
+    pub(crate) job_progress: BTreeMap<DatasetId, JobProgress>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -112,7 +122,108 @@ impl Cluster {
             controller: ClusterController::new(),
             active_rebalances: BTreeMap::new(),
             faults: FaultState::default(),
+            heat: HeatCell::default(),
+            subscribers: SessionRegistry::default(),
+            job_progress: BTreeMap::new(),
         }
+    }
+
+    // -------------------------------------------------------- control plane
+
+    /// Arms or disarms per-bucket heat tracking. Armed, every session read
+    /// and routed write feeds the heat counters the control plane's
+    /// decisions run on (one local-directory probe per operation); disarmed
+    /// — the default — the data paths are byte-identical to a cluster
+    /// without the control plane, which the `control` experiments figure
+    /// gates. Disarming drops all counters.
+    pub fn set_heat_tracking(&mut self, enabled: bool) {
+        if enabled {
+            self.heat.arm();
+        } else {
+            self.heat.disarm();
+        }
+    }
+
+    /// True when heat tracking is armed.
+    pub fn heat_tracking_enabled(&self) -> bool {
+        self.heat.armed()
+    }
+
+    /// A copy of a dataset's decayed per-bucket op counters (empty when heat
+    /// tracking is disarmed). The merged view — ops joined with storage
+    /// residency — is [`Admin::heat`].
+    pub fn heat_ops_snapshot(&self, dataset: DatasetId) -> BTreeMap<BucketId, BucketHeat> {
+        self.heat.ops_snapshot(dataset)
+    }
+
+    /// One heat decay step (the control plane calls this every tick).
+    pub(crate) fn decay_heat(&self) {
+        self.heat.decay();
+    }
+
+    /// Folds a bucket split into the heat counters.
+    pub(crate) fn on_heat_split(
+        &self,
+        dataset: DatasetId,
+        parent: BucketId,
+        lo: BucketId,
+        hi: BucketId,
+    ) {
+        self.heat.on_split(dataset, parent, lo, hi);
+    }
+
+    /// The local bucket a key lives in on `partition`, probed only while
+    /// heat tracking is armed (`None` otherwise, and for non-bucketed
+    /// datasets). Keying heat by the *local* directory keeps read heat,
+    /// write heat, bucket sizes, and the planner's load map on the same
+    /// bucket granularity even before the CC absorbs local splits.
+    fn heat_bucket_of(
+        &self,
+        dataset: DatasetId,
+        partition: PartitionId,
+        key: &Key,
+    ) -> Option<BucketId> {
+        if !self.heat.armed() {
+            return None;
+        }
+        let ds = self.partition(partition).ok()?.dataset(dataset).ok()?;
+        ds.primary.directory().lookup_key(key)
+    }
+
+    /// Records one read against the bucket's heat (no-op while disarmed).
+    pub(crate) fn note_read_heat(&self, dataset: DatasetId, bucket: BucketId) {
+        self.heat.note_read(dataset, bucket);
+    }
+
+    /// Registers a session for commit-time directory pushes; returns its
+    /// subscription id.
+    pub(crate) fn register_subscriber(&self, dataset: DatasetId, directory_version: u64) -> u64 {
+        self.subscribers.register(dataset, directory_version)
+    }
+
+    /// Drains the pushed updates buffered for a subscription.
+    pub(crate) fn take_pushed(&self, subscription: u64) -> Vec<PushedUpdate> {
+        self.subscribers.take(subscription)
+    }
+
+    /// Pushes the dataset's current routing state (as a
+    /// [`dynahash_core::DirectoryDelta`] where possible) to every subscribed
+    /// session. Called by the rebalance commit path and by control-plane
+    /// hot-bucket splits.
+    pub(crate) fn push_routing_update(&self, dataset: DatasetId) {
+        if let Ok(meta) = self.controller.dataset(dataset) {
+            self.subscribers.push(dataset, meta);
+        }
+    }
+
+    /// Publishes (or updates) a job's progress in the health surface.
+    pub(crate) fn publish_job_progress(&mut self, progress: JobProgress) {
+        self.job_progress.insert(progress.dataset, progress);
+    }
+
+    /// Clears a finalized job's progress from the health surface.
+    pub(crate) fn clear_job_progress(&mut self, dataset: DatasetId) {
+        self.job_progress.remove(&dataset);
     }
 
     // ---------------------------------------------------------- fault plane
@@ -296,6 +407,7 @@ impl Cluster {
             let partition = routing
                 .route_key(&key)
                 .ok_or(ClusterError::RoutingFailed(dataset))?;
+            let heat_bucket = self.heat_bucket_of(dataset, partition, &key);
             let node_id = self.node_of_partition(partition)?;
             // Writes hitting a bucket whose wave already shipped it must
             // also reach the destination's pending copy, or the commit-time
@@ -320,6 +432,9 @@ impl Cluster {
                 .ingest(key, value)?;
             *per_node_records.entry(node_id).or_default() += 1;
             total += 1;
+            if let Some(bucket) = heat_bucket {
+                self.heat.note_write(dataset, bucket);
+            }
             if let Some((bucket, dst_partition, dst_node, key, value)) = replica {
                 let dst_node = dst_node.ok_or(ClusterError::UnknownPartition(dst_partition))?;
                 // A write to an already-shipped bucket must reach the
@@ -390,6 +505,9 @@ impl Cluster {
             }
         }
         let partition = self.route_key(dataset, &key)?;
+        if let Some(bucket) = self.heat_bucket_of(dataset, partition, &key) {
+            self.heat.note_write(dataset, bucket);
+        }
         let node_id = self.node_of_partition(partition)?;
         let replica = self.active_rebalances.get(&dataset).and_then(|active| {
             let (bucket, _) = active.routing.lookup_key(&key)?;
@@ -440,6 +558,9 @@ impl Cluster {
             }
         }
         let partition = self.route_key(dataset, key)?;
+        if let Some(bucket) = self.heat_bucket_of(dataset, partition, key) {
+            self.heat.note_write(dataset, bucket);
+        }
         let node_id = self.node_of_partition(partition)?;
         let replica = self.active_rebalances.get(&dataset).and_then(|active| {
             let (bucket, _) = active.routing.lookup_key(key)?;
@@ -842,7 +963,39 @@ impl Admin<'_> {
                 .filter_map(|n| Some((n, self.cluster.node(n).ok()?.state())))
                 .collect(),
             stats: self.cluster.fault_stats().clone(),
+            jobs: self.cluster.job_progress.values().cloned().collect(),
         }
+    }
+
+    /// The merged heat snapshot of a dataset: the decayed per-bucket op
+    /// counters (zero while heat tracking is disarmed) joined with current
+    /// storage residency — record counts and resident bytes per bucket —
+    /// aggregated per partition. This is the monitor half of the control
+    /// plane's monitor→decide→act loop, and an operator's view of where a
+    /// dataset's traffic concentrates.
+    pub fn heat(&self, dataset: DatasetId) -> Result<HeatReport, ClusterError> {
+        let ops = self.cluster.heat.ops_snapshot(dataset);
+        let mut report = HeatReport::default();
+        for (p, buckets) in self.cluster.local_directories(dataset)? {
+            let ds = self.cluster.partition(p)?.dataset(dataset)?;
+            let sizes: BTreeMap<BucketId, u64> = ds.bucket_sizes().into_iter().collect();
+            let records: BTreeMap<BucketId, u64> = ds
+                .primary
+                .bucket_record_counts()
+                .into_iter()
+                .map(|(b, n)| (b, n as u64))
+                .collect();
+            let mut agg = BucketHeat::default();
+            for b in buckets {
+                let mut h = ops.get(&b).copied().unwrap_or_default();
+                h.records = records.get(&b).copied().unwrap_or(0);
+                h.resident_bytes = sizes.get(&b).copied().unwrap_or(0);
+                report.per_bucket.entry(b).or_default().absorb(&h);
+                agg.absorb(&h);
+            }
+            report.per_partition.insert(p, agg);
+        }
+        Ok(report)
     }
 
     /// Materializes every deferred secondary rebuild of a dataset across the

@@ -272,6 +272,10 @@ pub struct ClusterHealth {
     pub nodes: Vec<(NodeId, NodeState)>,
     /// Accumulated fault-plane counters.
     pub stats: FaultStats,
+    /// Progress of every in-flight rebalance job (% buckets moved, bytes
+    /// shipped, ETA in sim-time, waves remaining), published by the job's
+    /// steps and cleared at finalization.
+    pub jobs: Vec<crate::control::JobProgress>,
 }
 
 impl ClusterHealth {

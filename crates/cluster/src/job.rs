@@ -87,7 +87,7 @@ pub enum JobState {
 }
 
 impl JobState {
-    fn name(&self) -> &'static str {
+    pub(crate) fn name(&self) -> &'static str {
         match self {
             JobState::Planned => "Planned",
             JobState::Moving { .. } => "Moving",
@@ -206,6 +206,36 @@ impl RebalanceJob {
         target: &ClusterTopology,
         max_concurrent_moves: usize,
     ) -> Result<Self> {
+        Self::plan_inner(cluster, dataset, target, max_concurrent_moves, None)
+    }
+
+    /// Plans a rebalance that balances *heat-weighted loads* instead of raw
+    /// bucket byte sizes: Algorithm 2 runs over `loads` (typically
+    /// `resident_bytes + ops * op_weight` from a
+    /// [`crate::control::HeatReport`]), so hot buckets repel each other even
+    /// when their resident data is small. Directory buckets absent from
+    /// `loads` fall back to their byte size. The resulting moves are
+    /// re-costed with the buckets' true byte sizes afterwards, so wave
+    /// scheduling, migration-budget accounting, and progress reporting stay
+    /// in real bytes. This is the planning entry point of the control
+    /// plane's auto-triggered jobs.
+    pub fn plan_with_loads(
+        cluster: &mut Cluster,
+        dataset: DatasetId,
+        target: &ClusterTopology,
+        max_concurrent_moves: usize,
+        loads: &BTreeMap<BucketId, u64>,
+    ) -> Result<Self> {
+        Self::plan_inner(cluster, dataset, target, max_concurrent_moves, Some(loads))
+    }
+
+    fn plan_inner(
+        cluster: &mut Cluster,
+        dataset: DatasetId,
+        target: &ClusterTopology,
+        max_concurrent_moves: usize,
+        loads: Option<&BTreeMap<BucketId, u64>>,
+    ) -> Result<Self> {
         if target.is_empty() {
             return Err(ClusterError::Core(dynahash_core::CoreError::EmptyTopology));
         }
@@ -235,8 +265,24 @@ impl RebalanceJob {
             dir.install(&routing);
         }
         let sizes = cluster.dataset_bucket_sizes(dataset)?;
-        let plan = RebalancePlan::compute(rebalance_id, &routing, &sizes, target)
+        let weights = match loads {
+            Some(loads) => {
+                let mut w = sizes.clone();
+                for (b, l) in loads {
+                    w.insert(*b, *l);
+                }
+                w
+            }
+            None => sizes.clone(),
+        };
+        let mut plan = RebalancePlan::compute(rebalance_id, &routing, &weights, target)
             .map_err(ClusterError::Core)?;
+        if loads.is_some() {
+            // The balancer weighed heat; the movers ship bytes.
+            for m in &mut plan.moves {
+                m.bytes = sizes.get(&m.bucket).copied().unwrap_or(0);
+            }
+        }
         let total_bytes = cluster.dataset_primary_bytes(dataset)?;
 
         // Participants: every node hosting a source or destination partition
@@ -328,6 +374,7 @@ impl RebalanceJob {
             },
         );
         self.state = JobState::Moving { completed_waves: 0 };
+        self.publish_progress(cluster);
         Ok(())
     }
 
@@ -432,6 +479,7 @@ impl RebalanceJob {
         self.state = JobState::Moving {
             completed_waves: wave_index + 1,
         };
+        self.publish_progress(cluster);
         Ok(WaveReport {
             wave: wave_index,
             moves: wave.len(),
@@ -793,6 +841,7 @@ impl RebalanceJob {
         self.move_tl.extend(&tl);
 
         report.lost_buckets = lost_buckets.len() as u64;
+        self.publish_progress(cluster);
         self.reroutes += report.rerouted;
         cluster.faults.stats.reroutes += report.rerouted;
         cluster.faults.stats.reshipped += report.reshipped;
@@ -891,6 +940,7 @@ impl RebalanceJob {
             cost.network_latency_ns * self.participants.len() as u64,
         ));
         self.state = JobState::Prepared;
+        self.publish_progress(cluster);
         Ok(())
     }
 
@@ -932,6 +982,7 @@ impl RebalanceJob {
         self.coordinator.abort().map_err(ClusterError::Core)?;
         self.abort_cleanup(cluster)?;
         self.state = JobState::Decided(RebalanceOutcome::Aborted);
+        self.publish_progress(cluster);
         Ok(())
     }
 
@@ -967,6 +1018,10 @@ impl RebalanceJob {
         // The new directory is live: ingestion resumes through it.
         cluster.active_rebalances.remove(&self.dataset);
         self.state = JobState::CommitTasksDone;
+        // Subscribed sessions learn about the new directory by push instead
+        // of waiting to trip over a routing validation failure.
+        cluster.push_routing_update(self.dataset);
+        self.publish_progress(cluster);
         Ok(())
     }
 
@@ -1012,6 +1067,7 @@ impl RebalanceJob {
         cluster.active_rebalances.remove(&self.dataset);
         cluster.set_splits_enabled(self.dataset, true)?;
         self.state = JobState::Finalized(outcome);
+        cluster.clear_job_progress(self.dataset);
         Ok(self.report(outcome))
     }
 
@@ -1123,6 +1179,55 @@ impl RebalanceJob {
     /// True once the job is finalized.
     pub fn is_terminal(&self) -> bool {
         matches!(self.state, JobState::Finalized(_))
+    }
+
+    /// The nodes participating in the two-phase commit (targets plus
+    /// sources), after any replans removed lost ones.
+    pub fn participants(&self) -> &[NodeId] {
+        &self.participants
+    }
+
+    /// Bytes shipped across the network so far.
+    pub fn bytes_shipped(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// A point-in-time progress snapshot for [`crate::ClusterHealth`]. The
+    /// ETA extrapolates the per-wave simulated makespan observed so far over
+    /// the remaining waves (zero before the first wave completes).
+    pub fn progress(&self) -> crate::control::JobProgress {
+        let waves_total = self.waves.len();
+        let waves_completed = self.completed_waves();
+        let buckets_total = self.plan.num_moves();
+        let buckets_moved: usize = self.waves[..waves_completed.min(waves_total)]
+            .iter()
+            .map(|w| w.len())
+            .sum();
+        let remaining = waves_total.saturating_sub(waves_completed);
+        let eta = if waves_completed == 0 || remaining == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(
+                (self.clock.elapsed().as_nanos() / waves_completed as u64)
+                    .saturating_mul(remaining as u64),
+            )
+        };
+        crate::control::JobProgress {
+            dataset: self.dataset,
+            rebalance: self.rebalance_id,
+            state: self.state.name(),
+            buckets_total,
+            buckets_moved,
+            bytes_planned: self.plan.total_bytes_moved(),
+            bytes_shipped: self.bytes_moved,
+            waves_total,
+            waves_completed,
+            eta,
+        }
+    }
+
+    fn publish_progress(&self, cluster: &mut Cluster) {
+        cluster.publish_job_progress(self.progress());
     }
 
     // ------------------------------------------------------------- internals

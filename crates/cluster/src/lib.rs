@@ -30,6 +30,7 @@
 //! * the hardware cost model and simulated-time accounting ([`sim`]).
 
 pub mod cluster;
+pub mod control;
 pub mod controller;
 pub mod dataset;
 pub mod fault;
@@ -44,6 +45,10 @@ pub mod session;
 pub mod sim;
 
 pub use cluster::{Admin, Cluster, ClusterConfig};
+pub use control::{
+    ControlConfig, ControlDecision, ControlPlane, ControlStatus, HeatMap, HeatReport, JobProgress,
+    TickReport, WindowUsage,
+};
 pub use controller::ClusterController;
 pub use dataset::{DatasetId, DatasetMeta, DatasetSpec, SecondaryIndexDef};
 pub use fault::{ClusterHealth, FaultSchedule, FaultStats, NodeState, RetryPolicy, WaveFault};

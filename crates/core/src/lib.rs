@@ -32,8 +32,8 @@ pub use directory::{DirectoryDelta, GlobalDirectory};
 pub use dynahash_lsm::{hash_key, BucketId};
 pub use plan::{BucketMove, RebalancePlan};
 pub use protocol::{
-    FailurePoint, MovePolicy, NodeVote, RebalanceCoordinator, RebalanceOutcome, RebalancePhase,
-    SecondaryRebuild,
+    max_deviation_imbalance, BucketHeat, FailurePoint, MigrationBudget, MovePolicy, NodeVote,
+    RebalanceCoordinator, RebalanceOutcome, RebalancePhase, SecondaryRebuild,
 };
 pub use scheme::Scheme;
 pub use topology::{ClusterTopology, NodeId, PartitionId};

@@ -213,6 +213,15 @@ impl BucketedLsmTree {
             .collect()
     }
 
+    /// Live record count of every visible bucket (the residency half of the
+    /// control plane's heat reports).
+    pub fn bucket_record_counts(&self) -> Vec<(BucketId, usize)> {
+        self.buckets
+            .iter()
+            .map(|(b, t)| (*b, t.live_len()))
+            .collect()
+    }
+
     /// Total storage bytes across visible buckets.
     pub fn storage_bytes(&self) -> usize {
         self.buckets.values().map(|t| t.storage_bytes()).sum()
