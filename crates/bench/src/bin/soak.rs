@@ -11,8 +11,12 @@
 //! soak --full                  # the nightly profile: 16 nodes, 4M records
 //! soak --chaos                 # layer the seeded fault plane on top:
 //!                              # transient ship failures absorbed by retry,
-//!                              # plus a permanent node loss per grow event,
-//!                              # re-planned onto the survivors
+//!                              # slow nodes absorbed by straggler
+//!                              # speculation, plus a permanent node loss per
+//!                              # grow event — alternating the fresh node
+//!                              # (re-planned, zero data loss) with an
+//!                              # established one whose lost buckets serve
+//!                              # typed degraded errors until repair
 //! soak --seed 0xdead           # replay a failing run exactly
 //! soak --json soak.json        # machine-readable report
 //! ```
@@ -113,6 +117,20 @@ fn report_json(cfg: &SoakConfig, report: &SoakReport) -> Json {
         ("reroutes", Json::Int(report.reroutes)),
         ("reshipped", Json::Int(report.reshipped)),
         ("lost_nodes", Json::Int(report.lost_nodes as u64)),
+        (
+            "established_losses",
+            Json::Int(report.established_losses as u64),
+        ),
+        ("speculated", Json::Int(report.speculated)),
+        ("speculation_wins", Json::Int(report.speculation_wins)),
+        ("repairs", Json::Int(report.repairs)),
+        ("repaired_buckets", Json::Int(report.repaired_buckets)),
+        ("degraded_reads", Json::Int(report.degraded_reads)),
+        ("degraded_writes", Json::Int(report.degraded_writes)),
+        (
+            "degraded",
+            Json::Arr(report.degraded.iter().map(Json::str).collect()),
+        ),
         ("redirects", Json::Int(report.redirects)),
         ("final_nodes", Json::Int(report.final_nodes as u64)),
         ("control", Json::Bool(cfg.control)),
@@ -193,6 +211,18 @@ fn main() {
             report.reroutes,
             report.reshipped
         );
+        println!(
+            "recovery plane: {} established-node losses, {} legs speculated \
+             ({} backups won), {} repairs restored {} buckets, {} degraded \
+             reads and {} degraded writes served typed errors",
+            report.established_losses,
+            report.speculated,
+            report.speculation_wins,
+            report.repairs,
+            report.repaired_buckets,
+            report.degraded_reads,
+            report.degraded_writes
+        );
     }
     if cfg.control {
         println!(
@@ -246,6 +276,25 @@ fn main() {
         }
         if report.reroutes == 0 {
             eprintln!("chaos soak: a node was lost but nothing was re-planned");
+            std::process::exit(1);
+        }
+        // The recovery gates: chaos alternates its losses, so any profile
+        // with at least two grow events must have killed an established
+        // node, degraded its resident buckets, and repaired every one of
+        // them before the final invariant battery.
+        if report.established_losses == 0 || report.repaired_buckets == 0 {
+            eprintln!(
+                "chaos soak never exercised the repair plane (established \
+                 losses {}, repaired buckets {})",
+                report.established_losses, report.repaired_buckets
+            );
+            std::process::exit(1);
+        }
+        if !report.degraded.is_empty() {
+            eprintln!(
+                "chaos soak ended with degraded datasets: {:?}",
+                report.degraded
+            );
             std::process::exit(1);
         }
     }

@@ -2078,6 +2078,239 @@ pub fn control_gate_violations(rows: &[ControlRow]) -> Vec<String> {
     bad
 }
 
+// --------------------------------------------------- recovery study (PR 10)
+
+/// One row of the `recovery` figure: either a straggler arm (the identical
+/// seeded scale-out with one badly slow source node, with and without
+/// speculative re-execution) or a repair arm (a dataset that never lost a
+/// node vs. its twin that lost an established node and was repaired from
+/// the original feed).
+#[derive(Debug, Clone)]
+pub struct RecoveryRow {
+    /// Arm of this row.
+    pub label: &'static str,
+    /// True when the rebalance/repair committed.
+    pub committed: bool,
+    /// Simulated makespan of the rebalance (or repair; zero for the
+    /// loss-free oracle, which runs none).
+    pub makespan: SimDuration,
+    /// Transfer legs shipped a second time by speculation.
+    pub speculated: u64,
+    /// Speculative backups that strictly beat the original leg.
+    pub speculation_wins: u64,
+    /// Lost buckets a repair restored.
+    pub repaired_buckets: u64,
+    /// Live records at the end.
+    pub records: u64,
+    /// FNV-1a checksum over the sorted (key, value) contents.
+    pub checksum: u64,
+}
+
+/// Runs the two recovery-plane experiments. Straggler arm: the identical
+/// seeded scale-out with one source node slowed 50×, without and with
+/// [`SpeculationPolicy`] — speculation must strictly shorten the makespan
+/// while leaving record contents byte-identical. Repair arm: a dataset
+/// whose cluster never loses a node vs. its twin that permanently loses an
+/// established node (degrading that node's resident buckets) and is
+/// repaired from the original feed — the repaired dataset must be
+/// byte-identical to the never-lost oracle.
+pub fn recovery_study(cfg: &ExperimentConfig) -> Vec<RecoveryRow> {
+    use dynahash_cluster::{DatasetSpec, FaultSchedule, SpeculationPolicy};
+    use dynahash_lsm::entry::Key;
+    use dynahash_lsm::Bytes;
+
+    let nodes = 4;
+    let records = (cfg.orders_per_node as u64) * 40;
+    let value = |i: u64| Bytes::from(vec![(i % 249) as u8; 24]);
+    let load = |cluster: &mut Cluster| {
+        let ds = cluster
+            .create_dataset(DatasetSpec::new("recovery", cfg.dynahash_scheme(nodes)))
+            .expect("create recovery dataset");
+        cluster
+            .session(ds)
+            .expect("recovery session")
+            .ingest(cluster, (0..records).map(|i| (Key::from_u64(i), value(i))))
+            .expect("recovery ingest");
+        ds
+    };
+
+    let mut rows = Vec::new();
+
+    for (label, policy) in [
+        ("speculation off", SpeculationPolicy::disabled()),
+        ("speculation on", SpeculationPolicy::default()),
+    ] {
+        let mut cluster = cfg.cluster(nodes);
+        let ds = load(&mut cluster);
+        cluster.add_node().expect("recovery add_node");
+        let target = cluster.topology().clone();
+        let mut job =
+            RebalanceJob::plan(&mut cluster, ds, &target, 4).expect("plan recovery rebalance");
+        // Slow the node sourcing the first planned move, so the straggler
+        // is guaranteed to sit on the critical path.
+        let slow = cluster
+            .node_of_partition(job.waves()[0][0].from)
+            .expect("slow node of first move");
+        cluster.set_fault_plane(FaultSchedule::seeded(0x5bec_2026).with_slow_node(slow, 50));
+        job.set_speculation(policy);
+        job.init(&mut cluster).expect("init recovery rebalance");
+        while job.has_remaining_waves() {
+            job.run_wave(&mut cluster).expect("recovery wave");
+        }
+        job.prepare(&mut cluster)
+            .expect("prepare recovery rebalance");
+        job.decide(&mut cluster).expect("decide recovery rebalance");
+        job.commit(&mut cluster).expect("commit recovery rebalance");
+        let speculated = job.speculated();
+        let wins = job.speculation_wins();
+        let report = job
+            .finalize(&mut cluster)
+            .expect("finalize recovery rebalance");
+        cluster.clear_fault_plane();
+        let (live, checksum) = dataset_contents_checksum(&cluster, ds);
+        rows.push(RecoveryRow {
+            label,
+            committed: report.outcome == dynahash_core::RebalanceOutcome::Committed,
+            makespan: report.elapsed,
+            speculated,
+            speculation_wins: wins,
+            repaired_buckets: 0,
+            records: live,
+            checksum,
+        });
+    }
+
+    let mut oracle = cfg.cluster(nodes);
+    let ds = load(&mut oracle);
+    let (live, checksum) = dataset_contents_checksum(&oracle, ds);
+    rows.push(RecoveryRow {
+        label: "never-lost oracle",
+        committed: true,
+        makespan: SimDuration::ZERO,
+        speculated: 0,
+        speculation_wins: 0,
+        repaired_buckets: 0,
+        records: live,
+        checksum,
+    });
+
+    let mut cluster = cfg.cluster(nodes);
+    let ds = load(&mut cluster);
+    let victim = cluster.topology().nodes()[0];
+    cluster.lose_node(victim).expect("lose an established node");
+    let feed: Vec<(Key, Bytes)> = (0..records).map(|i| (Key::from_u64(i), value(i))).collect();
+    let report = cluster
+        .admin()
+        .repair_dataset(ds, &feed)
+        .expect("repair the degraded dataset");
+    cluster
+        .remove_lost_node(victim)
+        .expect("remove the lost node");
+    let (live, checksum) = dataset_contents_checksum(&cluster, ds);
+    rows.push(RecoveryRow {
+        label: "lost + repaired",
+        committed: report.outcome == dynahash_core::RebalanceOutcome::Committed,
+        makespan: report.elapsed,
+        speculated: 0,
+        speculation_wins: 0,
+        repaired_buckets: report.buckets.len() as u64,
+        records: live,
+        checksum,
+    });
+
+    rows
+}
+
+/// Renders recovery rows as a markdown table.
+pub fn format_recovery(rows: &[RecoveryRow]) -> String {
+    let mut s = String::from(
+        "| arm | committed | makespan (ms) | speculated | wins | repaired | \
+         records | checksum |\n\
+         |---|---|---|---|---|---|---|---|\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "| {} | {} | {:.3} | {} | {} | {} | {} | {:#018x} |\n",
+            r.label,
+            r.committed,
+            r.makespan.as_nanos() as f64 / 1e6,
+            r.speculated,
+            r.speculation_wins,
+            r.repaired_buckets,
+            r.records,
+            r.checksum
+        ));
+    }
+    s
+}
+
+/// Checks the `recovery` figure's gate — everything is simulated time and
+/// byte accounting, so the comparisons are exact: speculation must launch
+/// backups that win and strictly shorten the makespan without touching
+/// record contents, and the repaired dataset must be byte-identical to the
+/// never-lost oracle.
+pub fn recovery_gate_violations(rows: &[RecoveryRow]) -> Vec<String> {
+    let mut bad = Vec::new();
+    for r in rows {
+        if !r.committed {
+            bad.push(format!("{}: did not commit", r.label));
+        }
+    }
+    match (
+        rows.iter().find(|r| r.label == "speculation off"),
+        rows.iter().find(|r| r.label == "speculation on"),
+    ) {
+        (Some(off), Some(on)) => {
+            if off.speculated != 0 || off.speculation_wins != 0 {
+                bad.push(format!(
+                    "disabled policy still speculated ({} legs, {} wins)",
+                    off.speculated, off.speculation_wins
+                ));
+            }
+            if on.speculated == 0 {
+                bad.push("speculation never launched a backup".to_string());
+            }
+            if on.speculation_wins == 0 {
+                bad.push("no speculative backup beat the 50× straggler".to_string());
+            }
+            if on.makespan >= off.makespan {
+                bad.push(format!(
+                    "speculation did not shorten the makespan ({} ns vs {} ns)",
+                    on.makespan.as_nanos(),
+                    off.makespan.as_nanos()
+                ));
+            }
+            if on.records != off.records || on.checksum != off.checksum {
+                bad.push(format!(
+                    "speculation changed record contents ({} records, checksum \
+                     {:#x}; without it {} and {:#x})",
+                    on.records, on.checksum, off.records, off.checksum
+                ));
+            }
+        }
+        _ => bad.push("a speculation arm is missing".to_string()),
+    }
+    match (
+        rows.iter().find(|r| r.label == "never-lost oracle"),
+        rows.iter().find(|r| r.label == "lost + repaired"),
+    ) {
+        (Some(oracle), Some(repaired)) => {
+            if repaired.repaired_buckets == 0 {
+                bad.push("losing an established node degraded no buckets".to_string());
+            }
+            if repaired.records != oracle.records || repaired.checksum != oracle.checksum {
+                bad.push(format!(
+                    "repair left the dataset different from the never-lost \
+                     oracle ({} records, checksum {:#x}; oracle has {} and {:#x})",
+                    repaired.records, repaired.checksum, oracle.records, oracle.checksum
+                ));
+            }
+        }
+        _ => bad.push("a repair arm is missing".to_string()),
+    }
+    bad
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2250,6 +2483,19 @@ mod tests {
         // inline keys save exactly the key heap bytes: 8 per record
         assert_eq!(short.legacy_bytes - short.resident_bytes, short.records * 8);
         assert!(format_scale(&rows).contains("inline"));
+    }
+
+    #[test]
+    fn recovery_study_passes_its_gate() {
+        let rows = recovery_study(&tiny());
+        assert_eq!(rows.len(), 4);
+        let violations = recovery_gate_violations(&rows);
+        assert!(violations.is_empty(), "gate violations: {violations:?}");
+        let on = rows.iter().find(|r| r.label == "speculation on").unwrap();
+        assert!(on.speculation_wins > 0);
+        let repaired = rows.iter().find(|r| r.label == "lost + repaired").unwrap();
+        assert!(repaired.repaired_buckets > 0);
+        assert!(format_recovery(&rows).contains("never-lost oracle"));
     }
 
     #[test]

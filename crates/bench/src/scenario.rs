@@ -28,8 +28,8 @@
 use std::collections::BTreeMap;
 
 use dynahash_cluster::{
-    Cluster, ClusterConfig, ControlConfig, ControlDecision, ControlPlane, CostModel, DatasetSpec,
-    FaultSchedule, RebalanceJob, SecondaryIndexDef, Session, WaveFault,
+    Cluster, ClusterConfig, ClusterError, ControlConfig, ControlDecision, ControlPlane, CostModel,
+    DatasetSpec, FaultSchedule, RebalanceJob, SecondaryIndexDef, Session, WaveFault,
 };
 use dynahash_core::{NodeId, RebalanceOutcome, Scheme};
 use dynahash_lsm::entry::{Key, StorageFootprint};
@@ -227,10 +227,16 @@ pub struct SoakConfig {
     /// DynaHash max bucket size in bytes.
     pub max_bucket_bytes: u64,
     /// Chaos mode: every churn event additionally injects seeded transient
-    /// ship failures (absorbed by retry) and, on grow events, permanently
-    /// loses the node just added mid-movement, forcing a re-plan onto the
-    /// survivors. Fault decisions come from the scenario rng, so `seed`
-    /// replays them exactly.
+    /// ship failures (absorbed by retry) and a seeded slow node (absorbed by
+    /// straggler speculation), and grow events permanently lose a node
+    /// mid-movement — alternating between the node just added (a pure
+    /// destination, re-planned with zero data loss) and an **established**
+    /// data-holding node, whose sole bucket copies die with it: the dataset
+    /// serves degraded (typed errors, never silent emptiness) until the
+    /// runner repairs it from its model snapshot — through the armed
+    /// [`ControlPlane`]'s registered repair feed when [`SoakConfig::control`]
+    /// is on, directly otherwise. Fault decisions come from the scenario
+    /// rng, so `seed` replays them exactly.
     pub chaos: bool,
     /// Arms heat tracking and a [`ControlPlane`], and places
     /// [`ScenarioOp::Hotspot`] events in the script: Zipfian query heat on
@@ -352,6 +358,28 @@ pub struct SoakReport {
     pub reshipped: u64,
     /// Nodes permanently lost (and re-planned around) during the run.
     pub lost_nodes: usize,
+    /// Established (data-holding) nodes among the losses: each one degraded
+    /// a dataset until its repair.
+    pub established_losses: usize,
+    /// Transfers speculatively re-executed as stragglers under a slow-node
+    /// fault.
+    pub speculated: u64,
+    /// Speculative backups that beat their original attempt.
+    pub speculation_wins: u64,
+    /// Repair jobs committed (one per dataset degraded by an established
+    /// loss).
+    pub repairs: u64,
+    /// Lost buckets restored from model-snapshot repair feeds.
+    pub repaired_buckets: u64,
+    /// Reads that hit a lost bucket during a degraded window and got the
+    /// typed error (never silently-empty data).
+    pub degraded_reads: u64,
+    /// Writes refused because they routed to a lost bucket (kept out of the
+    /// model, so the repair feed stays byte-exact).
+    pub degraded_writes: u64,
+    /// Buckets still degraded at the end of the run, one line per dataset
+    /// (`dataset N: [ids]`). Empty on a clean run — every loss repaired.
+    pub degraded: Vec<String>,
     /// Total redirects absorbed by the long-lived sessions.
     pub redirects: u64,
     /// Node count at the end of the run.
@@ -400,6 +428,11 @@ impl SoakReport {
         }
         for d in &self.control_decisions {
             out.push_str("control: ");
+            out.push_str(d);
+            out.push('\n');
+        }
+        for d in &self.degraded {
+            out.push_str("still degraded: ");
             out.push_str(d);
             out.push('\n');
         }
@@ -554,9 +587,18 @@ struct Runner<'a> {
     churn: usize,
     rebalances: usize,
     crashes: usize,
+    /// Chaos grow events seen so far; the loss alternates deterministically
+    /// between the freshly added node (even counts) and an established
+    /// data-holding node (odd counts).
+    chaos_grows: usize,
+    established_losses: usize,
+    repairs: u64,
+    degraded_reads: u64,
+    degraded_writes: u64,
     /// The armed control plane (None when `cfg.control` is off). Only
-    /// ticked inside [`ScenarioOp::Hotspot`], so auto-triggered jobs never
-    /// overlap the churn events' hand-driven ones.
+    /// ticked inside [`ScenarioOp::Hotspot`] and the post-loss repair
+    /// drain, so auto-triggered jobs never overlap the churn events'
+    /// hand-driven ones.
     plane: Option<ControlPlane>,
 }
 
@@ -640,6 +682,11 @@ impl<'a> Runner<'a> {
             churn: 0,
             rebalances: 0,
             crashes: 0,
+            chaos_grows: 0,
+            established_losses: 0,
+            repairs: 0,
+            degraded_reads: 0,
+            degraded_writes: 0,
             plane,
         })
     }
@@ -700,12 +747,73 @@ impl<'a> Runner<'a> {
             batch.push((Key::from_u64(key), value_for(key, self.version, len)));
             staged.push((key, self.version));
         }
-        self.sessions[d]
-            .ingest(&mut self.cluster, batch)
-            .map_err(|e| format!("ingest of {n} into dataset {d}: {e}"))?;
-        self.datasets[d].model.extend(staged);
-        self.ingested += n;
-        Ok(())
+        match self.sessions[d].ingest(&mut self.cluster, batch) {
+            Ok(_) => {
+                self.datasets[d].model.extend(staged);
+                self.ingested += n;
+                Ok(())
+            }
+            Err(e) if self.write_unavailable(d, &e) => {
+                // The atomic batch was refused because some records route to
+                // buckets a dead node took down — lost ones (typed degraded
+                // error) or ones still awaiting relocation off the corpse
+                // (NodeDown until the re-planned rebalance commits). Retry
+                // record by record so each put's own verdict decides, and
+                // keep every refused record out of the model — that
+                // exclusion is what keeps the model snapshot byte-exact as
+                // a repair feed.
+                for (key, version) in staged {
+                    let v = value_for(key, version, len);
+                    match self.sessions[d].put(&mut self.cluster, Key::from_u64(key), v) {
+                        Ok(_) => {
+                            self.datasets[d].model.insert(key, version);
+                            self.ingested += 1;
+                        }
+                        Err(e) if self.write_unavailable(d, &e) => self.degraded_writes += 1,
+                        Err(e) => {
+                            return Err(format!("degraded-window put {key} into dataset {d}: {e}"))
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Err(e) => Err(format!("ingest of {n} into dataset {d}: {e}")),
+        }
+    }
+
+    /// True when `e` is a refusal writes may legitimately hit while a dead
+    /// node's buckets are in flight: the typed degraded error for a lost
+    /// bucket, or NodeDown/NodeLost for a bucket still awaiting relocation
+    /// off the corpse — and only while some node genuinely is dead.
+    /// Anything else stays a violation.
+    fn write_unavailable(&self, d: usize, e: &ClusterError) -> bool {
+        if self.degraded_hit(d, e) {
+            return true;
+        }
+        let some_node_dead = self
+            .cluster
+            .topology()
+            .nodes()
+            .iter()
+            .any(|n| !self.cluster.node_is_alive(*n));
+        some_node_dead && matches!(e, ClusterError::NodeDown(_) | ClusterError::NodeLost(_))
+    }
+
+    /// True when `e` is the typed degraded error for a bucket the fault
+    /// stats actually track as lost on dataset `d` — anything else stays a
+    /// violation.
+    fn degraded_hit(&self, d: usize, e: &ClusterError) -> bool {
+        match e {
+            ClusterError::BucketDegraded { dataset, bucket } => {
+                *dataset == self.datasets[d].id
+                    && self
+                        .cluster
+                        .fault_stats()
+                        .degraded_buckets(*dataset)
+                        .contains(bucket)
+            }
+            _ => false,
+        }
     }
 
     fn op_queries(&mut self, d: usize, ops: u64) -> StepResult {
@@ -713,12 +821,19 @@ impl<'a> Runner<'a> {
         for _ in 0..ops {
             self.queries += 1;
             match self.rng.gen_range(0..8) {
-                // point read, present or absent, against the model
+                // point read, present or absent, against the model; a typed
+                // degraded answer for a genuinely lost bucket is correct
+                // service, not a violation
                 0..=4 => {
                     let key = self.keygen.draw(&mut self.rng);
-                    let got = self.sessions[d]
-                        .get(&self.cluster, &Key::from_u64(key))
-                        .map_err(|e| format!("get {key} on dataset {d}: {e}"))?;
+                    let got = match self.sessions[d].get(&self.cluster, &Key::from_u64(key)) {
+                        Ok(got) => got,
+                        Err(e) if self.degraded_hit(d, &e) => {
+                            self.degraded_reads += 1;
+                            continue;
+                        }
+                        Err(e) => return Err(format!("get {key} on dataset {d}: {e}")),
+                    };
                     let want = self.datasets[d]
                         .model
                         .get(&key)
@@ -729,14 +844,20 @@ impl<'a> Runner<'a> {
                         ));
                     }
                 }
-                // single put with read-your-writes
+                // single put with read-your-writes; a refused degraded write
+                // leaves the model untouched so the repair feed stays exact
                 5 => {
                     let key = self.keygen.draw(&mut self.rng);
                     self.version += 1;
                     let v = value_for(key, self.version, len);
-                    self.sessions[d]
-                        .put(&mut self.cluster, Key::from_u64(key), v.clone())
-                        .map_err(|e| format!("put {key} on dataset {d}: {e}"))?;
+                    match self.sessions[d].put(&mut self.cluster, Key::from_u64(key), v.clone()) {
+                        Ok(_) => {}
+                        Err(e) if self.degraded_hit(d, &e) => {
+                            self.degraded_writes += 1;
+                            continue;
+                        }
+                        Err(e) => return Err(format!("put {key} on dataset {d}: {e}")),
+                    }
                     self.datasets[d].model.insert(key, self.version);
                     self.ingested += 1;
                     let got = self.sessions[d]
@@ -746,19 +867,27 @@ impl<'a> Runner<'a> {
                         return Err(format!("dataset {d} lost its own write of key {key}"));
                     }
                 }
-                // delete, checked against the model
+                // delete, checked against the model; the model entry only
+                // goes once the delete actually lands
                 6 => {
                     let key = self.keygen.draw(&mut self.rng);
-                    let was = self.datasets[d].model.remove(&key);
-                    let hit = self.sessions[d]
-                        .delete(&mut self.cluster, &Key::from_u64(key))
-                        .map_err(|e| format!("delete {key} on dataset {d}: {e}"))?;
+                    let was = self.datasets[d].model.get(&key).copied();
+                    let hit = match self.sessions[d].delete(&mut self.cluster, &Key::from_u64(key))
+                    {
+                        Ok(hit) => hit,
+                        Err(e) if self.degraded_hit(d, &e) => {
+                            self.degraded_writes += 1;
+                            continue;
+                        }
+                        Err(e) => return Err(format!("delete {key} on dataset {d}: {e}")),
+                    };
                     if hit != was.is_some() {
                         return Err(format!(
                             "dataset {d} delete of key {key}: hit={hit}, model had {was:?}"
                         ));
                     }
                     if was.is_some() {
+                        self.datasets[d].model.remove(&key);
                         self.deletes += 1;
                     }
                 }
@@ -871,14 +1000,19 @@ impl<'a> Runner<'a> {
                 .map_err(|e| format!("control tick in hotspot round {round}: {e}"))?;
         }
         // The queries stop; the plane must finish what it started within a
-        // bounded tail. "Settled" means no job in flight and nothing
-        // *actionable* this tick — suppression chatter about a residual
-        // byte imbalance the planner already found unimprovable may continue
-        // indefinitely by design, and does not block the script.
+        // bounded tail.
+        self.settle_plane(plane, "after a hotspot")
+    }
+
+    /// Ticks the plane until no job is in flight and nothing *actionable*
+    /// happened this tick — suppression chatter about a residual byte
+    /// imbalance the planner already found unimprovable may continue
+    /// indefinitely by design, and does not block the script.
+    fn settle_plane(&mut self, plane: &mut ControlPlane, when: &str) -> StepResult {
         for _ in 0..100 {
             let report = plane
                 .tick(&mut self.cluster)
-                .map_err(|e| format!("control tick draining hotspot: {e}"))?;
+                .map_err(|e| format!("control tick settling {when}: {e}"))?;
             let busy = report.job_in_flight
                 || report.decisions.iter().any(|dec| {
                     matches!(
@@ -889,13 +1023,88 @@ impl<'a> Runner<'a> {
                             | ControlDecision::Replanned { .. }
                             | ControlDecision::Committed { .. }
                             | ControlDecision::Aborted { .. }
+                            | ControlDecision::Repaired { .. }
                     )
                 });
             if !busy {
                 return Ok(());
             }
         }
-        Err("control plane failed to settle within 100 ticks after a hotspot".into())
+        Err(format!(
+            "control plane failed to settle within 100 ticks {when}"
+        ))
+    }
+
+    /// Restores every dataset the event's loss degraded, from its model
+    /// snapshot — exact ground truth, because writes to lost buckets are
+    /// refused and so the lost content cannot drift. With an armed control
+    /// plane the snapshot is registered as the dataset's repair feed and
+    /// the plane's health tick auto-triggers the repair; without one the
+    /// admin one-shot runs directly. Returns the number of buckets
+    /// restored.
+    fn repair_degraded(&mut self, when: &str) -> Result<u64, String> {
+        let mut plane = self.plane.take();
+        let result = self.repair_degraded_inner(plane.as_mut(), when);
+        self.plane = plane;
+        result
+    }
+
+    fn repair_degraded_inner(
+        &mut self,
+        mut plane: Option<&mut ControlPlane>,
+        when: &str,
+    ) -> Result<u64, String> {
+        let len = self.cfg.value_len();
+        let before = self.cluster.fault_stats().repaired_buckets;
+        for i in 0..self.datasets.len() {
+            let id = self.datasets[i].id;
+            if self.cluster.fault_stats().degraded_buckets(id).is_empty() {
+                continue;
+            }
+            let feed: Vec<(Key, Bytes)> = self.datasets[i]
+                .model
+                .iter()
+                .map(|(k, v)| (Key::from_u64(*k), value_for(*k, *v, len)))
+                .collect();
+            match plane.as_deref_mut() {
+                Some(plane) => {
+                    plane.set_repair_feed(id, feed);
+                    for _ in 0..10 {
+                        if self.cluster.fault_stats().degraded_buckets(id).is_empty() {
+                            break;
+                        }
+                        plane.tick(&mut self.cluster).map_err(|e| {
+                            format!("{when}: control tick repairing dataset {id}: {e}")
+                        })?;
+                    }
+                    plane.clear_repair_feed(id);
+                    if !self.cluster.fault_stats().degraded_buckets(id).is_empty() {
+                        return Err(format!(
+                            "{when}: the armed plane left dataset {id} degraded"
+                        ));
+                    }
+                }
+                None => {
+                    let report = self
+                        .cluster
+                        .admin()
+                        .repair_dataset(id, &feed)
+                        .map_err(|e| format!("{when}: repair of dataset {id}: {e}"))?;
+                    if report.is_noop() {
+                        return Err(format!(
+                            "{when}: repair of degraded dataset {id} was a no-op"
+                        ));
+                    }
+                }
+            }
+            self.repairs += 1;
+        }
+        // The repair ticks may also have let the plane start a heat-driven
+        // migration; drain it so the event ends with no job in flight.
+        if let Some(plane) = plane {
+            self.settle_plane(plane, when)?;
+        }
+        Ok(self.cluster.fault_stats().repaired_buckets - before)
     }
 
     // ----------------------------------------------------------- churn
@@ -936,20 +1145,40 @@ impl<'a> Runner<'a> {
         // The fault schedule for this event. Every decision is drawn from
         // the scenario rng, so the same seed replays the same faults at the
         // same wave boundaries. Chaos mode layers transient ship failures
-        // (capped below the retry budget, so always absorbed) on top and
-        // turns the grow-side crash into a permanent loss of the node just
-        // added — a pure destination, which re-planning cancels back to the
-        // live sources with zero data loss.
+        // (capped below the retry budget, so always absorbed) and one slow
+        // node (absorbed by straggler speculation) on top, and turns the
+        // grow-side crash into a permanent loss: even-numbered chaos grows
+        // lose the node just added — a pure destination, which re-planning
+        // cancels back to the live sources with zero data loss — while
+        // odd-numbered grows lose an established node, taking the sole
+        // copies of its resident buckets with it and opening the degraded
+        // window the repair plane exists for.
         let mut schedule = FaultSchedule::seeded(self.rng.next_u64());
         let mut lost: Option<NodeId> = None;
         if self.cfg.chaos {
             schedule = schedule.with_transient(150, 2);
+            let nodes = self.cluster.topology().nodes();
+            let slow = nodes[self.rng.gen_range(0..nodes.len() as u64) as usize];
+            schedule = schedule.with_slow_node(slow, 8);
         }
         match new_node {
             Some(n) if self.cfg.chaos => {
                 // Always after the first round: every rebalance with moves
                 // runs at least one, so the loss is guaranteed to fire.
-                schedule = schedule.with_wave_fault(0, WaveFault::Lose(n));
+                let victim = if self.chaos_grows % 2 == 1 {
+                    let established: Vec<NodeId> = self
+                        .cluster
+                        .topology()
+                        .nodes()
+                        .into_iter()
+                        .filter(|m| *m != n)
+                        .collect();
+                    established[self.rng.gen_range(0..established.len() as u64) as usize]
+                } else {
+                    n
+                };
+                self.chaos_grows += 1;
+                schedule = schedule.with_wave_fault(0, WaveFault::Lose(victim));
             }
             _ => {
                 if self.rng.gen_range(0..2) == 0 {
@@ -997,6 +1226,9 @@ impl<'a> Runner<'a> {
                             let ds = job.dataset();
                             job.replan_wave(&mut self.cluster)
                                 .map_err(|e| format!("replan dataset {ds} after {n}: {e}"))?;
+                        }
+                        if Some(n) != new_node {
+                            self.established_losses += 1;
                         }
                         lost = Some(n);
                     }
@@ -1047,6 +1279,10 @@ impl<'a> Runner<'a> {
                 .check_rebalance_integrity(ds, rebalance_id)
                 .map_err(|e| format!("integrity after rebalance of dataset {ds}: {e}"))?;
         }
+        // If the loss took established buckets down with it, repair every
+        // degraded dataset before the event ends: the soak's contract is
+        // that degraded windows are transient.
+        let repaired = self.repair_degraded("after churn event")?;
         if let Some(victim) = victim {
             self.cluster
                 .decommission_node(victim)
@@ -1055,8 +1291,9 @@ impl<'a> Runner<'a> {
         self.churn += 1;
 
         // Convergence: the stale sessions must absorb the move within the
-        // redirect bound while answering correctly.
-        let bound = (buckets_moved as u64).max(1) + 1;
+        // redirect bound while answering correctly. A repair installs its
+        // own directory, so each repaired bucket widens the bound by one.
+        let bound = (buckets_moved as u64).max(1) + 1 + repaired;
         for d in 0..self.datasets.len() {
             let before = self.sessions[d].metrics().redirects;
             self.sampled_reads_on(d, "post-churn convergence")?;
@@ -1113,9 +1350,14 @@ impl<'a> Runner<'a> {
         let len = self.cfg.value_len();
         for _ in 0..self.cfg.sample_reads {
             let key = self.keygen.draw(&mut self.rng);
-            let got = self.sessions[d]
-                .get(&self.cluster, &Key::from_u64(key))
-                .map_err(|e| format!("{when}: get {key} on dataset {d}: {e}"))?;
+            let got = match self.sessions[d].get(&self.cluster, &Key::from_u64(key)) {
+                Ok(got) => got,
+                Err(e) if self.degraded_hit(d, &e) => {
+                    self.degraded_reads += 1;
+                    continue;
+                }
+                Err(e) => return Err(format!("{when}: get {key} on dataset {d}: {e}")),
+            };
             let want = self.datasets[d]
                 .model
                 .get(&key)
@@ -1133,6 +1375,15 @@ impl<'a> Runner<'a> {
     /// route-every-record consistency and exact live counts.
     fn deep_checks(&mut self, when: &str) -> StepResult {
         for d in &self.datasets {
+            // Degraded windows are transient by contract: every churn event
+            // repairs its own loss, so nothing may still be degraded here.
+            let lost = self.cluster.fault_stats().degraded_buckets(d.id);
+            if !lost.is_empty() {
+                return Err(format!(
+                    "{when}: dataset {} still degraded (lost buckets {lost:?})",
+                    d.id
+                ));
+            }
             self.cluster
                 .check_dataset_consistency(d.id)
                 .map_err(|e| format!("{when}: consistency of dataset {}: {e}", d.id))?;
@@ -1223,6 +1474,14 @@ pub fn run_scenario(cfg: &SoakConfig, scenario: &Scenario) -> SoakReport {
                 reroutes: 0,
                 reshipped: 0,
                 lost_nodes: 0,
+                established_losses: 0,
+                speculated: 0,
+                speculation_wins: 0,
+                repairs: 0,
+                repaired_buckets: 0,
+                degraded_reads: 0,
+                degraded_writes: 0,
+                degraded: Vec::new(),
                 redirects: 0,
                 final_nodes: 0,
                 footprint: StorageFootprint::default(),
@@ -1300,6 +1559,19 @@ pub fn run_scenario(cfg: &SoakConfig, scenario: &Scenario) -> SoakReport {
         reroutes: faults.reroutes,
         reshipped: faults.reshipped,
         lost_nodes: faults.lost_nodes.len(),
+        established_losses: runner.established_losses,
+        speculated: faults.speculated,
+        speculation_wins: faults.speculation_wins,
+        repairs: runner.repairs,
+        repaired_buckets: faults.repaired_buckets,
+        degraded_reads: runner.degraded_reads,
+        degraded_writes: runner.degraded_writes,
+        degraded: faults
+            .lost_buckets
+            .iter()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(ds, b)| format!("dataset {ds}: {b:?}"))
+            .collect(),
         redirects,
         final_nodes: runner.cluster.topology().num_nodes() as u32,
         footprint: runner.footprint(),
@@ -1386,6 +1658,17 @@ mod tests {
             report.transient_faults, report.fault_retries,
             "every injected transient must be absorbed by a retry"
         );
+        assert!(
+            report.degraded.is_empty(),
+            "no dataset may end the run degraded: {:?}",
+            report.degraded
+        );
+        if report.established_losses > 0 {
+            assert!(
+                report.repaired_buckets > 0,
+                "an established-node loss must force a repair"
+            );
+        }
         // identical seed without chaos: the fault counters stay zero
         let mut quiet = cfg;
         quiet.chaos = false;
@@ -1393,6 +1676,63 @@ mod tests {
         assert!(baseline.passed(), "{}", baseline.failure_banner());
         assert_eq!(baseline.transient_faults, 0);
         assert_eq!(baseline.lost_nodes, 0);
+    }
+
+    #[test]
+    fn chaos_soak_loses_established_nodes_and_auto_repairs() {
+        let mut cfg = SoakConfig::smoke(0x50a6_0004);
+        cfg.chaos = true;
+        cfg.control = true;
+        cfg.max_bucket_bytes = 4 * 1024;
+        // A hand-written script with two explicit grows: chaos alternates
+        // the mid-rebalance loss, so the first grow loses the node just
+        // added (zero data loss) and the second loses an established
+        // data-holding node — the degraded window the armed control plane
+        // must auto-repair from the runner's registered model snapshot.
+        let script = Scenario {
+            name: "established-loss-auto-repair".into(),
+            ops: vec![
+                ScenarioOp::Ingest {
+                    dataset: 0,
+                    records: 6_000,
+                },
+                ScenarioOp::Ingest {
+                    dataset: 1,
+                    records: 6_000,
+                },
+                ScenarioOp::AddNode { max_moves: 4 },
+                ScenarioOp::Queries {
+                    dataset: 0,
+                    ops: 120,
+                },
+                ScenarioOp::AddNode { max_moves: 4 },
+                ScenarioOp::Queries {
+                    dataset: 1,
+                    ops: 120,
+                },
+            ],
+        };
+        let report = run_scenario(&cfg, &script);
+        assert!(report.passed(), "{}", report.failure_banner());
+        assert!(
+            report.established_losses >= 1,
+            "the second chaos grow must lose an established node"
+        );
+        assert!(
+            report.repaired_buckets > 0,
+            "losing an established node must degrade buckets that repair restores"
+        );
+        assert!(
+            report.repairs >= 1,
+            "the armed plane must have run at least one repair"
+        );
+        assert!(
+            report.degraded.is_empty(),
+            "no dataset may end the run degraded: {:?}",
+            report.degraded
+        );
+        // a clean run leaves no job half-done
+        assert!(report.jobs.is_empty(), "{:?}", report.jobs);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 
 use std::collections::BTreeMap;
 
-use dynahash_core::{BucketHeat, ClusterTopology, GlobalDirectory, NodeId, PartitionId, Scheme};
+use dynahash_core::{
+    BucketHeat, ClusterTopology, GlobalDirectory, NodeId, PartitionId, RebalanceOutcome, Scheme,
+};
 use dynahash_lsm::bucket::BucketId;
 use dynahash_lsm::entry::{Key, StorageFootprint, Value};
 use dynahash_lsm::metrics::MetricsSnapshot;
@@ -250,6 +252,21 @@ impl Cluster {
         &self.faults.stats
     }
 
+    /// The lost bucket `key` routes to, when the dataset is serving degraded
+    /// and the key's bucket died with a lost node (`None` on the healthy
+    /// path — the first map probe is the only cost then). Reads and writes
+    /// touching such a bucket get the typed
+    /// [`ClusterError::BucketDegraded`] instead of silently-empty data.
+    pub(crate) fn lost_bucket_of(&self, dataset: DatasetId, key: &Key) -> Option<BucketId> {
+        let lost = self.faults.stats.lost_buckets.get(&dataset)?;
+        if lost.is_empty() {
+            return None;
+        }
+        let meta = self.controller.dataset(dataset).ok()?;
+        let (bucket, _) = meta.directory.as_ref()?.lookup_key(key)?;
+        lost.contains(&bucket).then_some(bucket)
+    }
+
     /// Removes and returns the fault scheduled after wave `wave` (one-shot;
     /// `None` with no schedule installed or nothing scheduled there).
     /// Drivers call this between rebalance waves.
@@ -381,6 +398,24 @@ impl Cluster {
                 return Err(ClusterError::DatasetWriteBlocked(dataset));
             }
         }
+        // Degraded datasets reject writes to lost buckets *atomically*: the
+        // whole batch is validated before any record applies, so a feed never
+        // half-applies against a bucket awaiting repair. Healthy datasets pay
+        // only the (empty) lost-bucket map probe.
+        let batch: Vec<(Key, Value)> = records.into_iter().collect();
+        if self
+            .faults
+            .stats
+            .lost_buckets
+            .get(&dataset)
+            .is_some_and(|b| !b.is_empty())
+        {
+            for (key, _) in &batch {
+                if let Some(bucket) = self.lost_bucket_of(dataset, key) {
+                    return Err(ClusterError::BucketDegraded { dataset, bucket });
+                }
+            }
+        }
         let routing = self.controller.routing_snapshot(dataset)?;
         let cost_model = self.config.cost_model;
 
@@ -403,7 +438,7 @@ impl Cluster {
         // Per-node replication traffic (records, bytes) to pending buckets.
         let mut replicated: BTreeMap<NodeId, (u64, u64)> = BTreeMap::new();
         let mut total = 0u64;
-        for (key, value) in records {
+        for (key, value) in batch {
             let partition = routing
                 .route_key(&key)
                 .ok_or(ClusterError::RoutingFailed(dataset))?;
@@ -504,6 +539,9 @@ impl Cluster {
                 return Err(ClusterError::DatasetWriteBlocked(dataset));
             }
         }
+        if let Some(bucket) = self.lost_bucket_of(dataset, &key) {
+            return Err(ClusterError::BucketDegraded { dataset, bucket });
+        }
         let partition = self.route_key(dataset, &key)?;
         if let Some(bucket) = self.heat_bucket_of(dataset, partition, &key) {
             self.heat.note_write(dataset, bucket);
@@ -556,6 +594,9 @@ impl Cluster {
             if active.write_blocked {
                 return Err(ClusterError::DatasetWriteBlocked(dataset));
             }
+        }
+        if let Some(bucket) = self.lost_bucket_of(dataset, key) {
+            return Err(ClusterError::BucketDegraded { dataset, bucket });
         }
         let partition = self.route_key(dataset, key)?;
         if let Some(bucket) = self.heat_bucket_of(dataset, partition, key) {
@@ -965,6 +1006,54 @@ impl Admin<'_> {
             stats: self.cluster.fault_stats().clone(),
             jobs: self.cluster.job_progress.values().cloned().collect(),
         }
+    }
+
+    /// One-shot degraded-dataset repair: restores every currently-lost
+    /// bucket of the dataset from the operator-supplied feed by driving a
+    /// [`crate::repair::RepairJob`] end to end — plan, load, prepare,
+    /// commit, finalize — re-planning around nodes lost mid-repair. Returns
+    /// a no-op report (no log records forced) when nothing is degraded, so
+    /// repeating a repair is free and idempotent.
+    pub fn repair_dataset(
+        &mut self,
+        dataset: DatasetId,
+        feed: &[(Key, Value)],
+    ) -> Result<crate::repair::RepairReport, ClusterError> {
+        if self
+            .cluster
+            .fault_stats()
+            .degraded_buckets(dataset)
+            .is_empty()
+        {
+            return Ok(crate::repair::RepairReport::noop(dataset));
+        }
+        let mut job = crate::repair::RepairJob::plan(self.cluster, dataset)?;
+        // Each replan removes at least one dead participant, so the loop is
+        // bounded by the cluster size.
+        let max_replans = self.cluster.topology().nodes().len() + 1;
+        let mut replans = 0usize;
+        loop {
+            match job.load(self.cluster, feed) {
+                Ok(()) => break,
+                Err(ClusterError::NodeLost(_) | ClusterError::NodeDown(_))
+                    if replans < max_replans =>
+                {
+                    job.replan(self.cluster)?;
+                    replans += 1;
+                }
+                Err(e) => {
+                    job.abort(self.cluster)?;
+                    job.finalize(self.cluster)?;
+                    return Err(e);
+                }
+            }
+        }
+        job.prepare(self.cluster)?;
+        match job.decide(self.cluster)? {
+            RebalanceOutcome::Committed => job.commit(self.cluster)?,
+            RebalanceOutcome::Aborted => {}
+        }
+        job.finalize(self.cluster)
     }
 
     /// The merged heat snapshot of a dataset: the decayed per-bucket op

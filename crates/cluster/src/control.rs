@@ -49,6 +49,7 @@ use dynahash_core::{
     max_deviation_imbalance, BucketHeat, BucketId, DirectoryDelta, GlobalDirectory,
     MigrationBudget, NodeId, PartitionId, RebalanceOutcome,
 };
+use dynahash_lsm::entry::{Key, Value};
 use dynahash_lsm::wal::RebalanceId;
 
 use crate::cluster::Cluster;
@@ -570,6 +571,20 @@ pub enum ControlDecision {
         /// The aborted rebalance id.
         rebalance: RebalanceId,
     },
+    /// Health monitoring found a degraded dataset with a registered repair
+    /// feed and restored its lost buckets.
+    Repaired {
+        /// Tick of the decision.
+        tick: u64,
+        /// The repaired dataset.
+        dataset: DatasetId,
+        /// The rebalance-operation id the repair ran under.
+        rebalance: RebalanceId,
+        /// Buckets restored.
+        buckets: usize,
+        /// Records restored from the feed.
+        records: u64,
+    },
 }
 
 impl ControlDecision {
@@ -584,7 +599,8 @@ impl ControlDecision {
             | ControlDecision::HotSplit { tick, .. }
             | ControlDecision::Replanned { tick, .. }
             | ControlDecision::Committed { tick, .. }
-            | ControlDecision::Aborted { tick, .. } => *tick,
+            | ControlDecision::Aborted { tick, .. }
+            | ControlDecision::Repaired { tick, .. } => *tick,
         }
     }
 }
@@ -677,6 +693,17 @@ impl std::fmt::Display for ControlDecision {
                 f,
                 "t{tick}: dataset {dataset} rebalance {rebalance} aborted"
             ),
+            ControlDecision::Repaired {
+                tick,
+                dataset,
+                rebalance,
+                buckets,
+                records,
+            } => write!(
+                f,
+                "t{tick}: dataset {dataset} repair {rebalance} restored {buckets} lost \
+                 buckets ({records} records)"
+            ),
         }
     }
 }
@@ -712,6 +739,8 @@ pub struct ControlStatus {
     pub aborted_jobs: u64,
     /// Control-plane-initiated re-plans around lost nodes.
     pub replans: u64,
+    /// Degraded datasets auto-repaired from a registered feed.
+    pub repairs: u64,
     /// Hot buckets split.
     pub hot_splits: u64,
     /// Records whose deferred secondary entries were warmed on idle ticks.
@@ -767,6 +796,12 @@ pub struct ControlPlane {
     cooldown_until: BTreeMap<DatasetId, u64>,
     /// The in-flight auto-planned job, driven across ticks.
     job: Option<RebalanceJob>,
+    /// Operator-registered repair feeds: on a health tick with no job in
+    /// flight, a degraded dataset with a registered feed is auto-repaired
+    /// from it. A feed registered *after* a loss stays valid while the
+    /// dataset is degraded — writes to lost buckets are rejected, so their
+    /// content cannot drift from the snapshot.
+    repair_feeds: BTreeMap<DatasetId, Vec<(Key, Value)>>,
     window_start: u64,
     window_buckets: usize,
     window_bytes: u64,
@@ -779,6 +814,7 @@ pub struct ControlPlane {
     committed_jobs: u64,
     aborted_jobs: u64,
     replans: u64,
+    repairs: u64,
     hot_splits: u64,
     warmed_records: u64,
 }
@@ -803,6 +839,26 @@ impl ControlPlane {
         self.job.as_ref().map(|j| j.dataset())
     }
 
+    /// Registers (or replaces) a repair feed for a dataset: the records a
+    /// health tick re-ingests the dataset's lost buckets from when it finds
+    /// the dataset degraded (see [`crate::repair::RepairJob`]). Register the
+    /// feed *after* the loss (or keep it current): a lost bucket's content
+    /// cannot drift while degraded — writes to it are rejected — so a
+    /// post-loss snapshot stays exact until the repair commits.
+    pub fn set_repair_feed(&mut self, dataset: DatasetId, feed: Vec<(Key, Value)>) {
+        self.repair_feeds.insert(dataset, feed);
+    }
+
+    /// Removes a registered repair feed.
+    pub fn clear_repair_feed(&mut self, dataset: DatasetId) {
+        self.repair_feeds.remove(&dataset);
+    }
+
+    /// Datasets with a registered repair feed.
+    pub fn repair_feed_datasets(&self) -> Vec<DatasetId> {
+        self.repair_feeds.keys().copied().collect()
+    }
+
     /// A snapshot of counters, recent decisions, and budget windows.
     pub fn status(&self) -> ControlStatus {
         let mut windows = self.closed_windows.clone();
@@ -822,6 +878,7 @@ impl ControlPlane {
             committed_jobs: self.committed_jobs,
             aborted_jobs: self.aborted_jobs,
             replans: self.replans,
+            repairs: self.repairs,
             hot_splits: self.hot_splits,
             warmed_records: self.warmed_records,
             decisions: self.decisions.clone(),
@@ -856,6 +913,10 @@ impl ControlPlane {
         if self.job.is_some() {
             self.drive_job(cluster, &mut report)?;
         } else {
+            // Health monitoring: a degraded dataset with a registered repair
+            // feed is restored before anything else — serving every bucket
+            // again outranks rebalancing the healthy ones.
+            self.auto_repair(cluster, &mut report)?;
             self.evaluate(cluster, &mut report)?;
         }
         let idle = self.job.is_none() && report.decisions.is_empty();
@@ -895,6 +956,35 @@ impl ControlPlane {
             let excess = self.decisions.len() - MAX_DECISIONS;
             self.decisions.drain(..excess);
         }
+    }
+
+    /// Restores every degraded dataset that has a registered repair feed by
+    /// driving [`crate::cluster::Admin::repair_dataset`]; each committed
+    /// repair is logged as [`ControlDecision::Repaired`].
+    fn auto_repair(&mut self, cluster: &mut Cluster, report: &mut TickReport) -> Result<()> {
+        for dataset in self.repair_feed_datasets() {
+            if cluster.fault_stats().degraded_buckets(dataset).is_empty() {
+                continue;
+            }
+            let Some(feed) = self.repair_feeds.get(&dataset).cloned() else {
+                continue;
+            };
+            let repair = cluster.admin().repair_dataset(dataset, &feed)?;
+            if let Some(rebalance) = repair.rebalance {
+                self.repairs += 1;
+                self.log(
+                    report,
+                    ControlDecision::Repaired {
+                        tick: self.tick,
+                        dataset,
+                        rebalance,
+                        buckets: repair.buckets.len(),
+                        records: repair.records_restored,
+                    },
+                );
+            }
+        }
+        Ok(())
     }
 
     /// Drives the in-flight job one tick's worth: health check → re-plan if

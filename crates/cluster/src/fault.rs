@@ -233,10 +233,20 @@ pub struct FaultStats {
     /// Buckets re-shipped from a live source after their first destination
     /// was lost (the WAL's `ShippedMove` log names the components).
     pub reshipped: u64,
+    /// Straggling transfers speculatively re-executed (a backup copy of the
+    /// move was launched because the first attempt ran long past the wave's
+    /// median leg).
+    pub speculated: u64,
+    /// Speculative backups that finished before the original attempt (the
+    /// original's work was cancelled; the wave charged the winner's window).
+    pub speculation_wins: u64,
+    /// Lost buckets restored by a committed repair job, cumulative.
+    pub repaired_buckets: u64,
     /// Nodes permanently lost (never recovered).
     pub lost_nodes: Vec<NodeId>,
     /// Buckets whose only copy died with a lost node, per dataset. Such a
-    /// dataset keeps serving every other bucket (degraded mode).
+    /// dataset keeps serving every other bucket (degraded mode); a committed
+    /// [`repair`](crate::repair) job removes its buckets from this map.
     pub lost_buckets: BTreeMap<DatasetId, Vec<BucketId>>,
 }
 
@@ -245,6 +255,14 @@ impl FaultStats {
     /// lost with a dead node).
     pub fn degraded_datasets(&self) -> Vec<DatasetId> {
         self.lost_buckets.keys().copied().collect()
+    }
+
+    /// The lost bucket ids of one dataset, sorted (empty when healthy), so
+    /// repair progress is observable bucket by bucket.
+    pub fn degraded_buckets(&self, dataset: DatasetId) -> Vec<BucketId> {
+        let mut buckets = self.lost_buckets.get(&dataset).cloned().unwrap_or_default();
+        buckets.sort();
+        buckets
     }
 }
 
@@ -287,6 +305,16 @@ impl ClusterHealth {
     /// Datasets serving without some of their buckets.
     pub fn degraded_datasets(&self) -> Vec<DatasetId> {
         self.stats.degraded_datasets()
+    }
+
+    /// Per-dataset lost bucket ids, sorted, so operators can watch a repair
+    /// drain the list bucket by bucket.
+    pub fn degraded_buckets(&self) -> Vec<(DatasetId, Vec<BucketId>)> {
+        self.stats
+            .lost_buckets
+            .keys()
+            .map(|&ds| (ds, self.stats.degraded_buckets(ds)))
+            .collect()
     }
 }
 

@@ -32,6 +32,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use dynahash_core::{
     BucketId, BucketMove, ClusterTopology, GlobalDirectory, MovePolicy, NodeId, NodeVote,
     PartitionId, RebalanceCoordinator, RebalanceOutcome, RebalancePlan, SecondaryRebuild,
+    SpeculationPolicy,
 };
 use dynahash_lsm::entry::{Key, Value};
 use dynahash_lsm::wal::{LogRecordBody, RebalanceId, ShippedMove};
@@ -124,6 +125,20 @@ struct ShipStats {
     bytes: u64,
     records: u64,
     component_ids: Vec<u64>,
+    /// What the transfer would cost at nominal speed — no slow-node scaling,
+    /// no transient-retry penalties. This is the duration a speculative
+    /// backup launched from the live source runs for.
+    nominal: SimDuration,
+}
+
+/// One wave move's timeline and endpoints, kept per move so the speculation
+/// pass can compare each leg against the wave's median and replace a
+/// straggler's charges with the race winner's occupancy window.
+struct MoveLeg {
+    tl: NodeTimeline,
+    src: NodeId,
+    dst: NodeId,
+    nominal: SimDuration,
 }
 
 /// What [`RebalanceJob::replan_wave`] did to route a rebalance around one or
@@ -166,6 +181,7 @@ pub struct RebalanceJob {
     move_policy: MovePolicy,
     secondary_rebuild: SecondaryRebuild,
     retry: RetryPolicy,
+    speculation: SpeculationPolicy,
     state: JobState,
     init_tl: NodeTimeline,
     move_tl: NodeTimeline,
@@ -177,6 +193,8 @@ pub struct RebalanceJob {
     writes_applied: u64,
     retries: u64,
     reroutes: u64,
+    speculated: u64,
+    speculation_wins: u64,
 }
 
 impl std::fmt::Debug for RebalanceJob {
@@ -313,6 +331,7 @@ impl RebalanceJob {
             move_policy: MovePolicy::default(),
             secondary_rebuild: SecondaryRebuild::default(),
             retry: RetryPolicy::default(),
+            speculation: SpeculationPolicy::default(),
             state: JobState::Planned,
             init_tl: NodeTimeline::new(),
             move_tl: NodeTimeline::new(),
@@ -324,6 +343,8 @@ impl RebalanceJob {
             writes_applied: 0,
             retries: 0,
             reroutes: 0,
+            speculated: 0,
+            speculation_wins: 0,
         })
     }
 
@@ -414,6 +435,7 @@ impl RebalanceJob {
         let wave = self.waves[wave_index].clone();
 
         // Data movement needs both ends of every move up.
+        let mut endpoints: Vec<(NodeId, NodeId)> = Vec::with_capacity(wave.len());
         for m in &wave {
             let src_node = cluster.node_of_partition(m.from)?;
             let dst_node = self
@@ -428,15 +450,22 @@ impl RebalanceJob {
                     return Err(ClusterError::NodeDown(node));
                 }
             }
+            endpoints.push((src_node, dst_node));
         }
 
-        let mut wave_tl = NodeTimeline::new();
+        // Each move ships into its own timeline. Per-node charges add, so
+        // extending the per-move timelines into the wave timeline below is
+        // charge-identical to the old shared-timeline path — and it gives
+        // the speculation pass each transfer's individual leg to compare
+        // against the wave's median.
         let mut bytes = 0u64;
         let mut records = 0u64;
         let mut components = 0usize;
         let mut shipped: Vec<ShippedMove> = Vec::with_capacity(wave.len());
-        for m in &wave {
-            let stats = self.ship_move(cluster, m, &mut wave_tl)?;
+        let mut legs: Vec<MoveLeg> = Vec::with_capacity(wave.len());
+        for (m, &(src, dst)) in wave.iter().zip(&endpoints) {
+            let mut mv_tl = NodeTimeline::new();
+            let stats = self.ship_move(cluster, m, &mut mv_tl)?;
             bytes += stats.bytes;
             records += stats.records;
             components += stats.component_ids.len();
@@ -449,6 +478,17 @@ impl RebalanceJob {
                 bytes: stats.bytes,
                 records: stats.records,
             });
+            legs.push(MoveLeg {
+                tl: mv_tl,
+                src,
+                dst,
+                nominal: stats.nominal,
+            });
+        }
+        self.speculate_stragglers(cluster, &mut legs);
+        let mut wave_tl = NodeTimeline::new();
+        for leg in &legs {
+            wave_tl.extend(&leg.tl);
         }
         // The CC forces the wave's ship record: if a destination later loses
         // its uncommitted pending state in a crash, recovery replays these
@@ -488,6 +528,62 @@ impl RebalanceJob {
             components,
             makespan,
         })
+    }
+
+    /// Speculatively re-executes straggling transfers (MapReduce-style
+    /// backup tasks): a move whose leg was stretched past the job's
+    /// [`SpeculationPolicy`] straggler multiple of the wave's median leg —
+    /// by a slow-node fault on one of its endpoints — is shipped *again*
+    /// from the live source to the same destination, and the wave takes the
+    /// first finisher.
+    ///
+    /// The data already shipped exactly once (the first attempt's loads and
+    /// installs stand, so contents are byte-identical either way); the race
+    /// is a timing one. The backup launches once the leg has run
+    /// `straggler_multiple` medians and runs at nominal speed — the slow
+    /// factor models a transient environmental stall pinned to the first
+    /// attempt. If the backup finishes strictly first, the original is
+    /// cancelled at that instant and both endpoints are charged the
+    /// winner's occupancy window (the attempts overlap in wall-clock, so
+    /// charging their sum would double-count); otherwise the original's
+    /// charges stand unchanged. Either way the launch is counted in
+    /// [`FaultStats`](crate::fault::FaultStats).
+    fn speculate_stragglers(&mut self, cluster: &mut Cluster, legs: &mut [MoveLeg]) {
+        if !self.speculation.enabled || legs.len() < 2 {
+            return;
+        }
+        let Some(plane) = cluster.fault_plane().filter(|s| !s.is_empty()).cloned() else {
+            return;
+        };
+        let mut durations: Vec<u64> = legs.iter().map(|l| l.tl.elapsed().as_nanos()).collect();
+        durations.sort_unstable();
+        // Lower median, so a lone straggler in a small wave cannot drag the
+        // reference leg up to itself and mask the detection.
+        let median = durations[(durations.len() - 1) / 2];
+        let multiple = u64::from(self.speculation.straggler_multiple.max(1));
+        for leg in legs.iter_mut() {
+            let slowed = plane.slow_factor(leg.src) > 1 || plane.slow_factor(leg.dst) > 1;
+            let leg_ns = leg.tl.elapsed().as_nanos();
+            if !slowed || !self.speculation.is_straggler(leg_ns, median) {
+                continue;
+            }
+            let detect_at = median.saturating_mul(multiple);
+            let backup_finish = detect_at.saturating_add(leg.nominal.as_nanos());
+            self.speculated += 1;
+            cluster.faults.stats.speculated += 1;
+            if backup_finish < leg_ns {
+                // The backup won strictly: the original is cancelled at the
+                // backup's finish, so both endpoints were busy exactly that
+                // long.
+                let window = SimDuration::from_nanos(backup_finish);
+                let mut tl = NodeTimeline::new();
+                tl.charge(leg.src, window);
+                tl.charge(leg.dst, window);
+                leg.tl = tl;
+                self.speculation_wins += 1;
+                cluster.faults.stats.speculation_wins += 1;
+            }
+        }
     }
 
     /// Executes one bucket move under the job's policy, charging the
@@ -561,20 +657,18 @@ impl RebalanceJob {
                 // stream; the network ships records; the destination
                 // re-materialises them — re-sort, Bloom rebuild, primary
                 // component build — and rebuilds the secondary entries.
+                let mut nominal = SimDuration::ZERO;
                 if bytes > 0 {
-                    tl.charge(
-                        src_node,
-                        scaled(
-                            src_node,
-                            cost.disk_read(bytes) + cost.rematerialize_cpu(records),
-                        ),
-                    );
-                    tl.charge(dst_node, scaled(dst_node, cost.network(bytes)));
-                    let mut dst_cost = cost.disk_write(bytes) + cost.rematerialize_cpu(records);
+                    let src_cost = cost.disk_read(bytes) + cost.rematerialize_cpu(records);
+                    tl.charge(src_node, scaled(src_node, src_cost));
+                    let mut dst_cost = cost.network(bytes)
+                        + cost.disk_write(bytes)
+                        + cost.rematerialize_cpu(records);
                     if dst_has_indexes {
                         dst_cost += cost.index_rebuild_cpu(records);
                     }
                     tl.charge(dst_node, scaled(dst_node, dst_cost));
+                    nominal = src_cost.max(dst_cost);
                 }
                 let dst = cluster.partition_mut(m.to)?.dataset_mut(self.dataset)?;
                 dst.ensure_pending_bucket(m.bucket)?;
@@ -583,6 +677,7 @@ impl RebalanceJob {
                     bytes,
                     records,
                     component_ids: Vec::new(),
+                    nominal,
                 })
             }
             MovePolicy::Components => {
@@ -602,26 +697,24 @@ impl RebalanceJob {
                 // rebuild is the only CPU left on the destination's commit
                 // path, and the default deferred mode moves even that to the
                 // first index query (charged by the query executor instead).
+                let mut nominal = SimDuration::ZERO;
                 if bytes > 0 {
-                    tl.charge(src_node, scaled(src_node, cost.disk_read(bytes)));
-                    tl.charge(
-                        dst_node,
-                        scaled(
-                            dst_node,
-                            cost.network(bytes)
-                                + cost.component_ship_overhead(component_ids.len() as u64),
-                        ),
-                    );
-                    let mut dst_cost = cost.disk_write(bytes);
+                    let src_cost = cost.disk_read(bytes);
+                    tl.charge(src_node, scaled(src_node, src_cost));
+                    let mut dst_cost = cost.network(bytes)
+                        + cost.component_ship_overhead(component_ids.len() as u64)
+                        + cost.disk_write(bytes);
                     if dst_has_indexes && self.secondary_rebuild == SecondaryRebuild::Eager {
                         dst_cost += cost.index_rebuild_cpu(records);
                     }
                     tl.charge(dst_node, scaled(dst_node, dst_cost));
+                    nominal = src_cost.max(dst_cost);
                 }
                 Ok(ShipStats {
                     bytes,
                     records,
                     component_ids,
+                    nominal,
                 })
             }
         }
@@ -1120,9 +1213,31 @@ impl RebalanceJob {
         self.retry = retry;
     }
 
+    /// The straggler-speculation policy waves run under (default:
+    /// [`SpeculationPolicy::default`], enabled at 2x the median leg).
+    pub fn speculation(&self) -> SpeculationPolicy {
+        self.speculation
+    }
+
+    /// Sets the straggler-speculation policy. Call before the first wave
+    /// runs.
+    pub fn set_speculation(&mut self, speculation: SpeculationPolicy) {
+        self.speculation = speculation;
+    }
+
     /// Transfer attempts retried after a transient fault, so far.
     pub fn retries(&self) -> u64 {
         self.retries
+    }
+
+    /// Straggling transfers speculatively re-executed by this job, so far.
+    pub fn speculated(&self) -> u64 {
+        self.speculated
+    }
+
+    /// Speculative backups that beat their original attempt, so far.
+    pub fn speculation_wins(&self) -> u64 {
+        self.speculation_wins
     }
 
     /// Moves rerouted to survivors by [`RebalanceJob::replan_wave`], so far.

@@ -27,6 +27,11 @@
 //!   crash/permanent-loss wave faults that
 //!   [`job::RebalanceJob::replan_wave`] survives by rerouting the dead
 //!   node's moves to survivors ([`fault`]);
+//! * the recovery plane — speculative re-execution of straggling transfers
+//!   under a [`dynahash_core::SpeculationPolicy`] (the wave takes the first
+//!   finisher), and [`repair::RepairJob`]s that restore a degraded dataset's
+//!   lost buckets from an operator-supplied feed under the same 2PC
+//!   machinery ([`repair`]);
 //! * the hardware cost model and simulated-time accounting ([`sim`]).
 
 pub mod cluster;
@@ -41,6 +46,7 @@ pub mod partition;
 pub mod query;
 pub mod rebalance;
 pub mod recovery;
+pub mod repair;
 pub mod session;
 pub mod sim;
 
@@ -59,12 +65,13 @@ pub use partition::{Partition, PartitionDataset, SecondaryState};
 pub use query::{QueryExecutor, QueryReport};
 pub use rebalance::{PhaseTimes, RebalanceOptions, RebalanceReport, StepHook};
 pub use recovery::RecoveryReport;
+pub use repair::{RepairJob, RepairReport, RepairState};
 pub use session::{RouteError, Session, SessionMetrics};
 pub use sim::{CostModel, NodeTimeline, SimDuration, WaveClock};
 
-pub use dynahash_core::{MovePolicy, SecondaryRebuild};
+pub use dynahash_core::{MovePolicy, SecondaryRebuild, SpeculationPolicy};
 
-use dynahash_core::{CoreError, NodeId, PartitionId};
+use dynahash_core::{BucketId, CoreError, NodeId, PartitionId};
 use dynahash_lsm::StorageError;
 
 use crate::dataset::DatasetId as DsId;
@@ -86,6 +93,16 @@ pub enum ClusterError {
     /// Writes to the dataset are briefly blocked while a rebalance runs its
     /// prepare/commit window (Section V-C).
     DatasetWriteBlocked(DsId),
+    /// The key routes to a bucket whose only copy died with a lost node: the
+    /// dataset serves degraded until a [`repair`] job restores the bucket.
+    /// A typed result — not silently-empty data — so clients and invariant
+    /// checkers can tell "lost" from "absent".
+    BucketDegraded {
+        /// The degraded dataset.
+        dataset: DsId,
+        /// The lost bucket the key routes to.
+        bucket: BucketId,
+    },
     /// The node still holds data and cannot be decommissioned.
     NodeNotEmpty(NodeId, usize),
     /// No partition could be determined for a key of this dataset.
@@ -123,6 +140,10 @@ impl std::fmt::Display for ClusterError {
             ClusterError::DatasetWriteBlocked(d) => write!(
                 f,
                 "dataset {d} writes are briefly blocked by a rebalance prepare phase"
+            ),
+            ClusterError::BucketDegraded { dataset, bucket } => write!(
+                f,
+                "bucket {bucket:?} of dataset {dataset} is degraded (lost with a dead node; awaiting repair)"
             ),
             ClusterError::NodeNotEmpty(n, records) => {
                 write!(f, "node {n} still holds {records} records")

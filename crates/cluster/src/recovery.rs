@@ -51,6 +51,44 @@ impl Cluster {
     pub fn lose_node(&mut self, node: NodeId) -> Result<()> {
         self.node_mut(node)?.mark_lost();
         self.faults.stats.lost_nodes.push(node);
+        // Buckets whose only copy lived on this node are degraded from this
+        // moment: every bucket the CC directory routes to its partitions,
+        // minus buckets whose shipped pending copy survives on an alive
+        // destination of an in-flight rebalance (the replan re-drives those
+        // to commit). A mid-job replan records the same set; the dedup push
+        // makes the double-record a no-op.
+        let partitions = self.topology().partitions_of_node(node);
+        let mut newly_lost: Vec<(crate::dataset::DatasetId, dynahash_core::BucketId)> = Vec::new();
+        for dataset in self.controller.dataset_ids() {
+            let Ok(meta) = self.controller.dataset(dataset) else {
+                continue;
+            };
+            let Some(dir) = meta.directory.as_ref() else {
+                continue;
+            };
+            for (bucket, partition) in dir.iter() {
+                if !partitions.contains(&partition) {
+                    continue;
+                }
+                let survives = self.active_rebalances.get(&dataset).is_some_and(|active| {
+                    active.shipped.get(&bucket).is_some_and(|dst| {
+                        active
+                            .target
+                            .node_of(*dst)
+                            .is_some_and(|n| n != node && self.node_is_alive(n))
+                    })
+                });
+                if !survives {
+                    newly_lost.push((dataset, bucket));
+                }
+            }
+        }
+        for (dataset, bucket) in newly_lost {
+            let lost = self.faults.stats.lost_buckets.entry(dataset).or_default();
+            if !lost.contains(&bucket) {
+                lost.push(bucket);
+            }
+        }
         Ok(())
     }
 

@@ -193,6 +193,12 @@ impl Cluster {
         bucketed: bool,
     ) -> Result<Option<Value>> {
         if bucketed {
+            // A bucket whose only copy died with a lost node serves a typed
+            // degraded error, never silently-empty data (the replanned
+            // directory routes to a survivor's *empty* replacement bucket).
+            if let Some(bucket) = self.lost_bucket_of(dataset, key) {
+                return Err(ClusterError::BucketDegraded { dataset, bucket });
+            }
             if let Ok(part) = self.partition(partition) {
                 if let Ok(ds) = part.dataset(dataset) {
                     if let Some(bucket) = ds.primary.directory().lookup_key(key) {

@@ -14,8 +14,9 @@
 //! Everything is seeded: a failure replays exactly from the printed seed.
 
 use dynahash_cluster::{
-    Cluster, ClusterConfig, CostModel, DatasetId, DatasetSpec, FaultSchedule, RebalanceJob,
-    RebalanceOptions, StepPoint, WaveFault,
+    Cluster, ClusterConfig, ClusterError, CostModel, DatasetId, DatasetSpec, FaultSchedule,
+    RebalanceJob, RebalanceOptions, RebalanceReport, RepairJob, SpeculationPolicy, StepPoint,
+    WaveFault,
 };
 use dynahash_core::{NodeId, RebalanceOutcome, Scheme};
 use dynahash_lsm::entry::Key;
@@ -23,6 +24,10 @@ use dynahash_lsm::rng::SplitMix64;
 use dynahash_lsm::Bytes;
 
 const SEED: u64 = 0xfa57_2026;
+
+fn record(i: u64) -> (Key, Bytes) {
+    (Key::from_u64(i), Bytes::from(vec![(i % 249) as u8; 40]))
+}
 
 fn loaded(nodes: u32, n: u64) -> (Cluster, DatasetId) {
     let mut cluster = Cluster::with_config(
@@ -38,9 +43,7 @@ fn loaded(nodes: u32, n: u64) -> (Cluster, DatasetId) {
             Scheme::StaticHash { num_buckets: 32 },
         ))
         .unwrap();
-    let records: Vec<(Key, Bytes)> = (0..n)
-        .map(|i| (Key::from_u64(i), Bytes::from(vec![(i % 249) as u8; 40])))
-        .collect();
+    let records: Vec<(Key, Bytes)> = (0..n).map(record).collect();
     let mut session = cluster.session(ds).unwrap();
     session.ingest(&mut cluster, records).unwrap();
     (cluster, ds)
@@ -185,4 +188,221 @@ fn double_loss_of_two_destinations_still_commits() {
         .check_rebalance_integrity(ds, report.rebalance_id)
         .unwrap();
     assert_eq!(cluster.fault_stats().lost_nodes, vec![n2, n3]);
+}
+
+/// Drives a 3 -> 4 scale-out step by step with a slow-node fault pinned to a
+/// node that actually sources a move of the first wave, so both twins of a
+/// speculation race stall on the same leg whatever the planner chose.
+fn scale_out_with_slow_source(
+    factor: u32,
+    policy: SpeculationPolicy,
+) -> (Cluster, DatasetId, RebalanceReport, u64, u64) {
+    let (mut cluster, ds) = loaded(3, 1500);
+    cluster.add_node().unwrap();
+    let target = cluster.topology().clone();
+    let mut job = RebalanceJob::plan(&mut cluster, ds, &target, 4).unwrap();
+    let slow = cluster.node_of_partition(job.waves()[0][0].from).unwrap();
+    cluster.set_fault_plane(FaultSchedule::seeded(SEED).with_slow_node(slow, factor));
+    job.set_speculation(policy);
+    job.init(&mut cluster).unwrap();
+    while job.has_remaining_waves() {
+        job.run_wave(&mut cluster).unwrap();
+    }
+    job.prepare(&mut cluster).unwrap();
+    assert_eq!(
+        job.decide(&mut cluster).unwrap(),
+        RebalanceOutcome::Committed
+    );
+    job.commit(&mut cluster).unwrap();
+    let speculated = job.speculated();
+    let wins = job.speculation_wins();
+    let report = job.finalize(&mut cluster).unwrap();
+    (cluster, ds, report, speculated, wins)
+}
+
+fn assert_all_records_served(cluster: &Cluster, ds: DatasetId, n: u64) {
+    let mut session = cluster.session(ds).unwrap();
+    for i in 0..n {
+        let (key, expected) = record(i);
+        assert_eq!(
+            session.get(cluster, &key).unwrap(),
+            Some(expected),
+            "key {i}"
+        );
+    }
+}
+
+#[test]
+fn speculative_backup_beats_a_crippled_straggler_and_shortens_the_rebalance() {
+    // A 50x stall on a source node stretches its legs far past twice the
+    // wave median: the backup (launched two medians in, running at nominal
+    // speed) must win the race, and the won race must strictly shorten the
+    // rebalance relative to a twin with speculation switched off — with
+    // byte-identical contents, since the data ships exactly once either way.
+    let (slow_twin, ds_off, off, spec_off, wins_off) =
+        scale_out_with_slow_source(50, SpeculationPolicy::disabled());
+    let (fast_twin, ds_on, on, spec_on, wins_on) =
+        scale_out_with_slow_source(50, SpeculationPolicy::default());
+    assert_eq!((spec_off, wins_off), (0, 0));
+    assert!(spec_on > 0, "a 50x stall must trip straggler detection");
+    assert!(
+        wins_on > 0,
+        "a nominal-speed backup must beat a 50x straggler"
+    );
+    assert!(
+        on.elapsed < off.elapsed,
+        "a won race must strictly shorten the rebalance: {:?} vs {:?}",
+        on.elapsed,
+        off.elapsed
+    );
+    assert_eq!(on.bytes_moved, off.bytes_moved);
+    assert_eq!(on.records_moved, off.records_moved);
+    assert_eq!(fast_twin.fault_stats().speculation_wins, wins_on);
+    for (cluster, ds, report) in [(&slow_twin, ds_off, &off), (&fast_twin, ds_on, &on)] {
+        assert_all_records_served(cluster, ds, 1500);
+        cluster
+            .check_rebalance_integrity(ds, report.rebalance_id)
+            .unwrap();
+    }
+}
+
+#[test]
+fn speculation_launched_on_a_mild_straggler_loses_the_race_and_costs_nothing() {
+    // A 2x stall with an eager straggler multiple of 1 launches backups, but
+    // the original finishes before a backup that only started a full median
+    // in: zero wins, and — since a lost race leaves every leg's charges
+    // untouched — a makespan byte-identical to the speculation-off twin.
+    let eager = SpeculationPolicy {
+        enabled: true,
+        straggler_multiple: 1,
+    };
+    let (_, _, off, ..) = scale_out_with_slow_source(2, SpeculationPolicy::disabled());
+    let (cluster, ds, on, spec_on, wins_on) = scale_out_with_slow_source(2, eager);
+    assert!(
+        spec_on > 0,
+        "an eager multiple of 1 must launch at least one backup"
+    );
+    assert_eq!(
+        wins_on, 0,
+        "a 2x stall finishes before a backup launched a median in"
+    );
+    assert_eq!(
+        on.elapsed, off.elapsed,
+        "a lost race must leave the wave timeline untouched"
+    );
+    assert_all_records_served(&cluster, ds, 1500);
+    cluster
+        .check_rebalance_integrity(ds, on.rebalance_id)
+        .unwrap();
+}
+
+#[test]
+fn established_node_loss_mid_rebalance_degrades_reads_until_repair_is_done_once() {
+    // Unlike the pure-destination losses above, this loss takes an
+    // *established* node mid-rebalance: the job still commits (re-planning
+    // installs empty replacements), but the sole copies die with the node —
+    // reads get the typed degraded error until a repair restores them, and a
+    // second repair of the healthy dataset is a pure no-op.
+    let (mut cluster, ds) = loaded(3, 1500);
+    cluster.add_node().unwrap();
+    let victim = NodeId(0);
+    cluster
+        .set_fault_plane(FaultSchedule::seeded(SEED).with_wave_fault(0, WaveFault::Lose(victim)));
+    let target = cluster.topology().clone();
+    let report = cluster
+        .rebalance(
+            ds,
+            &target,
+            RebalanceOptions::none().with_max_concurrent_moves(2),
+        )
+        .expect("an established-node loss must re-plan, not abort");
+    assert_eq!(report.outcome, RebalanceOutcome::Committed);
+    let degraded = cluster.fault_stats().degraded_buckets(ds);
+    assert!(
+        !degraded.is_empty(),
+        "an established node held sole bucket copies"
+    );
+
+    let mut session = cluster.session(ds).unwrap();
+    let mut degraded_reads = 0u64;
+    let mut served = 0u64;
+    for i in 0..1500u64 {
+        match session.get(&cluster, &Key::from_u64(i)) {
+            Ok(Some(_)) => served += 1,
+            Ok(None) => panic!("a degraded bucket must never read as silently empty"),
+            Err(ClusterError::BucketDegraded { dataset, bucket }) => {
+                assert_eq!(dataset, ds);
+                assert!(degraded.contains(&bucket));
+                degraded_reads += 1;
+            }
+            Err(e) => panic!("unexpected read error: {e}"),
+        }
+    }
+    assert!(degraded_reads > 0, "some keys route to the lost buckets");
+    assert_eq!(served + degraded_reads, 1500);
+
+    let feed: Vec<(Key, Bytes)> = (0..1500).map(record).collect();
+    let first = cluster.admin().repair_dataset(ds, &feed).unwrap();
+    assert_eq!(first.outcome, RebalanceOutcome::Committed);
+    assert_eq!(first.buckets, degraded);
+    assert!(cluster.fault_stats().degraded_buckets(ds).is_empty());
+
+    // Idempotence: repairing a healthy dataset forces no log records,
+    // restores nothing, and bumps no counters.
+    let wal_len = cluster.controller.metadata_log.len();
+    let second = cluster.admin().repair_dataset(ds, &feed).unwrap();
+    assert!(second.is_noop());
+    assert_eq!(second.records_restored, 0);
+    assert_eq!(cluster.controller.metadata_log.len(), wal_len);
+    assert_eq!(
+        cluster.fault_stats().repaired_buckets,
+        degraded.len() as u64
+    );
+
+    assert_all_records_served(&cluster, ds, 1500);
+    cluster.remove_lost_node(victim).unwrap();
+    cluster.check_dataset_consistency(ds).unwrap();
+}
+
+#[test]
+fn losing_a_second_node_mid_repair_replans_and_still_restores_everything() {
+    let (mut cluster, ds) = loaded(4, 1500);
+    let nodes = cluster.topology().nodes();
+    cluster.lose_node(nodes[0]).unwrap();
+    let initially_degraded = cluster.fault_stats().degraded_buckets(ds).len();
+    assert!(initially_degraded > 0);
+    let feed: Vec<(Key, Bytes)> = (0..1500).map(record).collect();
+
+    let mut job = RepairJob::plan(&mut cluster, ds).unwrap();
+    // A survivor that the plan repaired onto dies mid-repair, taking its
+    // freshly loaded pending copies *and* its own resident buckets with it.
+    cluster.lose_node(nodes[1]).unwrap();
+    match job.load(&mut cluster, &feed) {
+        Err(ClusterError::NodeLost(n)) => assert_eq!(n, nodes[1]),
+        other => panic!("load must fail typed on a lost owner, got {other:?}"),
+    }
+    let moved = job.replan(&mut cluster).unwrap();
+    assert!(moved > 0, "the replan must reassign dead owners");
+    job.load(&mut cluster, &feed).unwrap();
+    let scope = job.scope().len();
+    assert!(
+        scope > initially_degraded,
+        "the second node's resident buckets join the repair scope"
+    );
+    job.prepare(&mut cluster).unwrap();
+    assert_eq!(
+        job.decide(&mut cluster).unwrap(),
+        RebalanceOutcome::Committed
+    );
+    job.commit(&mut cluster).unwrap();
+    let report = job.finalize(&mut cluster).unwrap();
+    assert_eq!(report.outcome, RebalanceOutcome::Committed);
+    assert_eq!(report.replans, 1);
+    assert_eq!(report.buckets.len(), scope);
+    assert!(cluster.fault_stats().degraded_buckets(ds).is_empty());
+
+    assert_all_records_served(&cluster, ds, 1500);
+    cluster.remove_lost_node(nodes[0]).unwrap();
+    cluster.remove_lost_node(nodes[1]).unwrap();
+    cluster.check_dataset_consistency(ds).unwrap();
 }

@@ -33,7 +33,7 @@ pub use dynahash_lsm::{hash_key, BucketId};
 pub use plan::{BucketMove, RebalancePlan};
 pub use protocol::{
     max_deviation_imbalance, BucketHeat, FailurePoint, MigrationBudget, MovePolicy, NodeVote,
-    RebalanceCoordinator, RebalanceOutcome, RebalancePhase, SecondaryRebuild,
+    RebalanceCoordinator, RebalanceOutcome, RebalancePhase, SecondaryRebuild, SpeculationPolicy,
 };
 pub use scheme::Scheme;
 pub use topology::{ClusterTopology, NodeId, PartitionId};

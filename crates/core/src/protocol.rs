@@ -110,6 +110,54 @@ impl SecondaryRebuild {
     }
 }
 
+/// When and whether a wave speculatively re-executes a straggling transfer.
+///
+/// A slow-node fault stretches a transfer without failing it, so the retry
+/// machinery never reacts and the whole wave makespan absorbs the stall. The
+/// classic answer (MapReduce-style speculative execution) is to ship the
+/// laggard's move *again* once it has run long past its peers and take the
+/// first finisher. The slow factor models a transient environmental stall
+/// (background compaction, a GC pause, a hot disk) pinned to the first
+/// attempt; the backup, launched later from the live source, runs at nominal
+/// speed and wins exactly when the stall is long enough to pay for the late
+/// start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpeculationPolicy {
+    /// Whether stragglers are speculatively re-executed at all.
+    pub enabled: bool,
+    /// A transfer qualifies as a straggler when its leg exceeds this multiple
+    /// of the wave's median leg. Single-move waves never qualify (the only
+    /// leg *is* the median).
+    pub straggler_multiple: u32,
+}
+
+impl Default for SpeculationPolicy {
+    fn default() -> Self {
+        SpeculationPolicy {
+            enabled: true,
+            straggler_multiple: 2,
+        }
+    }
+}
+
+impl SpeculationPolicy {
+    /// Speculation switched off: stragglers run to completion unchallenged.
+    pub fn disabled() -> Self {
+        SpeculationPolicy {
+            enabled: false,
+            ..SpeculationPolicy::default()
+        }
+    }
+
+    /// True when a transfer leg of `leg_ns` against a wave median of
+    /// `median_ns` qualifies as a straggler worth re-executing.
+    pub fn is_straggler(&self, leg_ns: u64, median_ns: u64) -> bool {
+        self.enabled
+            && median_ns > 0
+            && leg_ns > median_ns.saturating_mul(u64::from(self.straggler_multiple.max(1)))
+    }
+}
+
 /// The final outcome of a rebalance operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RebalanceOutcome {
@@ -497,6 +545,27 @@ mod tests {
         // aborted rebalance accepts finish (cleanup done)
         c.finish().unwrap();
         assert_eq!(c.phase(), RebalancePhase::Aborted);
+    }
+
+    #[test]
+    fn speculation_policy_straggler_threshold() {
+        let p = SpeculationPolicy::default();
+        assert!(p.enabled);
+        // at or below the multiple: not a straggler (strictly greater wins)
+        assert!(!p.is_straggler(200, 100));
+        assert!(p.is_straggler(201, 100));
+        // a single-move wave (leg == median) never qualifies
+        assert!(!p.is_straggler(100, 100));
+        // a zero median (empty wave) never qualifies
+        assert!(!p.is_straggler(100, 0));
+        assert!(!SpeculationPolicy::disabled().is_straggler(1_000_000, 1));
+        // a zero multiple is clamped to 1 rather than flagging everything
+        let eager = SpeculationPolicy {
+            enabled: true,
+            straggler_multiple: 0,
+        };
+        assert!(!eager.is_straggler(100, 100));
+        assert!(eager.is_straggler(101, 100));
     }
 
     #[test]
